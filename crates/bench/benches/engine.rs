@@ -1,0 +1,143 @@
+//! Simulator-engine microbenchmarks: event queue, network, bitsets, cache
+//! array and end-to-end event throughput. These guard the simulator's own
+//! performance (the experiments run millions of events per data point).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bash_coherence::cache::{CacheArray, CacheGeometry, Mosi};
+use bash_coherence::types::{BlockAddr, BlockData};
+use bash_coherence::ProtocolKind;
+use bash_kernel::{Duration, EventQueue, Time};
+use bash_net::{Crossbar, Message, NetConfig, NodeId, NodeSet, VnetId};
+use bash_sim::{System, SystemConfig};
+use bash_workloads::LockingMicrobench;
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(Time::from_ns((i * 7919) % 4096), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn node_set_ops(c: &mut Criterion) {
+    let full = NodeSet::all(64);
+    let small = NodeSet::from_nodes([NodeId(3), NodeId(17), NodeId(42)]);
+    c.bench_function("engine/nodeset_superset", |b| {
+        b.iter(|| std::hint::black_box(&full).is_superset(std::hint::black_box(&small)))
+    });
+    c.bench_function("engine/nodeset_iter64", |b| {
+        b.iter(|| std::hint::black_box(&full).iter().map(|n| n.0 as u64).sum::<u64>())
+    });
+}
+
+fn cache_array(c: &mut Criterion) {
+    c.bench_function("engine/cache_touch_hit", |b| {
+        let mut cache = CacheArray::new(CacheGeometry { sets: 1024, ways: 4 });
+        for i in 0..4096u64 {
+            cache.insert(BlockAddr(i), Mosi::S, BlockData::ZERO);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            cache.touch(BlockAddr(i))
+        })
+    });
+}
+
+fn crossbar_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/crossbar");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("broadcast_64_nodes", |b| {
+        let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(64, 1600));
+        let mut q = EventQueue::new();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now += Duration::from_ns(1000);
+            let msg = Message::ordered(NodeId(0), NodeSet::all(64), 8, 42u64);
+            let step = net.send(now, msg);
+            for (t, e) in step.schedule {
+                q.schedule(t, e);
+            }
+            let mut delivered = 0;
+            while let Some((t, e)) = q.pop() {
+                let step = net.handle(t, e);
+                for (t2, e2) in step.schedule {
+                    q.schedule(t2, e2);
+                }
+                delivered += step.deliveries.len();
+            }
+            delivered
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end_events_per_sec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/end_to_end");
+    g.sample_size(10);
+    for proto in ProtocolKind::ALL {
+        g.bench_function(format!("events_{}", proto.name()), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::paper_default(proto, 16, 1600)
+                    .with_cache(CacheGeometry { sets: 256, ways: 4 });
+                let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
+                let stats = System::run(
+                    cfg,
+                    wl,
+                    Duration::from_ns(10_000),
+                    Duration::from_ns(50_000),
+                );
+                stats.events_processed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn unicast_point_to_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/crossbar_unicast");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("unicast", |b| {
+        let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(4, 1600));
+        let mut q = EventQueue::new();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now += Duration::from_ns(500);
+            let msg = Message::unordered(NodeId(0), NodeId(2), VnetId::DATA, 72, 1u64);
+            let step = net.send(now, msg);
+            for (t, e) in step.schedule {
+                q.schedule(t, e);
+            }
+            while let Some((t, e)) = q.pop() {
+                let step = net.handle(t, e);
+                for (t2, e2) in step.schedule {
+                    q.schedule(t2, e2);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    event_queue,
+    node_set_ops,
+    cache_array,
+    crossbar_broadcast,
+    unicast_point_to_point,
+    end_to_end_events_per_sec,
+);
+criterion_main!(engine);

@@ -1,0 +1,159 @@
+//! One Criterion group per paper table/figure: each benchmark runs a
+//! single representative point of the corresponding experiment, so
+//! `cargo bench` regenerates (miniature, timed) versions of every result.
+//! The full sweeps live in `bash-experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bash_adaptive::AdaptorConfig;
+use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::Duration;
+use bash_queueing::{analytic, simulate, RepairmanParams};
+use bash_sim::{RunStats, System, SystemConfig};
+use bash_workloads::{LockingMicrobench, SyntheticWorkload, WorkloadParams};
+
+fn micro_point(proto: ProtocolKind, nodes: u16, mbps: u64, think: u64, bcost: u32) -> RunStats {
+    let cfg = SystemConfig::paper_default(proto, nodes, mbps)
+        .with_broadcast_cost(bcost)
+        .with_cache(CacheGeometry { sets: 256, ways: 4 });
+    let wl = LockingMicrobench::new(nodes, 256, Duration::from_cycles(think), 1);
+    System::run(cfg, wl, Duration::from_ns(30_000), Duration::from_ns(60_000))
+}
+
+fn macro_point(proto: ProtocolKind, params: WorkloadParams, bcost: u32) -> RunStats {
+    let cfg = SystemConfig::paper_default(proto, 16, 1600)
+        .with_broadcast_cost(bcost)
+        .with_cache(CacheGeometry { sets: 512, ways: 4 });
+    let wl = SyntheticWorkload::new(16, params, 1);
+    System::run(cfg, wl, Duration::from_ns(30_000), Duration::from_ns(80_000))
+}
+
+/// Figure 1/5/6: one bandwidth point per protocol (16p mini version).
+fn fig1_perf_vs_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_perf_vs_bandwidth");
+    g.sample_size(10);
+    for proto in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(proto.name()),
+            &proto,
+            |b, &p| b.iter(|| micro_point(p, 16, 1600, 0, 1)),
+        );
+    }
+    g.finish();
+}
+
+/// Figure 2: the queueing model (analytic + simulated point at the knee).
+fn fig2_queueing_knee(c: &mut Criterion) {
+    let params = RepairmanParams {
+        customers: 16,
+        mean_service: 1.0,
+        mean_think: 15.0,
+    };
+    c.bench_function("fig2_queueing_knee/analytic", |b| {
+        b.iter(|| analytic(std::hint::black_box(params)))
+    });
+    c.bench_function("fig2_queueing_knee/simulated", |b| {
+        b.iter(|| simulate(std::hint::black_box(params), 5_000, 7))
+    });
+}
+
+/// Figure 6: utilization measurement at one point (BASH pinning 75%).
+fn fig6_utilization(c: &mut Criterion) {
+    c.bench_function("fig6_utilization/bash_800", |b| {
+        b.iter(|| {
+            let s = micro_point(ProtocolKind::Bash, 16, 800, 0, 1);
+            assert!(s.link_utilization > 0.5);
+            s
+        })
+    });
+}
+
+/// Figure 8: one small and one large system point.
+fn fig8_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scaling");
+    g.sample_size(10);
+    for nodes in [8u16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| micro_point(ProtocolKind::Bash, n, 1600, 0, 1))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: the think-time sweep endpoints.
+fn fig9_think_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_think_time");
+    g.sample_size(10);
+    for think in [0u64, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(think), &think, |b, &t| {
+            b.iter(|| micro_point(ProtocolKind::Snooping, 16, 1600, t, 1))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 10–12: one macro workload point per protocol (4x broadcast).
+fn fig12_workload_bars(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_workload_bars");
+    g.sample_size(10);
+    for proto in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(proto.name()),
+            &proto,
+            |b, &p| b.iter(|| macro_point(p, WorkloadParams::oltp(), 4)),
+        );
+    }
+    g.finish();
+}
+
+/// Table 1: transition coverage collection speed (tester throughput).
+fn table1_coverage(c: &mut Criterion) {
+    c.bench_function("table1_coverage/bash_hostile", |b| {
+        b.iter(|| {
+            let mut cfg =
+                bash_tester_shim::hostile(ProtocolKind::Bash, 1);
+            cfg.ops_per_node = 200;
+            bash_tester_shim::run(cfg)
+        })
+    });
+}
+
+/// Local shim so the bench crate does not depend on dev-only test code.
+mod bash_tester_shim {
+    pub use bash_coherence::ProtocolKind;
+    // The tester crate is a normal dependency of the workspace; re-export
+    // the pieces the bench needs.
+    pub fn hostile(p: ProtocolKind, seed: u64) -> bash_tester::TesterConfig {
+        bash_tester::TesterConfig::hostile(p, seed)
+    }
+    pub fn run(cfg: bash_tester::TesterConfig) -> bash_tester::TesterReport {
+        bash_tester::run_random_test(cfg)
+    }
+}
+
+/// BASH's adaptive mechanism itself (decide + sample) — the paper argues it
+/// is off the critical path; it had better be cheap.
+fn adaptive_mechanism(c: &mut Criterion) {
+    use bash_adaptive::BandwidthAdaptor;
+    c.bench_function("adaptive/decide", |b| {
+        let mut a = BandwidthAdaptor::new(AdaptorConfig::paper_default(), 1);
+        b.iter(|| a.decide())
+    });
+    c.bench_function("adaptive/sample_window", |b| {
+        let mut a = BandwidthAdaptor::new(AdaptorConfig::paper_default(), 1);
+        b.iter(|| a.sample_window(400, 512))
+    });
+}
+
+criterion_group!(
+    figures,
+    fig1_perf_vs_bandwidth,
+    fig2_queueing_knee,
+    fig6_utilization,
+    fig8_scaling,
+    fig9_think_time,
+    fig12_workload_bars,
+    table1_coverage,
+    adaptive_mechanism,
+);
+criterion_main!(figures);

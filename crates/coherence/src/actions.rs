@@ -1,0 +1,76 @@
+//! The controller ↔ driver interface.
+//!
+//! Protocol controllers are pure state machines: they consume deliveries and
+//! processor operations and emit [`Action`]s. The system driver (in
+//! `bash-sim`) interprets the actions — scheduling sends on the crossbar and
+//! unblocking processors. This keeps every controller unit-testable without
+//! a network or event loop.
+
+use bash_kernel::Duration;
+use bash_net::Message;
+
+use crate::types::{BlockAddr, ProtoMsg, TxnId, TxnKind};
+
+/// What a controller wants the outside world to do.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Inject a message into the crossbar after `delay` (controller
+    /// occupancy: 25 ns for a cache to provide data, 80 ns for a DRAM or
+    /// directory access).
+    SendAfter {
+        /// Controller-side latency before the message enters the node's
+        /// link queue.
+        delay: Duration,
+        /// The message to send.
+        msg: Message<ProtoMsg>,
+    },
+    /// The node's outstanding demand miss completed; the processor may
+    /// resume. `value` is the loaded word (loads) or the stored value
+    /// (stores), for end-to-end checking.
+    MissDone {
+        /// The completed transaction.
+        txn: TxnId,
+        /// GetS or GetM.
+        kind: TxnKind,
+        /// The block.
+        block: BlockAddr,
+        /// Loaded/stored word value.
+        value: u64,
+        /// True if the miss was served by another cache (a sharing miss /
+        /// cache-to-cache transfer) rather than by memory.
+        from_cache: bool,
+    },
+}
+
+impl Action {
+    /// Convenience constructor for an immediate send.
+    pub fn send(msg: Message<ProtoMsg>) -> Action {
+        Action::SendAfter {
+            delay: Duration::ZERO,
+            msg,
+        }
+    }
+
+    /// Convenience constructor for a delayed send.
+    pub fn send_after(delay: Duration, msg: Message<ProtoMsg>) -> Action {
+        Action::SendAfter { delay, msg }
+    }
+}
+
+/// The outcome of a processor access against the cache controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access hit; `value` is the loaded word (loads) or the stored
+    /// value (stores).
+    Hit {
+        /// Word value.
+        value: u64,
+    },
+    /// The access missed; a [`Action::MissDone`] will follow. The processor
+    /// blocks (at most one outstanding demand miss per processor, as in the
+    /// paper's simulations).
+    Miss {
+        /// The transaction that will eventually complete.
+        txn: TxnId,
+    },
+}

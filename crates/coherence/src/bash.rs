@@ -1,0 +1,370 @@
+//! The **BASH** hybrid's home memory controller (§3.3–3.4).
+//!
+//! Like the Directory protocol it keeps an owner + sharer-superset per
+//! block; like Snooping it observes requests on the totally ordered request
+//! network. Its job per request:
+//!
+//! * compare the request's destination mask against {owner ∪ needed
+//!   sharers} ([`crate::types::is_sufficient`]);
+//! * **sufficient** → update directory state; respond with data if memory
+//!   is the owner (the owning cache otherwise answers on its own, reaching
+//!   the same verdict from the sharer set it tracks — paper footnote 2);
+//! * **insufficient** → *retry*: re-inject the request on the ordered
+//!   network as a multicast to {owner ∪ sharers ∪ requestor ∪ home},
+//!   without touching directory state. The window of vulnerability between
+//!   the original and the retry can invalidate the retry's mask, so each
+//!   re-check recomputes it; the **third retry escalates to a full
+//!   broadcast**, which is sufficient by construction (livelock freedom);
+//! * if no retry buffer can be allocated → **nack** the requestor on the
+//!   data network; it reissues as a broadcast (deadlock resolution).
+//!
+//! Writebacks: a PutM from the recorded owner opens a `WbPending` window
+//! (requests stall at the home until the data arrives on the response
+//! network); a PutM from anyone else is stale — the writer was overtaken by
+//! an earlier-ordered GetM and sent no data.
+
+use std::collections::{HashMap, VecDeque};
+
+use bash_kernel::{Duration, Time};
+use bash_net::{Message, NodeId, NodeSet, VnetId};
+
+use crate::actions::Action;
+use crate::common::MemStats;
+use crate::registry::TransitionLog;
+use crate::types::{
+    is_sufficient, BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnId, TxnKind,
+    CONTROL_MSG_BYTES, DATA_MSG_BYTES,
+};
+
+/// Retry escalation point: the paper broadcasts "on its third retry".
+const BROADCAST_RETRY: u8 = 3;
+
+/// A writeback window at the home.
+#[derive(Debug, Clone)]
+struct WbPending {
+    from: NodeId,
+    queued: VecDeque<(Request, NodeSet, u64)>,
+}
+
+/// Per-block home state.
+#[derive(Debug, Clone, Default)]
+struct BlockState {
+    owner: Owner,
+    sharers: NodeSet,
+    wb: Option<WbPending>,
+}
+
+/// The BASH home memory controller for one node's slice of memory.
+#[derive(Debug)]
+pub struct BashMemCtrl {
+    node: NodeId,
+    nodes: u16,
+    blocks: HashMap<BlockAddr, BlockState>,
+    store: HashMap<BlockAddr, BlockData>,
+    /// Outstanding retry buffers, keyed by transaction (count = retries
+    /// injected so far).
+    retry_slots: HashMap<TxnId, u8>,
+    retry_capacity: usize,
+    dram_latency: Duration,
+    serialize_dram: bool,
+    dram_free: Time,
+    stats: MemStats,
+    log: TransitionLog,
+}
+
+impl BashMemCtrl {
+    /// Builds the controller. `retry_capacity` is the number of retry
+    /// buffers (the deadlock-avoidance resource; the paper nacks when none
+    /// can be allocated).
+    pub fn new(
+        node: NodeId,
+        nodes: u16,
+        dram_latency: Duration,
+        serialize_dram: bool,
+        retry_capacity: usize,
+        coverage: bool,
+    ) -> Self {
+        BashMemCtrl {
+            node,
+            nodes,
+            blocks: HashMap::new(),
+            store: HashMap::new(),
+            retry_slots: HashMap::new(),
+            retry_capacity,
+            dram_latency,
+            serialize_dram,
+            dram_free: Time::ZERO,
+            stats: MemStats::default(),
+            log: if coverage {
+                TransitionLog::enabled()
+            } else {
+                TransitionLog::new()
+            },
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The transition coverage log.
+    pub fn log(&self) -> &TransitionLog {
+        &self.log
+    }
+
+    /// Current owner of a block (invariant checks).
+    pub fn owner_of(&self, block: BlockAddr) -> Owner {
+        self.blocks.get(&block).map(|b| b.owner).unwrap_or_default()
+    }
+
+    /// Current sharer superset of a block (invariant checks).
+    pub fn sharers_of(&self, block: BlockAddr) -> NodeSet {
+        self.blocks
+            .get(&block)
+            .map(|b| b.sharers)
+            .unwrap_or(NodeSet::EMPTY)
+    }
+
+    /// The stored contents of a block (defaults to zeros).
+    pub fn stored_data(&self, block: BlockAddr) -> BlockData {
+        self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
+    }
+
+    /// True when no writeback windows or retry buffers are outstanding.
+    pub fn is_quiescent(&self) -> bool {
+        self.retry_slots.is_empty() && self.blocks.values().all(|b| b.wb.is_none())
+    }
+
+    /// Handles a delivery (the driver routes only home-block messages here).
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) -> Vec<Action> {
+        match &msg.payload {
+            ProtoMsg::Request(req) => {
+                debug_assert_eq!(req.block.home(self.nodes), self.node);
+                let order = order.expect("ordered request network");
+                self.on_request(now, req, &msg.dests, order)
+            }
+            ProtoMsg::WbData { block, from, data } => self.on_wb_data(now, *block, *from, *data),
+            other => unreachable!("unexpected message at BASH memory: {other:?}"),
+        }
+    }
+
+    fn on_request(&mut self, now: Time, req: &Request, mask: &NodeSet, order: u64) -> Vec<Action> {
+        let block = req.block;
+        let before = self.state_label(block);
+        let ev: &'static str = match (req.kind, req.retry > 0) {
+            (TxnKind::GetS, false) => "GetS",
+            (TxnKind::GetM, false) => "GetM",
+            (TxnKind::GetS, true) => "RetryGetS",
+            (TxnKind::GetM, true) => "RetryGetM",
+            (TxnKind::PutM, _) => "PutM",
+        };
+
+        // Writeback window: stall everything but PutMs.
+        let stalled = {
+            let st = self.blocks.entry(block).or_default();
+            if let Some(wb) = st.wb.as_mut() {
+                if req.kind != TxnKind::PutM {
+                    wb.queued.push_back((*req, *mask, order));
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if stalled {
+            self.log.record(before, ev, self.state_label(block));
+            return Vec::new();
+        }
+
+        let acts = self.process_request(now, req, mask, order);
+        self.log.record(before, ev, self.state_label(block));
+        acts
+    }
+
+    fn process_request(
+        &mut self,
+        now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        order: u64,
+    ) -> Vec<Action> {
+        let block = req.block;
+        if req.kind == TxnKind::PutM {
+            let st = self.blocks.entry(block).or_default();
+            if st.owner == Owner::Node(req.requestor) {
+                st.wb = Some(WbPending {
+                    from: req.requestor,
+                    queued: VecDeque::new(),
+                });
+            } else {
+                self.stats.writebacks_stale += 1;
+            }
+            return Vec::new();
+        }
+
+        let (owner, sharers) = {
+            let st = self.blocks.entry(block).or_default();
+            (st.owner, st.sharers)
+        };
+
+        if is_sufficient(req.kind, mask, owner, &sharers, self.node) {
+            // The request reached everyone that must see it: commit the
+            // directory update; respond if memory owns the data.
+            self.retry_slots.remove(&req.txn);
+            let mut acts = Vec::new();
+            if owner == Owner::Memory {
+                acts.extend(self.respond_with_data(now, req, order));
+            }
+            let st = self.blocks.get_mut(&block).expect("present");
+            match req.kind {
+                TxnKind::GetS => {
+                    st.sharers.insert(req.requestor);
+                }
+                TxnKind::GetM => {
+                    st.owner = Owner::Node(req.requestor);
+                    st.sharers = NodeSet::EMPTY;
+                }
+                TxnKind::PutM => unreachable!(),
+            }
+            acts
+        } else {
+            self.schedule_retry(now, req, owner, &sharers)
+        }
+    }
+
+    fn schedule_retry(
+        &mut self,
+        now: Time,
+        req: &Request,
+        owner: Owner,
+        sharers: &NodeSet,
+    ) -> Vec<Action> {
+        let count = match self.retry_slots.get(&req.txn) {
+            Some(&c) => c + 1,
+            None => {
+                if self.retry_slots.len() >= self.retry_capacity {
+                    // Deadlock resolution: cannot allocate a retry buffer —
+                    // nack so the requestor reissues as a broadcast.
+                    self.stats.nacks_sent += 1;
+                    return vec![Action::send_after(
+                        self.dram_delay(now),
+                        Message::unordered(
+                            self.node,
+                            req.requestor,
+                            VnetId::DATA,
+                            CONTROL_MSG_BYTES,
+                            ProtoMsg::Nack {
+                                txn: req.txn,
+                                block: req.block,
+                            },
+                        ),
+                    )];
+                }
+                1
+            }
+        };
+        self.retry_slots.insert(req.txn, count);
+        self.stats.retries_sent += 1;
+
+        let mask = if count >= BROADCAST_RETRY {
+            self.stats.broadcast_escalations += 1;
+            NodeSet::all(self.nodes as usize)
+        } else {
+            // {owner ∪ sharers ∪ requestor ∪ home} (§3.3).
+            let mut m = *sharers;
+            if let Owner::Node(p) = owner {
+                m.insert(p);
+            }
+            m.insert(req.requestor);
+            m.insert(self.node);
+            m
+        };
+        vec![Action::send_after(
+            self.dram_delay(now),
+            Message::ordered(
+                self.node,
+                mask,
+                CONTROL_MSG_BYTES,
+                ProtoMsg::Request(Request {
+                    retry: count,
+                    ..*req
+                }),
+            ),
+        )]
+    }
+
+    fn on_wb_data(&mut self, now: Time, block: BlockAddr, from: NodeId, data: BlockData) -> Vec<Action> {
+        let before = self.state_label(block);
+        let st = self.blocks.get_mut(&block).expect("wb data without state");
+        let wb = st.wb.take().expect("wb data without open window");
+        assert_eq!(wb.from, from, "writeback data from the wrong node");
+        st.owner = Owner::Memory;
+        self.store.insert(block, data);
+        self.stats.writebacks_accepted += 1;
+        let mut acts = Vec::new();
+        for (req, mask, order) in wb.queued {
+            let mid = self.state_label(block);
+            acts.extend(self.process_request(now, &req, &mask, order));
+            let ev: &'static str = match req.kind {
+                TxnKind::GetS => "GetS",
+                TxnKind::GetM => "GetM",
+                TxnKind::PutM => "PutM",
+            };
+            self.log.record(mid, ev, self.state_label(block));
+        }
+        self.log.record(before, "WbData", self.state_label(block));
+        acts
+    }
+
+    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+        let data = self.stored_data(req.block);
+        self.stats.data_responses += 1;
+        vec![Action::send_after(
+            self.dram_delay(now),
+            Message::unordered(
+                self.node,
+                req.requestor,
+                VnetId::DATA,
+                DATA_MSG_BYTES,
+                ProtoMsg::Data {
+                    txn: req.txn,
+                    block: req.block,
+                    data,
+                    from_cache: false,
+                    serialized_at: Some(order),
+                },
+            ),
+        )]
+    }
+
+    fn dram_delay(&mut self, now: Time) -> Duration {
+        if self.serialize_dram {
+            let start = now.max(self.dram_free);
+            self.dram_free = start + self.dram_latency;
+            self.dram_free.since(now)
+        } else {
+            self.dram_latency
+        }
+    }
+
+    fn state_label(&self, block: BlockAddr) -> &'static str {
+        match self.blocks.get(&block) {
+            None => "Mem",
+            Some(b) if b.wb.is_some() => "WbPending",
+            Some(b) => match (b.owner, b.sharers.is_empty()) {
+                (Owner::Memory, true) => "Mem",
+                (Owner::Memory, false) => "MemS",
+                (Owner::Node(_), true) => "Own",
+                (Owner::Node(_), false) => "OwnS",
+            },
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! State shared by the cache-side controllers of all three protocols:
+//! the miss-status holding register (MSHR), the writeback buffer, and the
+//! per-controller statistics block.
+
+use bash_kernel::Time;
+use bash_net::{NodeId, NodeSet};
+use std::collections::VecDeque;
+
+use crate::cache::Mosi;
+use crate::types::{BlockAddr, BlockData, ProcOp, Request, TxnId, TxnKind};
+
+/// The single miss-status holding register of a blocking processor's cache
+/// controller (the paper's processors have at most one outstanding demand
+/// miss).
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    /// The block being fetched.
+    pub block: BlockAddr,
+    /// GetS or GetM.
+    pub kind: TxnKind,
+    /// Transaction id (stable across BASH retries and nack reissues).
+    pub txn: TxnId,
+    /// When the processor issued the operation (for miss-latency stats).
+    pub issued_at: Time,
+    /// The operation to apply when the miss completes.
+    pub op: ProcOp,
+    /// True once our own request has been observed on the ordered network
+    /// (the *marker*, fixing the transaction's place in the total order).
+    pub have_marker: bool,
+    /// Data response, once received, with its came-from-a-cache flag.
+    pub data: Option<(BlockData, bool)>,
+    /// Ordered requests for this block observed *after* our marker; they
+    /// must be processed only after our transaction completes (we may be
+    /// the owner-elect obliged to respond to them).
+    pub deferred: VecDeque<DeferredReq>,
+    /// Number of times this transaction has been issued by the requestor
+    /// (1 = original; 2 = the guaranteed-broadcast reissue after a BASH
+    /// nack).
+    pub attempts: u8,
+    /// BASH owner-upgrade case: we are the O-state owner waiting for a
+    /// sufficient copy of our own GetM (the original unicast did not cover
+    /// the sharers we track).
+    pub awaiting_sufficient_upgrade: bool,
+}
+
+/// An ordered request deferred behind an in-flight transaction, with the
+/// destination mask it was delivered with (BASH sufficiency checks need it).
+#[derive(Debug, Clone)]
+pub struct DeferredReq {
+    /// The request.
+    pub req: Request,
+    /// The destination set it was multicast to.
+    pub mask: NodeSet,
+}
+
+impl Mshr {
+    /// Creates an MSHR for a freshly issued demand miss.
+    pub fn new(op: ProcOp, kind: TxnKind, txn: TxnId, now: Time) -> Self {
+        Mshr {
+            block: op.block(),
+            kind,
+            txn,
+            issued_at: now,
+            op,
+            have_marker: false,
+            data: None,
+            deferred: VecDeque::new(),
+            attempts: 1,
+            awaiting_sufficient_upgrade: false,
+        }
+    }
+}
+
+/// A writeback in flight. Between starting the writeback and its resolution
+/// (own PutM marker in Snooping/BASH; WbAck in Directory) this node is still
+/// the block's owner and must respond to requests from the buffered data.
+#[derive(Debug, Clone)]
+pub struct WbEntry {
+    /// The buffered block contents.
+    pub data: BlockData,
+    /// M or O at eviction (labels the transient state for the registry).
+    pub state_was: Mosi,
+    /// False once ownership was lost to a foreign GetM ordered before our
+    /// PutM — the writeback is squashed and no data will be sent.
+    pub valid: bool,
+}
+
+/// Statistics kept by every cache controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Processor accesses that hit.
+    pub hits: u64,
+    /// Processor accesses that missed (demand misses issued).
+    pub misses: u64,
+    /// Misses served by another cache (sharing misses).
+    pub sharing_misses: u64,
+    /// Writebacks started (PutM issued).
+    pub writebacks: u64,
+    /// Writebacks squashed by a racing GetM.
+    pub writebacks_squashed: u64,
+    /// Requests this node broadcast.
+    pub broadcasts_sent: u64,
+    /// Requests this node unicast (dualcast in BASH, home unicast in
+    /// Directory).
+    pub unicasts_sent: u64,
+    /// BASH: nacks received (deadlock-resolution path).
+    pub nacks_received: u64,
+    /// BASH: reissues after a nack (always broadcast).
+    pub nack_reissues: u64,
+    /// Snoops of foreign requests answered with data.
+    pub snoop_responses: u64,
+}
+
+/// Statistics kept by every memory/directory controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Requests for which memory supplied the data.
+    pub data_responses: u64,
+    /// Directory: requests forwarded to a cache owner.
+    pub forwards: u64,
+    /// BASH: retries injected on the ordered network.
+    pub retries_sent: u64,
+    /// BASH: requests that escalated to a full-broadcast retry.
+    pub broadcast_escalations: u64,
+    /// BASH: nacks sent because the retry buffer was full.
+    pub nacks_sent: u64,
+    /// Writebacks accepted.
+    pub writebacks_accepted: u64,
+    /// Writebacks ignored as stale (lost an ownership race).
+    pub writebacks_stale: u64,
+}
+
+/// Identifies one node's view of who it is relative to a request.
+pub fn is_own(req: &Request, node: NodeId) -> bool {
+    req.requestor == node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mshr_initial_state() {
+        let op = ProcOp::Store {
+            block: BlockAddr(4),
+            word: 1,
+            value: 9,
+        };
+        let m = Mshr::new(
+            op,
+            TxnKind::GetM,
+            TxnId {
+                node: NodeId(2),
+                seq: 7,
+            },
+            Time::from_ns(5),
+        );
+        assert_eq!(m.block, BlockAddr(4));
+        assert!(!m.have_marker);
+        assert!(m.data.is_none());
+        assert_eq!(m.attempts, 1);
+        assert!(m.deferred.is_empty());
+    }
+}

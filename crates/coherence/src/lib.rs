@@ -1,0 +1,50 @@
+//! MOSI cache-coherence protocol engines for the BASH reproduction:
+//! **Snooping** (§3.1), a GS320-style **Directory** (§3.2), and the
+//! **Bandwidth Adaptive Snooping Hybrid** itself (§3.3).
+//!
+//! All three protocols are write-invalidate MOSI with silent S→I downgrade,
+//! GetS / GetM / PutM transactions, blocking processors and sequential
+//! consistency, exactly as assumed by the paper. Controllers are pure state
+//! machines driven through [`actions::Action`] lists, which makes every race
+//! unit-testable without a network; the system driver lives in `bash-sim`.
+//!
+//! Module map:
+//!
+//! * [`types`] — blocks, transactions, protocol messages, the sufficiency
+//!   predicate at the heart of BASH;
+//! * [`cache`] — the set-associative data array;
+//! * [`snoopcache`] — the ordered-network cache controller shared by
+//!   Snooping and BASH (the paper: processors "react identically to
+//!   requests, regardless of whether they are unicasts, multicasts, or
+//!   broadcasts");
+//! * [`snooping`] — the snooping memory controller;
+//! * [`directory`] — the directory cache + home controllers;
+//! * [`bash`] — the BASH home controller (sufficiency check, retries,
+//!   broadcast escalation, nacks);
+//! * [`protocol`] — protocol selection, dispatch, and message routing;
+//! * [`registry`] — transition coverage (Table 1).
+
+pub mod actions;
+pub mod bash;
+pub mod cache;
+pub mod common;
+pub mod directory;
+pub mod protocol;
+pub mod registry;
+pub mod snoopcache;
+#[cfg(test)]
+mod dircache_tests;
+#[cfg(test)]
+mod memctrl_tests;
+#[cfg(test)]
+mod snoopcache_tests;
+pub mod snooping;
+pub mod types;
+
+pub use actions::{AccessOutcome, Action};
+pub use cache::{CacheArray, CacheGeometry, Mosi};
+pub use protocol::{route, CacheCtrl, MemCtrl, ProtocolKind, Routing};
+pub use registry::TransitionLog;
+pub use types::{
+    is_sufficient, BlockAddr, BlockData, Owner, ProcOp, ProtoMsg, Request, TxnId, TxnKind,
+};

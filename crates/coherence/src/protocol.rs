@@ -1,0 +1,388 @@
+//! Protocol selection and controller dispatch.
+
+use bash_adaptive::{AdaptorConfig, BandwidthAdaptor};
+use bash_kernel::{Duration, Time};
+use bash_net::{Message, NodeId};
+
+use crate::actions::{AccessOutcome, Action};
+use crate::bash::BashMemCtrl;
+use crate::cache::CacheGeometry;
+use crate::common::{CacheStats, MemStats};
+use crate::directory::{DirectoryCacheCtrl, DirectoryCtrl};
+use crate::registry::TransitionLog;
+use crate::snoopcache::SnoopCacheCtrl;
+use crate::snooping::SnoopingMemCtrl;
+use crate::types::{ProcOp, ProtoMsg};
+
+/// The three protocols the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Aggressive MOSI broadcast snooping (§3.1).
+    Snooping,
+    /// GS320-style directory (§3.2).
+    Directory,
+    /// The bandwidth adaptive snooping hybrid (§3.3).
+    Bash,
+}
+
+impl ProtocolKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Snooping => "Snooping",
+            ProtocolKind::Directory => "Directory",
+            ProtocolKind::Bash => "BASH",
+        }
+    }
+
+    /// All three protocols, in the paper's plotting order.
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::Snooping,
+        ProtocolKind::Bash,
+        ProtocolKind::Directory,
+    ];
+}
+
+/// Where an incoming message must be routed within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Routing {
+    /// Deliver to the node's cache controller.
+    pub to_cache: bool,
+    /// Deliver to the node's memory/directory controller.
+    pub to_mem: bool,
+}
+
+/// Computes message routing for a delivery at `node`.
+pub fn route(kind: ProtocolKind, node: NodeId, nodes: u16, msg: &Message<ProtoMsg>) -> Routing {
+    match &msg.payload {
+        ProtoMsg::Request(req) => match kind {
+            ProtocolKind::Snooping | ProtocolKind::Bash => Routing {
+                to_cache: true,
+                to_mem: req.block.home(nodes) == node,
+            },
+            ProtocolKind::Directory => {
+                if req.from_dir {
+                    Routing {
+                        to_cache: true,
+                        to_mem: false,
+                    }
+                } else {
+                    Routing {
+                        to_cache: false,
+                        to_mem: true,
+                    }
+                }
+            }
+        },
+        ProtoMsg::Data { .. } | ProtoMsg::WbAck { .. } | ProtoMsg::Nack { .. } => Routing {
+            to_cache: true,
+            to_mem: false,
+        },
+        ProtoMsg::WbData { .. } => Routing {
+            to_cache: false,
+            to_mem: true,
+        },
+    }
+}
+
+/// A cache controller of any protocol.
+#[derive(Debug)]
+pub enum CacheCtrl {
+    /// Snooping or BASH (the shared ordered-network engine).
+    Snoop(SnoopCacheCtrl),
+    /// Directory.
+    Directory(DirectoryCacheCtrl),
+}
+
+impl CacheCtrl {
+    /// Builds the cache controller for `kind`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: ProtocolKind,
+        node: NodeId,
+        nodes: u16,
+        geometry: CacheGeometry,
+        provide_latency: Duration,
+        adaptor: AdaptorConfig,
+        coverage: bool,
+    ) -> Self {
+        match kind {
+            ProtocolKind::Snooping => CacheCtrl::Snoop(SnoopCacheCtrl::new_snooping(
+                node,
+                nodes,
+                geometry,
+                provide_latency,
+                coverage,
+            )),
+            ProtocolKind::Bash => CacheCtrl::Snoop(SnoopCacheCtrl::new_bash(
+                node,
+                nodes,
+                geometry,
+                provide_latency,
+                adaptor,
+                coverage,
+            )),
+            ProtocolKind::Directory => CacheCtrl::Directory(DirectoryCacheCtrl::new(
+                node,
+                nodes,
+                geometry,
+                provide_latency,
+                coverage,
+            )),
+        }
+    }
+
+    /// Processor access (see the per-protocol docs).
+    pub fn access(&mut self, now: Time, op: ProcOp) -> (AccessOutcome, Vec<Action>) {
+        match self {
+            CacheCtrl::Snoop(c) => c.access(now, op),
+            CacheCtrl::Directory(c) => c.access(now, op),
+        }
+    }
+
+    /// Network delivery.
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) -> Vec<Action> {
+        match self {
+            CacheCtrl::Snoop(c) => c.on_delivery(now, msg, order),
+            CacheCtrl::Directory(c) => c.on_delivery(now, msg, order),
+        }
+    }
+
+    /// The adaptive mechanism, when this is a BASH controller.
+    pub fn adaptor_mut(&mut self) -> Option<&mut BandwidthAdaptor> {
+        match self {
+            CacheCtrl::Snoop(c) => c.adaptor_mut(),
+            CacheCtrl::Directory(_) => None,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        match self {
+            CacheCtrl::Snoop(c) => c.stats(),
+            CacheCtrl::Directory(c) => c.stats(),
+        }
+    }
+
+    /// The transition coverage log.
+    pub fn log(&self) -> &TransitionLog {
+        match self {
+            CacheCtrl::Snoop(c) => c.log(),
+            CacheCtrl::Directory(c) => c.log(),
+        }
+    }
+
+    /// Read access to the cache array.
+    pub fn cache(&self) -> &crate::cache::CacheArray {
+        match self {
+            CacheCtrl::Snoop(c) => c.cache(),
+            CacheCtrl::Directory(c) => c.cache(),
+        }
+    }
+
+    /// True when nothing is in flight at this controller.
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            CacheCtrl::Snoop(c) => c.is_quiescent(),
+            CacheCtrl::Directory(c) => c.is_quiescent(),
+        }
+    }
+}
+
+/// A memory/directory controller of any protocol.
+#[derive(Debug)]
+pub enum MemCtrl {
+    /// Snooping memory (owner tracking).
+    Snooping(SnoopingMemCtrl),
+    /// Directory controller.
+    Directory(DirectoryCtrl),
+    /// BASH home controller (directory state + sufficiency/retry logic).
+    Bash(BashMemCtrl),
+}
+
+impl MemCtrl {
+    /// Builds the memory-side controller for `kind`.
+    pub fn new(
+        kind: ProtocolKind,
+        node: NodeId,
+        nodes: u16,
+        dram_latency: Duration,
+        serialize_dram: bool,
+        retry_capacity: usize,
+        coverage: bool,
+    ) -> Self {
+        match kind {
+            ProtocolKind::Snooping => MemCtrl::Snooping(SnoopingMemCtrl::new(
+                node,
+                nodes,
+                dram_latency,
+                serialize_dram,
+                coverage,
+            )),
+            ProtocolKind::Directory => MemCtrl::Directory(DirectoryCtrl::new(
+                node,
+                nodes,
+                dram_latency,
+                serialize_dram,
+                coverage,
+            )),
+            ProtocolKind::Bash => MemCtrl::Bash(BashMemCtrl::new(
+                node,
+                nodes,
+                dram_latency,
+                serialize_dram,
+                retry_capacity,
+                coverage,
+            )),
+        }
+    }
+
+    /// Network delivery.
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) -> Vec<Action> {
+        match self {
+            MemCtrl::Snooping(m) => m.on_delivery(now, msg, order),
+            MemCtrl::Directory(m) => m.on_delivery(now, msg, order),
+            MemCtrl::Bash(m) => m.on_delivery(now, msg, order),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        match self {
+            MemCtrl::Snooping(m) => m.stats(),
+            MemCtrl::Directory(m) => m.stats(),
+            MemCtrl::Bash(m) => m.stats(),
+        }
+    }
+
+    /// The transition coverage log.
+    pub fn log(&self) -> &TransitionLog {
+        match self {
+            MemCtrl::Snooping(m) => m.log(),
+            MemCtrl::Directory(m) => m.log(),
+            MemCtrl::Bash(m) => m.log(),
+        }
+    }
+
+    /// True when no writeback windows / retry buffers are outstanding.
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            MemCtrl::Snooping(m) => m.is_quiescent(),
+            MemCtrl::Directory(_) => true, // the directory has no transient state
+            MemCtrl::Bash(m) => m.is_quiescent(),
+        }
+    }
+
+    /// The recorded owner of a home block (invariant checks).
+    pub fn owner_record(&self, block: crate::types::BlockAddr) -> crate::types::Owner {
+        match self {
+            MemCtrl::Snooping(m) => m.owner_of(block),
+            MemCtrl::Directory(m) => m.entry(block).owner,
+            MemCtrl::Bash(m) => m.owner_of(block),
+        }
+    }
+
+    /// The sharer superset recorded for a home block (empty for Snooping,
+    /// which does not track sharers).
+    pub fn sharer_record(&self, block: crate::types::BlockAddr) -> bash_net::NodeSet {
+        match self {
+            MemCtrl::Snooping(_) => bash_net::NodeSet::EMPTY,
+            MemCtrl::Directory(m) => m.entry(block).sharers,
+            MemCtrl::Bash(m) => m.sharers_of(block),
+        }
+    }
+
+    /// The stored memory contents of a home block.
+    pub fn stored_data(&self, block: crate::types::BlockAddr) -> crate::types::BlockData {
+        match self {
+            MemCtrl::Snooping(m) => m.stored_data(block),
+            MemCtrl::Directory(m) => m.stored_data(block),
+            MemCtrl::Bash(m) => m.stored_data(block),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlockAddr, Request, TxnId, TxnKind};
+    use bash_net::{NodeSet, Ordered, VnetId};
+
+    fn req_msg(from_dir: bool, block: u64) -> Message<ProtoMsg> {
+        Message {
+            src: NodeId(1),
+            dests: NodeSet::all(4),
+            vnet: VnetId::REQUEST,
+            ordered: Ordered::Total,
+            size: 8,
+            payload: ProtoMsg::Request(Request {
+                kind: TxnKind::GetM,
+                block: BlockAddr(block),
+                requestor: NodeId(1),
+                txn: TxnId {
+                    node: NodeId(1),
+                    seq: 1,
+                },
+                retry: 0,
+                from_dir,
+            }),
+        }
+    }
+
+    #[test]
+    fn snooping_requests_go_to_cache_and_home_memory() {
+        // Block 2 is homed at node 2 of 4.
+        let at_home = route(ProtocolKind::Snooping, NodeId(2), 4, &req_msg(false, 2));
+        assert_eq!(
+            at_home,
+            Routing {
+                to_cache: true,
+                to_mem: true
+            }
+        );
+        let elsewhere = route(ProtocolKind::Snooping, NodeId(3), 4, &req_msg(false, 2));
+        assert_eq!(
+            elsewhere,
+            Routing {
+                to_cache: true,
+                to_mem: false
+            }
+        );
+    }
+
+    #[test]
+    fn directory_splits_by_from_dir() {
+        let vn0 = route(ProtocolKind::Directory, NodeId(2), 4, &req_msg(false, 2));
+        assert_eq!(
+            vn0,
+            Routing {
+                to_cache: false,
+                to_mem: true
+            }
+        );
+        let vn1 = route(ProtocolKind::Directory, NodeId(3), 4, &req_msg(true, 2));
+        assert_eq!(
+            vn1,
+            Routing {
+                to_cache: true,
+                to_mem: false
+            }
+        );
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(ProtocolKind::Bash.name(), "BASH");
+        assert_eq!(ProtocolKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,857 @@
+//! The ordered-request-network cache controller used by both **Snooping**
+//! and **BASH** (the paper derives BASH from its snooping protocol, §3.3;
+//! processors "react identically to requests, regardless of whether they are
+//! unicasts, multicasts, or broadcasts").
+//!
+//! # Protocol walk-through
+//!
+//! A demand miss issues a GetS/GetM on the totally ordered request network.
+//! Snooping always broadcasts; BASH consults the adaptive mechanism and
+//! either broadcasts or *dualcasts* to {home, self} (the paper's "unicast" —
+//! the self-copy is needed as the order **marker**). The requestor's own
+//! copy returning from the network fixes the transaction's place in the
+//! total order.
+//!
+//! ## Responding and the defer discipline
+//!
+//! Every cache processes ordered requests for a block strictly in delivery
+//! (= total) order. A request is answered by the block's *serialized owner*
+//! at the request's order point:
+//!
+//! * a cache in stable M/O (or holding a still-valid writeback buffer entry)
+//!   responds directly — in BASH only if the request's destination mask
+//!   covers the sharers it tracks (paper footnote 2), since an insufficient
+//!   request will be retried by the home and must not be answered twice;
+//! * a cache that has seen its own GetM marker but not yet its data (an
+//!   *owner-elect*) cannot respond yet; it **defers** such requests and
+//!   replays them when its data arrives;
+//! * everyone else invalidates on GetM (silent S drop is always safe) or
+//!   ignores.
+//!
+//! ## BASH retries and the serialization tag
+//!
+//! An insufficient BASH request is retried by the home as a multicast; the
+//! transaction then *serializes* at the first sufficient copy, not at the
+//! original marker. Deferred requests ordered **before** that serialization
+//! point belong to the previous owner and must be replayed as no-ops; those
+//! **after** it are this cache's responsibility. To split the deferred
+//! queue exactly, data responses carry the network order number of the
+//! sufficient request copy they answer ([`ProtoMsg::Data::serialized_at`] —
+//! the role the GS320 plays with its marker messages).
+//!
+//! ## Writebacks
+//!
+//! PutM travels on the ordered network (broadcast in Snooping, dualcast in
+//! BASH). Until its own PutM marker arrives the evicting cache remains the
+//! owner and serves requests from the writeback buffer; a foreign GetM
+//! ordered first *squashes* the writeback (the entry turns invalid and no
+//! data is sent — the home, which tracks the owner's identity, ignores the
+//! stale PutM). On an unsquashed marker the cache sends the data to the
+//! home, which stalls the block until the data arrives.
+
+use std::collections::HashMap;
+
+use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, Cast};
+use bash_kernel::{Duration, Time};
+use bash_net::{Message, NodeId, NodeSet, VnetId};
+
+use crate::actions::{AccessOutcome, Action};
+use crate::cache::{CacheArray, CacheGeometry, Mosi};
+use crate::common::{CacheStats, DeferredReq, Mshr, WbEntry};
+use crate::registry::TransitionLog;
+use crate::types::{
+    BlockAddr, BlockData, ProcOp, ProtoMsg, Request, TxnId, TxnKind, CONTROL_MSG_BYTES,
+    DATA_MSG_BYTES,
+};
+
+/// Which protocol personality this controller runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopMode {
+    /// Pure snooping: every request broadcast, no retries or nacks exist.
+    Snooping,
+    /// BASH: adaptive broadcast/dualcast, sufficiency checks, retries,
+    /// nack-triggered broadcast reissue.
+    Bash,
+}
+
+/// A deferred request together with its network order number.
+#[derive(Debug, Clone)]
+struct OrderedDeferred {
+    inner: DeferredReq,
+    order: u64,
+}
+
+/// The cache-side controller for Snooping and BASH.
+#[derive(Debug)]
+pub struct SnoopCacheCtrl {
+    node: NodeId,
+    nodes: u16,
+    mode: SnoopMode,
+    adaptor: Option<BandwidthAdaptor>,
+    cache: CacheArray,
+    mshr: Option<Mshr>,
+    deferred: Vec<OrderedDeferred>,
+    wb: HashMap<BlockAddr, WbEntry>,
+    /// BASH footnote 2: sharer sets tracked for blocks this cache owns.
+    tracked: HashMap<BlockAddr, NodeSet>,
+    stalled_op: Option<(ProcOp, TxnId, Time)>,
+    txn_seq: u64,
+    provide_latency: Duration,
+    stats: CacheStats,
+    log: TransitionLog,
+}
+
+impl SnoopCacheCtrl {
+    /// Builds a pure-snooping cache controller.
+    pub fn new_snooping(
+        node: NodeId,
+        nodes: u16,
+        geometry: CacheGeometry,
+        provide_latency: Duration,
+        coverage: bool,
+    ) -> Self {
+        Self::build(node, nodes, geometry, provide_latency, SnoopMode::Snooping, None, coverage)
+    }
+
+    /// Builds a BASH cache controller with the given adaptive mechanism
+    /// configuration.
+    pub fn new_bash(
+        node: NodeId,
+        nodes: u16,
+        geometry: CacheGeometry,
+        provide_latency: Duration,
+        adaptor: AdaptorConfig,
+        coverage: bool,
+    ) -> Self {
+        let a = BandwidthAdaptor::new(adaptor, node.0 as u64 + 1);
+        Self::build(node, nodes, geometry, provide_latency, SnoopMode::Bash, Some(a), coverage)
+    }
+
+    fn build(
+        node: NodeId,
+        nodes: u16,
+        geometry: CacheGeometry,
+        provide_latency: Duration,
+        mode: SnoopMode,
+        adaptor: Option<BandwidthAdaptor>,
+        coverage: bool,
+    ) -> Self {
+        SnoopCacheCtrl {
+            node,
+            nodes,
+            mode,
+            adaptor,
+            cache: CacheArray::new(geometry),
+            mshr: None,
+            deferred: Vec::new(),
+            wb: HashMap::new(),
+            tracked: HashMap::new(),
+            stalled_op: None,
+            txn_seq: 0,
+            provide_latency,
+            stats: CacheStats::default(),
+            log: if coverage {
+                TransitionLog::enabled()
+            } else {
+                TransitionLog::new()
+            },
+        }
+    }
+
+    /// This controller's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The transition coverage log (enabled in tester/Table 1 runs).
+    pub fn log(&self) -> &TransitionLog {
+        &self.log
+    }
+
+    /// The adaptive mechanism (BASH only); the driver feeds it utilization
+    /// samples.
+    pub fn adaptor_mut(&mut self) -> Option<&mut BandwidthAdaptor> {
+        self.adaptor.as_mut()
+    }
+
+    /// Read access to the cache array (invariant checks in tests).
+    pub fn cache(&self) -> &CacheArray {
+        &self.cache
+    }
+
+    /// True when no transaction or writeback is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.mshr.is_none() && self.wb.is_empty() && self.stalled_op.is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Processor interface
+    // ------------------------------------------------------------------
+
+    /// Handles a processor load/store. At most one demand miss may be
+    /// outstanding (blocking processor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a demand miss is outstanding.
+    pub fn access(&mut self, now: Time, op: ProcOp) -> (AccessOutcome, Vec<Action>) {
+        assert!(
+            self.mshr.is_none() && self.stalled_op.is_none(),
+            "blocking processor issued a second outstanding access"
+        );
+        let block = op.block();
+        let ev = match op {
+            ProcOp::Load { .. } => "Load",
+            ProcOp::Store { .. } => "Store",
+        };
+
+        // A miss to a block whose writeback is still in flight waits for the
+        // writeback to resolve, then issues.
+        if self.wb.contains_key(&block) {
+            let before = self.label(block);
+            let txn = self.next_txn();
+            self.stalled_op = Some((op, txn, now));
+            self.stats.misses += 1;
+            self.log.record(before, ev, before);
+            return (AccessOutcome::Miss { txn }, Vec::new());
+        }
+
+        let state = self.cache.touch(block);
+        match (op, state) {
+            (ProcOp::Load { word, .. }, Some(_)) => {
+                let value = self.cache.data(block).expect("resident").read(word);
+                self.stats.hits += 1;
+                let s = self.label(block);
+                self.log.record(s, "Load", s);
+                (AccessOutcome::Hit { value }, Vec::new())
+            }
+            (ProcOp::Store { word, value, .. }, Some(Mosi::M)) => {
+                self.cache.write_word(block, word, value);
+                self.stats.hits += 1;
+                self.log.record("M", "Store", "M");
+                (AccessOutcome::Hit { value }, Vec::new())
+            }
+            _ => {
+                // Miss: Load from I → GetS; Store from I/S/O → GetM.
+                let before = self.label(block);
+                let txn = self.next_txn();
+                let actions = self.issue_miss(now, op, txn);
+                self.log.record(before, ev, self.label(block));
+                (AccessOutcome::Miss { txn }, actions)
+            }
+        }
+    }
+
+    fn next_txn(&mut self) -> TxnId {
+        self.txn_seq += 1;
+        TxnId {
+            node: self.node,
+            seq: self.txn_seq,
+        }
+    }
+
+    fn issue_miss(&mut self, now: Time, op: ProcOp, txn: TxnId) -> Vec<Action> {
+        let kind = op.miss_kind();
+        let block = op.block();
+        self.stats.misses += 1;
+        self.mshr = Some(Mshr::new(op, kind, txn, now));
+        let mask = self.request_mask(block);
+        vec![Action::send(self.request_msg(kind, block, txn, mask))]
+    }
+
+    /// Chooses the destination mask for a demand request.
+    fn request_mask(&mut self, block: BlockAddr) -> NodeSet {
+        match self.mode {
+            SnoopMode::Snooping => {
+                self.stats.broadcasts_sent += 1;
+                NodeSet::all(self.nodes as usize)
+            }
+            SnoopMode::Bash => {
+                let cast = self.adaptor.as_mut().expect("bash adaptor").decide();
+                match cast {
+                    Cast::Broadcast => {
+                        self.stats.broadcasts_sent += 1;
+                        NodeSet::all(self.nodes as usize)
+                    }
+                    Cast::Unicast => {
+                        self.stats.unicasts_sent += 1;
+                        // The paper's "unicast" is a dualcast: home for the
+                        // data, self for the order marker.
+                        NodeSet::from_nodes([block.home(self.nodes), self.node])
+                    }
+                }
+            }
+        }
+    }
+
+    fn request_msg(&self, kind: TxnKind, block: BlockAddr, txn: TxnId, mask: NodeSet) -> Message<ProtoMsg> {
+        Message::ordered(
+            self.node,
+            mask,
+            CONTROL_MSG_BYTES,
+            ProtoMsg::Request(Request {
+                kind,
+                block,
+                requestor: self.node,
+                txn,
+                retry: 0,
+                from_dir: false,
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Network interface
+    // ------------------------------------------------------------------
+
+    /// Handles a delivery from the crossbar. `order` is the network's total
+    /// order number for ordered messages.
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) -> Vec<Action> {
+        match &msg.payload {
+            ProtoMsg::Request(req) => {
+                let order = order.expect("requests travel on the ordered network");
+                if req.requestor == self.node {
+                    self.on_own_request(now, req, &msg.dests, order)
+                } else {
+                    self.on_foreign_request(now, req, &msg.dests, order, false)
+                }
+            }
+            ProtoMsg::Data {
+                txn,
+                block,
+                data,
+                from_cache,
+                ..
+            } => self.on_data(now, *txn, *block, *data, *from_cache, msg),
+            ProtoMsg::Nack { txn, block } => self.on_nack(now, *txn, *block),
+            ProtoMsg::WbAck { .. } => {
+                unreachable!("WbAck does not exist in Snooping/BASH")
+            }
+            ProtoMsg::WbData { .. } => {
+                unreachable!("WbData is addressed to memory controllers")
+            }
+        }
+    }
+
+    // ---- own request copies (markers, retries, writeback markers) ----
+
+    fn on_own_request(
+        &mut self,
+        now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        order: u64,
+    ) -> Vec<Action> {
+        match req.kind {
+            TxnKind::PutM => self.on_own_putm_marker(now, req),
+            TxnKind::GetS | TxnKind::GetM => {
+                let matches = self
+                    .mshr
+                    .as_ref()
+                    .map(|m| m.txn == req.txn)
+                    .unwrap_or(false);
+                if !matches {
+                    // A retry copy of a transaction that already completed,
+                    // or (impossible in Snooping) a stray marker.
+                    debug_assert!(
+                        self.mode == SnoopMode::Bash,
+                        "snooping saw an unmatched own request"
+                    );
+                    return Vec::new();
+                }
+                if req.retry == 0 {
+                    self.on_own_marker(now, req, mask, order)
+                } else {
+                    self.on_own_retry(now, req, mask, order)
+                }
+            }
+        }
+    }
+
+    /// Our original request returned: the marker fixing our place in the
+    /// total order.
+    fn on_own_marker(
+        &mut self,
+        now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        order: u64,
+    ) -> Vec<Action> {
+        let block = req.block;
+        let before = self.label(block);
+        {
+            let m = self.mshr.as_mut().expect("checked");
+            debug_assert!(!m.have_marker, "duplicate marker");
+            m.have_marker = true;
+        }
+
+        // Owner upgrade (O → M): we already hold the data; the question is
+        // only whether this request copy reached every tracked sharer.
+        if req.kind == TxnKind::GetM && self.cache.state(block) == Some(Mosi::O) {
+            let sufficient = match self.mode {
+                SnoopMode::Snooping => true,
+                SnoopMode::Bash => {
+                    let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+                    mask.is_superset(&sharers)
+                }
+            };
+            if sufficient {
+                let acts = self.complete_upgrade(now);
+                self.log.record(before, "OwnReq", self.label(block));
+                return acts;
+            }
+            self.mshr.as_mut().expect("checked").awaiting_sufficient_upgrade = true;
+            self.log.record(before, "OwnReq", self.label(block));
+            return Vec::new();
+        }
+
+        let have_data = self.mshr.as_ref().expect("checked").data.is_some();
+        let acts = if have_data {
+            // Data arrived before the marker: serialization is the marker.
+            self.complete_miss(now, Some(order))
+        } else {
+            Vec::new()
+        };
+        self.log.record(before, "OwnReq", self.label(block));
+        acts
+    }
+
+    /// A home-injected retry of our own transaction (BASH).
+    fn on_own_retry(&mut self, now: Time, req: &Request, mask: &NodeSet, _order: u64) -> Vec<Action> {
+        debug_assert_eq!(self.mode, SnoopMode::Bash);
+        let block = req.block;
+        let m = self.mshr.as_ref().expect("checked");
+        if m.awaiting_sufficient_upgrade {
+            let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+            if mask.is_superset(&sharers) {
+                let before = self.label(block);
+                let acts = self.complete_upgrade(now);
+                self.log.record(before, "OwnRetry", self.label(block));
+                return acts;
+            }
+        }
+        // Otherwise informational only: the responder acts on this copy.
+        Vec::new()
+    }
+
+    /// Our PutM returned: if the writeback was not squashed by an earlier
+    /// ordered GetM, send the data to the home.
+    fn on_own_putm_marker(&mut self, now: Time, req: &Request) -> Vec<Action> {
+        let block = req.block;
+        let before = self.label(block);
+        let entry = self.wb.remove(&block).expect("own PutM without wb entry");
+        self.tracked.remove(&block);
+        let mut acts = Vec::new();
+        if entry.valid {
+            acts.push(Action::send_after(
+                self.provide_latency,
+                Message::unordered(
+                    self.node,
+                    block.home(self.nodes),
+                    VnetId::DATA,
+                    DATA_MSG_BYTES,
+                    ProtoMsg::WbData {
+                        block,
+                        from: self.node,
+                        data: entry.data,
+                    },
+                ),
+            ));
+        }
+        self.log.record(before, "OwnPutM", self.label(block));
+        // A processor access stalled behind this writeback can now issue.
+        if let Some((op, txn, _issued)) = self.stalled_op.take() {
+            if op.block() == block {
+                self.stats.misses -= 1; // issue_miss will recount it
+                acts.extend(self.issue_miss(now, op, txn));
+            } else {
+                self.stalled_op = Some((op, txn, _issued));
+            }
+        }
+        acts
+    }
+
+    // ---- foreign requests ----
+
+    /// Handles a foreign request (or replays a deferred one when `replay`).
+    fn on_foreign_request(
+        &mut self,
+        _now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        order: u64,
+        replay: bool,
+    ) -> Vec<Action> {
+        let block = req.block;
+        if req.kind == TxnKind::PutM {
+            // Foreign writeback: only the home cares.
+            return Vec::new();
+        }
+
+        // Defer discipline: a non-owner that has seen its own marker cannot
+        // process later requests for the block until its transaction
+        // completes (it may be the owner-elect obliged to answer them).
+        if !replay {
+            let must_defer = self
+                .mshr
+                .as_ref()
+                .map(|m| m.block == block && m.have_marker && !self.is_local_owner(block))
+                .unwrap_or(false);
+            if must_defer {
+                self.deferred.push(OrderedDeferred {
+                    inner: DeferredReq {
+                        req: *req,
+                        mask: *mask,
+                    },
+                    order,
+                });
+                return Vec::new();
+            }
+        }
+
+        let before = self.label(block);
+        let ev: &'static str = match (req.kind, req.retry > 0) {
+            (TxnKind::GetS, false) => "ForGetS",
+            (TxnKind::GetM, false) => "ForGetM",
+            (TxnKind::GetS, true) => "ForRetryGetS",
+            (TxnKind::GetM, true) => "ForRetryGetM",
+            (TxnKind::PutM, _) => unreachable!(),
+        };
+
+        let mut acts = Vec::new();
+        if self.is_local_owner(block) {
+            // BASH: answer only sufficient requests; the home retries the
+            // rest and our silence prevents a double response. The check
+            // must mirror `is_sufficient` exactly: a GetS only needs the
+            // owner (which received this very message), a GetM additionally
+            // needs every tracked sharer covered so invalidations reach
+            // them.
+            let sufficient = match (self.mode, req.kind) {
+                (SnoopMode::Snooping, _) => true,
+                (SnoopMode::Bash, TxnKind::GetS) => true,
+                (SnoopMode::Bash, TxnKind::GetM) => {
+                    let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+                    mask.is_superset(&sharers)
+                }
+                (SnoopMode::Bash, TxnKind::PutM) => unreachable!(),
+            };
+            if sufficient {
+                acts.extend(self.respond_with_data(req, order));
+                match req.kind {
+                    TxnKind::GetS => {
+                        // Stay owner: M→O (or O→O / writeback entry stays).
+                        if self.cache.state(block) == Some(Mosi::M) {
+                            self.cache.set_state(block, Mosi::O);
+                        }
+                        self.tracked.entry(block).or_default().insert(req.requestor);
+                    }
+                    TxnKind::GetM => {
+                        // Ownership moves to the requestor.
+                        if self.cache.state(block).is_some() {
+                            self.cache.invalidate(block);
+                        } else if let Some(entry) = self.wb.get_mut(&block) {
+                            entry.valid = false;
+                            self.stats.writebacks_squashed += 1;
+                        }
+                        self.tracked.remove(&block);
+                        // A pending O→M upgrade just lost its data: fall
+                        // back to waiting for the new owner's response.
+                        if let Some(m) = self.mshr.as_mut() {
+                            if m.block == block {
+                                m.awaiting_sufficient_upgrade = false;
+                            }
+                        }
+                    }
+                    TxnKind::PutM => unreachable!(),
+                }
+            }
+        } else {
+            // Not the owner: a GetM invalidates any S copy (always safe,
+            // even for requests that will be retried).
+            if req.kind == TxnKind::GetM && self.cache.state(block) == Some(Mosi::S) {
+                self.cache.invalidate(block);
+            }
+        }
+        self.log.record(before, ev, self.label(block));
+        acts
+    }
+
+    /// True when this cache is the block's current owner (stable M/O or a
+    /// still-valid writeback buffer entry).
+    fn is_local_owner(&self, block: BlockAddr) -> bool {
+        matches!(self.cache.state(block), Some(Mosi::M) | Some(Mosi::O))
+            || self.wb.get(&block).map(|e| e.valid).unwrap_or(false)
+    }
+
+    fn respond_with_data(&mut self, req: &Request, order: u64) -> Vec<Action> {
+        let block = req.block;
+        let data = self
+            .cache
+            .data(block)
+            .or_else(|| self.wb.get(&block).map(|e| e.data))
+            .expect("owner has data");
+        self.stats.snoop_responses += 1;
+        vec![Action::send_after(
+            self.provide_latency,
+            Message::unordered(
+                self.node,
+                req.requestor,
+                VnetId::DATA,
+                DATA_MSG_BYTES,
+                ProtoMsg::Data {
+                    txn: req.txn,
+                    block,
+                    data,
+                    from_cache: true,
+                    serialized_at: Some(order),
+                },
+            ),
+        )]
+    }
+
+    // ---- responses ----
+
+    fn on_data(
+        &mut self,
+        now: Time,
+        txn: TxnId,
+        block: BlockAddr,
+        data: BlockData,
+        from_cache: bool,
+        msg: &Message<ProtoMsg>,
+    ) -> Vec<Action> {
+        let serialized_at = match &msg.payload {
+            ProtoMsg::Data { serialized_at, .. } => *serialized_at,
+            _ => None,
+        };
+        let before = self.label(block);
+        let have_marker = {
+            let m = self.mshr.as_mut().expect("data without outstanding miss");
+            assert_eq!(m.txn, txn, "data for a foreign transaction");
+            debug_assert_eq!(m.block, block);
+            m.data = Some((data, from_cache));
+            m.have_marker
+        };
+        let acts = if have_marker {
+            self.complete_miss(now, serialized_at)
+        } else {
+            Vec::new() // IS_A / IM_A: wait for the marker
+        };
+        self.log.record(before, "Data", self.label(block));
+        acts
+    }
+
+    fn on_nack(&mut self, now: Time, txn: TxnId, block: BlockAddr) -> Vec<Action> {
+        assert_eq!(self.mode, SnoopMode::Bash, "nacks exist only in BASH");
+        let before = self.label(block);
+        self.stats.nacks_received += 1;
+        // The failed attempt changed no global state: replay anything we
+        // deferred as a bystander, then reissue as a broadcast (guaranteed
+        // sufficient, resolving the potential deadlock).
+        let replays: Vec<OrderedDeferred> = self.deferred.drain(..).collect();
+        let mut acts = Vec::new();
+        for d in replays {
+            acts.extend(self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true));
+        }
+        let m = self.mshr.as_mut().expect("nack without outstanding miss");
+        assert_eq!(m.txn, txn, "nack for a foreign transaction");
+        m.have_marker = false;
+        m.attempts += 1;
+        self.stats.nack_reissues += 1;
+        self.stats.broadcasts_sent += 1;
+        let kind = m.kind;
+        let mask = NodeSet::all(self.nodes as usize);
+        acts.push(Action::send(self.request_msg(kind, block, txn, mask)));
+        self.log.record(before, "Nack", self.label(block));
+        acts
+    }
+
+    // ---- completion ----
+
+    /// Completes an O→M upgrade from our own data.
+    fn complete_upgrade(&mut self, now: Time) -> Vec<Action> {
+        let m = self.mshr.take().expect("upgrade without mshr");
+        let block = m.block;
+        debug_assert_eq!(self.cache.state(block), Some(Mosi::O));
+        self.cache.set_state(block, Mosi::M);
+        let value = match m.op {
+            ProcOp::Store { word, value, .. } => {
+                self.cache.write_word(block, word, value);
+                value
+            }
+            ProcOp::Load { .. } => unreachable!("upgrades are stores"),
+        };
+        // Our sufficient GetM invalidated every tracked sharer.
+        self.tracked.insert(block, NodeSet::EMPTY);
+        let mut acts = vec![Action::MissDone {
+            txn: m.txn,
+            kind: m.kind,
+            block,
+            value,
+            from_cache: true,
+        }];
+        acts.extend(self.replay_deferred(now, None));
+        acts
+    }
+
+    /// Completes a miss once both the marker and the data have arrived.
+    /// `serialized_at` is the order number of the sufficient request copy
+    /// (None when original == sufficient, as in Snooping).
+    fn complete_miss(&mut self, now: Time, serialized_at: Option<u64>) -> Vec<Action> {
+        let m = self.mshr.take().expect("complete without mshr");
+        let block = m.block;
+        let (data, from_cache) = m.data.expect("complete without data");
+        if from_cache {
+            self.stats.sharing_misses += 1;
+        }
+
+        let mut acts = Vec::new();
+        let new_state = match m.kind {
+            TxnKind::GetS => Mosi::S,
+            TxnKind::GetM => Mosi::M,
+            TxnKind::PutM => unreachable!(),
+        };
+        // An S→M upgrade still holds a (stale) copy: drop it first so the
+        // fill below replaces it with the authoritative data. The freed way
+        // guarantees the insert evicts nothing extra.
+        if self.cache.state(block).is_some() {
+            self.cache.invalidate(block);
+        }
+        self.insert_with_eviction(block, new_state, data, &mut acts);
+
+        let value = match m.op {
+            ProcOp::Load { word, .. } => self.cache.data(block).expect("resident").read(word),
+            ProcOp::Store { word, value, .. } => {
+                self.cache.write_word(block, word, value);
+                value
+            }
+        };
+        if m.kind == TxnKind::GetM {
+            self.tracked.insert(block, NodeSet::EMPTY);
+        }
+        acts.push(Action::MissDone {
+            txn: m.txn,
+            kind: m.kind,
+            block,
+            value,
+            from_cache,
+        });
+        acts.extend(self.replay_deferred(now, serialized_at));
+        acts
+    }
+
+    /// Inserts a filled block, starting a writeback for any M/O victim.
+    fn insert_with_eviction(
+        &mut self,
+        block: BlockAddr,
+        state: Mosi,
+        data: BlockData,
+        acts: &mut Vec<Action>,
+    ) {
+        if let Some(victim) = self.cache.insert(block, state, data) {
+            match victim.state {
+                Mosi::S => {} // silent S→I
+                Mosi::M | Mosi::O => {
+                    let before = self.label(victim.block);
+                    self.stats.writebacks += 1;
+                    self.wb.insert(
+                        victim.block,
+                        WbEntry {
+                            data: victim.data,
+                            state_was: victim.state,
+                            valid: true,
+                        },
+                    );
+                    // Writebacks are dualcast {home, self} in both modes:
+                    // the PutM still takes a slot in the request total order
+                    // (the self-copy is the squash-detection marker), but
+                    // only the home must observe it — other caches ignore
+                    // foreign PutMs. Real snooping systems likewise send
+                    // writebacks point-to-point to the memory bank.
+                    let mask = NodeSet::from_nodes([victim.block.home(self.nodes), self.node]);
+                    let txn = self.next_txn();
+                    acts.push(Action::send(self.request_msg(
+                        TxnKind::PutM,
+                        victim.block,
+                        txn,
+                        mask,
+                    )));
+                    self.log.record(before, "Replace", self.label(victim.block));
+                }
+            }
+        }
+    }
+
+    /// Replays deferred requests after completion. Requests ordered before
+    /// the serialization point were the previous owner's responsibility and
+    /// replay as no-ops; later ones are processed normally from the (owner)
+    /// state we just reached.
+    fn replay_deferred(&mut self, now: Time, serialized_at: Option<u64>) -> Vec<Action> {
+        let drained: Vec<OrderedDeferred> = self.deferred.drain(..).collect();
+        let mut acts = Vec::new();
+        for d in drained {
+            let bystander = serialized_at.map(|s| d.order < s).unwrap_or(false);
+            if bystander {
+                continue;
+            }
+            acts.extend(self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true));
+        }
+        acts
+    }
+
+    // ------------------------------------------------------------------
+    // Transition registry labels
+    // ------------------------------------------------------------------
+
+    /// Human-readable transient/stable state label for the block (feeds
+    /// Table 1).
+    fn label(&self, block: BlockAddr) -> &'static str {
+        if let Some(m) = &self.mshr {
+            if m.block == block {
+                let upgrade = self.cache.state(block) == Some(Mosi::O);
+                return match (m.kind, upgrade, m.have_marker, m.data.is_some()) {
+                    (TxnKind::GetS, _, false, false) => "IS_AD",
+                    (TxnKind::GetS, _, true, false) => "IS_D",
+                    (TxnKind::GetS, _, false, true) => "IS_A",
+                    (TxnKind::GetS, _, true, true) => "IS_done",
+                    (TxnKind::GetM, true, false, _) => "OM_A",
+                    (TxnKind::GetM, true, true, _) => "OM_W",
+                    (TxnKind::GetM, false, false, false) => "IM_AD",
+                    (TxnKind::GetM, false, true, false) => "IM_D",
+                    (TxnKind::GetM, false, false, true) => "IM_A",
+                    (TxnKind::GetM, false, true, true) => "IM_done",
+                    (TxnKind::PutM, ..) => unreachable!("PutM has no mshr"),
+                };
+            }
+        }
+        if let Some((op, ..)) = &self.stalled_op {
+            if op.block() == block {
+                return "WB_STALL";
+            }
+        }
+        if let Some(e) = self.wb.get(&block) {
+            return match (e.valid, e.state_was) {
+                (true, Mosi::M) => "MI_A",
+                (true, Mosi::O) => "OI_A",
+                (true, Mosi::S) => unreachable!("S is never written back"),
+                (false, _) => "II_A",
+            };
+        }
+        match self.cache.state(block) {
+            Some(Mosi::M) => "M",
+            Some(Mosi::O) => "O",
+            Some(Mosi::S) => "S",
+            None => "I",
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The **Snooping** protocol's memory controller (§3.1).
+//!
+//! Memory snoops every ordered request for blocks it is home to and keeps
+//! per-block owner state; when memory is the owner it responds with data.
+//! The paper models this after the Synapse N+1 owner bit; we track the owner
+//! *identity* instead, because with a split-transaction ordered network a
+//! stale PutM (squashed by a GetM ordered before it) is otherwise
+//! indistinguishable from a valid one (see DESIGN.md §3.5).
+//!
+//! A valid PutM opens a `WbPending` window: the block's requests stall at
+//! memory until the writeback data arrives on the response network, then
+//! drain in order.
+
+use std::collections::{HashMap, VecDeque};
+
+use bash_kernel::{Duration, Time};
+use bash_net::{Message, NodeId, VnetId};
+
+use crate::actions::Action;
+use crate::common::MemStats;
+use crate::registry::TransitionLog;
+use crate::types::{
+    BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnKind, DATA_MSG_BYTES,
+};
+
+/// A writeback in flight toward this memory controller.
+#[derive(Debug, Clone)]
+struct WbPending {
+    from: NodeId,
+    /// Ordered requests for the block that arrived inside the window, with
+    /// their network order numbers.
+    queued: VecDeque<(Request, u64)>,
+}
+
+/// Per-block memory-side state.
+#[derive(Debug, Clone, Default)]
+struct BlockState {
+    owner: Owner,
+    wb: Option<WbPending>,
+}
+
+/// The Snooping memory controller for one node's slice of memory.
+#[derive(Debug)]
+pub struct SnoopingMemCtrl {
+    node: NodeId,
+    nodes: u16,
+    blocks: HashMap<BlockAddr, BlockState>,
+    store: HashMap<BlockAddr, BlockData>,
+    dram_latency: Duration,
+    /// When true, DRAM accesses serialize (one at a time); the paper's model
+    /// has contention only at the network endpoints, so this defaults off.
+    serialize_dram: bool,
+    dram_free: Time,
+    stats: MemStats,
+    log: TransitionLog,
+}
+
+impl SnoopingMemCtrl {
+    /// Builds the controller.
+    pub fn new(
+        node: NodeId,
+        nodes: u16,
+        dram_latency: Duration,
+        serialize_dram: bool,
+        coverage: bool,
+    ) -> Self {
+        SnoopingMemCtrl {
+            node,
+            nodes,
+            blocks: HashMap::new(),
+            store: HashMap::new(),
+            dram_latency,
+            serialize_dram,
+            dram_free: Time::ZERO,
+            stats: MemStats::default(),
+            log: if coverage {
+                TransitionLog::enabled()
+            } else {
+                TransitionLog::new()
+            },
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The transition coverage log.
+    pub fn log(&self) -> &TransitionLog {
+        &self.log
+    }
+
+    /// Current owner of a block (for invariant checks).
+    pub fn owner_of(&self, block: BlockAddr) -> Owner {
+        self.blocks.get(&block).map(|b| b.owner).unwrap_or_default()
+    }
+
+    /// The stored contents of a block (for checks; defaults to zeros).
+    pub fn stored_data(&self, block: BlockAddr) -> BlockData {
+        self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
+    }
+
+    /// True when no writeback windows are open.
+    pub fn is_quiescent(&self) -> bool {
+        self.blocks.values().all(|b| b.wb.is_none())
+    }
+
+    /// Handles a delivery. The driver routes a message here only when this
+    /// node is the block's home.
+    pub fn on_delivery(
+        &mut self,
+        now: Time,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) -> Vec<Action> {
+        match &msg.payload {
+            ProtoMsg::Request(req) => {
+                debug_assert_eq!(req.block.home(self.nodes), self.node);
+                let order = order.expect("ordered request network");
+                self.on_request(now, req, order)
+            }
+            ProtoMsg::WbData { block, from, data } => self.on_wb_data(now, *block, *from, *data),
+            other => unreachable!("unexpected message at snooping memory: {other:?}"),
+        }
+    }
+
+    fn on_request(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+        let block = req.block;
+        let before = self.state_label(block);
+
+        // Requests inside a writeback window stall until the data arrives.
+        let stalled = {
+            let st = self.blocks.entry(block).or_default();
+            if let Some(wb) = st.wb.as_mut() {
+                if req.kind != TxnKind::PutM {
+                    wb.queued.push_back((*req, order));
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if stalled {
+            self.log
+                .record(before, req.kind.name(), self.state_label(block));
+            return Vec::new();
+        }
+
+        let acts = self.process_request(now, req, order);
+        self.log
+            .record(before, req.kind.name(), self.state_label(block));
+        acts
+    }
+
+    fn process_request(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+        let block = req.block;
+        let owner = self.blocks.entry(block).or_default().owner;
+        match req.kind {
+            TxnKind::GetS => match owner {
+                Owner::Memory => self.respond_with_data(now, req, order),
+                Owner::Node(_) => Vec::new(), // the owning cache responds
+            },
+            TxnKind::GetM => {
+                let acts = match owner {
+                    Owner::Memory => self.respond_with_data(now, req, order),
+                    Owner::Node(_) => Vec::new(),
+                };
+                self.blocks.get_mut(&block).expect("present").owner = Owner::Node(req.requestor);
+                acts
+            }
+            TxnKind::PutM => {
+                let st = self.blocks.get_mut(&block).expect("present");
+                if st.owner == Owner::Node(req.requestor) {
+                    // Valid writeback: open the window; data will follow on
+                    // the response network (the writer sends it at its own
+                    // PutM marker, which precedes this delivery... this
+                    // delivery *is* memory's copy of that marker).
+                    st.wb = Some(WbPending {
+                        from: req.requestor,
+                        queued: VecDeque::new(),
+                    });
+                } else {
+                    // Stale: the writer lost ownership to an earlier GetM
+                    // and sent no data.
+                    self.stats.writebacks_stale += 1;
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_wb_data(&mut self, now: Time, block: BlockAddr, from: NodeId, data: BlockData) -> Vec<Action> {
+        let before = self.state_label(block);
+        let st = self.blocks.get_mut(&block).expect("wb data without state");
+        let wb = st.wb.take().expect("wb data without open window");
+        assert_eq!(wb.from, from, "writeback data from the wrong node");
+        st.owner = Owner::Memory;
+        self.store.insert(block, data);
+        self.stats.writebacks_accepted += 1;
+        // Drain the stalled requests in their network order.
+        let mut acts = Vec::new();
+        for (req, order) in wb.queued {
+            let mid = self.state_label(block);
+            let drained = self.process_request(now, &req, order);
+            acts.extend(drained);
+            self.log.record(mid, req.kind.name(), self.state_label(block));
+        }
+        self.log.record(before, "WbData", self.state_label(block));
+        acts
+    }
+
+    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+        let data = self.stored_data(req.block);
+        self.stats.data_responses += 1;
+        let delay = self.dram_delay(now);
+        vec![Action::send_after(
+            delay,
+            Message::unordered(
+                self.node,
+                req.requestor,
+                VnetId::DATA,
+                DATA_MSG_BYTES,
+                ProtoMsg::Data {
+                    txn: req.txn,
+                    block: req.block,
+                    data,
+                    from_cache: false,
+                    serialized_at: Some(order),
+                },
+            ),
+        )]
+    }
+
+    fn dram_delay(&mut self, now: Time) -> Duration {
+        if self.serialize_dram {
+            let start = now.max(self.dram_free);
+            self.dram_free = start + self.dram_latency;
+            self.dram_free.since(now)
+        } else {
+            self.dram_latency
+        }
+    }
+
+    fn state_label(&self, block: BlockAddr) -> &'static str {
+        match self.blocks.get(&block) {
+            None => "Mem",
+            Some(b) if b.wb.is_some() => "WbPending",
+            Some(b) => match b.owner {
+                Owner::Memory => "Mem",
+                Owner::Node(_) => "Owned",
+            },
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Types shared by all three protocol engines.
+
+use bash_net::{NodeId, NodeSet};
+use std::fmt;
+
+/// Number of 64-bit words per cache block (64-byte blocks, as in the paper).
+pub const WORDS_PER_BLOCK: usize = 8;
+
+/// Control-message size in bytes (requests, forwarded requests, retries,
+/// markers, nacks, writeback acks).
+pub const CONTROL_MSG_BYTES: u32 = 8;
+
+/// Data-message size in bytes: a 64-byte block plus an 8-byte header.
+pub const DATA_MSG_BYTES: u32 = 72;
+
+/// A cache-block address (block number, not byte address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The home node of this block: memory is block-interleaved across all
+    /// nodes' memory controllers.
+    pub fn home(self, nodes: u16) -> NodeId {
+        NodeId((self.0 % nodes as u64) as u16)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+/// The contents of one cache block: eight 64-bit words. Carried by data
+/// messages end to end so that coherence can be validated on real values
+/// (the random tester stores/loads distinct words of shared blocks — false
+/// sharing — and checks every load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockData(pub [u64; WORDS_PER_BLOCK]);
+
+impl BlockData {
+    /// A block of zeros (the initial contents of all of memory).
+    pub const ZERO: BlockData = BlockData([0; WORDS_PER_BLOCK]);
+
+    /// Reads one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_BLOCK`.
+    pub fn read(&self, word: usize) -> u64 {
+        self.0[word]
+    }
+
+    /// Writes one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_BLOCK`.
+    pub fn write(&mut self, word: usize, value: u64) {
+        self.0[word] = value;
+    }
+}
+
+/// Coherence transaction kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Get a shared (read-only) copy.
+    GetS,
+    /// Get an exclusive (writable) copy, invalidating sharers.
+    GetM,
+    /// Write back an M or O copy to memory.
+    PutM,
+}
+
+impl TxnKind {
+    /// Short name for traces and the transition registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnKind::GetS => "GetS",
+            TxnKind::GetM => "GetM",
+            TxnKind::PutM => "PutM",
+        }
+    }
+}
+
+/// Globally unique transaction identifier: issuing node plus local sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId {
+    /// Issuing node.
+    pub node: NodeId,
+    /// Node-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.node, self.seq)
+    }
+}
+
+/// Ownership of a block as recorded at its home memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Owner {
+    /// Memory owns the block (responds with data itself).
+    #[default]
+    Memory,
+    /// The named node's cache owns the block (M or O there).
+    Node(NodeId),
+}
+
+/// A coherence request (or a memory-injected retry of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Transaction kind.
+    pub kind: TxnKind,
+    /// The block being requested.
+    pub block: BlockAddr,
+    /// The node that wants the block (not necessarily the message source:
+    /// BASH retries are injected by the home memory controller).
+    pub requestor: NodeId,
+    /// Transaction id (stable across retries and nack-reissues).
+    pub txn: TxnId,
+    /// 0 for an original request; n>0 for the home's n-th retry multicast
+    /// (BASH only).
+    pub retry: u8,
+    /// True when this copy was forwarded by the directory on the ordered
+    /// forwarded-request network (Directory protocol VN1).
+    pub from_dir: bool,
+}
+
+/// Protocol message payloads (the `P` of `bash_net::Message<P>`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoMsg {
+    /// A request, forwarded request, retry, or marker copy.
+    Request(Request),
+    /// A data response to the requestor of `txn`.
+    Data {
+        /// The transaction being answered.
+        txn: TxnId,
+        /// The block.
+        block: BlockAddr,
+        /// Block contents.
+        data: BlockData,
+        /// True when supplied by another cache (a sharing miss /
+        /// cache-to-cache transfer), false when supplied by memory.
+        from_cache: bool,
+        /// The network total-order number of the *sufficient* request copy
+        /// this data answers (BASH). A retried transaction serializes at
+        /// its first sufficient copy, not at its original marker; the
+        /// requestor uses this tag to split its deferred-request queue into
+        /// bystander (earlier) and owner (later) halves. `None` when the
+        /// original request was the serialization point (Snooping,
+        /// Directory).
+        serialized_at: Option<u64>,
+    },
+    /// Writeback data travelling to the home memory controller. In Snooping
+    /// and BASH this follows the ordered PutM request on the data network;
+    /// in the Directory protocol this single message *is* the writeback
+    /// request (data travels with the PutM, closing the ownership gap at the
+    /// directory).
+    WbData {
+        /// The block being written back.
+        block: BlockAddr,
+        /// The writer (must match the home's owner record).
+        from: NodeId,
+        /// Block contents.
+        data: BlockData,
+    },
+    /// Directory-protocol writeback acknowledgment on the ordered network.
+    WbAck {
+        /// The block written back.
+        block: BlockAddr,
+        /// The writer being acknowledged.
+        to: NodeId,
+        /// True when the writeback lost a race and was ignored (the writer
+        /// had already lost ownership to an earlier-ordered GetM).
+        stale: bool,
+    },
+    /// BASH deadlock-resolution negative acknowledgment: the home could not
+    /// allocate a retry buffer; the requestor must reissue as a broadcast.
+    Nack {
+        /// The transaction being nacked.
+        txn: TxnId,
+        /// The block.
+        block: BlockAddr,
+    },
+}
+
+impl ProtoMsg {
+    /// The block this message concerns.
+    pub fn block(&self) -> BlockAddr {
+        match self {
+            ProtoMsg::Request(r) => r.block,
+            ProtoMsg::Data { block, .. } => *block,
+            ProtoMsg::WbData { block, .. } => *block,
+            ProtoMsg::WbAck { block, .. } => *block,
+            ProtoMsg::Nack { block, .. } => *block,
+        }
+    }
+
+    /// Short name for traces and the transition registry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtoMsg::Request(r) => r.kind.name(),
+            ProtoMsg::Data { .. } => "Data",
+            ProtoMsg::WbData { .. } => "WbData",
+            ProtoMsg::WbAck { .. } => "WbAck",
+            ProtoMsg::Nack { .. } => "Nack",
+        }
+    }
+}
+
+/// A processor-issued memory operation (after L1 filtering; the paper's
+/// blocking-processor model issues these to the unified L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcOp {
+    /// Read one word of a block.
+    Load {
+        /// Target block.
+        block: BlockAddr,
+        /// Word within the block.
+        word: usize,
+    },
+    /// Write one word of a block.
+    Store {
+        /// Target block.
+        block: BlockAddr,
+        /// Word within the block.
+        word: usize,
+        /// Value to write.
+        value: u64,
+    },
+}
+
+impl ProcOp {
+    /// The block this operation targets.
+    pub fn block(&self) -> BlockAddr {
+        match self {
+            ProcOp::Load { block, .. } | ProcOp::Store { block, .. } => *block,
+        }
+    }
+
+    /// The coherence transaction a miss on this op requires.
+    pub fn miss_kind(&self) -> TxnKind {
+        match self {
+            ProcOp::Load { .. } => TxnKind::GetS,
+            ProcOp::Store { .. } => TxnKind::GetM,
+        }
+    }
+}
+
+/// Which set of nodes a cache request was sent to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestScope {
+    /// Full broadcast (snooping behaviour).
+    Broadcast,
+    /// Dualcast {home, requestor} (BASH unicast) or unicast to home
+    /// (directory).
+    Unicast,
+}
+
+/// The helper predicate at the heart of BASH's home controller: was this
+/// request sent to every node that must observe it?
+///
+/// * GetS needs the owner (so it can respond).
+/// * GetM needs the owner and every (potential) sharer.
+/// * The requestor is in the destination set by construction.
+pub fn is_sufficient(
+    kind: TxnKind,
+    mask: &NodeSet,
+    owner: Owner,
+    sharers: &NodeSet,
+    home: NodeId,
+) -> bool {
+    let owner_covered = match owner {
+        Owner::Memory => mask.contains(home),
+        Owner::Node(p) => mask.contains(p),
+    };
+    match kind {
+        TxnKind::GetS => owner_covered,
+        TxnKind::GetM => owner_covered && mask.is_superset(sharers),
+        TxnKind::PutM => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_interleaves_blocks() {
+        assert_eq!(BlockAddr(0).home(4), NodeId(0));
+        assert_eq!(BlockAddr(5).home(4), NodeId(1));
+        assert_eq!(BlockAddr(7).home(4), NodeId(3));
+    }
+
+    #[test]
+    fn block_data_read_write() {
+        let mut d = BlockData::ZERO;
+        d.write(3, 0xDEAD);
+        assert_eq!(d.read(3), 0xDEAD);
+        assert_eq!(d.read(0), 0);
+    }
+
+    #[test]
+    fn sufficiency_gets_needs_owner_only() {
+        let home = NodeId(0);
+        let sharers = NodeSet::from_nodes([NodeId(2), NodeId(3)]);
+        let dual = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        // Memory owner: dualcast includes home → sufficient.
+        assert!(is_sufficient(TxnKind::GetS, &dual, Owner::Memory, &sharers, home));
+        // Cache owner not in mask → insufficient.
+        assert!(!is_sufficient(
+            TxnKind::GetS,
+            &dual,
+            Owner::Node(NodeId(2)),
+            &sharers,
+            home
+        ));
+        // Owner in mask → sufficient even with sharers elsewhere.
+        let with_owner = NodeSet::from_nodes([NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(is_sufficient(
+            TxnKind::GetS,
+            &with_owner,
+            Owner::Node(NodeId(2)),
+            &sharers,
+            home
+        ));
+    }
+
+    #[test]
+    fn sufficiency_getm_needs_owner_and_sharers() {
+        let home = NodeId(0);
+        let sharers = NodeSet::from_nodes([NodeId(2), NodeId(3)]);
+        let dual = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
+        assert!(!is_sufficient(TxnKind::GetM, &dual, Owner::Memory, &sharers, home));
+        let full = NodeSet::all(4);
+        assert!(is_sufficient(TxnKind::GetM, &full, Owner::Memory, &sharers, home));
+        assert!(is_sufficient(
+            TxnKind::GetM,
+            &full,
+            Owner::Node(NodeId(3)),
+            &sharers,
+            home
+        ));
+        // No sharers, memory owner: the dualcast suffices.
+        assert!(is_sufficient(
+            TxnKind::GetM,
+            &dual,
+            Owner::Memory,
+            &NodeSet::EMPTY,
+            home
+        ));
+    }
+
+    #[test]
+    fn putm_is_always_sufficient() {
+        assert!(is_sufficient(
+            TxnKind::PutM,
+            &NodeSet::singleton(NodeId(0)),
+            Owner::Node(NodeId(5)),
+            &NodeSet::all(8),
+            NodeId(0)
+        ));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TxnKind::GetS.name(), "GetS");
+        let r = ProtoMsg::Request(Request {
+            kind: TxnKind::GetM,
+            block: BlockAddr(1),
+            requestor: NodeId(0),
+            txn: TxnId { node: NodeId(0), seq: 1 },
+            retry: 0,
+            from_dir: false,
+        });
+        assert_eq!(r.name(), "GetM");
+        assert_eq!(r.block(), BlockAddr(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! System configuration: the paper's target system (§4.2, §5.2) with every
+//! modeling knob exposed.
+
+use bash_adaptive::AdaptorConfig;
+use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::Duration;
+use bash_net::Jitter;
+
+/// Full configuration of a simulated system.
+///
+/// Defaults ([`SystemConfig::paper_default`]) reproduce the paper's timing:
+/// 50 ns crossbar traversal, 80 ns DRAM/directory access, 25 ns cache data
+/// provision — giving 180 ns memory fetches, 125 ns snooping cache-to-cache
+/// transfers and 255 ns directory (or BASH-retry) cache-to-cache transfers.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which coherence protocol to run.
+    pub protocol: ProtocolKind,
+    /// Number of integrated processor/memory nodes.
+    pub nodes: u16,
+    /// Endpoint link bandwidth in MB/s (the paper's x-axis).
+    pub link_mbps: u64,
+    /// Fixed crossbar traversal latency.
+    pub traversal: Duration,
+    /// DRAM / directory access latency.
+    pub dram_latency: Duration,
+    /// Cache-controller latency to provide data to the interconnect.
+    pub cache_provide_latency: Duration,
+    /// L2 cache geometry.
+    pub cache_geometry: CacheGeometry,
+    /// Bandwidth multiplier for full broadcasts (4 in Figure 11).
+    pub broadcast_cost_multiplier: u32,
+    /// The adaptive mechanism's parameters (BASH only).
+    pub adaptor: AdaptorConfig,
+    /// Serialize DRAM accesses (off per the paper's endpoint-contention-only
+    /// model; on for the memory-occupancy ablation).
+    pub serialize_dram: bool,
+    /// BASH home retry-buffer capacity (per memory controller).
+    pub retry_capacity: usize,
+    /// Record transition coverage (Table 1 / tester runs).
+    pub coverage: bool,
+    /// Message latency perturbation (tester and error-bar methodology).
+    pub jitter: Jitter,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's target system for the given protocol / size / bandwidth.
+    pub fn paper_default(protocol: ProtocolKind, nodes: u16, link_mbps: u64) -> Self {
+        SystemConfig {
+            protocol,
+            nodes,
+            link_mbps,
+            traversal: Duration::from_ns(50),
+            dram_latency: Duration::from_ns(80),
+            cache_provide_latency: Duration::from_ns(25),
+            cache_geometry: CacheGeometry {
+                sets: 1024,
+                ways: 4,
+            },
+            broadcast_cost_multiplier: 1,
+            adaptor: AdaptorConfig::paper_default(),
+            serialize_dram: false,
+            retry_capacity: 64,
+            coverage: false,
+            jitter: Jitter::None,
+            seed: 0xBA5E,
+        }
+    }
+
+    /// Overrides the cache geometry.
+    pub fn with_cache(mut self, geometry: CacheGeometry) -> Self {
+        self.cache_geometry = geometry;
+        self
+    }
+
+    /// Overrides the adaptive mechanism configuration.
+    pub fn with_adaptor(mut self, adaptor: AdaptorConfig) -> Self {
+        self.adaptor = adaptor;
+        self
+    }
+
+    /// Sets the broadcast cost multiplier (Figure 11 uses 4).
+    pub fn with_broadcast_cost(mut self, multiplier: u32) -> Self {
+        self.broadcast_cost_multiplier = multiplier;
+        self
+    }
+
+    /// Sets the RNG seed (perturbation methodology: run several seeds and
+    /// aggregate).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables transition-coverage recording.
+    pub fn with_coverage(mut self) -> Self {
+        self.coverage = true;
+        self
+    }
+
+    /// Enables message-latency jitter.
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values (zero nodes/bandwidth, multiplier < 1).
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one node");
+        assert!(self.link_mbps > 0, "bandwidth must be positive");
+        assert!(self.broadcast_cost_multiplier >= 1);
+        assert!(self.retry_capacity > 0, "BASH needs at least one retry buffer");
+        assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        let c = SystemConfig::paper_default(ProtocolKind::Bash, 16, 1600);
+        // 50 + 80 + 50 = 180 ns memory fetch.
+        assert_eq!(
+            (c.traversal + c.dram_latency + c.traversal).as_ns(),
+            180
+        );
+        // 50 + 25 + 50 = 125 ns snooping cache-to-cache.
+        assert_eq!(
+            (c.traversal + c.cache_provide_latency + c.traversal).as_ns(),
+            125
+        );
+        // 50 + 80 + 50 + 25 + 50 = 255 ns directory cache-to-cache.
+        assert_eq!(
+            (c.traversal
+                + c.dram_latency
+                + c.traversal
+                + c.cache_provide_latency
+                + c.traversal)
+                .as_ns(),
+            255
+        );
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SystemConfig::paper_default(ProtocolKind::Snooping, 4, 800)
+            .with_broadcast_cost(4)
+            .with_seed(7)
+            .with_coverage();
+        assert_eq!(c.broadcast_cost_multiplier, 4);
+        assert_eq!(c.seed, 7);
+        assert!(c.coverage);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let mut c = SystemConfig::paper_default(ProtocolKind::Snooping, 4, 800);
+        c.link_mbps = 0;
+        c.validate();
+    }
+}

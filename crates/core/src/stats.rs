@@ -1,0 +1,148 @@
+//! Run statistics: everything the paper's figures report.
+
+use bash_kernel::Duration;
+
+/// Aggregate results of one measured simulation window.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Workload display name.
+    pub workload: String,
+    /// Measured (post-warmup) simulated time.
+    pub duration: Duration,
+    /// Completed memory operations (lock acquires for the microbenchmark).
+    pub ops_completed: u64,
+    /// Instructions retired (macro workloads).
+    pub retired_instructions: u64,
+    /// Demand misses issued.
+    pub misses: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Misses served by another cache (sharing misses).
+    pub sharing_misses: u64,
+    /// Mean demand-miss latency in ns (Figure 9's y-axis).
+    pub avg_miss_latency_ns: f64,
+    /// Standard deviation of the miss latency.
+    pub stddev_miss_latency_ns: f64,
+    /// Largest observed miss latency in ns.
+    pub max_miss_latency_ns: f64,
+    /// Mean endpoint link utilization in [0,1] (Figure 6's y-axis).
+    pub link_utilization: f64,
+    /// Bytes through all endpoint links (bandwidth footprint).
+    pub link_bytes: u64,
+    /// Requests broadcast by caches.
+    pub broadcasts: u64,
+    /// Requests unicast by caches (dualcast for BASH).
+    pub unicasts: u64,
+    /// Writebacks started.
+    pub writebacks: u64,
+    /// BASH home retries injected.
+    pub retries: u64,
+    /// BASH retry escalations to full broadcast.
+    pub broadcast_escalations: u64,
+    /// BASH nacks sent by homes.
+    pub nacks: u64,
+    /// Simulation events processed in the window (engine throughput).
+    pub events_processed: u64,
+}
+
+impl RunStats {
+    /// Completed operations per second — the microbenchmark performance
+    /// metric ("lock acquires per nanosecond", normalized in the figures).
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.ops_completed as f64 / s
+        }
+    }
+
+    /// Instructions per second — the macro-workload performance metric.
+    pub fn instructions_per_sec(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.retired_instructions as f64 / s
+        }
+    }
+
+    /// Fraction of cache requests that were broadcast (1.0 = pure
+    /// snooping, 0.0 = pure directory behaviour).
+    pub fn broadcast_fraction(&self) -> f64 {
+        let total = self.broadcasts + self.unicasts;
+        if total == 0 {
+            0.0
+        } else {
+            self.broadcasts as f64 / total as f64
+        }
+    }
+
+    /// Fraction of misses served cache-to-cache.
+    pub fn sharing_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.sharing_misses as f64 / self.misses as f64
+        }
+    }
+
+    /// Average link bytes consumed per miss (bandwidth cost).
+    pub fn bytes_per_miss(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.link_bytes as f64 / self.misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            protocol: "BASH",
+            workload: "test".into(),
+            duration: Duration::from_ns(1_000_000),
+            ops_completed: 500,
+            retired_instructions: 4000,
+            misses: 400,
+            hits: 100,
+            sharing_misses: 300,
+            avg_miss_latency_ns: 150.0,
+            stddev_miss_latency_ns: 20.0,
+            max_miss_latency_ns: 400.0,
+            link_utilization: 0.74,
+            link_bytes: 40_000,
+            broadcasts: 300,
+            unicasts: 100,
+            writebacks: 5,
+            retries: 40,
+            broadcast_escalations: 1,
+            nacks: 0,
+            events_processed: 123_456,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        assert!((s.ops_per_sec() - 500.0 / 1e-3).abs() < 1e-6);
+        assert!((s.instructions_per_sec() - 4000.0 / 1e-3).abs() < 1e-6);
+        assert!((s.broadcast_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.sharing_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.bytes_per_miss() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_is_safe() {
+        let mut s = sample();
+        s.duration = Duration::ZERO;
+        assert_eq!(s.ops_per_sec(), 0.0);
+        assert_eq!(s.instructions_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,521 @@
+//! The system driver: event loop, processors, and measurement.
+//!
+//! A [`System`] owns the crossbar, one cache controller + one memory
+//! controller per node, one blocking processor per node, and the workload.
+//! It dispatches four event kinds:
+//!
+//! * `Inject` — a controller-delayed message enters the node's link queue;
+//! * `Net` — internal crossbar progress (transmit/traverse/deliver);
+//! * `ProcIssue` — a processor finished thinking and issues its operation;
+//! * `Sample` — the adaptive mechanism's per-512-cycle utilization sample
+//!   (BASH only).
+//!
+//! Warmup/measurement follows the paper: run to steady state, snapshot all
+//! counters, measure, report deltas.
+
+use bash_coherence::common::{CacheStats, MemStats};
+use bash_coherence::{
+    route, AccessOutcome, Action, CacheCtrl, MemCtrl, ProcOp, ProtoMsg, ProtocolKind, TxnId,
+};
+use bash_kernel::stats::{RunningStat, WindowDelta};
+use bash_kernel::{Duration, EventQueue, Time};
+use bash_net::{Crossbar, Message, NetConfig, NetEvent, NodeId};
+use bash_workloads::{WorkItem, Workload};
+
+use crate::config::SystemConfig;
+use crate::stats::RunStats;
+
+/// Driver events.
+#[derive(Debug)]
+enum Event {
+    /// Crossbar-internal progress.
+    Net(NetEvent<ProtoMsg>),
+    /// A message enters the sender's link queue (after controller latency).
+    Inject(Message<ProtoMsg>),
+    /// A processor issues its queued operation.
+    ProcIssue(NodeId),
+    /// Adaptive-mechanism sampling tick (all nodes).
+    Sample,
+}
+
+/// An outstanding demand miss at a processor.
+#[derive(Debug)]
+struct PendingMiss {
+    op: ProcOp,
+    instructions: u64,
+    issued_at: Time,
+    txn: TxnId,
+}
+
+/// A blocking processor.
+#[derive(Debug, Default)]
+struct Processor {
+    queued: Option<WorkItem>,
+    pending: Option<PendingMiss>,
+    done: bool,
+}
+
+/// Cumulative driver-side counters (snapshotted for measurement windows).
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    ops: u64,
+    retired: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Snapshot {
+    at: Time,
+    counters: Counters,
+    cache: CacheStats,
+    mem: MemStats,
+    link_busy_ps: u64,
+    link_bytes: u64,
+    events: u64,
+}
+
+/// A running simulated system.
+pub struct System<W: Workload> {
+    cfg: SystemConfig,
+    net: Crossbar<ProtoMsg>,
+    caches: Vec<CacheCtrl>,
+    mems: Vec<MemCtrl>,
+    procs: Vec<Processor>,
+    workload: W,
+    events: EventQueue<Event>,
+    now: Time,
+    window_deltas: Vec<WindowDelta>,
+    counters: Counters,
+    miss_latency: RunningStat,
+    measuring: bool,
+    measure_start: Snapshot,
+    policy_trace: Option<Vec<(Time, f64)>>,
+    delivery_trace: Option<Vec<String>>,
+}
+
+impl<W: Workload> System<W> {
+    /// Builds and primes the system: every processor fetches its first work
+    /// item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]).
+    pub fn new(cfg: SystemConfig, mut workload: W) -> Self {
+        cfg.validate();
+        let nodes = cfg.nodes;
+        let mut net_cfg = NetConfig::new(nodes, cfg.link_mbps);
+        net_cfg.traversal = cfg.traversal;
+        net_cfg.broadcast_cost_multiplier = cfg.broadcast_cost_multiplier;
+        net_cfg.jitter = cfg.jitter.clone();
+        let net = Crossbar::new(net_cfg);
+
+        let caches = (0..nodes)
+            .map(|i| {
+                CacheCtrl::new(
+                    cfg.protocol,
+                    NodeId(i),
+                    nodes,
+                    cfg.cache_geometry,
+                    cfg.cache_provide_latency,
+                    cfg.adaptor.clone(),
+                    cfg.coverage,
+                )
+            })
+            .collect();
+        let mems = (0..nodes)
+            .map(|i| {
+                MemCtrl::new(
+                    cfg.protocol,
+                    NodeId(i),
+                    nodes,
+                    cfg.dram_latency,
+                    cfg.serialize_dram,
+                    cfg.retry_capacity,
+                    cfg.coverage,
+                )
+            })
+            .collect();
+
+        let mut events = EventQueue::with_capacity(4096);
+        let mut procs: Vec<Processor> = (0..nodes).map(|_| Processor::default()).collect();
+        for i in 0..nodes {
+            let node = NodeId(i);
+            match workload.next_item(node, Time::ZERO) {
+                Some(item) => {
+                    let at = Time::ZERO + item.think;
+                    procs[i as usize].queued = Some(item);
+                    events.schedule(at, Event::ProcIssue(node));
+                }
+                None => procs[i as usize].done = true,
+            }
+        }
+        if cfg.protocol == ProtocolKind::Bash {
+            let interval = Duration::from_cycles(cfg.adaptor.sampling_interval_cycles);
+            events.schedule(Time::ZERO + interval, Event::Sample);
+        }
+
+        System {
+            window_deltas: (0..nodes).map(|_| WindowDelta::new()).collect(),
+            net,
+            caches,
+            mems,
+            procs,
+            workload,
+            events,
+            now: Time::ZERO,
+            counters: Counters::default(),
+            miss_latency: RunningStat::new(),
+            measuring: false,
+            measure_start: Snapshot::default(),
+            policy_trace: None,
+            delivery_trace: None,
+            cfg,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The workload (for domain metrics like lock acquires).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// The cache controllers (tester invariant checks).
+    pub fn caches(&self) -> &[CacheCtrl] {
+        &self.caches
+    }
+
+    /// The memory controllers (tester invariant checks).
+    pub fn mems(&self) -> &[MemCtrl] {
+        &self.mems
+    }
+
+    /// Enables recording of the mean policy-counter value over time
+    /// (sampled at every adaptive tick; see the `adaptive_phases` example).
+    pub fn enable_policy_trace(&mut self) {
+        self.policy_trace = Some(Vec::new());
+    }
+
+    /// The recorded policy trace, if enabled.
+    pub fn policy_trace(&self) -> Option<&[(Time, f64)]> {
+        self.policy_trace.as_deref()
+    }
+
+    /// Enables recording a human-readable line per message delivery (used
+    /// by the Figure 4 protocol walkthroughs).
+    pub fn enable_delivery_trace(&mut self) {
+        self.delivery_trace = Some(Vec::new());
+    }
+
+    /// The recorded delivery trace, if enabled.
+    pub fn delivery_trace(&self) -> Option<&[String]> {
+        self.delivery_trace.as_deref()
+    }
+
+    /// Advances simulation until `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(pt) = self.events.peek_time() {
+            if pt > t {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            self.now = now;
+            self.dispatch(ev);
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drains every pending event (workloads must eventually return `None`
+    /// or this will not terminate). Used by the random tester to reach
+    /// global quiescence.
+    pub fn run_to_idle(&mut self) {
+        while let Some((now, ev)) = self.events.pop() {
+            self.now = now;
+            self.dispatch(ev);
+        }
+    }
+
+    /// True when every controller has no transaction in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.procs.iter().all(|p| p.pending.is_none())
+            && self.caches.iter().all(|c| c.is_quiescent())
+            && self.mems.iter().all(|m| m.is_quiescent())
+    }
+
+    /// Starts the measurement window: snapshots all counters and resets the
+    /// latency statistics.
+    pub fn begin_measurement(&mut self) {
+        self.measuring = true;
+        self.miss_latency = RunningStat::new();
+        self.measure_start = self.snapshot();
+    }
+
+    /// Runs until `t_end` and returns the measured-window statistics.
+    pub fn finish(&mut self, t_end: Time) -> RunStats {
+        assert!(self.measuring, "begin_measurement was not called");
+        self.run_until(t_end);
+        let end = self.snapshot();
+        let start = &self.measure_start;
+        let window = end.at.since(start.at);
+        let nodes = self.cfg.nodes as u64;
+        let busy = end.link_busy_ps - start.link_busy_ps;
+        let util = if window.is_zero() {
+            0.0
+        } else {
+            busy as f64 / (window.as_ps() as f64 * nodes as f64)
+        };
+        RunStats {
+            protocol: self.cfg.protocol.name(),
+            workload: self.workload.name().to_string(),
+            duration: window,
+            ops_completed: end.counters.ops - start.counters.ops,
+            retired_instructions: end.counters.retired - start.counters.retired,
+            misses: end.cache.misses - start.cache.misses,
+            hits: end.cache.hits - start.cache.hits,
+            sharing_misses: end.cache.sharing_misses - start.cache.sharing_misses,
+            avg_miss_latency_ns: self.miss_latency.mean(),
+            stddev_miss_latency_ns: self.miss_latency.stddev(),
+            max_miss_latency_ns: self.miss_latency.max().unwrap_or(0.0),
+            link_utilization: util,
+            link_bytes: end.link_bytes - start.link_bytes,
+            broadcasts: end.cache.broadcasts_sent - start.cache.broadcasts_sent,
+            unicasts: end.cache.unicasts_sent - start.cache.unicasts_sent,
+            writebacks: end.cache.writebacks - start.cache.writebacks,
+            retries: end.mem.retries_sent - start.mem.retries_sent,
+            broadcast_escalations: end.mem.broadcast_escalations - start.mem.broadcast_escalations,
+            nacks: end.mem.nacks_sent - start.mem.nacks_sent,
+            events_processed: end.events - start.events,
+        }
+    }
+
+    /// Convenience: build, warm up, measure, report.
+    pub fn run(cfg: SystemConfig, workload: W, warmup: Duration, measure: Duration) -> RunStats {
+        let mut sys = System::new(cfg, workload);
+        sys.run_until(Time::ZERO + warmup);
+        sys.begin_measurement();
+        sys.finish(Time::ZERO + warmup + measure)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut cache = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.sharing_misses += s.sharing_misses;
+            cache.writebacks += s.writebacks;
+            cache.writebacks_squashed += s.writebacks_squashed;
+            cache.broadcasts_sent += s.broadcasts_sent;
+            cache.unicasts_sent += s.unicasts_sent;
+            cache.nacks_received += s.nacks_received;
+            cache.nack_reissues += s.nack_reissues;
+            cache.snoop_responses += s.snoop_responses;
+        }
+        let mut mem = MemStats::default();
+        for m in &self.mems {
+            let s = m.stats();
+            mem.data_responses += s.data_responses;
+            mem.forwards += s.forwards;
+            mem.retries_sent += s.retries_sent;
+            mem.broadcast_escalations += s.broadcast_escalations;
+            mem.nacks_sent += s.nacks_sent;
+            mem.writebacks_accepted += s.writebacks_accepted;
+            mem.writebacks_stale += s.writebacks_stale;
+        }
+        let mut busy = 0u64;
+        let mut bytes = 0u64;
+        for i in 0..self.cfg.nodes {
+            let node = NodeId(i);
+            busy += self.net.link_tracker(node).busy_time_until(self.now).as_ps();
+            bytes += self.net.link_bytes(node);
+        }
+        Snapshot {
+            at: self.now,
+            counters: self.counters,
+            cache,
+            mem,
+            link_busy_ps: busy,
+            link_bytes: bytes,
+            events: self.events.events_processed(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Inject(msg) => {
+                let step = self.net.send(self.now, msg);
+                self.absorb_net(step);
+            }
+            Event::Net(ne) => {
+                let step = self.net.handle(self.now, ne);
+                self.absorb_net(step);
+            }
+            Event::ProcIssue(node) => self.proc_issue(node),
+            Event::Sample => self.sample(),
+        }
+    }
+
+    fn absorb_net(&mut self, step: bash_net::NetStep<ProtoMsg>) {
+        for (t, e) in step.schedule {
+            self.events.schedule(t, Event::Net(e));
+        }
+        for d in step.deliveries {
+            self.deliver(d.dst, d.msg, d.order);
+        }
+    }
+
+    fn deliver(&mut self, dst: NodeId, msg: Message<ProtoMsg>, order: Option<u64>) {
+        if let Some(trace) = self.delivery_trace.as_mut() {
+            let ord = order.map(|o| format!(" ord={o}")).unwrap_or_default();
+            trace.push(format!(
+                "{:>9} {} -> {} {:?} dests={}{}",
+                self.now.to_string(),
+                msg.src,
+                dst,
+                msg.payload,
+                msg.dests,
+                ord
+            ));
+        }
+        let routing = route(self.cfg.protocol, dst, self.cfg.nodes, &msg);
+        if routing.to_cache {
+            let actions = self.caches[dst.index()].on_delivery(self.now, &msg, order);
+            self.apply_actions(dst, actions);
+        }
+        if routing.to_mem {
+            let actions = self.mems[dst.index()].on_delivery(self.now, &msg, order);
+            self.apply_actions(dst, actions);
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
+        for act in actions {
+            match act {
+                Action::SendAfter { delay, msg } => {
+                    self.events.schedule(self.now + delay, Event::Inject(msg));
+                }
+                Action::MissDone {
+                    txn,
+                    value,
+                    ..
+                } => self.miss_done(node, txn, value),
+            }
+        }
+    }
+
+    fn proc_issue(&mut self, node: NodeId) {
+        let idx = node.index();
+        let item = self.procs[idx].queued.take().expect("issue without item");
+        let (outcome, actions) = self.caches[idx].access(self.now, item.op);
+        match outcome {
+            AccessOutcome::Hit { value } => {
+                self.counters.ops += 1;
+                self.counters.retired += item.instructions;
+                self.workload.on_complete(node, self.now, &item.op, value);
+                self.fetch_next(node);
+            }
+            AccessOutcome::Miss { txn } => {
+                self.procs[idx].pending = Some(PendingMiss {
+                    op: item.op,
+                    instructions: item.instructions,
+                    issued_at: self.now,
+                    txn,
+                });
+            }
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn miss_done(&mut self, node: NodeId, txn: TxnId, value: u64) {
+        let idx = node.index();
+        let pending = self.procs[idx]
+            .pending
+            .take()
+            .expect("miss completion without pending miss");
+        assert_eq!(pending.txn, txn, "completion for the wrong transaction");
+        if self.measuring {
+            self.miss_latency
+                .push(self.now.since(pending.issued_at).as_ps() as f64 / 1000.0);
+        }
+        self.counters.ops += 1;
+        self.counters.retired += pending.instructions;
+        self.workload.on_complete(node, self.now, &pending.op, value);
+        self.fetch_next(node);
+    }
+
+    fn fetch_next(&mut self, node: NodeId) {
+        let idx = node.index();
+        match self.workload.next_item(node, self.now) {
+            Some(item) => {
+                let at = self.now + item.think;
+                self.procs[idx].queued = Some(item);
+                self.events.schedule(at, Event::ProcIssue(node));
+            }
+            None => self.procs[idx].done = true,
+        }
+    }
+
+    fn sample(&mut self) {
+        let interval = Duration::from_cycles(self.cfg.adaptor.sampling_interval_cycles);
+        let mut policy_sum = 0.0;
+        let mut policy_n = 0u32;
+        for i in 0..self.cfg.nodes {
+            let node = NodeId(i);
+            let busy = self.window_deltas[node.index()]
+                .advance(self.net.link_tracker(node), self.now);
+            // Under latency jitter a transmission can be credited across a
+            // window boundary (up to jitter_max of slop); clamp — boundary
+            // slop is measurement noise, exactly as in real sampling
+            // hardware.
+            let busy_ps = busy.as_ps().min(interval.as_ps());
+            if let Some(adaptor) = self.caches[node.index()].adaptor_mut() {
+                adaptor.sample_window(busy_ps, interval.as_ps());
+                policy_sum += adaptor.policy_value() as f64;
+                policy_n += 1;
+            }
+        }
+        if let Some(trace) = self.policy_trace.as_mut() {
+            if policy_n > 0 {
+                trace.push((self.now, policy_sum / policy_n as f64));
+            }
+        }
+        // Stop the sampling chain once the workload is exhausted and no
+        // other event is in flight, so `run_to_idle` terminates.
+        let finished = self.procs.iter().all(|p| p.done) && self.events.is_empty();
+        if !finished {
+            self.events.schedule(self.now + interval, Event::Sample);
+        }
+    }
+
+    /// The mean unicast probability across all BASH adaptors (0 when not
+    /// running BASH).
+    pub fn mean_unicast_probability(&mut self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for c in self.caches.iter_mut() {
+            if let Some(a) = c.adaptor_mut() {
+                sum += a.unicast_probability();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `bash-experiments` — regenerates every figure and table of
+//! *Bandwidth Adaptive Snooping* (HPCA 2002).
+//!
+//! ```text
+//! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
+//!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
+//!        fig9 | fig10 | fig11 | fig12 | table1
+//! ```
+//!
+//! Each experiment prints an ASCII rendition of the paper's plot and writes
+//! a CSV under `--out` (default `results/`). See EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+mod common;
+mod macrob;
+mod micro;
+mod static_figs;
+mod table1;
+
+use common::Options;
+
+fn main() {
+    let mut opts = Options::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                opts.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .expect("--scale needs a number")
+                    .parse()
+                    .expect("invalid --scale");
+            }
+            "--seeds" => {
+                opts.seeds = args
+                    .next()
+                    .expect("--seeds needs a count")
+                    .parse()
+                    .expect("invalid --seeds");
+            }
+            "--help" | "-h" => {
+                println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
+                println!("  ids: all fig1..fig12 table1");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+    let all = ids.iter().any(|i| i == "all");
+    let want = |id: &str| all || ids.iter().any(|i| i == id);
+
+    // Figures 1, 5 and 6 share one bandwidth sweep.
+    let needs_sweep = want("fig1") || want("fig5") || want("fig6");
+    let sweep = if needs_sweep {
+        eprintln!("running the 64-processor bandwidth sweep (figs 1/5/6)...");
+        Some(micro::bandwidth_sweep(&opts))
+    } else {
+        None
+    };
+    if want("fig1") {
+        micro::fig1(&opts, sweep.as_ref().expect("sweep"));
+    }
+    if want("fig2") {
+        static_figs::fig2(&opts);
+    }
+    if want("fig3") {
+        static_figs::fig3(&opts);
+    }
+    if want("fig4") {
+        static_figs::fig4(&opts);
+    }
+    if want("table1") {
+        eprintln!("collecting transition coverage (table 1)...");
+        table1::table1(&opts);
+    }
+    if want("fig5") {
+        micro::fig5(&opts, sweep.as_ref().expect("sweep"));
+    }
+    if want("fig6") {
+        micro::fig6(&opts, sweep.as_ref().expect("sweep"));
+    }
+    if want("fig7") {
+        eprintln!("running the threshold sensitivity sweep (fig 7)...");
+        micro::fig7(&opts);
+    }
+    if want("fig8") {
+        eprintln!("running the system-size sweep (fig 8)...");
+        micro::fig8(&opts);
+    }
+    if want("fig9") {
+        eprintln!("running the think-time sweep (fig 9)...");
+        micro::fig9(&opts);
+    }
+    if want("fig10") {
+        eprintln!("running the 16-processor workload sweep (fig 10)...");
+        macrob::fig10_11(&opts, 1);
+    }
+    if want("fig11") {
+        eprintln!("running the 16-processor workload sweep, 4x broadcast cost (fig 11)...");
+        macrob::fig10_11(&opts, 4);
+    }
+    if want("fig12") {
+        eprintln!("running the workload bars (fig 12)...");
+        macrob::fig12(&opts);
+    }
+    eprintln!("done.");
+}

@@ -1,0 +1,324 @@
+//! Microbenchmark experiments: Figures 1, 5, 6, 7, 8, 9.
+
+use bash_adaptive::AdaptorConfig;
+use bash_coherence::ProtocolKind;
+use bash_kernel::Duration;
+
+use crate::common::{
+    ascii_chart, run_point, write_csv, Options, Point, Wl, BANDWIDTHS,
+};
+
+const MICRO_NODES: u16 = 64;
+const MICRO_LOCKS: u64 = 1024;
+
+fn micro_wl(think_cycles: u64) -> Wl {
+    Wl::Micro {
+        locks: MICRO_LOCKS,
+        think: Duration::from_cycles(think_cycles),
+    }
+}
+
+fn warmup(opts: &Options) -> Duration {
+    opts.window(Duration::from_ns(80_000))
+}
+
+fn measure(opts: &Options) -> Duration {
+    opts.window(Duration::from_ns(240_000))
+}
+
+/// The shared bandwidth sweep behind Figures 1, 5 and 6: performance and
+/// utilization vs. endpoint bandwidth for all three protocols, 64
+/// processors.
+pub struct BandwidthSweep {
+    /// `(protocol, bandwidth MB/s, point)` rows.
+    pub rows: Vec<(ProtocolKind, u64, Point)>,
+}
+
+/// Runs (or reuses) the sweep.
+pub fn bandwidth_sweep(opts: &Options) -> BandwidthSweep {
+    let mut rows = Vec::new();
+    for proto in ProtocolKind::ALL {
+        for &bw in &BANDWIDTHS {
+            let p = run_point(
+                proto,
+                MICRO_NODES,
+                bw,
+                &micro_wl(0),
+                1,
+                AdaptorConfig::paper_default(),
+                warmup(opts),
+                measure(opts),
+                opts,
+            );
+            eprintln!(
+                "  {:9} {:6} MB/s: {:8.1} acq/ms  util {:4.2}  bcast {:4.2}",
+                proto.name(),
+                bw,
+                p.perf / 1e6,
+                p.utilization,
+                p.broadcast_fraction
+            );
+            rows.push((proto, bw, p));
+        }
+    }
+    BandwidthSweep { rows }
+}
+
+/// Figure 1: performance vs. available bandwidth, normalized to the best
+/// point (the paper normalizes its y-axis to 1.0).
+pub fn fig1(opts: &Options, sweep: &BandwidthSweep) {
+    let best = sweep
+        .rows
+        .iter()
+        .map(|(_, _, p)| p.perf)
+        .fold(0.0f64, f64::max);
+    let mut csv = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let pts: Vec<(f64, f64)> = sweep
+            .rows
+            .iter()
+            .filter(|(pr, ..)| *pr == proto)
+            .map(|(_, bw, p)| (*bw as f64, p.perf / best))
+            .collect();
+        for (bw, v) in &pts {
+            csv.push(format!("{},{},{:.6}", proto.name(), bw, v));
+        }
+        series.push((proto.name(), pts));
+    }
+    ascii_chart(
+        "Figure 1: performance vs endpoint bandwidth (64p microbenchmark)",
+        &series,
+        true,
+    );
+    let path = write_csv(opts, "fig1", "protocol,bandwidth_mbps,normalized_perf", &csv);
+    println!("  wrote {}", path.display());
+}
+
+/// Figure 5: the same data normalized to BASH at each bandwidth.
+pub fn fig5(opts: &Options, sweep: &BandwidthSweep) {
+    let bash_at = |bw: u64| {
+        sweep
+            .rows
+            .iter()
+            .find(|(p, b, _)| *p == ProtocolKind::Bash && *b == bw)
+            .map(|(_, _, p)| p.perf)
+            .expect("bash point")
+    };
+    let mut csv = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let pts: Vec<(f64, f64)> = sweep
+            .rows
+            .iter()
+            .filter(|(pr, ..)| *pr == proto)
+            .map(|(_, bw, p)| (*bw as f64, p.perf / bash_at(*bw)))
+            .collect();
+        for (bw, v) in &pts {
+            csv.push(format!("{},{},{:.6}", proto.name(), bw, v));
+        }
+        series.push((proto.name(), pts));
+    }
+    ascii_chart(
+        "Figure 5: performance normalized to BASH (64p microbenchmark)",
+        &series,
+        true,
+    );
+    let path = write_csv(opts, "fig5", "protocol,bandwidth_mbps,perf_vs_bash", &csv);
+    println!("  wrote {}", path.display());
+}
+
+/// Figure 6: endpoint link utilization vs. available bandwidth; BASH holds
+/// the 75 % target until even always-broadcast cannot reach it.
+pub fn fig6(opts: &Options, sweep: &BandwidthSweep) {
+    let mut csv = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let pts: Vec<(f64, f64)> = sweep
+            .rows
+            .iter()
+            .filter(|(pr, ..)| *pr == proto)
+            .map(|(_, bw, p)| (*bw as f64, p.utilization * 100.0))
+            .collect();
+        for (bw, v) in &pts {
+            csv.push(format!("{},{},{:.3}", proto.name(), bw, v));
+        }
+        series.push((proto.name(), pts));
+    }
+    ascii_chart(
+        "Figure 6: endpoint link utilization (%) vs bandwidth; target = 75%",
+        &series,
+        true,
+    );
+    let path = write_csv(opts, "fig6", "protocol,bandwidth_mbps,utilization_pct", &csv);
+    println!("  wrote {}", path.display());
+}
+
+/// Figure 7: BASH's sensitivity to the utilization threshold (55/75/95 %).
+pub fn fig7(opts: &Options) {
+    let mut csv = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut best = 0.0f64;
+    let mut raw: Vec<(String, u64, Point)> = Vec::new();
+    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        for &bw in &BANDWIDTHS {
+            let p = run_point(
+                proto,
+                MICRO_NODES,
+                bw,
+                &micro_wl(0),
+                1,
+                AdaptorConfig::paper_default(),
+                warmup(opts),
+                measure(opts),
+                opts,
+            );
+            best = best.max(p.perf);
+            raw.push((proto.name().to_string(), bw, p));
+        }
+    }
+    for pct in [55u32, 75, 95] {
+        let mut adaptor = AdaptorConfig::paper_default();
+        adaptor.threshold_percent = pct;
+        for &bw in &BANDWIDTHS {
+            let p = run_point(
+                ProtocolKind::Bash,
+                MICRO_NODES,
+                bw,
+                &micro_wl(0),
+                1,
+                adaptor.clone(),
+                warmup(opts),
+                measure(opts),
+                opts,
+            );
+            best = best.max(p.perf);
+            raw.push((format!("BASH:{pct}%"), bw, p));
+        }
+        eprintln!("  threshold {pct}% done");
+    }
+    let names: Vec<String> = {
+        let mut v: Vec<String> = raw.iter().map(|(n, ..)| n.clone()).collect();
+        v.dedup();
+        v
+    };
+    for name in &names {
+        let pts: Vec<(f64, f64)> = raw
+            .iter()
+            .filter(|(n, ..)| n == name)
+            .map(|(_, bw, p)| (*bw as f64, p.perf / best))
+            .collect();
+        for (bw, v) in &pts {
+            csv.push(format!("{},{},{:.6}", name, bw, v));
+        }
+        series.push((name.clone(), pts));
+    }
+    let series_ref: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
+    ascii_chart(
+        "Figure 7: sensitivity to the utilization threshold (64p microbenchmark)",
+        &series_ref,
+        true,
+    );
+    let path = write_csv(opts, "fig7", "config,bandwidth_mbps,normalized_perf", &csv);
+    println!("  wrote {}", path.display());
+}
+
+/// Figure 8: performance per processor vs. system size at a fixed 1600 MB/s
+/// endpoint bandwidth per processor.
+pub fn fig8(opts: &Options) {
+    let sizes: [u16; 7] = [4, 8, 16, 32, 64, 128, 256];
+    let mut csv = Vec::new();
+    let mut raw: Vec<(ProtocolKind, u16, f64)> = Vec::new();
+    let mut best = 0.0f64;
+    for proto in ProtocolKind::ALL {
+        for &n in &sizes {
+            // Lock pool scales with the system; the measurement window
+            // shrinks at large sizes to bound event counts.
+            let wl = Wl::Micro {
+                locks: 16 * n as u64,
+                think: Duration::ZERO,
+            };
+            let meas = if n >= 128 {
+                opts.window(Duration::from_ns(100_000))
+            } else {
+                measure(opts)
+            };
+            let p = run_point(
+                proto,
+                n,
+                1600,
+                &wl,
+                1,
+                AdaptorConfig::paper_default(),
+                opts.window(Duration::from_ns(50_000)),
+                meas,
+                opts,
+            );
+            let per_proc = p.perf / n as f64;
+            best = best.max(per_proc);
+            eprintln!(
+                "  {:9} {:3}p: {:9.1} acq/ms/proc",
+                proto.name(),
+                n,
+                per_proc / 1e6
+            );
+            raw.push((proto, n, per_proc));
+        }
+    }
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let pts: Vec<(f64, f64)> = raw
+            .iter()
+            .filter(|(pr, ..)| *pr == proto)
+            .map(|(_, n, v)| (*n as f64, v / best))
+            .collect();
+        for (n, v) in &pts {
+            csv.push(format!("{},{},{:.6}", proto.name(), n, v));
+        }
+        series.push((proto.name(), pts));
+    }
+    ascii_chart(
+        "Figure 8: perf per processor vs system size (1600 MB/s per proc)",
+        &series,
+        true,
+    );
+    let path = write_csv(opts, "fig8", "protocol,processors,normalized_perf_per_proc", &csv);
+    println!("  wrote {}", path.display());
+}
+
+/// Figure 9: average miss latency vs. think time (workload intensity).
+pub fn fig9(opts: &Options) {
+    let thinks: [u64; 6] = [0, 200, 400, 600, 800, 1000];
+    let mut csv = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let mut pts = Vec::new();
+        for &tc in &thinks {
+            let p = run_point(
+                proto,
+                MICRO_NODES,
+                1600,
+                &micro_wl(tc),
+                1,
+                AdaptorConfig::paper_default(),
+                warmup(opts),
+                measure(opts),
+                opts,
+            );
+            pts.push((tc as f64, p.miss_latency_ns));
+            csv.push(format!("{},{},{:.2}", proto.name(), tc, p.miss_latency_ns));
+        }
+        eprintln!("  {} done", proto.name());
+        series.push((proto.name(), pts));
+    }
+    ascii_chart(
+        "Figure 9: avg miss latency (ns) vs think time (cycles), 64p @ 1600 MB/s",
+        &series,
+        false,
+    );
+    let path = write_csv(opts, "fig9", "protocol,think_cycles,avg_miss_latency_ns", &csv);
+    println!("  wrote {}", path.display());
+}

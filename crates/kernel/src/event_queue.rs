@@ -1,0 +1,186 @@
+//! A deterministic timestamped event queue.
+//!
+//! Events scheduled for the same instant are delivered in insertion order
+//! (FIFO), which keeps simulations reproducible regardless of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A priority queue of `(Time, E)` pairs popped in non-decreasing time order,
+/// with FIFO tie-breaking for equal timestamps.
+///
+/// # Example
+///
+/// ```
+/// use bash_kernel::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ns(10), 'b');
+/// q.schedule(Time::from_ns(10), 'c');
+/// q.schedule(Time::from_ns(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(30), 3);
+        q.schedule(Time::from_ns(10), 1);
+        q.schedule(Time::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((Time::from_ns(20), 2)));
+        assert_eq!(q.pop(), Some((Time::from_ns(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_processed_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, ());
+        q.schedule(Time::ZERO, ());
+        q.pop();
+        assert_eq!(q.events_processed(), 1);
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    proptest! {
+        /// Popped timestamps are always non-decreasing, and same-time events
+        /// come out in insertion order.
+        #[test]
+        fn prop_order(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Time::from_ns(t), i);
+            }
+            let mut last: Option<(Time, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx);
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The fixed-latency crossbar with bandwidth-limited endpoint links.
+//!
+//! # Model
+//!
+//! A message follows the path
+//!
+//! ```text
+//! sender link (size/BW) → crossbar core (fixed traversal, 50 ns) → receiver link (size/BW)
+//! ```
+//!
+//! Both links are FIFO servers; queueing happens only at the endpoints
+//! (paper §4.2). A multicast occupies the sender's link once and each
+//! destination's link once. Totally ordered messages receive a global
+//! sequence number when they enter the crossbar core (i.e. when the sender
+//! link finishes transmitting); because the core latency is constant and
+//! receiver links are FIFO, all nodes observe totally ordered messages in
+//! sequence order — the property snooping and GS320-style protocols rely on.
+//!
+//! # Integration
+//!
+//! The crossbar is driven by an external event loop: [`Crossbar::send`] and
+//! [`Crossbar::handle`] return a [`NetStep`] of future events to schedule
+//! and of finished deliveries to hand to node controllers.
+
+use bash_kernel::stats::BusyTracker;
+use bash_kernel::{DetRng, Duration, Time};
+
+use crate::ids::{NodeId, NodeSet};
+use crate::message::{Message, Ordered};
+
+/// Static configuration of the interconnect.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of nodes attached to the crossbar.
+    pub nodes: u16,
+    /// Endpoint link bandwidth in MB/s (the x-axis of Figures 1, 5–7, 10, 11).
+    pub link_mbps: u64,
+    /// Fixed crossbar traversal latency (50 ns in the paper).
+    pub traversal: Duration,
+    /// Bandwidth-footprint multiplier applied to full-broadcast messages
+    /// (1 normally; 4 for Figure 11's larger-system approximation).
+    pub broadcast_cost_multiplier: u32,
+    /// Optional randomized latency perturbation (used by the random tester
+    /// and by the paper's measurement-perturbation methodology).
+    pub jitter: Jitter,
+}
+
+impl NetConfig {
+    /// A configuration with the paper's defaults: 50 ns traversal, no
+    /// broadcast penalty, no jitter.
+    pub fn new(nodes: u16, link_mbps: u64) -> Self {
+        NetConfig {
+            nodes,
+            link_mbps,
+            traversal: Duration::from_ns(50),
+            broadcast_cost_multiplier: 1,
+            jitter: Jitter::None,
+        }
+    }
+}
+
+/// Randomized message-latency perturbation.
+///
+/// Injection jitter delays a message *before* it is ordered, so the total
+/// order stays consistent; traversal jitter is applied only to unordered
+/// messages (per-destination), since perturbing ordered fan-out latencies
+/// would break the total-order guarantee.
+#[derive(Debug, Clone)]
+pub enum Jitter {
+    /// No perturbation (deterministic baseline).
+    None,
+    /// Uniformly random delays up to the given bounds.
+    Uniform {
+        /// Maximum extra delay before a message starts transmitting.
+        injection_max: Duration,
+        /// Maximum extra per-destination delay for unordered messages.
+        traversal_max: Duration,
+        /// RNG seed (runs are reproducible for a fixed seed).
+        seed: u64,
+    },
+}
+
+/// Internal crossbar events, scheduled on the driver's event queue.
+#[derive(Debug, Clone)]
+pub enum NetEvent<P> {
+    /// The sender link finished transmitting: the message enters the core.
+    TxDone(Message<P>),
+    /// The message reached `dst`'s link after the core traversal.
+    RxArrive {
+        /// Receiving node.
+        dst: NodeId,
+        /// The message (one clone per destination).
+        msg: Message<P>,
+        /// Global sequence for totally ordered messages.
+        order: Option<u64>,
+    },
+    /// The receiver link finished; the message is delivered to the node.
+    Deliver {
+        /// Receiving node.
+        dst: NodeId,
+        /// The message.
+        msg: Message<P>,
+        /// Global sequence for totally ordered messages.
+        order: Option<u64>,
+    },
+}
+
+/// A completed delivery handed to a node's controller.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Receiving node.
+    pub dst: NodeId,
+    /// The delivered message.
+    pub msg: Message<P>,
+    /// Global total-order sequence (for [`Ordered::Total`] messages).
+    pub order: Option<u64>,
+}
+
+/// The outcome of one crossbar step: events to schedule plus deliveries.
+#[derive(Debug)]
+pub struct NetStep<P> {
+    /// Future events the driver must schedule.
+    pub schedule: Vec<(Time, NetEvent<P>)>,
+    /// Messages that completed delivery at the current instant.
+    pub deliveries: Vec<Delivery<P>>,
+}
+
+impl<P> NetStep<P> {
+    fn empty() -> Self {
+        NetStep {
+            schedule: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+}
+
+/// Per-link accounting.
+#[derive(Debug, Default, Clone)]
+struct LinkState {
+    busy: BusyTracker,
+    bytes: u64,
+    messages: u64,
+}
+
+/// The crossbar interconnect. See the module docs for the model.
+#[derive(Debug)]
+pub struct Crossbar<P> {
+    cfg: NetConfig,
+    full_mask: NodeSet,
+    links: Vec<LinkState>,
+    next_order: u64,
+    rng: Option<DetRng>,
+    _marker: std::marker::PhantomData<P>,
+}
+
+impl<P: Clone> Crossbar<P> {
+    /// Builds a crossbar for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count is zero or the bandwidth is zero.
+    pub fn new(cfg: NetConfig) -> Self {
+        assert!(cfg.nodes > 0, "need at least one node");
+        assert!(cfg.link_mbps > 0, "bandwidth must be positive");
+        assert!(cfg.broadcast_cost_multiplier >= 1);
+        let rng = match &cfg.jitter {
+            Jitter::None => None,
+            Jitter::Uniform { seed, .. } => Some(DetRng::seed_from(*seed)),
+        };
+        Crossbar {
+            full_mask: NodeSet::all(cfg.nodes as usize),
+            links: vec![LinkState::default(); cfg.nodes as usize],
+            next_order: 0,
+            rng,
+            cfg,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The configuration this crossbar was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Injects a message at `now`. Returns the event that must be scheduled
+    /// (the sender-link completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination set is empty or the source id is out of
+    /// range.
+    pub fn send(&mut self, now: Time, msg: Message<P>) -> NetStep<P> {
+        assert!(!msg.dests.is_empty(), "message with no destinations");
+        assert!((msg.src.index()) < self.links.len(), "bad source node");
+        let eff = self.effective_size(&msg);
+        let tx_time = Duration::transmission(eff, self.cfg.link_mbps);
+        let inject_delay = self.injection_jitter();
+        let link = &mut self.links[msg.src.index()];
+        let start = (now + inject_delay).max(link.busy.busy_until());
+        let end = start + tx_time;
+        link.busy.mark_busy(start, end);
+        link.bytes += eff;
+        link.messages += 1;
+        let mut step = NetStep::empty();
+        step.schedule.push((end, NetEvent::TxDone(msg)));
+        step
+    }
+
+    /// Advances an internal event. `now` must equal the time the event was
+    /// scheduled for.
+    pub fn handle(&mut self, now: Time, event: NetEvent<P>) -> NetStep<P> {
+        match event {
+            NetEvent::TxDone(msg) => self.enter_core(now, msg),
+            NetEvent::RxArrive { dst, msg, order } => self.arrive(now, dst, msg, order),
+            NetEvent::Deliver { dst, msg, order } => {
+                let mut step = NetStep::empty();
+                step.deliveries.push(Delivery { dst, msg, order });
+                step
+            }
+        }
+    }
+
+    /// Busy-time tracker of a node's endpoint link (for the adaptive
+    /// mechanism's sampling and for utilization reports).
+    pub fn link_tracker(&self, node: NodeId) -> &BusyTracker {
+        &self.links[node.index()].busy
+    }
+
+    /// Whole-run utilization of a node's link over `[0, t)`.
+    pub fn link_utilization(&self, node: NodeId, t: Time) -> f64 {
+        self.links[node.index()].busy.utilization(t)
+    }
+
+    /// Mean link utilization across all nodes over `[0, t)` (Figure 6's
+    /// y-axis).
+    pub fn mean_utilization(&self, t: Time) -> f64 {
+        let sum: f64 = (0..self.cfg.nodes)
+            .map(|i| self.link_utilization(NodeId(i), t))
+            .sum();
+        sum / self.cfg.nodes as f64
+    }
+
+    /// Total effective bytes pushed through a node's link (both directions).
+    pub fn link_bytes(&self, node: NodeId) -> u64 {
+        self.links[node.index()].bytes
+    }
+
+    /// Total messages (tx + rx) through a node's link.
+    pub fn link_messages(&self, node: NodeId) -> u64 {
+        self.links[node.index()].messages
+    }
+
+    /// Number of totally ordered messages sequenced so far.
+    pub fn orders_assigned(&self) -> u64 {
+        self.next_order
+    }
+
+    fn enter_core(&mut self, now: Time, msg: Message<P>) -> NetStep<P> {
+        let order = match msg.ordered {
+            Ordered::Total => {
+                let o = self.next_order;
+                self.next_order += 1;
+                Some(o)
+            }
+            Ordered::None => None,
+        };
+        let mut step = NetStep::empty();
+        let dests: Vec<NodeId> = msg.dests.iter().collect();
+        for dst in dests {
+            let extra = match msg.ordered {
+                // Per-destination jitter would break the total order.
+                Ordered::Total => Duration::ZERO,
+                Ordered::None => self.traversal_jitter(),
+            };
+            let at = now + self.cfg.traversal + extra;
+            step.schedule.push((
+                at,
+                NetEvent::RxArrive {
+                    dst,
+                    msg: msg.clone(),
+                    order,
+                },
+            ));
+        }
+        step
+    }
+
+    fn arrive(&mut self, now: Time, dst: NodeId, msg: Message<P>, order: Option<u64>) -> NetStep<P> {
+        let eff = self.effective_size(&msg);
+        let rx_time = Duration::transmission(eff, self.cfg.link_mbps);
+        let link = &mut self.links[dst.index()];
+        let start = now.max(link.busy.busy_until());
+        let end = start + rx_time;
+        link.busy.mark_busy(start, end);
+        link.bytes += eff;
+        link.messages += 1;
+        let mut step = NetStep::empty();
+        step.schedule.push((end, NetEvent::Deliver { dst, msg, order }));
+        step
+    }
+
+    /// The bandwidth footprint of a message: full broadcasts are inflated by
+    /// the broadcast cost multiplier (Figure 11).
+    fn effective_size(&self, msg: &Message<P>) -> u64 {
+        if msg.dests == self.full_mask {
+            msg.size as u64 * self.cfg.broadcast_cost_multiplier as u64
+        } else {
+            msg.size as u64
+        }
+    }
+
+    fn injection_jitter(&mut self) -> Duration {
+        match &self.cfg.jitter {
+            Jitter::None => Duration::ZERO,
+            Jitter::Uniform { injection_max, .. } => {
+                let max = injection_max.as_ps();
+                if max == 0 {
+                    return Duration::ZERO;
+                }
+                let rng = self.rng.as_mut().expect("jitter rng");
+                Duration::from_ps(rng.below(max + 1))
+            }
+        }
+    }
+
+    fn traversal_jitter(&mut self) -> Duration {
+        match &self.cfg.jitter {
+            Jitter::None => Duration::ZERO,
+            Jitter::Uniform { traversal_max, .. } => {
+                let max = traversal_max.as_ps();
+                if max == 0 {
+                    return Duration::ZERO;
+                }
+                let rng = self.rng.as_mut().expect("jitter rng");
+                Duration::from_ps(rng.below(max + 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_kernel::EventQueue;
+
+    /// Drives sends + network to completion; returns deliveries with times.
+    fn drive(
+        net: &mut Crossbar<&'static str>,
+        sends: Vec<(Time, Message<&'static str>)>,
+    ) -> Vec<(Time, Delivery<&'static str>)> {
+        enum Ev {
+            Send(Message<&'static str>),
+            Net(NetEvent<&'static str>),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (t, m) in sends {
+            q.schedule(t, Ev::Send(m));
+        }
+        let mut out = Vec::new();
+        while let Some((now, ev)) = q.pop() {
+            let step = match ev {
+                Ev::Send(m) => net.send(now, m),
+                Ev::Net(ne) => net.handle(now, ne),
+            };
+            for (t, e) in step.schedule {
+                q.schedule(t, Ev::Net(e));
+            }
+            for d in step.deliveries {
+                out.push((now, d));
+            }
+        }
+        out
+    }
+
+    fn cfg(nodes: u16, mbps: u64) -> NetConfig {
+        NetConfig::new(nodes, mbps)
+    }
+
+    #[test]
+    fn unicast_latency_is_tx_plus_traversal_plus_rx() {
+        // 8 bytes at 1600 MB/s = 5 ns per link; 5 + 50 + 5 = 60 ns.
+        let mut net = Crossbar::new(cfg(4, 1600));
+        let m = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 8, "m");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Time::from_ns(60));
+        assert_eq!(out[0].1.dst, NodeId(1));
+        assert_eq!(out[0].1.order, None);
+    }
+
+    #[test]
+    fn sender_link_serializes_messages() {
+        // Two 72-byte messages at 1600 MB/s: 45 ns each on the sender link.
+        // First delivers at 45+50+45 = 140; second starts tx at 45, so
+        // 90+50+45 = 185.
+        let mut net = Crossbar::new(cfg(4, 1600));
+        let m1 = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 72, "a");
+        let m2 = Message::unordered(NodeId(0), NodeId(2), crate::VnetId::DATA, 72, "b");
+        let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
+        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![140, 185]);
+    }
+
+    #[test]
+    fn receiver_link_serializes_messages() {
+        // Senders 0 and 1 each send 72B to node 2 at the same time; the
+        // second to arrive queues behind the first on node 2's link.
+        let mut net = Crossbar::new(cfg(4, 1600));
+        let m1 = Message::unordered(NodeId(0), NodeId(2), crate::VnetId::DATA, 72, "a");
+        let m2 = Message::unordered(NodeId(1), NodeId(2), crate::VnetId::DATA, 72, "b");
+        let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
+        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![140, 185]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_nodes_including_sender() {
+        let mut net = Crossbar::new(cfg(4, 1600));
+        let m = Message::ordered(NodeId(1), NodeSet::all(4), 8, "req");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 4);
+        let dsts: Vec<u16> = out.iter().map(|(_, d)| d.dst.0).collect();
+        assert_eq!(dsts, vec![0, 1, 2, 3]);
+        assert!(out.iter().all(|(_, d)| d.order == Some(0)));
+    }
+
+    #[test]
+    fn total_order_is_consistent_across_receivers() {
+        // Node 0's link is pre-loaded with a large data message so its
+        // broadcast enters the core *after* node 1's, even though it was
+        // sent first. All receivers must still see one consistent order.
+        let mut net = Crossbar::new(cfg(3, 100)); // slow links: 8B = 80 ns
+        let preload = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 72, "big");
+        let b0 = Message::ordered(NodeId(0), NodeSet::all(3), 8, "from0");
+        let b1 = Message::ordered(NodeId(1), NodeSet::all(3), 8, "from1");
+        let out = drive(
+            &mut net,
+            vec![
+                (Time::ZERO, preload),
+                (Time::from_ns(1), b0),
+                (Time::from_ns(2), b1),
+            ],
+        );
+        // Collect per-receiver observation order of the two broadcasts.
+        let mut per_node: std::collections::HashMap<u16, Vec<&str>> = Default::default();
+        for (_, d) in &out {
+            if d.order.is_some() {
+                per_node.entry(d.dst.0).or_default().push(d.msg.payload);
+            }
+        }
+        assert_eq!(per_node.len(), 3);
+        let reference = per_node[&0].clone();
+        assert_eq!(reference, vec!["from1", "from0"]); // node 1 entered first
+        for v in per_node.values() {
+            assert_eq!(*v, reference);
+        }
+    }
+
+    #[test]
+    fn broadcast_cost_multiplier_inflates_only_full_broadcasts() {
+        let mut c = cfg(4, 1600);
+        c.broadcast_cost_multiplier = 4;
+        let mut net = Crossbar::new(c);
+        // Full broadcast: 8B * 4 = 32B → 20 ns per link; 20+50+20 = 90 ns.
+        let b = Message::ordered(NodeId(0), NodeSet::all(4), 8, "bcast");
+        let out = drive(&mut net, vec![(Time::ZERO, b)]);
+        assert!(out.iter().all(|(t, _)| t.as_ns() == 90));
+        // A 3-of-4 multicast is not inflated: 5+50+5 = 60 ns after the
+        // link frees at t=20.
+        let mut net2 = Crossbar::new({
+            let mut c = cfg(4, 1600);
+            c.broadcast_cost_multiplier = 4;
+            c
+        });
+        let m = Message::ordered(
+            NodeId(0),
+            NodeSet::from_nodes([NodeId(0), NodeId(1), NodeId(2)]),
+            8,
+            "multi",
+        );
+        let out2 = drive(&mut net2, vec![(Time::ZERO, m)]);
+        assert!(out2.iter().all(|(t, _)| t.as_ns() == 60));
+    }
+
+    #[test]
+    fn utilization_accounts_tx_and_rx_on_shared_link() {
+        let mut net = Crossbar::new(cfg(2, 800)); // 8B = 10 ns
+        let m = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 8, "x");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        let end = out[0].0; // 10 + 50 + 10 = 70 ns
+        assert_eq!(end.as_ns(), 70);
+        // Sender link busy 10 of 70 ns; receiver link busy 10 of 70 ns.
+        assert!((net.link_utilization(NodeId(0), end) - 10.0 / 70.0).abs() < 1e-9);
+        assert!((net.link_utilization(NodeId(1), end) - 10.0 / 70.0).abs() < 1e-9);
+        assert_eq!(net.link_bytes(NodeId(0)), 8);
+        assert_eq!(net.link_messages(NodeId(1)), 1);
+        assert!((net.mean_utilization(end) - 10.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_delivery_charges_link_twice() {
+        // A dualcast {self, other} occupies the sender link once for tx and
+        // once for its own rx copy.
+        let mut net = Crossbar::new(cfg(2, 800));
+        let m = Message::ordered(NodeId(0), NodeSet::all(2), 8, "dual");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.link_bytes(NodeId(0)), 16); // 8 tx + 8 rx
+        assert_eq!(net.link_bytes(NodeId(1)), 8);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let jittered = |seed: u64| {
+            let mut c = cfg(4, 1600);
+            c.jitter = Jitter::Uniform {
+                injection_max: Duration::from_ns(20),
+                traversal_max: Duration::from_ns(30),
+                seed,
+            };
+            let mut net = Crossbar::new(c);
+            let m1 = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 8, "a");
+            let m2 = Message::unordered(NodeId(2), NodeId(3), crate::VnetId::DATA, 8, "b");
+            drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)])
+                .iter()
+                .map(|(t, _)| t.as_ps())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(jittered(9), jittered(9));
+        assert_ne!(jittered(9), jittered(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no destinations")]
+    fn empty_destination_panics() {
+        let mut net: Crossbar<&'static str> = Crossbar::new(cfg(2, 800));
+        let m = Message {
+            src: NodeId(0),
+            dests: NodeSet::EMPTY,
+            vnet: crate::VnetId::DATA,
+            ordered: Ordered::None,
+            size: 8,
+            payload: "bad",
+        };
+        net.send(Time::ZERO, m);
+    }
+}

@@ -1,0 +1,275 @@
+//! Node identifiers and destination sets.
+
+use std::fmt;
+
+/// Maximum number of nodes a [`NodeSet`] can represent.
+pub const MAX_NODES: usize = 256;
+
+/// Identifies one integrated processor/memory node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The numeric index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A set of nodes, used as multicast destination mask and directory sharer
+/// set. Fixed-size bitset supporting up to [`MAX_NODES`] nodes.
+///
+/// # Example
+///
+/// ```
+/// use bash_net::{NodeId, NodeSet};
+///
+/// let mut mask = NodeSet::EMPTY;
+/// mask.insert(NodeId(3));
+/// mask.insert(NodeId(7));
+/// assert!(mask.contains(NodeId(3)));
+/// assert_eq!(mask.len(), 2);
+/// assert!(NodeSet::all(8).is_superset(&mask));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeSet {
+    words: [u64; MAX_NODES / 64],
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet {
+        words: [0; MAX_NODES / 64],
+    };
+
+    /// The set `{0, 1, .., n-1}` — a full broadcast mask for an `n`-node
+    /// system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_NODES`.
+    pub fn all(n: usize) -> NodeSet {
+        assert!(n <= MAX_NODES, "at most {MAX_NODES} nodes supported");
+        let mut s = NodeSet::EMPTY;
+        for i in 0..n {
+            s.insert(NodeId(i as u16));
+        }
+        s
+    }
+
+    /// A set containing only `node`.
+    pub fn singleton(node: NodeId) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// Builds a set from an iterator of nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        for n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// Adds `node`; returns true if it was newly inserted.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (w, b) = Self::locate(node);
+        let was = self.words[w] & b != 0;
+        self.words[w] |= b;
+        !was
+    }
+
+    /// Removes `node`; returns true if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (w, b) = Self::locate(node);
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        was
+    }
+
+    /// True if `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (w, b) = Self::locate(node);
+        self.words[w] & b != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no node is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// Set difference (`self - other`).
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// True if every node of `other` is also in `self`.
+    pub fn is_superset(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Removes all nodes.
+    pub fn clear(&mut self) {
+        self.words = [0; MAX_NODES / 64];
+    }
+
+    /// Iterates the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(NodeId((wi * 64) as u16 + b as u16))
+                }
+            })
+        })
+    }
+
+    fn locate(node: NodeId) -> (usize, u64) {
+        let i = node.index();
+        assert!(i < MAX_NODES, "node id {i} out of range");
+        (i / 64, 1u64 << (i % 64))
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet::from_nodes(iter)
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.insert(NodeId(5)));
+        assert!(!s.insert(NodeId(5)));
+        assert!(s.contains(NodeId(5)));
+        assert!(!s.contains(NodeId(6)));
+        assert!(s.remove(NodeId(5)));
+        assert!(!s.remove(NodeId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn all_and_len() {
+        let s = NodeSet::all(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(NodeId(63)));
+        assert!(!s.contains(NodeId(64)));
+        let big = NodeSet::all(200);
+        assert_eq!(big.len(), 200);
+        assert!(big.contains(NodeId(199)));
+    }
+
+    #[test]
+    fn union_difference_superset() {
+        let a = NodeSet::from_nodes([NodeId(1), NodeId(2)]);
+        let b = NodeSet::from_nodes([NodeId(2), NodeId(3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b), NodeSet::singleton(NodeId(1)));
+        assert!(a.union(&b).is_superset(&a));
+        assert!(!a.is_superset(&b));
+        assert!(a.is_superset(&NodeSet::EMPTY));
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let s = NodeSet::from_nodes([NodeId(130), NodeId(3), NodeId(64)]);
+        let v: Vec<u16> = s.iter().map(|n| n.0).collect();
+        assert_eq!(v, vec![3, 64, 130]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = NodeSet::from_nodes([NodeId(1), NodeId(9)]);
+        assert_eq!(s.to_string(), "{P1,P9}");
+        assert_eq!(NodeSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut s = NodeSet::EMPTY;
+        s.insert(NodeId(300));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_semantics(ids in proptest::collection::vec(0u16..256, 0..64)) {
+            use std::collections::BTreeSet;
+            let s = NodeSet::from_nodes(ids.iter().map(|&i| NodeId(i)));
+            let reference: BTreeSet<u16> = ids.iter().copied().collect();
+            prop_assert_eq!(s.len(), reference.len());
+            let collected: Vec<u16> = s.iter().map(|n| n.0).collect();
+            let expect: Vec<u16> = reference.iter().copied().collect();
+            prop_assert_eq!(collected, expect);
+        }
+
+        #[test]
+        fn prop_superset_iff_union_identity(
+            a in proptest::collection::vec(0u16..128, 0..32),
+            b in proptest::collection::vec(0u16..128, 0..32),
+        ) {
+            let sa = NodeSet::from_nodes(a.iter().map(|&i| NodeId(i)));
+            let sb = NodeSet::from_nodes(b.iter().map(|&i| NodeId(i)));
+            prop_assert_eq!(sa.is_superset(&sb), sa.union(&sb) == sa);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Interconnection-network model for the BASH coherence simulator.
+//!
+//! The paper abstracts the interconnect as "a fixed latency crossbar with
+//! limited bandwidth and contention at the endpoints" (§4.2). This crate
+//! implements exactly that:
+//!
+//! * each node owns **one bidirectional FIFO link** of configurable bandwidth
+//!   (MB/s) — all traffic into or out of the node serializes through it, so
+//!   "endpoint link utilization" (Figures 1 and 6) is a single number;
+//! * the crossbar core adds a **fixed traversal latency** (50 ns in the
+//!   paper) between the sender's link and each receiver's link;
+//! * a multicast occupies the sender's link once and every destination's
+//!   link once (fan-out inside the switch, as in hierarchical switches);
+//! * messages flagged [`Ordered::Total`] obtain a global sequence at switch
+//!   entry; constant traversal latency plus FIFO receiver links guarantee
+//!   every node observes them in that same total order;
+//! * a **broadcast cost multiplier** inflates the bandwidth footprint of
+//!   full-broadcast messages (Figure 11's "4× broadcast cost" experiment).
+//!
+//! The crate is payload-agnostic: protocol crates instantiate
+//! [`Crossbar`]`<P>` with their own message payloads.
+
+pub mod crossbar;
+pub mod ids;
+pub mod message;
+
+pub use crossbar::{Crossbar, Jitter, NetConfig, NetEvent, NetStep};
+pub use ids::{NodeId, NodeSet};
+pub use message::{Message, Ordered, VnetId};

@@ -1,0 +1,94 @@
+//! Network messages and virtual-network tags.
+
+use crate::ids::{NodeId, NodeSet};
+
+/// Ordering discipline of a virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ordered {
+    /// Totally ordered: all nodes observe these messages in one global
+    /// order (snooping request network, GS320 forwarded-request network).
+    Total,
+    /// No ordering guarantees beyond per-link FIFO (data responses,
+    /// directory request network).
+    None,
+}
+
+/// Identifies a virtual network for accounting and debug traces. Virtual
+/// networks share the physical endpoint link; the simulator's queues are
+/// unbounded so no virtual-channel deadlock can arise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VnetId(pub u8);
+
+/// Well-known virtual network ids used by the protocol crates.
+impl VnetId {
+    /// Ordered request network (Snooping, BASH) / forwarded-request network
+    /// (Directory VN1).
+    pub const REQUEST: VnetId = VnetId(0);
+    /// Unordered unicast request network (Directory VN0).
+    pub const DIR_REQUEST: VnetId = VnetId(1);
+    /// Unordered response/data network.
+    pub const DATA: VnetId = VnetId(2);
+}
+
+/// A message in flight: source, destination set, ordering class, size and a
+/// protocol-defined payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination set (a unicast is a singleton; the BASH "unicast" is a
+    /// dualcast of {home, requestor}; a broadcast is the full node set).
+    pub dests: NodeSet,
+    /// Which virtual network the message travels on.
+    pub vnet: VnetId,
+    /// Ordering discipline.
+    pub ordered: Ordered,
+    /// Size in bytes (8 for control, 72 for data in the paper).
+    pub size: u32,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+impl<P> Message<P> {
+    /// Convenience constructor for a totally ordered request-network message.
+    pub fn ordered(src: NodeId, dests: NodeSet, size: u32, payload: P) -> Self {
+        Message {
+            src,
+            dests,
+            vnet: VnetId::REQUEST,
+            ordered: Ordered::Total,
+            size,
+            payload,
+        }
+    }
+
+    /// Convenience constructor for an unordered point-to-point message.
+    pub fn unordered(src: NodeId, dst: NodeId, vnet: VnetId, size: u32, payload: P) -> Self {
+        Message {
+            src,
+            dests: NodeSet::singleton(dst),
+            vnet,
+            ordered: Ordered::None,
+            size,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let m = Message::ordered(NodeId(1), NodeSet::all(4), 8, "req");
+        assert_eq!(m.ordered, Ordered::Total);
+        assert_eq!(m.vnet, VnetId::REQUEST);
+        assert_eq!(m.dests.len(), 4);
+
+        let d = Message::unordered(NodeId(2), NodeId(0), VnetId::DATA, 72, "data");
+        assert_eq!(d.ordered, Ordered::None);
+        assert_eq!(d.dests, NodeSet::singleton(NodeId(0)));
+        assert_eq!(d.size, 72);
+    }
+}

@@ -1,0 +1,278 @@
+//! The closed queueing model behind the paper's Figure 2.
+//!
+//! Figure 2 plots "average queueing delay vs. utilization" for a simple
+//! queueing network annotated `S ~ exp(1), N = 16, Z ~ exp(varies)`: a
+//! classic **machine-repairman** (M/M/1//N) system — N customers cycle
+//! between an exponential think stage (mean Z) and a single exponential
+//! server (mean S). Sweeping Z traces out the utilization axis; the knee in
+//! the delay curve is the motivation for BASH's 75 % utilization target.
+//!
+//! Two implementations cross-validate each other:
+//!
+//! * [`analytic`] — the exact product-form solution;
+//! * [`simulate`] — a discrete-event simulation on the `bash-kernel`
+//!   primitives.
+
+use bash_kernel::{DetRng, EventQueue, Time};
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairmanParams {
+    /// Number of customers (the paper uses 16).
+    pub customers: u32,
+    /// Mean service time (the paper uses 1).
+    pub mean_service: f64,
+    /// Mean think time (swept to vary utilization).
+    pub mean_think: f64,
+}
+
+/// Steady-state results.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairmanResult {
+    /// Server utilization in [0, 1].
+    pub utilization: f64,
+    /// Mean time spent waiting in the queue, excluding service
+    /// (Figure 2's y-axis).
+    pub mean_queueing_delay: f64,
+    /// Mean total response time at the server (wait + service).
+    pub mean_response_time: f64,
+    /// Throughput (jobs per unit time).
+    pub throughput: f64,
+}
+
+/// Exact solution of the M/M/1//N machine-repairman model.
+///
+/// # Panics
+///
+/// Panics unless all parameters are positive.
+///
+/// # Example
+///
+/// ```
+/// use bash_queueing::{analytic, RepairmanParams};
+///
+/// let r = analytic(RepairmanParams {
+///     customers: 16,
+///     mean_service: 1.0,
+///     mean_think: 30.0,
+/// });
+/// assert!(r.utilization > 0.3 && r.utilization < 0.7);
+/// ```
+pub fn analytic(p: RepairmanParams) -> RepairmanResult {
+    assert!(p.customers > 0 && p.mean_service > 0.0 && p.mean_think > 0.0);
+    let n = p.customers as i64;
+    let rho = p.mean_service / p.mean_think; // λ/μ per customer
+    // P(k) ∝ N!/(N-k)! * rho^k, k = 0..N (number at the server).
+    let mut weights = Vec::with_capacity(n as usize + 1);
+    let mut w = 1.0f64;
+    weights.push(w);
+    for k in 1..=n {
+        w *= (n - k + 1) as f64 * rho;
+        weights.push(w);
+    }
+    let total: f64 = weights.iter().sum();
+    let p0 = weights[0] / total;
+    let mean_at_server: f64 = weights
+        .iter()
+        .enumerate()
+        .map(|(k, w)| k as f64 * w / total)
+        .sum();
+    let utilization = 1.0 - p0;
+    let throughput = utilization / p.mean_service;
+    // Little's law at the service station.
+    let response = mean_at_server / throughput;
+    RepairmanResult {
+        utilization,
+        mean_queueing_delay: (response - p.mean_service).max(0.0),
+        mean_response_time: response,
+        throughput,
+    }
+}
+
+/// Discrete-event simulation of the same model (cross-validation and a
+/// worked example of the `bash-kernel` event queue).
+///
+/// Simulates `jobs` service completions after a 10 % warmup.
+///
+/// # Panics
+///
+/// Panics unless all parameters are positive.
+pub fn simulate(p: RepairmanParams, jobs: u64, seed: u64) -> RepairmanResult {
+    assert!(p.customers > 0 && p.mean_service > 0.0 && p.mean_think > 0.0 && jobs > 0);
+    #[derive(Debug)]
+    enum Ev {
+        Arrive(u32),
+        Depart,
+    }
+    let mut rng = DetRng::seed_from(seed);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let scale = 1_000_000.0; // time unit → ps for integer Time
+    for c in 0..p.customers {
+        let t = rng.exponential(p.mean_think) * scale;
+        q.schedule(Time::from_ps(t as u64), Ev::Arrive(c));
+    }
+    let warmup = jobs / 10;
+    let mut waiting: std::collections::VecDeque<(u32, Time)> = Default::default();
+    let mut in_service: Option<(u32, Time)> = None;
+    let mut served = 0u64;
+    let mut sum_wait = 0.0f64;
+    let mut sum_resp = 0.0f64;
+    let mut busy_since: Option<Time> = None;
+    let mut busy_total = 0u64;
+    let mut measure_from = Time::ZERO;
+    let mut now = Time::ZERO;
+    while let Some((t, ev)) = q.pop() {
+        now = t;
+        match ev {
+            Ev::Arrive(c) => {
+                waiting.push_back((c, now));
+                if in_service.is_none() {
+                    let (c, arr) = waiting.pop_front().expect("just pushed");
+                    in_service = Some((c, arr));
+                    busy_since.get_or_insert(now);
+                    let s = rng.exponential(p.mean_service) * scale;
+                    q.schedule(now + bash_kernel::Duration::from_ps(s as u64), Ev::Depart);
+                }
+            }
+            Ev::Depart => {
+                let (c, arrived) = in_service.take().expect("departure without service");
+                served += 1;
+                if served == warmup {
+                    measure_from = now;
+                    sum_wait = 0.0;
+                    sum_resp = 0.0;
+                    busy_total = 0;
+                    busy_since = Some(now);
+                }
+                if served > warmup {
+                    sum_resp += now.since(arrived).as_ps() as f64 / scale;
+                }
+                // Think, then come back.
+                let z = rng.exponential(p.mean_think) * scale;
+                q.schedule(now + bash_kernel::Duration::from_ps(z as u64), Ev::Arrive(c));
+                if let Some((nc, narr)) = waiting.pop_front() {
+                    if served >= warmup {
+                        sum_wait += now.since(narr).as_ps() as f64 / scale;
+                    }
+                    in_service = Some((nc, narr));
+                    let s = rng.exponential(p.mean_service) * scale;
+                    q.schedule(now + bash_kernel::Duration::from_ps(s as u64), Ev::Depart);
+                } else if let Some(b) = busy_since.take() {
+                    busy_total += now.since(b).as_ps();
+                }
+                if served >= warmup + jobs {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = sum_wait;
+    if let Some(b) = busy_since.take() {
+        busy_total += now.since(b).as_ps();
+    }
+    let span = now.since(measure_from).as_ps().max(1) as f64;
+    let measured = jobs as f64;
+    let resp = sum_resp / measured;
+    RepairmanResult {
+        utilization: busy_total as f64 / span,
+        mean_queueing_delay: (resp - p.mean_service).max(0.0),
+        mean_response_time: resp,
+        throughput: measured / (span / scale),
+    }
+}
+
+/// Sweeps think times to produce the Figure 2 curve: `(utilization,
+/// mean_queueing_delay)` pairs in increasing utilization order.
+pub fn figure2_curve(customers: u32, think_times: &[f64]) -> Vec<(f64, f64)> {
+    let mut pts: Vec<(f64, f64)> = think_times
+        .iter()
+        .map(|&z| {
+            let r = analytic(RepairmanParams {
+                customers,
+                mean_service: 1.0,
+                mean_think: z,
+            });
+            (r.utilization, r.mean_queueing_delay)
+        })
+        .collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(z: f64) -> RepairmanParams {
+        RepairmanParams {
+            customers: 16,
+            mean_service: 1.0,
+            mean_think: z,
+        }
+    }
+
+    #[test]
+    fn low_load_has_negligible_queueing() {
+        let r = analytic(params(1000.0));
+        assert!(r.utilization < 0.05);
+        assert!(r.mean_queueing_delay < 0.1);
+    }
+
+    #[test]
+    fn saturation_queues_most_customers() {
+        let r = analytic(params(0.01));
+        assert!(r.utilization > 0.999);
+        // Nearly all 16 customers at the server: W ≈ N*S, so W_q ≈ 15.
+        assert!(r.mean_queueing_delay > 13.0);
+    }
+
+    #[test]
+    fn knee_appears_between_60_and_90_percent() {
+        // The defining feature of Figure 2: delay is small below the knee
+        // and grows dramatically above it.
+        let lo = analytic(params(40.0)); // light load
+        let hi = analytic(params(5.0)); // heavy load
+        assert!(lo.utilization < 0.4, "{}", lo.utilization);
+        assert!(hi.utilization > 0.9, "{}", hi.utilization);
+        assert!(hi.mean_queueing_delay > 10.0 * lo.mean_queueing_delay);
+    }
+
+    #[test]
+    fn simulation_matches_analytic() {
+        for z in [2.0, 10.0, 30.0] {
+            let a = analytic(params(z));
+            let s = simulate(params(z), 200_000, 42);
+            assert!(
+                (a.utilization - s.utilization).abs() < 0.02,
+                "util z={z}: analytic {} vs sim {}",
+                a.utilization,
+                s.utilization
+            );
+            assert!(
+                (a.mean_queueing_delay - s.mean_queueing_delay).abs()
+                    < 0.05 * (1.0 + a.mean_queueing_delay),
+                "delay z={z}: analytic {} vs sim {}",
+                a.mean_queueing_delay,
+                s.mean_queueing_delay
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let pts = figure2_curve(16, &[100.0, 50.0, 30.0, 20.0, 10.0, 5.0, 2.0, 1.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1, "delay must rise with utilization");
+        }
+    }
+
+    #[test]
+    fn throughput_satisfies_flow_balance() {
+        // X = N / (Z + R) (interactive response time law).
+        let p = params(10.0);
+        let r = analytic(p);
+        let law = p.customers as f64 / (p.mean_think + r.mean_response_time);
+        assert!((r.throughput - law).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Runs the random coherence tester once per protocol and prints a
+//! one-line summary (see `stress` for the hostile sweep).
+//!
+//! `cargo run --release -p bash-tester --example smoke [snooping|directory|bash]`
+
+use bash_coherence::ProtocolKind;
+use bash_tester::{run_random_test, TesterConfig};
+
+fn main() {
+    let protos: Vec<ProtocolKind> = match std::env::args().nth(1).as_deref() {
+        Some("snooping") => vec![ProtocolKind::Snooping],
+        Some("directory") => vec![ProtocolKind::Directory],
+        Some("bash") => vec![ProtocolKind::Bash],
+        _ => vec![ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash],
+    };
+    for proto in protos {
+        eprintln!("running {proto:?}...");
+        let mut cfg = TesterConfig::hostile(proto, 42);
+        cfg.ops_per_node = 500;
+        let report = run_random_test(cfg);
+        println!(
+            "{:?}: ops={} loads={} stores={} retries={} nacks={} squashed={} stale={} violations={}",
+            proto, report.ops, report.loads_checked, report.stores_applied,
+            report.retries, report.nacks, report.writebacks_squashed,
+            report.writebacks_stale, report.violations.len()
+        );
+        for v in report.violations.iter().take(5) {
+            println!("  VIOLATION: {}", v.what);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The value oracle: exact per-word checking under false sharing.
+//!
+//! Word `w` of every block is written only by node `w` (the workload
+//! guarantees this), so:
+//!
+//! * a load of one's **own** word must return exactly the last value this
+//!   node stored there (or 0 if never stored) — a read-your-writes check
+//!   that single-writer per-location sequential consistency implies;
+//! * a load of **another** node's word must be non-decreasing across this
+//!   reader's loads (per-location coherence order: values are issued
+//!   monotonically by the writer) and never exceed the writer's issue
+//!   counter (no values from the future).
+
+use std::collections::HashMap;
+
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::Time;
+use bash_net::NodeId;
+
+/// A detected coherence violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    /// When it was observed.
+    pub at: Time,
+    /// The reading node.
+    pub node: NodeId,
+    /// Description of what went wrong.
+    pub what: String,
+}
+
+/// The tester's global value oracle.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Last value stored by (node, block) — values are per-(node, block)
+    /// monotone counters.
+    last_store: HashMap<(NodeId, BlockAddr), u64>,
+    /// Issue counter per (node, block): upper bound for any read.
+    issued: HashMap<(NodeId, BlockAddr), u64>,
+    /// Last value read by (reader, block, word): must be non-decreasing.
+    last_read: HashMap<(NodeId, BlockAddr, usize), u64>,
+    /// All violations found.
+    violations: Vec<CheckViolation>,
+    loads_checked: u64,
+    stores_applied: u64,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws the next store value for `(node, block)` (monotone counter).
+    pub fn next_store_value(&mut self, node: NodeId, block: BlockAddr) -> u64 {
+        let c = self.issued.entry((node, block)).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Records a completed operation and checks loads.
+    pub fn observe(&mut self, node: NodeId, now: Time, op: &ProcOp, value: u64) {
+        match *op {
+            ProcOp::Store { block, value, .. } => {
+                self.last_store.insert((node, block), value);
+                self.stores_applied += 1;
+            }
+            ProcOp::Load { block, word } => {
+                self.loads_checked += 1;
+                let writer = NodeId(word as u16);
+                if writer == node {
+                    // Read-your-writes: exact.
+                    let expect = self.last_store.get(&(node, block)).copied().unwrap_or(0);
+                    if value != expect {
+                        self.violations.push(CheckViolation {
+                            at: now,
+                            node,
+                            what: format!(
+                                "own-word load of {block} word {word} returned {value}, \
+                                 expected {expect}"
+                            ),
+                        });
+                    }
+                } else {
+                    // Coherence order: non-decreasing, bounded by issues.
+                    let issued = self.issued.get(&(writer, block)).copied().unwrap_or(0);
+                    if value > issued {
+                        self.violations.push(CheckViolation {
+                            at: now,
+                            node,
+                            what: format!(
+                                "load of {block} word {word} returned {value}, but the \
+                                 writer has only issued {issued}"
+                            ),
+                        });
+                    }
+                    let prev = self
+                        .last_read
+                        .get(&(node, block, word))
+                        .copied()
+                        .unwrap_or(0);
+                    if value < prev {
+                        self.violations.push(CheckViolation {
+                            at: now,
+                            node,
+                            what: format!(
+                                "load of {block} word {word} went backwards: {value} after {prev}"
+                            ),
+                        });
+                    }
+                    self.last_read.insert((node, block, word), value);
+                }
+            }
+        }
+    }
+
+    /// Final check: the authoritative copy of each word must equal its
+    /// writer's last store. `truth` is the owner's (or memory's) block data
+    /// at quiescence.
+    pub fn check_final(&mut self, block: BlockAddr, word: usize, truth: u64) {
+        let writer = NodeId(word as u16);
+        let expect = self.last_store.get(&(writer, block)).copied().unwrap_or(0);
+        if truth != expect {
+            self.violations.push(CheckViolation {
+                at: Time::MAX,
+                node: writer,
+                what: format!(
+                    "final data of {block} word {word} is {truth}, expected writer's \
+                     last store {expect}"
+                ),
+            });
+        }
+    }
+
+    /// Records an externally detected violation (invariant sweeps).
+    pub fn report(&mut self, what: String) {
+        self.violations.push(CheckViolation {
+            at: Time::MAX,
+            node: NodeId(u16::MAX),
+            what,
+        });
+    }
+
+    /// All violations found so far.
+    pub fn violations(&self) -> &[CheckViolation] {
+        &self.violations
+    }
+
+    /// Number of loads validated.
+    pub fn loads_checked(&self) -> u64 {
+        self.loads_checked
+    }
+
+    /// Number of stores applied.
+    pub fn stores_applied(&self) -> u64 {
+        self.stores_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_word_mismatch_is_flagged() {
+        let mut o = Oracle::new();
+        let b = BlockAddr(1);
+        let v = o.next_store_value(NodeId(0), b);
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Store { block: b, word: 0, value: v }, v);
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 0 }, v);
+        assert!(o.violations().is_empty());
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 0 }, v + 9);
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn foreign_word_future_value_is_flagged() {
+        let mut o = Oracle::new();
+        let b = BlockAddr(2);
+        // Node 1 never stored, so any nonzero read of word 1 is from the future.
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 5);
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn foreign_word_regression_is_flagged() {
+        let mut o = Oracle::new();
+        let b = BlockAddr(3);
+        for _ in 0..5 {
+            o.next_store_value(NodeId(1), b);
+        }
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 4);
+        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 2);
+        assert_eq!(o.violations().len(), 1);
+        assert!(o.violations()[0].what.contains("backwards"));
+    }
+
+    #[test]
+    fn final_check_compares_last_store() {
+        let mut o = Oracle::new();
+        let b = BlockAddr(4);
+        let v = o.next_store_value(NodeId(2), b);
+        o.observe(NodeId(2), Time::ZERO, &ProcOp::Store { block: b, word: 2, value: v }, v);
+        o.check_final(b, 2, v);
+        assert!(o.violations().is_empty());
+        o.check_final(b, 2, v + 1);
+        assert_eq!(o.violations().len(), 1);
+    }
+}

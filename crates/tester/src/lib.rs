@@ -1,0 +1,33 @@
+//! Randomized coherence protocol tester (paper §3.4).
+//!
+//! "All three protocols — Snooping, Directory, and BASH — were tested using
+//! a stand-alone random tester. This tester uses false sharing, random
+//! action/check (store/load) pairs, and widely variable message latencies
+//! to force each protocol through a myriad of corner cases."
+//!
+//! This crate is that tester:
+//!
+//! * **false sharing** — a handful of hot blocks, each node writing its own
+//!   word of them, so data races never exist at word granularity while the
+//!   blocks themselves bounce violently between caches;
+//! * **action/check pairs** — every store's value is a per-node monotone
+//!   counter; a node loading *its own* word must see exactly its last
+//!   store, and loading *another node's* word must see a non-decreasing
+//!   sequence (per-location coherence order) bounded by the writer's issue
+//!   counter;
+//! * **variable latencies** — crossbar injection/traversal jitter shuffles
+//!   message timing (ordered networks stay totally ordered, as in real
+//!   hardware);
+//! * **quiescence invariants** — after draining: exactly one owner per
+//!   block, home owner records match cache states, every cached copy equals
+//!   the owner's data, and each word equals its writer's last store;
+//! * **transition coverage** — every controller records its (state, event)
+//!   transitions, feeding Table 1.
+
+pub mod checker;
+pub mod harness;
+pub mod workload;
+
+pub use checker::{CheckViolation, Oracle};
+pub use harness::{run_random_test, TesterConfig, TesterReport};
+pub use workload::RandomWorkload;

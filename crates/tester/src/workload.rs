@@ -1,0 +1,182 @@
+//! The random action/check workload.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bash_coherence::types::WORDS_PER_BLOCK;
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::{DetRng, Duration, Time};
+use bash_net::NodeId;
+use bash_workloads::{WorkItem, Workload};
+
+use crate::checker::Oracle;
+
+/// A workload issuing random store/load pairs over a small, hotly contended
+/// block pool, validating every load against the [`Oracle`].
+#[derive(Debug)]
+pub struct RandomWorkload {
+    nodes: u16,
+    blocks: u64,
+    ops_per_node: u64,
+    max_think: Duration,
+    store_fraction: f64,
+    rngs: Vec<DetRng>,
+    issued: Vec<u64>,
+    oracle: Rc<RefCell<Oracle>>,
+}
+
+impl RandomWorkload {
+    /// Creates the workload. Requires `nodes <= WORDS_PER_BLOCK` so each
+    /// node owns a distinct word of every block (false sharing with
+    /// single-writer words, making every load exactly checkable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds [`WORDS_PER_BLOCK`] or is zero.
+    pub fn new(
+        nodes: u16,
+        blocks: u64,
+        ops_per_node: u64,
+        max_think: Duration,
+        store_fraction: f64,
+        seed: u64,
+        oracle: Rc<RefCell<Oracle>>,
+    ) -> Self {
+        assert!(nodes > 0 && (nodes as usize) <= WORDS_PER_BLOCK);
+        assert!(blocks > 0 && ops_per_node > 0);
+        let mut root = DetRng::seed_from(seed);
+        let rngs = (0..nodes).map(|i| root.fork(i as u64)).collect();
+        RandomWorkload {
+            nodes,
+            blocks,
+            ops_per_node,
+            max_think,
+            store_fraction,
+            rngs,
+            issued: vec![0; nodes as usize],
+            oracle,
+        }
+    }
+
+    /// Total operations issued so far.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+}
+
+impl Workload for RandomWorkload {
+    fn next_item(&mut self, node: NodeId, _now: Time) -> Option<WorkItem> {
+        debug_assert!(node.index() < self.rngs.len());
+        let idx = node.index();
+        if self.issued[idx] >= self.ops_per_node {
+            return None;
+        }
+        self.issued[idx] += 1;
+        let rng = &mut self.rngs[idx];
+        let block = BlockAddr(rng.below(self.blocks));
+        let think = if self.max_think.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_ps(rng.below(self.max_think.as_ps() + 1))
+        };
+        let op = if rng.chance(self.store_fraction) {
+            let value = self.oracle.borrow_mut().next_store_value(node, block);
+            ProcOp::Store {
+                block,
+                word: idx % WORDS_PER_BLOCK,
+                value,
+            }
+        } else {
+            // Load a random word: sometimes our own (exact check), sometimes
+            // another node's (monotonicity check).
+            let word = rng.below(self.nodes as u64) as usize;
+            ProcOp::Load { block, word }
+        };
+        Some(WorkItem {
+            think,
+            instructions: 0,
+            op,
+        })
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: Time, op: &ProcOp, value: u64) {
+        self.oracle.borrow_mut().observe(node, now, op, value);
+    }
+
+    fn name(&self) -> &str {
+        "random-tester"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(nodes: u16, ops: u64) -> (RandomWorkload, Rc<RefCell<Oracle>>) {
+        let oracle = Rc::new(RefCell::new(Oracle::new()));
+        let wl = RandomWorkload::new(
+            nodes,
+            4,
+            ops,
+            Duration::from_ns(100),
+            0.5,
+            7,
+            Rc::clone(&oracle),
+        );
+        (wl, oracle)
+    }
+
+    #[test]
+    fn issues_exactly_ops_per_node_then_stops() {
+        let (mut wl, _oracle) = workload(2, 5);
+        for _ in 0..5 {
+            assert!(wl.next_item(NodeId(0), Time::ZERO).is_some());
+        }
+        assert!(wl.next_item(NodeId(0), Time::ZERO).is_none());
+        assert!(wl.next_item(NodeId(1), Time::ZERO).is_some());
+        assert_eq!(wl.total_issued(), 6);
+    }
+
+    #[test]
+    fn stores_write_only_the_nodes_own_word() {
+        let (mut wl, _oracle) = workload(4, 200);
+        for _ in 0..200 {
+            if let Some(item) = wl.next_item(NodeId(3), Time::ZERO) {
+                if let ProcOp::Store { word, .. } = item.op {
+                    assert_eq!(word, 3, "false sharing requires single-writer words");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_stay_in_the_hot_pool_and_thinks_are_bounded() {
+        let (mut wl, _oracle) = workload(2, 500);
+        for _ in 0..500 {
+            let item = wl.next_item(NodeId(0), Time::ZERO).unwrap();
+            assert!(item.op.block().0 < 4);
+            assert!(item.think <= Duration::from_ns(100));
+        }
+    }
+
+    #[test]
+    fn store_values_come_from_the_oracle_monotonically() {
+        let (mut wl, oracle) = workload(1, 300);
+        let mut last = std::collections::HashMap::new();
+        for _ in 0..300 {
+            let item = wl.next_item(NodeId(0), Time::ZERO).unwrap();
+            if let ProcOp::Store { block, value, .. } = item.op {
+                let prev = last.insert(block, value).unwrap_or(0);
+                assert!(value > prev, "oracle counters are per-(node, block) monotone");
+            }
+        }
+        assert!(oracle.borrow().violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn too_many_nodes_for_word_ownership_panics() {
+        let oracle = Rc::new(RefCell::new(Oracle::new()));
+        let _ = RandomWorkload::new(9, 4, 10, Duration::ZERO, 0.5, 1, oracle);
+    }
+}

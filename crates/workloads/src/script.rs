@@ -1,0 +1,124 @@
+//! A scripted workload: an explicit per-node operation sequence.
+//!
+//! Used by the latency tests (reproducing the paper's 180/125/255 ns
+//! numbers), the Figure 4 protocol walkthroughs, and any test that needs
+//! precisely staged cross-node interleavings (ordering is controlled with
+//! per-item think times).
+
+use bash_coherence::ProcOp;
+use bash_kernel::{Duration, Time};
+use bash_net::NodeId;
+use std::collections::VecDeque;
+
+use crate::{WorkItem, Workload};
+
+/// A record of one completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The node that issued the operation.
+    pub node: NodeId,
+    /// When the operation was issued (after its think time).
+    pub issued_at: Time,
+    /// Completion time.
+    pub at: Time,
+    /// The operation.
+    pub op: ProcOp,
+    /// The loaded/stored value.
+    pub value: u64,
+}
+
+/// An explicit schedule of operations per node.
+#[derive(Debug, Default)]
+pub struct ScriptWorkload {
+    scripts: Vec<VecDeque<WorkItem>>,
+    pending_issue: Vec<Time>,
+    completions: Vec<Completion>,
+}
+
+impl ScriptWorkload {
+    /// Creates an empty script for `nodes` nodes.
+    pub fn new(nodes: u16) -> Self {
+        ScriptWorkload {
+            scripts: (0..nodes).map(|_| VecDeque::new()).collect(),
+            pending_issue: vec![Time::ZERO; nodes as usize],
+            completions: Vec::new(),
+        }
+    }
+
+    /// Appends an operation for `node`, issued `think` after the previous
+    /// one completes (or after t=0 for the first).
+    pub fn push(&mut self, node: NodeId, think: Duration, op: ProcOp) -> &mut Self {
+        self.scripts[node.index()].push_back(WorkItem {
+            think,
+            instructions: 0,
+            op,
+        });
+        self
+    }
+
+    /// All completions recorded so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+}
+
+impl Workload for ScriptWorkload {
+    fn next_item(&mut self, node: NodeId, now: Time) -> Option<WorkItem> {
+        let item = self.scripts[node.index()].pop_front()?;
+        self.pending_issue[node.index()] = now + item.think;
+        Some(item)
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: Time, op: &ProcOp, value: u64) {
+        self.completions.push(Completion {
+            node,
+            issued_at: self.pending_issue[node.index()],
+            at: now,
+            op: *op,
+            value,
+        });
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_coherence::BlockAddr;
+
+    #[test]
+    fn pops_in_order_then_none() {
+        let mut s = ScriptWorkload::new(2);
+        s.push(
+            NodeId(0),
+            Duration::from_ns(5),
+            ProcOp::Load {
+                block: BlockAddr(1),
+                word: 0,
+            },
+        );
+        let item = s.next_item(NodeId(0), Time::ZERO).unwrap();
+        assert_eq!(item.think, Duration::from_ns(5));
+        assert!(s.next_item(NodeId(0), Time::ZERO).is_none());
+        assert!(s.next_item(NodeId(1), Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn records_completions() {
+        let mut s = ScriptWorkload::new(1);
+        let op = ProcOp::Store {
+            block: BlockAddr(2),
+            word: 0,
+            value: 7,
+        };
+        s.push(NodeId(0), Duration::from_ns(10), op);
+        s.next_item(NodeId(0), Time::from_ns(90));
+        s.on_complete(NodeId(0), Time::from_ns(100), &op, 7);
+        assert_eq!(s.completions().len(), 1);
+        assert_eq!(s.completions()[0].value, 7);
+        assert_eq!(s.completions()[0].issued_at, Time::from_ns(100));
+    }
+}

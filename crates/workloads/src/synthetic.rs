@@ -1,0 +1,308 @@
+//! Synthetic stand-ins for the paper's commercial and scientific workloads
+//! (Table 2: OLTP, Apache/SURGE, SPECjbb, Slashcode, Barnes-Hut).
+//!
+//! We cannot boot Solaris 8 under Simics and run DB2/Apache/HotSpot/MySQL;
+//! instead each workload is a generator calibrated on the three quantities
+//! the paper itself says drive its results (§5.4): the **L2 miss rate**
+//! ("a lower cache miss rate (Barnes and Slashcode)"), the **fraction of
+//! sharing misses** ("a smaller fraction of sharing misses (SPECjbb)"),
+//! and the read/write mix. The protocol simulator only ever observes the
+//! miss stream, so matching these first-order statistics exercises the same
+//! protocol paths as the full-system originals.
+//!
+//! A processor alternates between executing instructions (exponentially
+//! distributed around `instr_per_miss`, at the paper's 4 GIPS) and issuing
+//! one miss:
+//!
+//! * a **sharing miss** targets a pool of shared blocks that migrate
+//!   between caches (writes take ownership; reads fetch cache-to-cache);
+//! * a **private miss** walks a per-node cold region (always served by
+//!   memory, filling the cache and forcing realistic writeback traffic).
+
+use bash_coherence::types::WORDS_PER_BLOCK;
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::{DetRng, Duration, Time};
+use bash_net::NodeId;
+
+use crate::{WorkItem, Workload};
+
+/// Instructions per nanosecond (the paper's 4 billion instructions/s).
+const GIPS: f64 = 4.0;
+
+/// Base of the private (cold) address region; shared blocks live below it.
+const PRIVATE_REGION_BASE: u64 = 1 << 32;
+
+/// Tunable parameters of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean instructions between L2 misses (sets the miss rate).
+    pub instr_per_miss: f64,
+    /// Fraction of misses that target the shared pool.
+    pub sharing_fraction: f64,
+    /// Fraction of shared-pool misses that are writes (migratory stores).
+    pub shared_write_fraction: f64,
+    /// Fraction of private misses that are writes (dirty fills → future
+    /// writebacks).
+    pub private_write_fraction: f64,
+    /// Number of blocks in the shared pool.
+    pub shared_blocks: u64,
+}
+
+impl WorkloadParams {
+    /// OLTP: DB2 running TPC-C (Table 2). Commercial workloads have high
+    /// L2 miss rates with a large fraction of sharing misses [Barroso et
+    /// al. 1998; paper §1].
+    pub fn oltp() -> Self {
+        WorkloadParams {
+            name: "OLTP",
+            instr_per_miss: 1000.0,
+            sharing_fraction: 0.80,
+            shared_write_fraction: 0.50,
+            private_write_fraction: 0.25,
+            shared_blocks: 256,
+        }
+    }
+
+    /// Apache serving static web content under SURGE (Table 2): miss rate
+    /// and sharing fraction comparable to OLTP (§5.4 groups it with the
+    /// OS-intensive workloads).
+    pub fn apache() -> Self {
+        WorkloadParams {
+            name: "Apache",
+            instr_per_miss: 700.0,
+            sharing_fraction: 0.55,
+            shared_write_fraction: 0.45,
+            private_write_fraction: 0.25,
+            shared_blocks: 256,
+        }
+    }
+
+    /// SPECjbb2000 (Table 2): §5.4 attributes its different behaviour to
+    /// "a smaller fraction of sharing misses".
+    pub fn specjbb() -> Self {
+        WorkloadParams {
+            name: "SPECjbb",
+            instr_per_miss: 600.0,
+            sharing_fraction: 0.18,
+            shared_write_fraction: 0.50,
+            private_write_fraction: 0.35,
+            shared_blocks: 256,
+        }
+    }
+
+    /// Slashcode dynamic web serving (Table 2): §5.4 attributes its
+    /// behaviour to "a lower cache miss rate".
+    pub fn slashcode() -> Self {
+        WorkloadParams {
+            name: "Slashcode",
+            instr_per_miss: 1400.0,
+            sharing_fraction: 0.50,
+            shared_write_fraction: 0.45,
+            private_write_fraction: 0.25,
+            shared_blocks: 256,
+        }
+    }
+
+    /// Barnes-Hut from SPLASH-2, 64K bodies (Table 2): a scientific code
+    /// with a low miss rate and moderate (mostly migratory) sharing.
+    pub fn barnes_hut() -> Self {
+        WorkloadParams {
+            name: "Barnes-Hut",
+            instr_per_miss: 2200.0,
+            sharing_fraction: 0.75,
+            shared_write_fraction: 0.55,
+            private_write_fraction: 0.20,
+            shared_blocks: 256,
+        }
+    }
+
+    /// All five macro workloads in the paper's plotting order.
+    pub fn all_macro() -> Vec<WorkloadParams> {
+        vec![
+            Self::apache(),
+            Self::barnes_hut(),
+            Self::oltp(),
+            Self::slashcode(),
+            Self::specjbb(),
+        ]
+    }
+}
+
+/// The synthetic workload generator. One instance serves every node.
+#[derive(Debug)]
+pub struct SyntheticWorkload {
+    params: WorkloadParams,
+    rngs: Vec<DetRng>,
+    /// Per-node private cold-region cursor.
+    private_cursor: Vec<u64>,
+    /// Per-node monotone store value (coherence check token).
+    counters: Vec<u64>,
+    issued: Vec<u64>,
+}
+
+impl SyntheticWorkload {
+    /// Creates the workload for `nodes` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the parameters are out of range.
+    pub fn new(nodes: u16, params: WorkloadParams, seed: u64) -> Self {
+        assert!(nodes > 0);
+        assert!(params.instr_per_miss > 0.0);
+        assert!((0.0..=1.0).contains(&params.sharing_fraction));
+        assert!((0.0..=1.0).contains(&params.shared_write_fraction));
+        assert!((0.0..=1.0).contains(&params.private_write_fraction));
+        assert!(params.shared_blocks > 0);
+        let mut root = DetRng::seed_from(seed);
+        let rngs = (0..nodes).map(|i| root.fork(i as u64)).collect();
+        SyntheticWorkload {
+            params,
+            rngs,
+            private_cursor: vec![0; nodes as usize],
+            counters: vec![0; nodes as usize],
+            issued: vec![0; nodes as usize],
+        }
+    }
+
+    /// The parameters this generator runs with.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Total operations issued.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn next_item(&mut self, node: NodeId, _now: Time) -> Option<WorkItem> {
+        let idx = node.index();
+        let p = self.params.clone();
+        let rng = &mut self.rngs[idx];
+        let instructions = rng.exponential(p.instr_per_miss).round() as u64;
+        let think = Duration::from_ps((instructions as f64 / GIPS * 1000.0).round() as u64);
+
+        let op = if rng.chance(p.sharing_fraction) {
+            // Shared pool: blocks migrate between caches.
+            let block = BlockAddr(rng.below(p.shared_blocks));
+            if rng.chance(p.shared_write_fraction) {
+                let word = idx % WORDS_PER_BLOCK;
+                self.counters[idx] += 1;
+                ProcOp::Store {
+                    block,
+                    word,
+                    value: self.counters[idx],
+                }
+            } else {
+                ProcOp::Load {
+                    block,
+                    word: rng.below(WORDS_PER_BLOCK as u64) as usize,
+                }
+            }
+        } else {
+            // Private cold region: always a memory-to-cache transfer.
+            self.private_cursor[idx] += 1;
+            let block =
+                BlockAddr(PRIVATE_REGION_BASE + ((idx as u64) << 40) + self.private_cursor[idx]);
+            if rng.chance(p.private_write_fraction) {
+                let word = idx % WORDS_PER_BLOCK;
+                self.counters[idx] += 1;
+                ProcOp::Store {
+                    block,
+                    word,
+                    value: self.counters[idx],
+                }
+            } else {
+                ProcOp::Load { block, word: 0 }
+            }
+        };
+        self.issued[idx] += 1;
+        Some(WorkItem {
+            think,
+            instructions,
+            op,
+        })
+    }
+
+    fn name(&self) -> &str {
+        self.params.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        let all = WorkloadParams::all_macro();
+        assert_eq!(all.len(), 5);
+        // SPECjbb has the smallest sharing fraction (§5.4).
+        let jbb = all.iter().find(|p| p.name == "SPECjbb").unwrap();
+        assert!(all
+            .iter()
+            .all(|p| p.name == "SPECjbb" || p.sharing_fraction > jbb.sharing_fraction));
+        // Barnes and Slashcode have the lowest miss rates (§5.4).
+        let sorted: Vec<&str> = {
+            let mut v = all.clone();
+            v.sort_by(|a, b| b.instr_per_miss.total_cmp(&a.instr_per_miss));
+            v.iter().map(|p| p.name).take(2).collect()
+        };
+        assert!(sorted.contains(&"Barnes-Hut") && sorted.contains(&"Slashcode"));
+    }
+
+    #[test]
+    fn sharing_fraction_is_respected() {
+        let mut wl = SyntheticWorkload::new(4, WorkloadParams::oltp(), 3);
+        let n = 20_000;
+        let shared = (0..n)
+            .filter(|_| {
+                let item = wl.next_item(NodeId(1), Time::ZERO).unwrap();
+                item.op.block().0 < PRIVATE_REGION_BASE
+            })
+            .count();
+        let frac = shared as f64 / n as f64;
+        assert!((frac - 0.80).abs() < 0.02, "sharing fraction {frac}");
+    }
+
+    #[test]
+    fn think_time_tracks_miss_rate() {
+        let mut wl = SyntheticWorkload::new(2, WorkloadParams::barnes_hut(), 9);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| wl.next_item(NodeId(0), Time::ZERO).unwrap().instructions)
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2200.0).abs() < 60.0, "mean instructions {mean}");
+    }
+
+    #[test]
+    fn private_blocks_never_repeat_or_collide_across_nodes() {
+        let mut wl = SyntheticWorkload::new(2, WorkloadParams::specjbb(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for node in [NodeId(0), NodeId(1)] {
+            for _ in 0..2000 {
+                let item = wl.next_item(node, Time::ZERO).unwrap();
+                let b = item.op.block().0;
+                if b >= PRIVATE_REGION_BASE {
+                    assert!(seen.insert(b), "private block reused: {b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_values_monotone_per_node() {
+        let mut wl = SyntheticWorkload::new(2, WorkloadParams::apache(), 11);
+        let mut last = 0;
+        for _ in 0..5000 {
+            if let ProcOp::Store { value, .. } = wl.next_item(NodeId(0), Time::ZERO).unwrap().op {
+                assert!(value > last);
+                last = value;
+            }
+        }
+    }
+}

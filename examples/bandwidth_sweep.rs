@@ -1,0 +1,52 @@
+//! A miniature Figure 1: sweep endpoint bandwidth and watch the
+//! snooping/directory crossover and BASH tracking the winner.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_sweep
+//! ```
+
+use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::Duration;
+use bash_sim::{System, SystemConfig};
+use bash_workloads::LockingMicrobench;
+
+fn main() {
+    let nodes = 32u16;
+    println!("Mini Figure 1: {nodes} processors, locking microbenchmark");
+    println!("(performance in acquires/ms; the paper's Figure 1 shape)\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}   winner",
+        "MB/s", "Snooping", "BASH", "Directory"
+    );
+    for mbps in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800] {
+        let mut perfs = Vec::new();
+        for proto in [ProtocolKind::Snooping, ProtocolKind::Bash, ProtocolKind::Directory] {
+            let cfg = SystemConfig::paper_default(proto, nodes, mbps)
+                .with_cache(CacheGeometry { sets: 512, ways: 4 });
+            let wl = LockingMicrobench::new(nodes, 512, Duration::ZERO, 7);
+            let stats = System::run(
+                cfg,
+                wl,
+                Duration::from_ns(80_000),
+                Duration::from_ns(200_000),
+            );
+            perfs.push(stats.ops_per_sec() / 1e6);
+        }
+        let winner = if perfs[0] > perfs[2] * 1.02 {
+            "Snooping"
+        } else if perfs[2] > perfs[0] * 1.02 {
+            "Directory"
+        } else {
+            "tie"
+        };
+        let bash_note = if perfs[1] + 0.01 >= perfs[0].max(perfs[2]) * 0.98 {
+            " (BASH keeps up)"
+        } else {
+            ""
+        };
+        println!(
+            "{:>9} {:>12.1} {:>12.1} {:>12.1}   {winner}{bash_note}",
+            mbps, perfs[0], perfs[1], perfs[2]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run the three protocols on the locking microbenchmark at one
+//! bandwidth point and print the headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [-p bash-sim]
+//! ```
+
+use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::Duration;
+use bash_sim::{System, SystemConfig};
+use bash_workloads::LockingMicrobench;
+
+fn main() {
+    let nodes = 16u16;
+    let bandwidth_mbps = 1600;
+    println!("BASH quickstart: {nodes} processors, {bandwidth_mbps} MB/s endpoint links");
+    println!("(locking microbenchmark, 256 locks, zero think time)\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>8} {:>10} {:>9}",
+        "protocol", "acquires/ms", "latency", "util", "broadcast", "retries"
+    );
+    for proto in [ProtocolKind::Snooping, ProtocolKind::Bash, ProtocolKind::Directory] {
+        let cfg = SystemConfig::paper_default(proto, nodes, bandwidth_mbps)
+            .with_cache(CacheGeometry { sets: 256, ways: 4 });
+        let workload = LockingMicrobench::new(nodes, 256, Duration::ZERO, 42);
+        let stats = System::run(
+            cfg,
+            workload,
+            Duration::from_ns(100_000), // warmup
+            Duration::from_ns(400_000), // measurement
+        );
+        println!(
+            "{:<10} {:>12.1} {:>8.1}ns {:>7.1}% {:>9.1}% {:>9}",
+            stats.protocol,
+            stats.ops_per_sec() / 1e6,
+            stats.avg_miss_latency_ns,
+            stats.link_utilization * 100.0,
+            stats.broadcast_fraction() * 100.0,
+            stats.retries,
+        );
+    }
+    println!("\nTry the full paper harness: cargo run --release -p bash-experiments -- all");
+}

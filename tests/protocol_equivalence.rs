@@ -1,0 +1,123 @@
+//! Cross-protocol semantic equivalence: identical workloads must produce
+//! identical *values* under all three protocols — protocols change timing,
+//! never semantics.
+
+use bash_adaptive::AdaptorConfig;
+use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind};
+use bash_kernel::Duration;
+use bash_net::NodeId;
+use bash_sim::{System, SystemConfig};
+use bash_workloads::{LockingMicrobench, ScriptWorkload, Workload};
+
+/// A deterministic multi-node script touching shared blocks with a
+/// serialized schedule (large gaps ⇒ identical logical outcome under every
+/// protocol).
+fn serialized_script(nodes: u16) -> ScriptWorkload {
+    let mut s = ScriptWorkload::new(nodes);
+    let gap = Duration::from_ns(50_000); // far larger than any miss latency
+    for round in 0..6u64 {
+        for n in 0..nodes {
+            let block = BlockAddr((round + n as u64) % 4);
+            if (round + n as u64) % 3 == 0 {
+                s.push(
+                    NodeId(n),
+                    gap,
+                    ProcOp::Store {
+                        block,
+                        word: n as usize % 8,
+                        value: round * 100 + n as u64,
+                    },
+                );
+            } else {
+                s.push(NodeId(n), gap, ProcOp::Load { block, word: 0 });
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn serialized_values_are_identical_across_protocols() {
+    let mut results: Vec<Vec<(u16, u64)>> = Vec::new();
+    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+        let mut adaptor = AdaptorConfig::paper_default();
+        adaptor.initial_policy = 128; // make BASH actually mix casts
+        let cfg = SystemConfig::paper_default(proto, 4, 800)
+            .with_adaptor(adaptor)
+            .with_cache(CacheGeometry { sets: 8, ways: 2 });
+        let mut sys = System::new(cfg, serialized_script(4));
+        sys.run_to_idle();
+        assert!(sys.is_quiescent(), "{proto:?} must drain");
+        let mut vals: Vec<(u16, u64)> = sys
+            .workload()
+            .completions()
+            .iter()
+            .map(|c| (c.node.0, c.value))
+            .collect();
+        vals.sort();
+        results.push(vals);
+    }
+    assert_eq!(results[0], results[1], "Snooping vs Directory");
+    assert_eq!(results[0], results[2], "Snooping vs BASH");
+}
+
+#[test]
+fn microbench_acquire_counts_are_comparable() {
+    // All three protocols execute the same acquire stream; over a fixed
+    // window the counts differ only via timing, and at generous bandwidth
+    // they should be within a modest band of each other.
+    let mut counts = Vec::new();
+    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+        let cfg = SystemConfig::paper_default(proto, 8, 25_000)
+            .with_cache(CacheGeometry { sets: 128, ways: 4 });
+        let wl = LockingMicrobench::new(8, 128, Duration::ZERO, 3);
+        let stats = System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(200_000));
+        assert!(stats.misses > 100, "{proto:?} made no progress");
+        counts.push((proto, stats.ops_completed));
+    }
+    let max = counts.iter().map(|&(_, c)| c).max().unwrap() as f64;
+    let min = counts.iter().map(|&(_, c)| c).min().unwrap() as f64;
+    assert!(
+        min / max > 0.5,
+        "protocols diverge too much at high bandwidth: {counts:?}"
+    );
+}
+
+#[test]
+fn bash_with_always_broadcast_equals_snooping_exactly() {
+    // With the adaptor pinned to broadcast, BASH must match Snooping's
+    // acquire count exactly at any bandwidth (same messages, same order,
+    // same timing) — the hybrid degenerates to its base protocol.
+    let run = |proto, mode| {
+        let mut adaptor = AdaptorConfig::paper_default();
+        adaptor.mode = mode;
+        let cfg = SystemConfig::paper_default(proto, 8, 1600)
+            .with_adaptor(adaptor)
+            .with_cache(CacheGeometry { sets: 128, ways: 4 });
+        let wl = LockingMicrobench::new(8, 128, Duration::ZERO, 9);
+        System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(200_000))
+    };
+    let snoop = run(
+        ProtocolKind::Snooping,
+        bash_adaptive::DecisionMode::Adaptive,
+    );
+    let bash = run(
+        ProtocolKind::Bash,
+        bash_adaptive::DecisionMode::AlwaysBroadcast,
+    );
+    assert_eq!(snoop.ops_completed, bash.ops_completed);
+    assert_eq!(snoop.misses, bash.misses);
+    assert!((snoop.avg_miss_latency_ns - bash.avg_miss_latency_ns).abs() < 1e-9);
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let run = |seed| {
+        let cfg = SystemConfig::paper_default(ProtocolKind::Bash, 8, 800).with_seed(seed);
+        let wl = LockingMicrobench::new(8, 256, Duration::ZERO, seed);
+        let s = System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(150_000));
+        (s.ops_completed, s.misses, s.link_bytes, s.retries)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
