@@ -83,7 +83,10 @@ impl UtilizationCounter {
     ///
     /// Panics if `busy > window`.
     pub fn value_for_window(&self, busy: u64, window: u64) -> i32 {
-        assert!(busy <= window, "busy cycles exceed the window: {busy} > {window}");
+        assert!(
+            busy <= window,
+            "busy cycles exceed the window: {busy} > {window}"
+        );
         let idle = (window - busy) as i64;
         let v = self.inc as i64 * busy as i64 - self.dec as i64 * idle;
         v.clamp(-self.bound as i64, self.bound as i64) as i32
@@ -157,8 +160,14 @@ mod tests {
     fn saturates_at_bounds() {
         let c = UtilizationCounter::new(1, 3);
         // A pathologically long all-idle window saturates at the bound.
-        assert_eq!(c.value_for_window(0, 1 << 40), -UtilizationCounter::DEFAULT_BOUND);
-        assert_eq!(c.value_for_window(1 << 40, 1 << 40), UtilizationCounter::DEFAULT_BOUND);
+        assert_eq!(
+            c.value_for_window(0, 1 << 40),
+            -UtilizationCounter::DEFAULT_BOUND
+        );
+        assert_eq!(
+            c.value_for_window(1 << 40, 1 << 40),
+            UtilizationCounter::DEFAULT_BOUND
+        );
     }
 
     #[test]

@@ -11,14 +11,24 @@ use bash_kernel::Duration;
 use bash_sim::{RunStats, System, SystemConfig};
 use bash_workloads::LockingMicrobench;
 
-fn run_with(adaptor: AdaptorConfig, mbps: u64, retry_capacity: usize, serialize_dram: bool) -> RunStats {
+fn run_with(
+    adaptor: AdaptorConfig,
+    mbps: u64,
+    retry_capacity: usize,
+    serialize_dram: bool,
+) -> RunStats {
     let mut cfg = SystemConfig::paper_default(ProtocolKind::Bash, 16, mbps)
         .with_adaptor(adaptor)
         .with_cache(CacheGeometry { sets: 256, ways: 4 });
     cfg.retry_capacity = retry_capacity;
     cfg.serialize_dram = serialize_dram;
     let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
-    System::run(cfg, wl, Duration::from_ns(30_000), Duration::from_ns(80_000))
+    System::run(
+        cfg,
+        wl,
+        Duration::from_ns(30_000),
+        Duration::from_ns(80_000),
+    )
 }
 
 /// Adaptive vs the static extremes: the reason BASH exists.
@@ -47,17 +57,13 @@ fn ablation_sampling_interval(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/sampling_interval");
     g.sample_size(10);
     for interval in [64u64, 512, 4096] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(interval),
-            &interval,
-            |b, &i| {
-                b.iter(|| {
-                    let mut a = AdaptorConfig::paper_default();
-                    a.sampling_interval_cycles = i;
-                    run_with(a, 800, 64, false)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(interval), &interval, |b, &i| {
+            b.iter(|| {
+                let mut a = AdaptorConfig::paper_default();
+                a.sampling_interval_cycles = i;
+                run_with(a, 800, 64, false)
+            })
+        });
     }
     g.finish();
 }

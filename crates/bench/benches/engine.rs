@@ -38,13 +38,21 @@ fn node_set_ops(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(&full).is_superset(std::hint::black_box(&small)))
     });
     c.bench_function("engine/nodeset_iter64", |b| {
-        b.iter(|| std::hint::black_box(&full).iter().map(|n| n.0 as u64).sum::<u64>())
+        b.iter(|| {
+            std::hint::black_box(&full)
+                .iter()
+                .map(|n| n.0 as u64)
+                .sum::<u64>()
+        })
     });
 }
 
 fn cache_array(c: &mut Criterion) {
     c.bench_function("engine/cache_touch_hit", |b| {
-        let mut cache = CacheArray::new(CacheGeometry { sets: 1024, ways: 4 });
+        let mut cache = CacheArray::new(CacheGeometry {
+            sets: 1024,
+            ways: 4,
+        });
         for i in 0..4096u64 {
             cache.insert(BlockAddr(i), Mosi::S, BlockData::ZERO);
         }

@@ -17,7 +17,12 @@ fn micro_point(proto: ProtocolKind, nodes: u16, mbps: u64, think: u64, bcost: u3
         .with_broadcast_cost(bcost)
         .with_cache(CacheGeometry { sets: 256, ways: 4 });
     let wl = LockingMicrobench::new(nodes, 256, Duration::from_cycles(think), 1);
-    System::run(cfg, wl, Duration::from_ns(30_000), Duration::from_ns(60_000))
+    System::run(
+        cfg,
+        wl,
+        Duration::from_ns(30_000),
+        Duration::from_ns(60_000),
+    )
 }
 
 fn macro_point(proto: ProtocolKind, params: WorkloadParams, bcost: u32) -> RunStats {
@@ -25,7 +30,12 @@ fn macro_point(proto: ProtocolKind, params: WorkloadParams, bcost: u32) -> RunSt
         .with_broadcast_cost(bcost)
         .with_cache(CacheGeometry { sets: 512, ways: 4 });
     let wl = SyntheticWorkload::new(16, params, 1);
-    System::run(cfg, wl, Duration::from_ns(30_000), Duration::from_ns(80_000))
+    System::run(
+        cfg,
+        wl,
+        Duration::from_ns(30_000),
+        Duration::from_ns(80_000),
+    )
 }
 
 /// Figure 1/5/6: one bandwidth point per protocol (16p mini version).
@@ -110,8 +120,7 @@ fn fig12_workload_bars(c: &mut Criterion) {
 fn table1_coverage(c: &mut Criterion) {
     c.bench_function("table1_coverage/bash_hostile", |b| {
         b.iter(|| {
-            let mut cfg =
-                bash_tester_shim::hostile(ProtocolKind::Bash, 1);
+            let mut cfg = bash_tester_shim::hostile(ProtocolKind::Bash, 1);
             cfg.ops_per_node = 200;
             bash_tester_shim::run(cfg)
         })

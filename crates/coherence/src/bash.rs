@@ -301,7 +301,13 @@ impl BashMemCtrl {
         )]
     }
 
-    fn on_wb_data(&mut self, now: Time, block: BlockAddr, from: NodeId, data: BlockData) -> Vec<Action> {
+    fn on_wb_data(
+        &mut self,
+        now: Time,
+        block: BlockAddr,
+        from: NodeId,
+        data: BlockData,
+    ) -> Vec<Action> {
         let before = self.state_label(block);
         let st = self.blocks.get_mut(&block).expect("wb data without state");
         let wb = st.wb.take().expect("wb data without open window");

@@ -106,7 +106,13 @@ fn install_m(c: &mut DirectoryCacheCtrl, node: u16, block: u64, at: u64) -> u64 
     // Marker (our forwarded copy), then data.
     c.on_delivery(
         t(at + 5),
-        &fwd(TxnKind::GetM, block, node, txn.seq, NodeSet::singleton(NodeId(node))),
+        &fwd(
+            TxnKind::GetM,
+            block,
+            node,
+            txn.seq,
+            NodeSet::singleton(NodeId(node)),
+        ),
         Some(0),
     );
     let acts = c.on_delivery(t(at + 10), &data(node, txn.seq, block, 0), None);
@@ -128,7 +134,13 @@ fn owner_answers_forwarded_gets_and_downgrades() {
     install_m(&mut c, 2, 1, 0);
     let acts = c.on_delivery(
         t(100),
-        &fwd(TxnKind::GetS, 1, 3, 1, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetS,
+            1,
+            3,
+            1,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(1),
     );
     assert!(acts.iter().any(|a| matches!(
@@ -148,7 +160,13 @@ fn owner_answers_forwarded_gets_and_downgrades() {
 fn sharer_invalidates_on_forwarded_getm() {
     let mut c = ctrl(2);
     // Get an S copy: load miss → marker → data.
-    let (outcome, _) = c.access(t(0), ProcOp::Load { block: BlockAddr(1), word: 0 });
+    let (outcome, _) = c.access(
+        t(0),
+        ProcOp::Load {
+            block: BlockAddr(1),
+            word: 0,
+        },
+    );
     let txn = match outcome {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
@@ -163,7 +181,13 @@ fn sharer_invalidates_on_forwarded_getm() {
     // Forwarded foreign GetM (we are in the sharers part of the mask).
     c.on_delivery(
         t(20),
-        &fwd(TxnKind::GetM, 1, 3, 1, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetM,
+            1,
+            3,
+            1,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(1),
     );
     assert_eq!(c.cache().state(BlockAddr(1)), None);
@@ -176,7 +200,13 @@ fn o_to_m_upgrade_completes_at_the_marker_without_data() {
     // Downgrade to O via a forwarded GetS.
     c.on_delivery(
         t(100),
-        &fwd(TxnKind::GetS, 1, 3, 1, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetS,
+            1,
+            3,
+            1,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(1),
     );
     // Upgrade store: the directory forwards our own GetM back (mask covers
@@ -195,7 +225,13 @@ fn o_to_m_upgrade_completes_at_the_marker_without_data() {
     };
     let acts = c.on_delivery(
         t(210),
-        &fwd(TxnKind::GetM, 1, 2, txn.seq, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetM,
+            1,
+            2,
+            txn.seq,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(2),
     );
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
@@ -241,11 +277,20 @@ fn eviction_sends_data_carrying_putm_and_waits_for_ack() {
     assert_eq!(wb.0, BlockAddr(1));
     assert_eq!(wb.1.read(0), 2, "victim data travels with the PutM");
     assert_eq!(wb.2, DATA_MSG_BYTES);
-    assert!(!c.is_quiescent(), "writeback entry outstanding until the ack");
+    assert!(
+        !c.is_quiescent(),
+        "writeback entry outstanding until the ack"
+    );
     // While unacked, we still answer forwarded requests from the buffer.
     let acts = c.on_delivery(
         t(220),
-        &fwd(TxnKind::GetS, 1, 3, 7, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetS,
+            1,
+            3,
+            7,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(3),
     );
     assert!(acts.iter().any(|a| matches!(
@@ -291,7 +336,13 @@ fn stale_ack_after_losing_the_race_is_clean() {
     c.on_delivery(t(210), &data(2, txn.seq, 9, 0), None);
     let acts = c.on_delivery(
         t(220),
-        &fwd(TxnKind::GetM, 1, 3, 8, NodeSet::from_nodes([NodeId(2), NodeId(3)])),
+        &fwd(
+            TxnKind::GetM,
+            1,
+            3,
+            8,
+            NodeSet::from_nodes([NodeId(2), NodeId(3)]),
+        ),
         Some(3),
     );
     assert!(acts.iter().any(|a| matches!(
@@ -334,7 +385,13 @@ fn access_to_a_block_with_writeback_in_flight_stalls_then_issues() {
     );
     c.on_delivery(t(210), &data(2, txn.seq, 9, 0), None);
     // Re-access the evicted block 1 while its writeback is unacked.
-    let (outcome, acts) = c.access(t(220), ProcOp::Load { block: BlockAddr(1), word: 0 });
+    let (outcome, acts) = c.access(
+        t(220),
+        ProcOp::Load {
+            block: BlockAddr(1),
+            word: 0,
+        },
+    );
     assert!(matches!(outcome, AccessOutcome::Miss { .. }));
     assert!(acts.is_empty(), "stalled: no request until the ack");
     // The ack releases the stalled access as a fresh GetS to the home.

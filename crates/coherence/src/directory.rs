@@ -622,13 +622,21 @@ impl DirectoryCtrl {
                 acts.push(self.data_response(delay, req));
                 acts.push(self.forward(delay, req, NodeSet::singleton(req.requestor)));
                 self.stats.data_responses += 1;
-                self.dir.get_mut(&block).expect("present").sharers.insert(req.requestor);
+                self.dir
+                    .get_mut(&block)
+                    .expect("present")
+                    .sharers
+                    .insert(req.requestor);
             }
             (TxnKind::GetS, Owner::Node(p)) => {
                 let mask = NodeSet::from_nodes([p, req.requestor]);
                 acts.push(self.forward(delay, req, mask));
                 self.stats.forwards += 1;
-                self.dir.get_mut(&block).expect("present").sharers.insert(req.requestor);
+                self.dir
+                    .get_mut(&block)
+                    .expect("present")
+                    .sharers
+                    .insert(req.requestor);
             }
             (TxnKind::GetM, Owner::Memory) => {
                 acts.push(self.data_response(delay, req));
@@ -656,7 +664,13 @@ impl DirectoryCtrl {
         acts
     }
 
-    fn on_putm(&mut self, now: Time, block: BlockAddr, from: NodeId, data: BlockData) -> Vec<Action> {
+    fn on_putm(
+        &mut self,
+        now: Time,
+        block: BlockAddr,
+        from: NodeId,
+        data: BlockData,
+    ) -> Vec<Action> {
         let before = self.label(block);
         let delay = self.dram_delay(now);
         let entry = self.dir.entry(block).or_default();

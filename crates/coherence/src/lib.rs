@@ -28,14 +28,14 @@ pub mod actions;
 pub mod bash;
 pub mod cache;
 pub mod common;
+#[cfg(test)]
+mod dircache_tests;
 pub mod directory;
+#[cfg(test)]
+mod memctrl_tests;
 pub mod protocol;
 pub mod registry;
 pub mod snoopcache;
-#[cfg(test)]
-mod dircache_tests;
-#[cfg(test)]
-mod memctrl_tests;
 #[cfg(test)]
 mod snoopcache_tests;
 pub mod snooping;

@@ -26,7 +26,14 @@ fn txn(node: u16, seq: u64) -> TxnId {
     }
 }
 
-fn req(kind: TxnKind, block: u64, requestor: u16, seq: u64, mask: NodeSet, retry: u8) -> Message<ProtoMsg> {
+fn req(
+    kind: TxnKind,
+    block: u64,
+    requestor: u16,
+    seq: u64,
+    mask: NodeSet,
+    retry: u8,
+) -> Message<ProtoMsg> {
     Message::ordered(
         NodeId(requestor),
         mask,
@@ -77,11 +84,19 @@ fn snooping_memory_owner_responds_and_tracks_transfer() {
     // Block 0 homes at node 0.
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
     // GetM from P2 when memory owns: respond + owner := P2.
-    let acts = m.on_delivery(t(0), &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0), Some(0));
+    let acts = m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     assert!(matches!(sent_payloads(&acts)[0], ProtoMsg::Data { .. }));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
     // Subsequent GetS: the cache owner responds, memory is silent.
-    let acts = m.on_delivery(t(10), &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0), Some(1));
+    let acts = m.on_delivery(
+        t(10),
+        &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
+        Some(1),
+    );
     assert!(sent_payloads(&acts).is_empty());
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
 }
@@ -89,13 +104,28 @@ fn snooping_memory_owner_responds_and_tracks_transfer() {
 #[test]
 fn snooping_memory_stalls_requests_during_writeback_window() {
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0), Some(0));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     // P2 writes the block back.
-    let acts = m.on_delivery(t(10), &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0), Some(1));
+    let acts = m.on_delivery(
+        t(10),
+        &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0),
+        Some(1),
+    );
     assert!(sent_payloads(&acts).is_empty());
     // A GetS ordered inside the window stalls.
-    let acts = m.on_delivery(t(20), &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0), Some(2));
-    assert!(sent_payloads(&acts).is_empty(), "stalled behind the writeback");
+    let acts = m.on_delivery(
+        t(20),
+        &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
+        Some(2),
+    );
+    assert!(
+        sent_payloads(&acts).is_empty(),
+        "stalled behind the writeback"
+    );
     assert!(!m.is_quiescent());
     // Data arrives: the window closes and the stalled GetS is answered.
     let acts = m.on_delivery(t(30), &wb_data(0, 2, 77), None);
@@ -112,11 +142,23 @@ fn snooping_memory_stalls_requests_during_writeback_window() {
 #[test]
 fn snooping_memory_ignores_stale_putm() {
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0), Some(0));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     // P3 steals ownership before P2's PutM is ordered.
-    m.on_delivery(t(10), &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0), Some(1));
+    m.on_delivery(
+        t(10),
+        &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
+        Some(1),
+    );
     // P2's now-stale PutM: ignored; no window opens.
-    m.on_delivery(t(20), &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0), Some(2));
+    m.on_delivery(
+        t(20),
+        &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0),
+        Some(2),
+    );
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(3)));
     assert!(m.is_quiescent());
     assert_eq!(m.stats().writebacks_stale, 1);
@@ -200,7 +242,11 @@ fn directory_acks_valid_and_stale_writebacks() {
         ProtoMsg::WbAck { stale, .. } => assert!(stale),
         other => panic!("expected WbAck, got {other:?}"),
     }
-    assert_eq!(d.stored_data(BlockAddr(0)).read(0), 55, "stale data discarded");
+    assert_eq!(
+        d.stored_data(BlockAddr(0)).read(0),
+        55,
+        "stale data discarded"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -228,8 +274,16 @@ fn bash_home_answers_sufficient_unicast_directly() {
 fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
     let mut m = bash_mem(4);
     // P1 takes ownership (broadcast), P3 becomes a sharer.
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0), Some(0));
-    m.on_delivery(t(5), &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0), Some(1));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
+    m.on_delivery(
+        t(5),
+        &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
+        Some(1),
+    );
     // P2's unicast GetM misses both owner and sharer → retry to
     // {owner, sharers, requestor, home}.
     let acts = m.on_delivery(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(2));
@@ -265,11 +319,19 @@ fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
 #[test]
 fn bash_home_escalates_to_broadcast_on_the_third_retry() {
     let mut m = bash_mem(4);
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0), Some(0));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     // P2 unicasts; the owner keeps changing inside the window of
     // vulnerability, so each retry is insufficient again.
     let mut order = 1;
-    let acts = m.on_delivery(t(10), &req(TxnKind::GetM, 0, 2, 9, dualcast(2), 0), Some(order));
+    let acts = m.on_delivery(
+        t(10),
+        &req(TxnKind::GetM, 0, 2, 9, dualcast(2), 0),
+        Some(order),
+    );
     let mut retry_mask = match acts.first() {
         Some(Action::SendAfter { msg, .. }) => msg.dests,
         _ => panic!("retry expected"),
@@ -307,7 +369,11 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
 #[test]
 fn bash_home_nacks_when_no_retry_buffer_is_free() {
     let mut m = bash_mem(1);
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0), Some(0));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     // First insufficient unicast occupies the only buffer.
     m.on_delivery(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(1));
     assert_eq!(m.stats().retries_sent, 1);
@@ -323,10 +389,21 @@ fn bash_home_nacks_when_no_retry_buffer_is_free() {
 #[test]
 fn bash_home_stalls_block_during_writeback_window() {
     let mut m = bash_mem(4);
-    m.on_delivery(t(0), &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0), Some(0));
+    m.on_delivery(
+        t(0),
+        &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
+        Some(0),
+    );
     m.on_delivery(t(10), &req(TxnKind::PutM, 0, 2, 2, dualcast(2), 0), Some(1));
-    let acts = m.on_delivery(t(20), &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0), Some(2));
-    assert!(sent_payloads(&acts).is_empty(), "stalled behind the writeback");
+    let acts = m.on_delivery(
+        t(20),
+        &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
+        Some(2),
+    );
+    assert!(
+        sent_payloads(&acts).is_empty(),
+        "stalled behind the writeback"
+    );
     let acts = m.on_delivery(t(30), &wb_data(0, 2, 13), None);
     // Drain: memory owns now, responds, ownership moves to P3.
     assert!(matches!(sent_payloads(&acts)[0], ProtoMsg::Data { .. }));
@@ -341,7 +418,11 @@ fn bash_sharers_accumulate_and_clear_on_getm() {
     let sharers = m.sharers_of(BlockAddr(0));
     assert!(sharers.contains(NodeId(1)) && sharers.contains(NodeId(2)));
     // A broadcast GetM clears them.
-    m.on_delivery(t(10), &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0), Some(2));
+    m.on_delivery(
+        t(10),
+        &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
+        Some(2),
+    );
     assert!(m.sharers_of(BlockAddr(0)).is_empty());
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(3)));
 }

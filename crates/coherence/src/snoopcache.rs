@@ -110,7 +110,15 @@ impl SnoopCacheCtrl {
         provide_latency: Duration,
         coverage: bool,
     ) -> Self {
-        Self::build(node, nodes, geometry, provide_latency, SnoopMode::Snooping, None, coverage)
+        Self::build(
+            node,
+            nodes,
+            geometry,
+            provide_latency,
+            SnoopMode::Snooping,
+            None,
+            coverage,
+        )
     }
 
     /// Builds a BASH cache controller with the given adaptive mechanism
@@ -124,7 +132,15 @@ impl SnoopCacheCtrl {
         coverage: bool,
     ) -> Self {
         let a = BandwidthAdaptor::new(adaptor, node.0 as u64 + 1);
-        Self::build(node, nodes, geometry, provide_latency, SnoopMode::Bash, Some(a), coverage)
+        Self::build(
+            node,
+            nodes,
+            geometry,
+            provide_latency,
+            SnoopMode::Bash,
+            Some(a),
+            coverage,
+        )
     }
 
     fn build(
@@ -289,7 +305,13 @@ impl SnoopCacheCtrl {
         }
     }
 
-    fn request_msg(&self, kind: TxnKind, block: BlockAddr, txn: TxnId, mask: NodeSet) -> Message<ProtoMsg> {
+    fn request_msg(
+        &self,
+        kind: TxnKind,
+        block: BlockAddr,
+        txn: TxnId,
+        mask: NodeSet,
+    ) -> Message<ProtoMsg> {
         Message::ordered(
             self.node,
             mask,
@@ -410,7 +432,10 @@ impl SnoopCacheCtrl {
                 self.log.record(before, "OwnReq", self.label(block));
                 return acts;
             }
-            self.mshr.as_mut().expect("checked").awaiting_sufficient_upgrade = true;
+            self.mshr
+                .as_mut()
+                .expect("checked")
+                .awaiting_sufficient_upgrade = true;
             self.log.record(before, "OwnReq", self.label(block));
             return Vec::new();
         }
@@ -427,7 +452,13 @@ impl SnoopCacheCtrl {
     }
 
     /// A home-injected retry of our own transaction (BASH).
-    fn on_own_retry(&mut self, now: Time, req: &Request, mask: &NodeSet, _order: u64) -> Vec<Action> {
+    fn on_own_retry(
+        &mut self,
+        now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        _order: u64,
+    ) -> Vec<Action> {
         debug_assert_eq!(self.mode, SnoopMode::Bash);
         let block = req.block;
         let m = self.mshr.as_ref().expect("checked");

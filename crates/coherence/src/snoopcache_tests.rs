@@ -42,7 +42,14 @@ fn t(ns: u64) -> Time {
     Time::from_ns(ns)
 }
 
-fn req_msg(kind: TxnKind, block: u64, requestor: u16, seq: u64, mask: NodeSet, retry: u8) -> Message<ProtoMsg> {
+fn req_msg(
+    kind: TxnKind,
+    block: u64,
+    requestor: u16,
+    seq: u64,
+    mask: NodeSet,
+    retry: u8,
+) -> Message<ProtoMsg> {
     Message::ordered(
         NodeId(requestor),
         mask,
@@ -61,7 +68,12 @@ fn req_msg(kind: TxnKind, block: u64, requestor: u16, seq: u64, mask: NodeSet, r
     )
 }
 
-fn data_msg(to_txn: TxnId, block: u64, value: u64, serialized_at: Option<u64>) -> Message<ProtoMsg> {
+fn data_msg(
+    to_txn: TxnId,
+    block: u64,
+    value: u64,
+    serialized_at: Option<u64>,
+) -> Message<ProtoMsg> {
     let mut d = BlockData::ZERO;
     d.write(0, value);
     Message::unordered(
@@ -207,7 +219,13 @@ fn owner_responds_to_foreign_gets_and_becomes_o() {
 fn foreign_getm_invalidates_s_copy() {
     let mut c = snooping(1);
     // Get an S copy via a GetS miss.
-    let (outcome, actions) = c.access(t(0), ProcOp::Load { block: BlockAddr(3), word: 0 });
+    let (outcome, actions) = c.access(
+        t(0),
+        ProcOp::Load {
+            block: BlockAddr(3),
+            word: 0,
+        },
+    );
     let txn = match outcome {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
@@ -338,7 +356,11 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
             &req_msg(req.kind, block, 0, txn.seq, mask, 0),
             Some(seq_base),
         );
-        c.on_delivery(t(seq_base * 100 + 10), &data_msg(txn, block, block, None), None)
+        c.on_delivery(
+            t(seq_base * 100 + 10),
+            &data_msg(txn, block, block, None),
+            None,
+        )
     };
     install(1, 1);
     install(5, 2);
@@ -416,7 +438,11 @@ fn unsquashed_writeback_sends_data_at_marker() {
             &req_msg(req.kind, block, 0, txn.seq, mask, 0),
             Some(seq_base),
         );
-        c.on_delivery(t(seq_base * 100 + 10), &data_msg(txn, block, block, None), None)
+        c.on_delivery(
+            t(seq_base * 100 + 10),
+            &data_msg(txn, block, block, None),
+            None,
+        )
     };
     install(1, 1);
     install(5, 2);
@@ -438,16 +464,18 @@ fn unsquashed_writeback_sends_data_at_marker() {
     );
     let wb: Vec<_> = acts
         .iter()
-        .filter(|a| matches!(
-            a,
-            Action::SendAfter {
-                msg: Message {
-                    payload: ProtoMsg::WbData { .. },
+        .filter(|a| {
+            matches!(
+                a,
+                Action::SendAfter {
+                    msg: Message {
+                        payload: ProtoMsg::WbData { .. },
+                        ..
+                    },
                     ..
-                },
-                ..
-            }
-        ))
+                }
+            )
+        })
         .collect();
     assert_eq!(wb.len(), 1, "valid writeback sends the data to the home");
     assert!(c.is_quiescent());
@@ -491,7 +519,10 @@ fn bash_owner_ignores_insufficient_getm() {
         0,
     );
     let acts = c.on_delivery(t(30), &insuff, Some(2));
-    assert!(acts.is_empty(), "owner must not answer an insufficient GetM");
+    assert!(
+        acts.is_empty(),
+        "owner must not answer an insufficient GetM"
+    );
     assert_eq!(c.cache().state(BlockAddr(1)), Some(Mosi::O));
     // The home's retry covers the sharer: now we respond and invalidate.
     let retry = req_msg(TxnKind::GetM, 1, 2, 2, NodeSet::all(4), 1);
@@ -543,7 +574,11 @@ fn nack_triggers_a_broadcast_reissue() {
     assert_eq!(remask, NodeSet::all(4), "guaranteed-sufficient broadcast");
     assert_eq!(c.stats().nacks_received, 1);
     // The new marker + data complete it.
-    c.on_delivery(t(20), &req_msg(reissue.kind, 1, 0, txn.seq, remask, 0), Some(5));
+    c.on_delivery(
+        t(20),
+        &req_msg(reissue.kind, 1, 0, txn.seq, remask, 0),
+        Some(5),
+    );
     let acts = c.on_delivery(t(30), &data_msg(txn, 1, 0, Some(5)), None);
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
 }

@@ -19,9 +19,7 @@ use bash_net::{Message, NodeId, VnetId};
 use crate::actions::Action;
 use crate::common::MemStats;
 use crate::registry::TransitionLog;
-use crate::types::{
-    BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnKind, DATA_MSG_BYTES,
-};
+use crate::types::{BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnKind, DATA_MSG_BYTES};
 
 /// A writeback in flight toward this memory controller.
 #[derive(Debug, Clone)]
@@ -192,7 +190,13 @@ impl SnoopingMemCtrl {
         }
     }
 
-    fn on_wb_data(&mut self, now: Time, block: BlockAddr, from: NodeId, data: BlockData) -> Vec<Action> {
+    fn on_wb_data(
+        &mut self,
+        now: Time,
+        block: BlockAddr,
+        from: NodeId,
+        data: BlockData,
+    ) -> Vec<Action> {
         let before = self.state_label(block);
         let st = self.blocks.get_mut(&block).expect("wb data without state");
         let wb = st.wb.take().expect("wb data without open window");
@@ -206,7 +210,8 @@ impl SnoopingMemCtrl {
             let mid = self.state_label(block);
             let drained = self.process_request(now, &req, order);
             acts.extend(drained);
-            self.log.record(mid, req.kind.name(), self.state_label(block));
+            self.log
+                .record(mid, req.kind.name(), self.state_label(block));
         }
         self.log.record(before, "WbData", self.state_label(block));
         acts

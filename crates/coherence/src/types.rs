@@ -308,7 +308,13 @@ mod tests {
         let sharers = NodeSet::from_nodes([NodeId(2), NodeId(3)]);
         let dual = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
         // Memory owner: dualcast includes home → sufficient.
-        assert!(is_sufficient(TxnKind::GetS, &dual, Owner::Memory, &sharers, home));
+        assert!(is_sufficient(
+            TxnKind::GetS,
+            &dual,
+            Owner::Memory,
+            &sharers,
+            home
+        ));
         // Cache owner not in mask → insufficient.
         assert!(!is_sufficient(
             TxnKind::GetS,
@@ -333,9 +339,21 @@ mod tests {
         let home = NodeId(0);
         let sharers = NodeSet::from_nodes([NodeId(2), NodeId(3)]);
         let dual = NodeSet::from_nodes([NodeId(0), NodeId(1)]);
-        assert!(!is_sufficient(TxnKind::GetM, &dual, Owner::Memory, &sharers, home));
+        assert!(!is_sufficient(
+            TxnKind::GetM,
+            &dual,
+            Owner::Memory,
+            &sharers,
+            home
+        ));
         let full = NodeSet::all(4);
-        assert!(is_sufficient(TxnKind::GetM, &full, Owner::Memory, &sharers, home));
+        assert!(is_sufficient(
+            TxnKind::GetM,
+            &full,
+            Owner::Memory,
+            &sharers,
+            home
+        ));
         assert!(is_sufficient(
             TxnKind::GetM,
             &full,
@@ -371,7 +389,10 @@ mod tests {
             kind: TxnKind::GetM,
             block: BlockAddr(1),
             requestor: NodeId(0),
-            txn: TxnId { node: NodeId(0), seq: 1 },
+            txn: TxnId {
+                node: NodeId(0),
+                seq: 1,
+            },
             retry: 0,
             from_dir: false,
         });

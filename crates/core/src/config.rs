@@ -115,7 +115,10 @@ impl SystemConfig {
         assert!(self.nodes > 0, "need at least one node");
         assert!(self.link_mbps > 0, "bandwidth must be positive");
         assert!(self.broadcast_cost_multiplier >= 1);
-        assert!(self.retry_capacity > 0, "BASH needs at least one retry buffer");
+        assert!(
+            self.retry_capacity > 0,
+            "BASH needs at least one retry buffer"
+        );
         assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
     }
 }
@@ -128,10 +131,7 @@ mod tests {
     fn paper_latencies() {
         let c = SystemConfig::paper_default(ProtocolKind::Bash, 16, 1600);
         // 50 + 80 + 50 = 180 ns memory fetch.
-        assert_eq!(
-            (c.traversal + c.dram_latency + c.traversal).as_ns(),
-            180
-        );
+        assert_eq!((c.traversal + c.dram_latency + c.traversal).as_ns(), 180);
         // 50 + 25 + 50 = 125 ns snooping cache-to-cache.
         assert_eq!(
             (c.traversal + c.cache_provide_latency + c.traversal).as_ns(),
@@ -139,11 +139,7 @@ mod tests {
         );
         // 50 + 80 + 50 + 25 + 50 = 255 ns directory cache-to-cache.
         assert_eq!(
-            (c.traversal
-                + c.dram_latency
-                + c.traversal
-                + c.cache_provide_latency
-                + c.traversal)
+            (c.traversal + c.dram_latency + c.traversal + c.cache_provide_latency + c.traversal)
                 .as_ns(),
             255
         );

@@ -3,7 +3,7 @@
 use bash_kernel::Duration;
 
 /// Aggregate results of one measured simulation window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Protocol display name.
     pub protocol: &'static str,

@@ -336,7 +336,11 @@ impl<W: Workload> System<W> {
         let mut bytes = 0u64;
         for i in 0..self.cfg.nodes {
             let node = NodeId(i);
-            busy += self.net.link_tracker(node).busy_time_until(self.now).as_ps();
+            busy += self
+                .net
+                .link_tracker(node)
+                .busy_time_until(self.now)
+                .as_ps();
             bytes += self.net.link_bytes(node);
         }
         Snapshot {
@@ -408,11 +412,7 @@ impl<W: Workload> System<W> {
                 Action::SendAfter { delay, msg } => {
                     self.events.schedule(self.now + delay, Event::Inject(msg));
                 }
-                Action::MissDone {
-                    txn,
-                    value,
-                    ..
-                } => self.miss_done(node, txn, value),
+                Action::MissDone { txn, value, .. } => self.miss_done(node, txn, value),
             }
         }
     }
@@ -453,7 +453,8 @@ impl<W: Workload> System<W> {
         }
         self.counters.ops += 1;
         self.counters.retired += pending.instructions;
-        self.workload.on_complete(node, self.now, &pending.op, value);
+        self.workload
+            .on_complete(node, self.now, &pending.op, value);
         self.fetch_next(node);
     }
 
@@ -475,8 +476,8 @@ impl<W: Workload> System<W> {
         let mut policy_n = 0u32;
         for i in 0..self.cfg.nodes {
             let node = NodeId(i);
-            let busy = self.window_deltas[node.index()]
-                .advance(self.net.link_tracker(node), self.now);
+            let busy =
+                self.window_deltas[node.index()].advance(self.net.link_tracker(node), self.now);
             // Under latency jitter a transmission can be credited across a
             // window boundary (up to jitter_max of slop); clamp — boundary
             // slop is measurement noise, exactly as in real sampling

@@ -1,0 +1,231 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! This workspace builds in fully offline environments, so the real
+//! criterion crate cannot be fetched from crates.io. This shim implements
+//! exactly the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock timing loop and a plain-text report. Swapping in the real
+//! criterion later is a one-line Cargo.toml change; no bench source needs
+//! to be touched.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Wall-clock budget per benchmark, in milliseconds.
+const BUDGET_MS: u64 = 200;
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value (grouped under the benchmark
+    /// group's name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times a single benchmark body.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly within the time budget and records the mean
+    /// time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that fits the
+        // budget, then measure.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let budget_ns = BUDGET_MS * 1_000_000;
+        let iters = (budget_ns / once_ns).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.iters = iters;
+        self.ns_per_iter = total / iters as f64;
+    }
+}
+
+fn report(id: &str, bench: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "bench: {:<48} {:>14.1} ns/iter ({} iters)",
+        id, bench.ns_per_iter, bench.iters
+    );
+    if bench.ns_per_iter > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (bench.ns_per_iter / 1e9);
+                line.push_str(&format!("  {:>12.0} elem/s", rate));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (bench.ns_per_iter / 1e9);
+                line.push_str(&format!("  {:>12.0} B/s", rate));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    report(id, &b, throughput);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// timing loop is budget-driven).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Prints the trailing summary (a no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (requires `harness = false`),
+/// mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_body() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters >= 1);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+    }
+}

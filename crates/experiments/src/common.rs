@@ -1,15 +1,14 @@
-//! Shared experiment machinery: run helpers, aggregation over perturbed
-//! seeds, CSV output and ASCII charts.
+//! Shared experiment machinery: `SimBuilder`-based run helpers, CSV output
+//! and ASCII charts.
+//!
+//! Seed aggregation (mean ± stddev over perturbed runs) is the builder's
+//! job now — each experiment point chains overrides onto [`point_builder`]
+//! and reads the structured `RunReport` it returns.
 
 use std::fs;
 use std::path::PathBuf;
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_net::Jitter;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::{LockingMicrobench, SyntheticWorkload, WorkloadParams};
+use bash::{CacheGeometry, Duration, ProtocolKind, SimBuilder, WorkloadParams};
 
 /// Global experiment options (from the command line).
 #[derive(Debug, Clone)]
@@ -64,86 +63,28 @@ pub enum Wl {
     Macro(WorkloadParams),
 }
 
-/// One experiment point, possibly aggregated over several seeds.
-#[derive(Debug, Clone)]
-pub struct Point {
-    /// Mean performance (ops/s for micro, instructions/s for macro).
-    pub perf: f64,
-    /// Standard deviation of the performance across seeds.
-    pub perf_stddev: f64,
-    /// Mean endpoint link utilization.
-    pub utilization: f64,
-    /// Mean miss latency in ns.
-    pub miss_latency_ns: f64,
-    /// Mean broadcast fraction.
-    pub broadcast_fraction: f64,
-}
-
-/// Runs one configuration, aggregating over `opts.seeds` perturbed runs
-/// (the paper's methodology: deterministic runs perturbed with small random
-/// request delays, mean ± stddev reported).
-pub fn run_point(
+/// A [`SimBuilder`] preconfigured for one experiment point: workload,
+/// matching cache geometry, and the `--seeds` aggregation count. Chain
+/// further overrides before running.
+pub fn point_builder(
     proto: ProtocolKind,
     nodes: u16,
     mbps: u64,
     wl: &Wl,
-    broadcast_cost: u32,
-    adaptor: AdaptorConfig,
-    warmup: Duration,
-    measure: Duration,
     opts: &Options,
-) -> Point {
-    let mut perfs = Vec::new();
-    let mut utils = Vec::new();
-    let mut lats = Vec::new();
-    let mut bfr = Vec::new();
-    for s in 0..opts.seeds.max(1) {
-        let mut cfg = SystemConfig::paper_default(proto, nodes, mbps)
-            .with_broadcast_cost(broadcast_cost)
-            .with_adaptor(adaptor.clone())
-            .with_seed(0xF00D + s as u64 * 7919);
-        if opts.seeds > 1 {
-            // Perturbation: a small random injection delay per request.
-            cfg = cfg.with_jitter(Jitter::Uniform {
-                injection_max: Duration::from_ns(3),
-                traversal_max: Duration::ZERO,
-                seed: 0x9E37 + s as u64,
-            });
-        }
-        let stats = match wl {
-            Wl::Micro { locks, think } => {
-                cfg = cfg.with_cache(cache_for_locks(*locks));
-                let w = LockingMicrobench::new(nodes, *locks, *think, cfg.seed ^ 0xA5);
-                System::run(cfg, w, warmup, measure)
-            }
-            Wl::Macro(params) => {
-                cfg = cfg.with_cache(CacheGeometry { sets: 512, ways: 4 });
-                let w = SyntheticWorkload::new(nodes, params.clone(), cfg.seed ^ 0xA5);
-                System::run(cfg, w, warmup, measure)
-            }
-        };
-        let perf = match wl {
-            Wl::Micro { .. } => stats.ops_per_sec(),
-            Wl::Macro(_) => stats.instructions_per_sec(),
-        };
-        perfs.push(perf);
-        utils.push(stats.link_utilization);
-        lats.push(stats.avg_miss_latency_ns);
-        bfr.push(stats.broadcast_fraction());
-    }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let m = mean(&perfs);
-    let sd = if perfs.len() < 2 {
-        0.0
-    } else {
-        (perfs.iter().map(|p| (p - m) * (p - m)).sum::<f64>() / (perfs.len() - 1) as f64).sqrt()
-    };
-    Point {
-        perf: m,
-        perf_stddev: sd,
-        utilization: mean(&utils),
-        miss_latency_ns: mean(&lats),
-        broadcast_fraction: mean(&bfr),
+) -> SimBuilder {
+    let b = SimBuilder::new(proto)
+        .nodes(nodes)
+        .bandwidth_mbps(mbps)
+        .seed(0xF00D)
+        .seeds(opts.seeds.max(1));
+    match wl {
+        Wl::Micro { locks, think } => b
+            .cache(cache_for_locks(*locks))
+            .locking_microbench(*locks, *think),
+        Wl::Macro(params) => b
+            .cache(CacheGeometry { sets: 512, ways: 4 })
+            .synthetic(params.clone()),
     }
 }
 
@@ -159,20 +100,18 @@ pub fn cache_for_locks(locks: u64) -> CacheGeometry {
 
 /// Runs a workload-agnostic baseline: Snooping at unbounded bandwidth (the
 /// macro figures normalize to it).
-pub fn snooping_unbounded_baseline(nodes: u16, wl: &Wl, warmup: Duration, measure: Duration) -> f64 {
+pub fn snooping_unbounded_baseline(
+    nodes: u16,
+    wl: &Wl,
+    warmup: Duration,
+    measure: Duration,
+) -> f64 {
     let opts = Options::default();
-    let p = run_point(
-        ProtocolKind::Snooping,
-        nodes,
-        UNBOUNDED_MBPS,
-        wl,
-        1,
-        AdaptorConfig::paper_default(),
-        warmup,
-        measure,
-        &opts,
-    );
-    p.perf
+    point_builder(ProtocolKind::Snooping, nodes, UNBOUNDED_MBPS, wl, &opts)
+        .plan(warmup, measure)
+        .run()
+        .perf
+        .mean
 }
 
 /// Writes CSV rows to `<out_dir>/<name>.csv`.
@@ -248,4 +187,3 @@ pub fn ascii_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)], log_x: bool)
         legend.join("  ")
     );
 }
-

@@ -2,13 +2,10 @@
 //! the microbenchmark plus the five synthetic commercial/scientific
 //! workloads).
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::ProtocolKind;
-use bash_kernel::Duration;
-use bash_workloads::WorkloadParams;
+use bash::{Duration, ProtocolKind, WorkloadParams};
 
 use crate::common::{
-    ascii_chart, run_point, snooping_unbounded_baseline, write_csv, Options, Wl,
+    ascii_chart, point_builder, snooping_unbounded_baseline, write_csv, Options, Wl,
     MACRO_BANDWIDTHS,
 };
 
@@ -41,7 +38,11 @@ fn measure(opts: &Options) -> Duration {
 /// quadruples the bandwidth cost of broadcasts to approximate a larger
 /// system.
 pub fn fig10_11(opts: &Options, broadcast_cost: u32) {
-    let fig = if broadcast_cost == 1 { "fig10" } else { "fig11" };
+    let fig = if broadcast_cost == 1 {
+        "fig10"
+    } else {
+        "fig11"
+    };
     let mut csv = Vec::new();
     for (name, wl) in workloads() {
         let baseline = snooping_unbounded_baseline(MACRO_NODES, &wl, warmup(opts), measure(opts));
@@ -50,27 +51,20 @@ pub fn fig10_11(opts: &Options, broadcast_cost: u32) {
         for proto in ProtocolKind::ALL {
             let mut pts = Vec::new();
             for &bw in &MACRO_BANDWIDTHS {
-                let p = run_point(
-                    proto,
-                    MACRO_NODES,
-                    bw,
-                    &wl,
-                    broadcast_cost,
-                    AdaptorConfig::paper_default(),
-                    warmup(opts),
-                    measure(opts),
-                    opts,
-                );
-                let norm = p.perf / baseline;
+                let p = point_builder(proto, MACRO_NODES, bw, &wl, opts)
+                    .broadcast_cost(broadcast_cost)
+                    .plan(warmup(opts), measure(opts))
+                    .run();
+                let norm = p.perf.mean / baseline;
                 csv.push(format!(
                     "{},{},{},{:.6},{:.6},{:.4},{:.4}",
                     name,
                     proto.name(),
                     bw,
                     norm,
-                    p.perf_stddev / baseline,
-                    p.utilization,
-                    p.broadcast_fraction
+                    p.perf.stddev / baseline,
+                    p.link_utilization.mean,
+                    p.broadcast_fraction.mean
                 ));
                 pts.push((bw as f64, norm));
             }
@@ -82,9 +76,17 @@ pub fn fig10_11(opts: &Options, broadcast_cost: u32) {
         ascii_chart(
             &format!(
                 "{}: {} (16p{}) — perf normalized to Snooping@unbounded",
-                if broadcast_cost == 1 { "Figure 10" } else { "Figure 11" },
+                if broadcast_cost == 1 {
+                    "Figure 10"
+                } else {
+                    "Figure 11"
+                },
                 name,
-                if broadcast_cost == 1 { "" } else { ", 4x broadcast cost" }
+                if broadcast_cost == 1 {
+                    ""
+                } else {
+                    ", 4x broadcast cost"
+                }
             ),
             &series,
             true,
@@ -112,19 +114,16 @@ pub fn fig12(opts: &Options) {
     );
     for (name, wl) in workloads().into_iter().skip(1) {
         let mut vals = Vec::new();
-        for proto in [ProtocolKind::Bash, ProtocolKind::Snooping, ProtocolKind::Directory] {
-            let p = run_point(
-                proto,
-                MACRO_NODES,
-                1600,
-                &wl,
-                4,
-                AdaptorConfig::paper_default(),
-                warmup(opts),
-                measure(opts),
-                opts,
-            );
-            vals.push(p.perf);
+        for proto in [
+            ProtocolKind::Bash,
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+        ] {
+            let p = point_builder(proto, MACRO_NODES, 1600, &wl, opts)
+                .broadcast_cost(4)
+                .plan(warmup(opts), measure(opts))
+                .run();
+            vals.push(p.perf.mean);
         }
         let bash = vals[0];
         println!(

@@ -1,12 +1,8 @@
 //! Microbenchmark experiments: Figures 1, 5, 6, 7, 8, 9.
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::ProtocolKind;
-use bash_kernel::Duration;
+use bash::{AdaptorConfig, Duration, ProtocolKind, RunReport};
 
-use crate::common::{
-    ascii_chart, run_point, write_csv, Options, Point, Wl, BANDWIDTHS,
-};
+use crate::common::{ascii_chart, point_builder, write_csv, Options, Wl, BANDWIDTHS};
 
 const MICRO_NODES: u16 = 64;
 const MICRO_LOCKS: u64 = 1024;
@@ -31,7 +27,7 @@ fn measure(opts: &Options) -> Duration {
 /// processors.
 pub struct BandwidthSweep {
     /// `(protocol, bandwidth MB/s, point)` rows.
-    pub rows: Vec<(ProtocolKind, u64, Point)>,
+    pub rows: Vec<(ProtocolKind, u64, RunReport)>,
 }
 
 /// Runs (or reuses) the sweep.
@@ -39,24 +35,16 @@ pub fn bandwidth_sweep(opts: &Options) -> BandwidthSweep {
     let mut rows = Vec::new();
     for proto in ProtocolKind::ALL {
         for &bw in &BANDWIDTHS {
-            let p = run_point(
-                proto,
-                MICRO_NODES,
-                bw,
-                &micro_wl(0),
-                1,
-                AdaptorConfig::paper_default(),
-                warmup(opts),
-                measure(opts),
-                opts,
-            );
+            let p = point_builder(proto, MICRO_NODES, bw, &micro_wl(0), opts)
+                .plan(warmup(opts), measure(opts))
+                .run();
             eprintln!(
                 "  {:9} {:6} MB/s: {:8.1} acq/ms  util {:4.2}  bcast {:4.2}",
                 proto.name(),
                 bw,
-                p.perf / 1e6,
-                p.utilization,
-                p.broadcast_fraction
+                p.perf.mean / 1e6,
+                p.link_utilization.mean,
+                p.broadcast_fraction.mean
             );
             rows.push((proto, bw, p));
         }
@@ -70,7 +58,7 @@ pub fn fig1(opts: &Options, sweep: &BandwidthSweep) {
     let best = sweep
         .rows
         .iter()
-        .map(|(_, _, p)| p.perf)
+        .map(|(_, _, p)| p.perf.mean)
         .fold(0.0f64, f64::max);
     let mut csv = Vec::new();
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
@@ -79,7 +67,7 @@ pub fn fig1(opts: &Options, sweep: &BandwidthSweep) {
             .rows
             .iter()
             .filter(|(pr, ..)| *pr == proto)
-            .map(|(_, bw, p)| (*bw as f64, p.perf / best))
+            .map(|(_, bw, p)| (*bw as f64, p.perf.mean / best))
             .collect();
         for (bw, v) in &pts {
             csv.push(format!("{},{},{:.6}", proto.name(), bw, v));
@@ -91,7 +79,12 @@ pub fn fig1(opts: &Options, sweep: &BandwidthSweep) {
         &series,
         true,
     );
-    let path = write_csv(opts, "fig1", "protocol,bandwidth_mbps,normalized_perf", &csv);
+    let path = write_csv(
+        opts,
+        "fig1",
+        "protocol,bandwidth_mbps,normalized_perf",
+        &csv,
+    );
     println!("  wrote {}", path.display());
 }
 
@@ -102,7 +95,7 @@ pub fn fig5(opts: &Options, sweep: &BandwidthSweep) {
             .rows
             .iter()
             .find(|(p, b, _)| *p == ProtocolKind::Bash && *b == bw)
-            .map(|(_, _, p)| p.perf)
+            .map(|(_, _, p)| p.perf.mean)
             .expect("bash point")
     };
     let mut csv = Vec::new();
@@ -112,7 +105,7 @@ pub fn fig5(opts: &Options, sweep: &BandwidthSweep) {
             .rows
             .iter()
             .filter(|(pr, ..)| *pr == proto)
-            .map(|(_, bw, p)| (*bw as f64, p.perf / bash_at(*bw)))
+            .map(|(_, bw, p)| (*bw as f64, p.perf.mean / bash_at(*bw)))
             .collect();
         for (bw, v) in &pts {
             csv.push(format!("{},{},{:.6}", proto.name(), bw, v));
@@ -138,7 +131,7 @@ pub fn fig6(opts: &Options, sweep: &BandwidthSweep) {
             .rows
             .iter()
             .filter(|(pr, ..)| *pr == proto)
-            .map(|(_, bw, p)| (*bw as f64, p.utilization * 100.0))
+            .map(|(_, bw, p)| (*bw as f64, p.link_utilization.mean * 100.0))
             .collect();
         for (bw, v) in &pts {
             csv.push(format!("{},{},{:.3}", proto.name(), bw, v));
@@ -150,7 +143,12 @@ pub fn fig6(opts: &Options, sweep: &BandwidthSweep) {
         &series,
         true,
     );
-    let path = write_csv(opts, "fig6", "protocol,bandwidth_mbps,utilization_pct", &csv);
+    let path = write_csv(
+        opts,
+        "fig6",
+        "protocol,bandwidth_mbps,utilization_pct",
+        &csv,
+    );
     println!("  wrote {}", path.display());
 }
 
@@ -159,21 +157,13 @@ pub fn fig7(opts: &Options) {
     let mut csv = Vec::new();
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     let mut best = 0.0f64;
-    let mut raw: Vec<(String, u64, Point)> = Vec::new();
+    let mut raw: Vec<(String, u64, RunReport)> = Vec::new();
     for proto in [ProtocolKind::Snooping, ProtocolKind::Directory] {
         for &bw in &BANDWIDTHS {
-            let p = run_point(
-                proto,
-                MICRO_NODES,
-                bw,
-                &micro_wl(0),
-                1,
-                AdaptorConfig::paper_default(),
-                warmup(opts),
-                measure(opts),
-                opts,
-            );
-            best = best.max(p.perf);
+            let p = point_builder(proto, MICRO_NODES, bw, &micro_wl(0), opts)
+                .plan(warmup(opts), measure(opts))
+                .run();
+            best = best.max(p.perf.mean);
             raw.push((proto.name().to_string(), bw, p));
         }
     }
@@ -181,18 +171,11 @@ pub fn fig7(opts: &Options) {
         let mut adaptor = AdaptorConfig::paper_default();
         adaptor.threshold_percent = pct;
         for &bw in &BANDWIDTHS {
-            let p = run_point(
-                ProtocolKind::Bash,
-                MICRO_NODES,
-                bw,
-                &micro_wl(0),
-                1,
-                adaptor.clone(),
-                warmup(opts),
-                measure(opts),
-                opts,
-            );
-            best = best.max(p.perf);
+            let p = point_builder(ProtocolKind::Bash, MICRO_NODES, bw, &micro_wl(0), opts)
+                .adaptor(adaptor.clone())
+                .plan(warmup(opts), measure(opts))
+                .run();
+            best = best.max(p.perf.mean);
             raw.push((format!("BASH:{pct}%"), bw, p));
         }
         eprintln!("  threshold {pct}% done");
@@ -206,7 +189,7 @@ pub fn fig7(opts: &Options) {
         let pts: Vec<(f64, f64)> = raw
             .iter()
             .filter(|(n, ..)| n == name)
-            .map(|(_, bw, p)| (*bw as f64, p.perf / best))
+            .map(|(_, bw, p)| (*bw as f64, p.perf.mean / best))
             .collect();
         for (bw, v) in &pts {
             csv.push(format!("{},{},{:.6}", name, bw, v));
@@ -246,18 +229,10 @@ pub fn fig8(opts: &Options) {
             } else {
                 measure(opts)
             };
-            let p = run_point(
-                proto,
-                n,
-                1600,
-                &wl,
-                1,
-                AdaptorConfig::paper_default(),
-                opts.window(Duration::from_ns(50_000)),
-                meas,
-                opts,
-            );
-            let per_proc = p.perf / n as f64;
+            let p = point_builder(proto, n, 1600, &wl, opts)
+                .plan(opts.window(Duration::from_ns(50_000)), meas)
+                .run();
+            let per_proc = p.perf.mean / n as f64;
             best = best.max(per_proc);
             eprintln!(
                 "  {:9} {:3}p: {:9.1} acq/ms/proc",
@@ -285,7 +260,12 @@ pub fn fig8(opts: &Options) {
         &series,
         true,
     );
-    let path = write_csv(opts, "fig8", "protocol,processors,normalized_perf_per_proc", &csv);
+    let path = write_csv(
+        opts,
+        "fig8",
+        "protocol,processors,normalized_perf_per_proc",
+        &csv,
+    );
     println!("  wrote {}", path.display());
 }
 
@@ -297,19 +277,16 @@ pub fn fig9(opts: &Options) {
     for proto in ProtocolKind::ALL {
         let mut pts = Vec::new();
         for &tc in &thinks {
-            let p = run_point(
-                proto,
-                MICRO_NODES,
-                1600,
-                &micro_wl(tc),
-                1,
-                AdaptorConfig::paper_default(),
-                warmup(opts),
-                measure(opts),
-                opts,
-            );
-            pts.push((tc as f64, p.miss_latency_ns));
-            csv.push(format!("{},{},{:.2}", proto.name(), tc, p.miss_latency_ns));
+            let p = point_builder(proto, MICRO_NODES, 1600, &micro_wl(tc), opts)
+                .plan(warmup(opts), measure(opts))
+                .run();
+            pts.push((tc as f64, p.miss_latency_ns.mean));
+            csv.push(format!(
+                "{},{},{:.2}",
+                proto.name(),
+                tc,
+                p.miss_latency_ns.mean
+            ));
         }
         eprintln!("  {} done", proto.name());
         series.push((proto.name(), pts));
@@ -319,6 +296,11 @@ pub fn fig9(opts: &Options) {
         &series,
         false,
     );
-    let path = write_csv(opts, "fig9", "protocol,think_cycles,avg_miss_latency_ns", &csv);
+    let path = write_csv(
+        opts,
+        "fig9",
+        "protocol,think_cycles,avg_miss_latency_ns",
+        &csv,
+    );
     println!("  wrote {}", path.display());
 }

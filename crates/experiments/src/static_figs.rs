@@ -2,13 +2,11 @@
 //! (Figure 2), the utilization-counter trace (Figure 3), and the protocol
 //! transaction walkthroughs (Figure 4).
 
-use bash_adaptive::{AdaptorConfig, DecisionMode, UtilizationCounter};
-use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind};
-use bash_kernel::Duration;
-use bash_net::NodeId;
-use bash_queueing::{figure2_curve, simulate, RepairmanParams};
-use bash_sim::{System, SystemConfig};
-use bash_workloads::ScriptWorkload;
+use bash::queueing::{figure2_curve, simulate, RepairmanParams};
+use bash::{
+    AdaptorConfig, BlockAddr, CacheGeometry, DecisionMode, Duration, NodeId, ProcOp, ProtocolKind,
+    ScriptWorkload, System, SystemConfig, UtilizationCounter,
+};
 
 use crate::common::{ascii_chart, write_csv, Options};
 
@@ -46,7 +44,12 @@ pub fn fig2(opts: &Options) {
         &[("analytic", analytic_pct), ("simulated", sim_pts)],
         false,
     );
-    let path = write_csv(opts, "fig2", "method,utilization_pct,mean_queueing_delay", &csv);
+    let path = write_csv(
+        opts,
+        "fig2",
+        "method,utilization_pct,mean_queueing_delay",
+        &csv,
+    );
     println!("  wrote {}", path.display());
 }
 
@@ -95,12 +98,42 @@ pub fn fig3(opts: &Options) {
 pub fn fig4(opts: &Options) {
     let mut csv = Vec::new();
     let panels: [(&str, ProtocolKind, DecisionMode, bool); 6] = [
-        ("(a) Snooping, memory-to-cache", ProtocolKind::Snooping, DecisionMode::Adaptive, false),
-        ("(b) Directory, memory-to-cache", ProtocolKind::Directory, DecisionMode::Adaptive, false),
-        ("(c) BASH unicast, memory-to-cache", ProtocolKind::Bash, DecisionMode::AlwaysUnicast, false),
-        ("(d) Snooping, cache-to-cache", ProtocolKind::Snooping, DecisionMode::Adaptive, true),
-        ("(e) Directory, cache-to-cache", ProtocolKind::Directory, DecisionMode::Adaptive, true),
-        ("(f) BASH unicast, cache-to-cache", ProtocolKind::Bash, DecisionMode::AlwaysUnicast, true),
+        (
+            "(a) Snooping, memory-to-cache",
+            ProtocolKind::Snooping,
+            DecisionMode::Adaptive,
+            false,
+        ),
+        (
+            "(b) Directory, memory-to-cache",
+            ProtocolKind::Directory,
+            DecisionMode::Adaptive,
+            false,
+        ),
+        (
+            "(c) BASH unicast, memory-to-cache",
+            ProtocolKind::Bash,
+            DecisionMode::AlwaysUnicast,
+            false,
+        ),
+        (
+            "(d) Snooping, cache-to-cache",
+            ProtocolKind::Snooping,
+            DecisionMode::Adaptive,
+            true,
+        ),
+        (
+            "(e) Directory, cache-to-cache",
+            ProtocolKind::Directory,
+            DecisionMode::Adaptive,
+            true,
+        ),
+        (
+            "(f) BASH unicast, cache-to-cache",
+            ProtocolKind::Bash,
+            DecisionMode::AlwaysUnicast,
+            true,
+        ),
     ];
     for (title, proto, mode, cache_to_cache) in panels {
         println!("\n  Figure 4 {title}");
@@ -154,7 +187,7 @@ fn walkthrough(proto: ProtocolKind, mode: DecisionMode, cache_to_cache: bool) ->
         },
     );
     let mut sys = System::new(cfg, script);
-    sys.run_until(bash_kernel::Time::ZERO + setup_until);
+    sys.run_until(bash::Time::ZERO + setup_until);
     sys.enable_delivery_trace();
     sys.run_to_idle();
     let mut out: Vec<String> = sys

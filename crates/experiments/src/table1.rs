@@ -7,9 +7,7 @@
 //! events and roughly twice the transitions of either base protocol, while
 //! all three have comparable state counts.
 
-use bash_adaptive::DecisionMode;
-use bash_coherence::{ProtocolKind, TransitionLog};
-use bash_tester::{run_random_test, TesterConfig};
+use bash::{run_random_test, DecisionMode, ProtocolKind, TesterConfig, TransitionLog};
 
 use crate::common::{write_csv, Options};
 
@@ -140,5 +138,8 @@ pub fn table1(opts: &Options) {
         &listing,
     );
     println!("\n  wrote {}", path.display());
-    println!("  wrote {} (full transition listing)", listing_path.display());
+    println!(
+        "  wrote {} (full transition listing)",
+        listing_path.display()
+    );
 }

@@ -3,11 +3,9 @@
 //! Every stochastic component of the simulator (workload generators, request
 //! jitter, the paper's perturbation methodology) draws from a [`DetRng`]
 //! seeded from the run configuration, so a run is a pure function of its
-//! config. Built on `rand`'s `SmallRng` (xoshiro256++), which is fast and
-//! documented as reproducible for a fixed seed and crate version.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! config. The generator is an in-crate xoshiro256++ (Blackman & Vigna),
+//! seeded through splitmix64 — fast, reproducible for a fixed seed, and
+//! free of external dependencies so the workspace builds offline.
 
 /// A seedable, deterministic random-number generator.
 ///
@@ -22,14 +20,28 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -43,9 +55,20 @@ impl DetRng {
         DetRng::seed_from(z ^ (z >> 31))
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// A uniform integer in `[0, bound)`.
@@ -55,7 +78,9 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift reduction: uniform enough for simulation
+        // (bias is O(bound / 2^64)) and branch-free.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -65,12 +90,13 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// True with probability `p` (clamped to `[0, 1]`).

@@ -125,7 +125,7 @@ impl Duration {
     pub fn transmission(bytes: u64, mbps: u64) -> Duration {
         assert!(mbps > 0, "link bandwidth must be positive");
         let num = bytes as u128 * 1_000_000u128;
-        Duration(((num + mbps as u128 - 1) / mbps as u128) as u64)
+        Duration(num.div_ceil(mbps as u128) as u64)
     }
 
     /// Multiplies the span by an integer factor (saturating).

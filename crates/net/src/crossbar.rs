@@ -285,7 +285,13 @@ impl<P: Clone> Crossbar<P> {
         step
     }
 
-    fn arrive(&mut self, now: Time, dst: NodeId, msg: Message<P>, order: Option<u64>) -> NetStep<P> {
+    fn arrive(
+        &mut self,
+        now: Time,
+        dst: NodeId,
+        msg: Message<P>,
+        order: Option<u64>,
+    ) -> NetStep<P> {
         let eff = self.effective_size(&msg);
         let rx_time = Duration::transmission(eff, self.cfg.link_mbps);
         let link = &mut self.links[dst.index()];
@@ -295,7 +301,8 @@ impl<P: Clone> Crossbar<P> {
         link.bytes += eff;
         link.messages += 1;
         let mut step = NetStep::empty();
-        step.schedule.push((end, NetEvent::Deliver { dst, msg, order }));
+        step.schedule
+            .push((end, NetEvent::Deliver { dst, msg, order }));
         step
     }
 

@@ -61,8 +61,9 @@ pub struct RepairmanResult {
 pub fn analytic(p: RepairmanParams) -> RepairmanResult {
     assert!(p.customers > 0 && p.mean_service > 0.0 && p.mean_think > 0.0);
     let n = p.customers as i64;
-    let rho = p.mean_service / p.mean_think; // λ/μ per customer
-    // P(k) ∝ N!/(N-k)! * rho^k, k = 0..N (number at the server).
+    // rho = λ/μ per customer; P(k) ∝ N!/(N-k)! * rho^k for k = 0..N
+    // customers at the server.
+    let rho = p.mean_service / p.mean_think;
     let mut weights = Vec::with_capacity(n as usize + 1);
     let mut w = 1.0f64;
     weights.push(w);
@@ -149,7 +150,10 @@ pub fn simulate(p: RepairmanParams, jobs: u64, seed: u64) -> RepairmanResult {
                 }
                 // Think, then come back.
                 let z = rng.exponential(p.mean_think) * scale;
-                q.schedule(now + bash_kernel::Duration::from_ps(z as u64), Ev::Arrive(c));
+                q.schedule(
+                    now + bash_kernel::Duration::from_ps(z as u64),
+                    Ev::Arrive(c),
+                );
                 if let Some((nc, narr)) = waiting.pop_front() {
                     if served >= warmup {
                         sum_wait += now.since(narr).as_ps() as f64 / scale;

@@ -165,10 +165,29 @@ mod tests {
         let mut o = Oracle::new();
         let b = BlockAddr(1);
         let v = o.next_store_value(NodeId(0), b);
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Store { block: b, word: 0, value: v }, v);
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 0 }, v);
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Store {
+                block: b,
+                word: 0,
+                value: v,
+            },
+            v,
+        );
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Load { block: b, word: 0 },
+            v,
+        );
         assert!(o.violations().is_empty());
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 0 }, v + 9);
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Load { block: b, word: 0 },
+            v + 9,
+        );
         assert_eq!(o.violations().len(), 1);
     }
 
@@ -177,7 +196,12 @@ mod tests {
         let mut o = Oracle::new();
         let b = BlockAddr(2);
         // Node 1 never stored, so any nonzero read of word 1 is from the future.
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 5);
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Load { block: b, word: 1 },
+            5,
+        );
         assert_eq!(o.violations().len(), 1);
     }
 
@@ -188,8 +212,18 @@ mod tests {
         for _ in 0..5 {
             o.next_store_value(NodeId(1), b);
         }
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 4);
-        o.observe(NodeId(0), Time::ZERO, &ProcOp::Load { block: b, word: 1 }, 2);
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Load { block: b, word: 1 },
+            4,
+        );
+        o.observe(
+            NodeId(0),
+            Time::ZERO,
+            &ProcOp::Load { block: b, word: 1 },
+            2,
+        );
         assert_eq!(o.violations().len(), 1);
         assert!(o.violations()[0].what.contains("backwards"));
     }
@@ -199,7 +233,16 @@ mod tests {
         let mut o = Oracle::new();
         let b = BlockAddr(4);
         let v = o.next_store_value(NodeId(2), b);
-        o.observe(NodeId(2), Time::ZERO, &ProcOp::Store { block: b, word: 2, value: v }, v);
+        o.observe(
+            NodeId(2),
+            Time::ZERO,
+            &ProcOp::Store {
+                block: b,
+                word: 2,
+                value: v,
+            },
+            v,
+        );
         o.check_final(b, 2, v);
         assert!(o.violations().is_empty());
         o.check_final(b, 2, v + 1);

@@ -167,7 +167,10 @@ mod tests {
             let item = wl.next_item(NodeId(0), Time::ZERO).unwrap();
             if let ProcOp::Store { block, value, .. } = item.op {
                 let prev = last.insert(block, value).unwrap_or(0);
-                assert!(value > prev, "oracle counters are per-(node, block) monotone");
+                assert!(
+                    value > prev,
+                    "oracle counters are per-(node, block) monotone"
+                );
             }
         }
         assert!(oracle.borrow().violations().is_empty());

@@ -54,6 +54,20 @@ pub trait Workload {
     fn name(&self) -> &str;
 }
 
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn next_item(&mut self, node: NodeId, now: Time) -> Option<WorkItem> {
+        (**self).next_item(node, now)
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: Time, op: &ProcOp, value: u64) {
+        (**self).on_complete(node, now, op, value)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 pub use microbench::LockingMicrobench;
 pub use script::{Completion, ScriptWorkload};
 pub use synthetic::{SyntheticWorkload, WorkloadParams};

@@ -28,7 +28,7 @@ pub struct Completion {
 }
 
 /// An explicit schedule of operations per node.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ScriptWorkload {
     scripts: Vec<VecDeque<WorkItem>>,
     pending_issue: Vec<Time>,

@@ -3,20 +3,22 @@
 //! (high intensity) and decays back to broadcast when think time rises.
 //!
 //! This mirrors the paper's §1 motivation: "a given workload's demand on
-//! system bandwidth varies dynamically over time".
+//! system bandwidth varies dynamically over time". It also shows the
+//! builder's escape hatch: a custom [`Workload`] plugged in with
+//! `workload_with`, and `build_system` for callers that drive simulated
+//! time themselves.
 //!
 //! ```text
 //! cargo run --release --example adaptive_phases
 //! ```
 
-use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind};
-use bash_kernel::{DetRng, Duration, Time};
-use bash_net::NodeId;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::{WorkItem, Workload};
+use bash::{
+    BlockAddr, CacheGeometry, DetRng, Duration, NodeId, ProcOp, ProtocolKind, SimBuilder, Time,
+    WorkItem, Workload,
+};
 
-/// A microbenchmark whose think time alternates between phases: 120k ns of
-/// full intensity, then 120k ns of light load, repeating.
+/// A microbenchmark whose think time alternates between phases: full
+/// intensity, then light load, repeating.
 struct PhasedWorkload {
     rngs: Vec<DetRng>,
     counters: Vec<u64>,
@@ -39,7 +41,7 @@ impl PhasedWorkload {
 impl Workload for PhasedWorkload {
     fn next_item(&mut self, node: NodeId, now: Time) -> Option<WorkItem> {
         let idx = node.index();
-        let hot = (now.as_ns() / self.phase_ns) % 2 == 0;
+        let hot = (now.as_ns() / self.phase_ns).is_multiple_of(2);
         let think = if hot {
             Duration::ZERO
         } else {
@@ -66,10 +68,13 @@ impl Workload for PhasedWorkload {
 fn main() {
     let nodes = 32u16;
     let phase_ns = 200_000;
-    let cfg = SystemConfig::paper_default(ProtocolKind::Bash, nodes, 800)
-        .with_cache(CacheGeometry { sets: 512, ways: 4 });
-    let wl = PhasedWorkload::new(nodes, 512, phase_ns, 99);
-    let mut sys = System::new(cfg, wl);
+    let mut sys = SimBuilder::new(ProtocolKind::Bash)
+        .nodes(nodes)
+        .bandwidth_mbps(800)
+        .cache(CacheGeometry { sets: 512, ways: 4 })
+        .workload_with(move |nodes, _seed| Box::new(PhasedWorkload::new(nodes, 512, phase_ns, 99)))
+        .build_system()
+        .expect("valid configuration");
     sys.enable_policy_trace();
     sys.run_until(Time::from_ns(4 * phase_ns));
     println!("Adaptive mechanism vs workload phases (hot ↔ light every {phase_ns} ns)");

@@ -1,14 +1,26 @@
-//! A miniature Figure 1: sweep endpoint bandwidth and watch the
-//! snooping/directory crossover and BASH tracking the winner.
+//! A miniature Figure 1: sweep endpoint bandwidth with
+//! `SimBuilder::run_sweep` and watch the snooping/directory crossover and
+//! BASH tracking the winner.
 //!
 //! ```text
 //! cargo run --release --example bandwidth_sweep
 //! ```
 
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::LockingMicrobench;
+use bash::{CacheGeometry, Duration, ProtocolKind, RunReport, SimBuilder};
+
+const BANDWIDTHS: [u64; 8] = [100, 200, 400, 800, 1600, 3200, 6400, 12800];
+
+fn sweep(proto: ProtocolKind, nodes: u16) -> Vec<RunReport> {
+    SimBuilder::new(proto)
+        .nodes(nodes)
+        .bandwidths(BANDWIDTHS)
+        .cache(CacheGeometry { sets: 512, ways: 4 })
+        .locking_microbench(512, Duration::ZERO)
+        .seed(7)
+        .warmup_ns(80_000)
+        .measure_ns(200_000)
+        .run_sweep()
+}
 
 fn main() {
     let nodes = 32u16;
@@ -18,20 +30,15 @@ fn main() {
         "{:>9} {:>12} {:>12} {:>12}   winner",
         "MB/s", "Snooping", "BASH", "Directory"
     );
-    for mbps in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800] {
-        let mut perfs = Vec::new();
-        for proto in [ProtocolKind::Snooping, ProtocolKind::Bash, ProtocolKind::Directory] {
-            let cfg = SystemConfig::paper_default(proto, nodes, mbps)
-                .with_cache(CacheGeometry { sets: 512, ways: 4 });
-            let wl = LockingMicrobench::new(nodes, 512, Duration::ZERO, 7);
-            let stats = System::run(
-                cfg,
-                wl,
-                Duration::from_ns(80_000),
-                Duration::from_ns(200_000),
-            );
-            perfs.push(stats.ops_per_sec() / 1e6);
-        }
+    let snoop = sweep(ProtocolKind::Snooping, nodes);
+    let bash = sweep(ProtocolKind::Bash, nodes);
+    let dir = sweep(ProtocolKind::Directory, nodes);
+    for ((s, b), d) in snoop.iter().zip(&bash).zip(&dir) {
+        let perfs = [
+            s.ops_per_sec.mean / 1e6,
+            b.ops_per_sec.mean / 1e6,
+            d.ops_per_sec.mean / 1e6,
+        ];
         let winner = if perfs[0] > perfs[2] * 1.02 {
             "Snooping"
         } else if perfs[2] > perfs[0] * 1.02 {
@@ -46,7 +53,7 @@ fn main() {
         };
         println!(
             "{:>9} {:>12.1} {:>12.1} {:>12.1}   {winner}{bash_note}",
-            mbps, perfs[0], perfs[1], perfs[2]
+            s.bandwidth_mbps, perfs[0], perfs[1], perfs[2]
         );
     }
 }

@@ -1,14 +1,12 @@
 //! Quickstart: run the three protocols on the locking microbenchmark at one
-//! bandwidth point and print the headline statistics.
+//! bandwidth point through the `SimBuilder` facade and print the headline
+//! statistics of each `RunReport`.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-p bash-sim]
+//! cargo run --release --example quickstart
 //! ```
 
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::LockingMicrobench;
+use bash::{CacheGeometry, Duration, ProtocolKind, SimBuilder};
 
 fn main() {
     let nodes = 16u16;
@@ -19,24 +17,28 @@ fn main() {
         "{:<10} {:>12} {:>10} {:>8} {:>10} {:>9}",
         "protocol", "acquires/ms", "latency", "util", "broadcast", "retries"
     );
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Bash, ProtocolKind::Directory] {
-        let cfg = SystemConfig::paper_default(proto, nodes, bandwidth_mbps)
-            .with_cache(CacheGeometry { sets: 256, ways: 4 });
-        let workload = LockingMicrobench::new(nodes, 256, Duration::ZERO, 42);
-        let stats = System::run(
-            cfg,
-            workload,
-            Duration::from_ns(100_000), // warmup
-            Duration::from_ns(400_000), // measurement
-        );
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Bash,
+        ProtocolKind::Directory,
+    ] {
+        let report = SimBuilder::new(proto)
+            .nodes(nodes)
+            .bandwidth_mbps(bandwidth_mbps)
+            .cache(CacheGeometry { sets: 256, ways: 4 })
+            .locking_microbench(256, Duration::ZERO)
+            .seed(42)
+            .warmup_ns(100_000)
+            .measure_ns(400_000)
+            .run();
         println!(
             "{:<10} {:>12.1} {:>8.1}ns {:>7.1}% {:>9.1}% {:>9}",
-            stats.protocol,
-            stats.ops_per_sec() / 1e6,
-            stats.avg_miss_latency_ns,
-            stats.link_utilization * 100.0,
-            stats.broadcast_fraction() * 100.0,
-            stats.retries,
+            report.protocol.name(),
+            report.ops_per_sec.mean / 1e6,
+            report.miss_latency_ns.mean,
+            report.link_utilization.mean * 100.0,
+            report.broadcast_fraction.mean * 100.0,
+            report.stats().retries,
         );
     }
     println!("\nTry the full paper harness: cargo run --release -p bash-experiments -- all");

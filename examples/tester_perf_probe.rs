@@ -1,12 +1,9 @@
 //! Engine throughput / paper-shape probe: 64-processor microbenchmark
 //! points at three bandwidths with wall-clock timings.
 //!
-//! `cargo run --release -p bash-tester --example perf_probe`
+//! `cargo run --release --example tester_perf_probe`
 
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::LockingMicrobench;
+use bash::{CacheGeometry, Duration, LockingMicrobench, ProtocolKind, System, SystemConfig};
 
 fn main() {
     for (proto, mbps) in [
@@ -21,11 +18,18 @@ fn main() {
         (ProtocolKind::Bash, 12800),
     ] {
         let nodes = 64u16;
-        let cfg = SystemConfig::paper_default(proto, nodes, mbps)
-            .with_cache(CacheGeometry { sets: 2048, ways: 4 });
+        let cfg = SystemConfig::paper_default(proto, nodes, mbps).with_cache(CacheGeometry {
+            sets: 2048,
+            ways: 4,
+        });
         let wl = LockingMicrobench::new(nodes, 1024, Duration::ZERO, 1);
         let wall = std::time::Instant::now();
-        let stats = System::run(cfg, wl, Duration::from_ns(100_000), Duration::from_ns(400_000));
+        let stats = System::run(
+            cfg,
+            wl,
+            Duration::from_ns(100_000),
+            Duration::from_ns(400_000),
+        );
         println!(
             "{:9} {:6} MB/s: perf={:9.1} ops/ms lat={:6.1}ns util={:4.2} bcast={:4.2} shar={:4.2} retries={} wall={:?} ev={}",
             stats.protocol, mbps,

@@ -1,17 +1,20 @@
 //! Runs the random coherence tester once per protocol and prints a
-//! one-line summary (see `stress` for the hostile sweep).
+//! one-line summary (see `tester_stress` for the hostile sweep).
 //!
-//! `cargo run --release -p bash-tester --example smoke [snooping|directory|bash]`
+//! `cargo run --release --example tester_smoke [snooping|directory|bash]`
 
-use bash_coherence::ProtocolKind;
-use bash_tester::{run_random_test, TesterConfig};
+use bash::{run_random_test, ProtocolKind, TesterConfig};
 
 fn main() {
     let protos: Vec<ProtocolKind> = match std::env::args().nth(1).as_deref() {
         Some("snooping") => vec![ProtocolKind::Snooping],
         Some("directory") => vec![ProtocolKind::Directory],
         Some("bash") => vec![ProtocolKind::Bash],
-        _ => vec![ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash],
+        _ => vec![
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+            ProtocolKind::Bash,
+        ],
     };
     for proto in protos {
         eprintln!("running {proto:?}...");

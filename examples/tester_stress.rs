@@ -1,17 +1,19 @@
 //! The hostile tester sweep: the nack storm plus ten seeds of every
 //! protocol. Exits loudly on any coherence violation.
 //!
-//! `cargo run --release -p bash-tester --example stress`
+//! `cargo run --release --example tester_stress`
 
-use bash_coherence::ProtocolKind;
-use bash_tester::{run_random_test, TesterConfig};
+use bash::{run_random_test, ProtocolKind, TesterConfig};
 
 fn main() {
     // Nack storm: one retry buffer, all unicast.
     let report = run_random_test(TesterConfig::nack_storm(7));
     println!(
         "nack_storm: retries={} nacks={} escalations={} violations={}",
-        report.retries, report.nacks, report.escalations, report.violations.len()
+        report.retries,
+        report.nacks,
+        report.escalations,
+        report.violations.len()
     );
     for v in report.violations.iter().take(3) {
         println!("  VIOLATION: {}", v.what);
@@ -19,12 +21,20 @@ fn main() {
     // Many seeds, all protocols.
     let mut total_viol = 0;
     for seed in 0..10 {
-        for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+        for proto in [
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+            ProtocolKind::Bash,
+        ] {
             let mut cfg = TesterConfig::hostile(proto, seed);
             cfg.ops_per_node = 1000;
             let r = run_random_test(cfg);
             if !r.passed() {
-                println!("{proto:?} seed {seed}: {} violations! e.g. {}", r.violations.len(), r.violations[0].what);
+                println!(
+                    "{proto:?} seed {seed}: {} violations! e.g. {}",
+                    r.violations.len(),
+                    r.violations[0].what
+                );
             }
             total_viol += r.violations.len();
         }

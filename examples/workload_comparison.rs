@@ -6,10 +6,7 @@
 //! cargo run --release --example workload_comparison
 //! ```
 
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::{SyntheticWorkload, WorkloadParams};
+use bash::{CacheGeometry, ProtocolKind, SimBuilder, WorkloadParams};
 
 fn main() {
     println!("Mini Figure 12: 16 processors, 1600 MB/s, 4x broadcast cost");
@@ -20,18 +17,22 @@ fn main() {
     );
     for params in WorkloadParams::all_macro() {
         let mut perf = Vec::new();
-        for proto in [ProtocolKind::Bash, ProtocolKind::Snooping, ProtocolKind::Directory] {
-            let cfg = SystemConfig::paper_default(proto, 16, 1600)
-                .with_broadcast_cost(4)
-                .with_cache(CacheGeometry { sets: 512, ways: 4 });
-            let wl = SyntheticWorkload::new(16, params.clone(), 3);
-            let stats = System::run(
-                cfg,
-                wl,
-                Duration::from_ns(80_000),
-                Duration::from_ns(300_000),
-            );
-            perf.push(stats.instructions_per_sec());
+        for proto in [
+            ProtocolKind::Bash,
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+        ] {
+            let report = SimBuilder::new(proto)
+                .nodes(16)
+                .bandwidth_mbps(1600)
+                .broadcast_cost(4)
+                .cache(CacheGeometry { sets: 512, ways: 4 })
+                .synthetic(params.clone())
+                .seed(3)
+                .warmup_ns(80_000)
+                .measure_ns(300_000)
+                .run();
+            perf.push(report.instructions_per_sec.mean);
         }
         let note = if perf[1] > perf[2] * 1.02 {
             "snooping-friendly"

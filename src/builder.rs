@@ -1,0 +1,603 @@
+//! The fluent [`SimBuilder`] entry point and its structured [`RunReport`]
+//! result.
+//!
+//! Every consumer of the simulator — examples, integration tests, the
+//! experiment harness — goes through this layer instead of hand-assembling
+//! `SystemConfig` + workload + `System::run` calls. The builder owns the
+//! paper's measurement methodology: warmup to steady state, measure a
+//! window, and optionally aggregate over several seed-perturbed runs
+//! (mean ± stddev, the paper's error-bar method) or sweep a list of
+//! bandwidths.
+
+use std::fmt;
+
+use bash_adaptive::AdaptorConfig;
+use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::stats::RunningStat;
+use bash_kernel::{Duration, Time};
+use bash_net::Jitter;
+use bash_sim::{RunStats, System, SystemConfig};
+use bash_workloads::{
+    LockingMicrobench, ScriptWorkload, SyntheticWorkload, Workload, WorkloadParams,
+};
+
+/// A type-erased workload, as produced by [`SimBuilder`] workload factories.
+pub type BoxedWorkload = Box<dyn Workload>;
+
+/// Why a [`SimBuilder`] configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The system needs at least one node.
+    ZeroNodes,
+    /// Endpoint links need positive bandwidth.
+    ZeroBandwidth,
+    /// A bandwidth sweep needs at least one point.
+    EmptySweep,
+    /// Seed aggregation needs at least one run.
+    ZeroSeeds,
+    /// The measurement window must be non-empty.
+    EmptyMeasurement,
+    /// No workload was configured.
+    MissingWorkload,
+    /// The broadcast cost multiplier must be at least 1.
+    BadBroadcastCost,
+    /// The BASH retry buffer needs at least one entry.
+    ZeroRetryCapacity,
+    /// The cache needs at least one set and one way.
+    BadCacheGeometry,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            BuildError::ZeroNodes => "need at least one node",
+            BuildError::ZeroBandwidth => "bandwidth must be positive",
+            BuildError::EmptySweep => "bandwidth sweep needs at least one point",
+            BuildError::ZeroSeeds => "seed aggregation needs at least one run",
+            BuildError::EmptyMeasurement => "measurement window must be non-empty",
+            BuildError::MissingWorkload => "no workload configured",
+            BuildError::BadBroadcastCost => "broadcast cost multiplier must be >= 1",
+            BuildError::ZeroRetryCapacity => "BASH needs at least one retry buffer",
+            BuildError::BadCacheGeometry => "cache needs at least one set and one way",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A summary statistic over the per-seed runs of one report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric {
+    /// Mean over all runs.
+    pub mean: f64,
+    /// Sample standard deviation over runs (0 for a single run).
+    pub stddev: f64,
+    /// Smallest per-run value.
+    pub min: f64,
+    /// Largest per-run value.
+    pub max: f64,
+}
+
+impl Metric {
+    /// Aggregates raw per-run samples (via the kernel's [`RunningStat`],
+    /// so mean/stddev semantics match every other statistic the simulator
+    /// reports).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "metric needs at least one sample");
+        let mut stat = RunningStat::new();
+        for &s in samples {
+            stat.push(s);
+        }
+        Metric {
+            mean: stat.mean(),
+            stddev: stat.stddev(),
+            min: stat.min().expect("non-empty"),
+            max: stat.max().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.stddev)
+    }
+}
+
+/// The structured result of one [`SimBuilder`] run: every headline number
+/// of the paper's figures, aggregated over the configured seeds, plus the
+/// raw per-seed [`RunStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Protocol the report was measured under.
+    pub protocol: ProtocolKind,
+    /// Workload display name.
+    pub workload: String,
+    /// System size in nodes.
+    pub nodes: u16,
+    /// Endpoint link bandwidth of this report (one sweep point).
+    pub bandwidth_mbps: u64,
+    /// Number of seed-perturbed runs aggregated here.
+    pub seeds: u32,
+    /// Performance: instructions/s when the workload retires instructions,
+    /// operations/s otherwise (the paper's micro vs. macro metric).
+    pub perf: Metric,
+    /// Completed memory operations per second.
+    pub ops_per_sec: Metric,
+    /// Instructions retired per second.
+    pub instructions_per_sec: Metric,
+    /// Mean demand-miss latency in ns (Figure 9's y-axis).
+    pub miss_latency_ns: Metric,
+    /// Mean endpoint link utilization in [0,1] (Figure 6's y-axis).
+    pub link_utilization: Metric,
+    /// Fraction of cache requests broadcast (1 = snooping-like behaviour).
+    pub broadcast_fraction: Metric,
+    /// Per-sampling-window mean policy-counter trace of the first seed,
+    /// when enabled with [`SimBuilder::trace_policy`].
+    pub policy_trace: Option<Vec<(Time, f64)>>,
+    /// The raw measured-window statistics of every seed, in seed order.
+    pub runs: Vec<RunStats>,
+}
+
+impl RunReport {
+    /// The first (or only) seed's raw statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.runs[0]
+    }
+}
+
+/// How the builder manufactures a workload for each run.
+enum WorkloadSpec {
+    /// The paper's locking microbenchmark.
+    Micro { locks: u64, think: Duration },
+    /// One of the five synthetic macro workloads.
+    Macro(WorkloadParams),
+    /// A fixed, deterministic script (cloned per seed).
+    Script(ScriptWorkload),
+    /// An arbitrary factory: `(nodes, seed) -> workload`.
+    Factory(Box<dyn Fn(u16, u64) -> BoxedWorkload>),
+}
+
+impl WorkloadSpec {
+    fn build(&self, nodes: u16, seed: u64) -> BoxedWorkload {
+        match self {
+            WorkloadSpec::Micro { locks, think } => {
+                Box::new(LockingMicrobench::new(nodes, *locks, *think, seed ^ 0xA5))
+            }
+            WorkloadSpec::Macro(params) => {
+                Box::new(SyntheticWorkload::new(nodes, params.clone(), seed ^ 0xA5))
+            }
+            WorkloadSpec::Script(script) => Box::new(script.clone()),
+            WorkloadSpec::Factory(f) => f(nodes, seed),
+        }
+    }
+}
+
+/// Fluent configuration of one simulation campaign.
+///
+/// Defaults mirror [`SystemConfig::paper_default`]: the paper's latencies,
+/// cache geometry, adaptive mechanism, retry capacity and seed, with 16
+/// nodes at 1600 MB/s. See the crate-level docs for a quickstart.
+pub struct SimBuilder {
+    protocol: ProtocolKind,
+    nodes: u16,
+    bandwidths: Vec<u64>,
+    warmup: Duration,
+    measure: Duration,
+    seeds: u32,
+    base_seed: u64,
+    perturbation: Duration,
+    jitter: Option<Jitter>,
+    broadcast_cost: u32,
+    adaptor: Option<AdaptorConfig>,
+    cache: Option<CacheGeometry>,
+    retry_capacity: Option<usize>,
+    serialize_dram: Option<bool>,
+    coverage: bool,
+    trace_policy: bool,
+    workload: Option<WorkloadSpec>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for `protocol` with the paper-default system:
+    /// 16 nodes, 1600 MB/s links, a 100 µs warmup and 400 µs measurement.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        SimBuilder {
+            protocol,
+            nodes: 16,
+            bandwidths: vec![1600],
+            warmup: Duration::from_ns(100_000),
+            measure: Duration::from_ns(400_000),
+            seeds: 1,
+            base_seed: SystemConfig::paper_default(protocol, 16, 1600).seed,
+            perturbation: Duration::from_ns(3),
+            jitter: None,
+            broadcast_cost: 1,
+            adaptor: None,
+            cache: None,
+            retry_capacity: None,
+            serialize_dram: None,
+            coverage: false,
+            trace_policy: false,
+            workload: None,
+        }
+    }
+
+    /// Switches the protocol.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the system size in nodes.
+    pub fn nodes(mut self, nodes: u16) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets a single endpoint link bandwidth in MB/s.
+    pub fn bandwidth_mbps(mut self, mbps: u64) -> Self {
+        self.bandwidths = vec![mbps];
+        self
+    }
+
+    /// Sets the bandwidth sweep for [`run_sweep`](Self::run_sweep) (the
+    /// paper's x-axis). [`run`](Self::run) uses the first point.
+    pub fn bandwidths(mut self, mbps: impl IntoIterator<Item = u64>) -> Self {
+        self.bandwidths = mbps.into_iter().collect();
+        self
+    }
+
+    /// Sets the warmup window run before measurement starts.
+    pub fn warmup(mut self, warmup: Duration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the warmup window in nanoseconds.
+    pub fn warmup_ns(self, ns: u64) -> Self {
+        self.warmup(Duration::from_ns(ns))
+    }
+
+    /// Sets the measurement window.
+    pub fn measure(mut self, measure: Duration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the measurement window in nanoseconds.
+    pub fn measure_ns(self, ns: u64) -> Self {
+        self.measure(Duration::from_ns(ns))
+    }
+
+    /// Sets both warmup and measurement windows at once.
+    pub fn plan(mut self, warmup: Duration, measure: Duration) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Aggregates every report over `seeds` perturbed runs (the paper's
+    /// methodology: deterministic runs perturbed with small random request
+    /// delays, mean ± stddev reported). With more than one seed, runs
+    /// after the first get a small injection-latency jitter; see
+    /// [`perturbation`](Self::perturbation).
+    pub fn seeds(mut self, seeds: u32) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the base RNG seed. Run `s` uses `base + s * 7919`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the maximum injection delay used to perturb multi-seed runs
+    /// (default 3 ns, the experiments' historical value).
+    pub fn perturbation(mut self, max_delay: Duration) -> Self {
+        self.perturbation = max_delay;
+        self
+    }
+
+    /// Forces an explicit message-latency jitter on *every* run,
+    /// overriding the multi-seed perturbation default.
+    pub fn jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// Sets the bandwidth multiplier for full broadcasts (4 in Figure 11).
+    pub fn broadcast_cost(mut self, multiplier: u32) -> Self {
+        self.broadcast_cost = multiplier;
+        self
+    }
+
+    /// Overrides the adaptive mechanism's configuration (BASH only).
+    pub fn adaptor(mut self, adaptor: AdaptorConfig) -> Self {
+        self.adaptor = Some(adaptor);
+        self
+    }
+
+    /// Overrides the L2 cache geometry.
+    pub fn cache(mut self, geometry: CacheGeometry) -> Self {
+        self.cache = Some(geometry);
+        self
+    }
+
+    /// Overrides the BASH home retry-buffer capacity.
+    pub fn retry_capacity(mut self, capacity: usize) -> Self {
+        self.retry_capacity = Some(capacity);
+        self
+    }
+
+    /// Serializes DRAM accesses (the memory-occupancy ablation).
+    pub fn serialize_dram(mut self, on: bool) -> Self {
+        self.serialize_dram = Some(on);
+        self
+    }
+
+    /// Records transition coverage (Table 1 runs).
+    pub fn coverage(mut self, on: bool) -> Self {
+        self.coverage = on;
+        self
+    }
+
+    /// Records the mean policy-counter trace (one point per adaptive
+    /// sampling window) of the first seed into
+    /// [`RunReport::policy_trace`].
+    pub fn trace_policy(mut self, on: bool) -> Self {
+        self.trace_policy = on;
+        self
+    }
+
+    /// Uses the paper's locking microbenchmark: `locks` mostly-uncontended
+    /// locks with `think` time between release and the next acquire.
+    pub fn locking_microbench(mut self, locks: u64, think: Duration) -> Self {
+        self.workload = Some(WorkloadSpec::Micro { locks, think });
+        self
+    }
+
+    /// Uses one of the synthetic macro workloads (Table 2 stand-ins).
+    pub fn synthetic(mut self, params: WorkloadParams) -> Self {
+        self.workload = Some(WorkloadSpec::Macro(params));
+        self
+    }
+
+    /// Uses a fixed, deterministic script (cloned per seed).
+    pub fn script(mut self, script: ScriptWorkload) -> Self {
+        self.workload = Some(WorkloadSpec::Script(script));
+        self
+    }
+
+    /// Uses an arbitrary workload factory, called once per run with the
+    /// system size and that run's seed.
+    pub fn workload_with(mut self, factory: impl Fn(u16, u64) -> BoxedWorkload + 'static) -> Self {
+        self.workload = Some(WorkloadSpec::Factory(Box::new(factory)));
+        self
+    }
+
+    /// Checks the configuration without running anything.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.nodes == 0 {
+            return Err(BuildError::ZeroNodes);
+        }
+        if self.bandwidths.is_empty() {
+            return Err(BuildError::EmptySweep);
+        }
+        if self.bandwidths.contains(&0) {
+            return Err(BuildError::ZeroBandwidth);
+        }
+        if self.seeds == 0 {
+            return Err(BuildError::ZeroSeeds);
+        }
+        if self.measure.is_zero() {
+            return Err(BuildError::EmptyMeasurement);
+        }
+        if self.workload.is_none() {
+            return Err(BuildError::MissingWorkload);
+        }
+        if self.broadcast_cost < 1 {
+            return Err(BuildError::BadBroadcastCost);
+        }
+        if self.retry_capacity == Some(0) {
+            return Err(BuildError::ZeroRetryCapacity);
+        }
+        if let Some(g) = self.cache {
+            if g.sets == 0 || g.ways == 0 {
+                return Err(BuildError::BadCacheGeometry);
+            }
+        }
+        Ok(())
+    }
+
+    /// The `SystemConfig` run `seed_index` would use at `mbps` — the
+    /// paper defaults plus every builder override.
+    pub fn config(&self, mbps: u64, seed_index: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_default(self.protocol, self.nodes, mbps)
+            .with_broadcast_cost(self.broadcast_cost)
+            .with_seed(self.base_seed.wrapping_add(seed_index as u64 * 7919));
+        if let Some(adaptor) = &self.adaptor {
+            cfg = cfg.with_adaptor(adaptor.clone());
+        }
+        if let Some(geometry) = self.cache {
+            cfg = cfg.with_cache(geometry);
+        }
+        if let Some(capacity) = self.retry_capacity {
+            cfg.retry_capacity = capacity;
+        }
+        if let Some(serialize) = self.serialize_dram {
+            cfg.serialize_dram = serialize;
+        }
+        if self.coverage {
+            cfg = cfg.with_coverage();
+        }
+        if let Some(jitter) = &self.jitter {
+            cfg = cfg.with_jitter(jitter.clone());
+        } else if self.seeds > 1 {
+            // Perturbation methodology: a small random injection delay per
+            // request, seeded per run so every report is reproducible.
+            cfg = cfg.with_jitter(Jitter::Uniform {
+                injection_max: self.perturbation,
+                traversal_max: Duration::ZERO,
+                seed: 0x9E37u64.wrapping_add(seed_index as u64),
+            });
+        }
+        cfg
+    }
+
+    /// Builds a primed [`System`] for the first bandwidth point and base
+    /// seed without running it — the escape hatch for callers that drive
+    /// time themselves (`run_until`, `run_to_idle`, traces).
+    pub fn build_system(&self) -> Result<System<BoxedWorkload>, BuildError> {
+        // A system can be built without a measurement plan; reject
+        // everything `System::new` itself would panic on, plus a missing
+        // workload.
+        if self.nodes == 0 {
+            return Err(BuildError::ZeroNodes);
+        }
+        if self.bandwidths.is_empty() {
+            return Err(BuildError::EmptySweep);
+        }
+        if self.bandwidths[0] == 0 {
+            return Err(BuildError::ZeroBandwidth);
+        }
+        if self.broadcast_cost < 1 {
+            return Err(BuildError::BadBroadcastCost);
+        }
+        if self.retry_capacity == Some(0) {
+            return Err(BuildError::ZeroRetryCapacity);
+        }
+        if let Some(g) = self.cache {
+            if g.sets == 0 || g.ways == 0 {
+                return Err(BuildError::BadCacheGeometry);
+            }
+        }
+        let spec = self.workload.as_ref().ok_or(BuildError::MissingWorkload)?;
+        let cfg = self.config(self.bandwidths[0], 0);
+        let workload = spec.build(self.nodes, cfg.seed);
+        Ok(System::new(cfg, workload))
+    }
+
+    /// Runs the first bandwidth point, aggregating over the configured
+    /// seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the configuration is invalid.
+    pub fn try_run(&self) -> Result<RunReport, BuildError> {
+        self.validate()?;
+        Ok(self.run_one(self.bandwidths[0]))
+    }
+
+    /// Runs the first bandwidth point, aggregating over the configured
+    /// seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid; use
+    /// [`try_run`](Self::try_run) to handle errors.
+    pub fn run(&self) -> RunReport {
+        self.try_run().expect("invalid SimBuilder configuration")
+    }
+
+    /// Runs every configured bandwidth point in order, one report each.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the configuration is invalid.
+    pub fn try_run_sweep(&self) -> Result<Vec<RunReport>, BuildError> {
+        self.validate()?;
+        Ok(self.bandwidths.iter().map(|&bw| self.run_one(bw)).collect())
+    }
+
+    /// Runs every configured bandwidth point in order, one report each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid; use
+    /// [`try_run_sweep`](Self::try_run_sweep) to handle errors.
+    pub fn run_sweep(&self) -> Vec<RunReport> {
+        self.try_run_sweep()
+            .expect("invalid SimBuilder configuration")
+    }
+
+    fn run_one(&self, mbps: u64) -> RunReport {
+        let spec = self.workload.as_ref().expect("validated");
+        let mut runs = Vec::with_capacity(self.seeds as usize);
+        let mut policy_trace = None;
+        let mut workload_name = String::new();
+        for s in 0..self.seeds {
+            let cfg = self.config(mbps, s);
+            let workload = spec.build(self.nodes, cfg.seed);
+            let mut sys = System::new(cfg, workload);
+            if self.trace_policy && s == 0 {
+                sys.enable_policy_trace();
+            }
+            sys.run_until(Time::ZERO + self.warmup);
+            sys.begin_measurement();
+            let stats = sys.finish(Time::ZERO + self.warmup + self.measure);
+            if self.trace_policy && s == 0 {
+                policy_trace = sys.policy_trace().map(|t| t.to_vec());
+            }
+            workload_name = stats.workload.clone();
+            runs.push(stats);
+        }
+        let metric = |f: &dyn Fn(&RunStats) -> f64| {
+            Metric::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
+        };
+        let ops = metric(&|r| r.ops_per_sec());
+        let instr = metric(&|r| r.instructions_per_sec());
+        // Micro workloads retire no instructions; macro workloads do. Pick
+        // the metric the paper plots for each kind.
+        let perf = if runs.iter().any(|r| r.retired_instructions > 0) {
+            instr
+        } else {
+            ops
+        };
+        RunReport {
+            protocol: self.protocol,
+            workload: workload_name,
+            nodes: self.nodes,
+            bandwidth_mbps: mbps,
+            seeds: self.seeds,
+            perf,
+            ops_per_sec: ops,
+            instructions_per_sec: instr,
+            miss_latency_ns: metric(&|r| r.avg_miss_latency_ns),
+            link_utilization: metric(&|r| r.link_utilization),
+            broadcast_fraction: metric(&|r| r.broadcast_fraction()),
+            policy_trace,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_aggregates() {
+        let m = Metric::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.stddev - 1.0).abs() < 1e-12);
+        assert_eq!((m.min, m.max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let m = Metric::from_samples(&[5.0]);
+        assert_eq!(m.stddev, 0.0);
+        assert_eq!(m.mean, 5.0);
+    }
+
+    #[test]
+    fn validation_catches_empty_configs() {
+        let b = SimBuilder::new(ProtocolKind::Bash);
+        assert_eq!(b.validate(), Err(BuildError::MissingWorkload));
+        let b = b.locking_microbench(64, Duration::ZERO);
+        assert_eq!(b.validate(), Ok(()));
+        assert_eq!(b.nodes(0).validate(), Err(BuildError::ZeroNodes));
+    }
+}

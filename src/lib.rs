@@ -1,0 +1,66 @@
+//! # bash — the one-stop facade for the Bandwidth Adaptive Snooping
+//! reproduction
+//!
+//! This crate re-exports the whole simulator workspace behind a single
+//! import and adds the fluent [`SimBuilder`] entry point: configure a
+//! protocol, a system, a workload and a measurement plan, then
+//! [`run`](SimBuilder::run) it to get a structured [`RunReport`] —
+//! optionally aggregated over several perturbed seeds (the paper's
+//! error-bar methodology), or swept across bandwidths with
+//! [`run_sweep`](SimBuilder::run_sweep).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bash::{ProtocolKind, SimBuilder};
+//!
+//! let report = SimBuilder::new(ProtocolKind::Bash)
+//!     .nodes(8)
+//!     .bandwidth_mbps(1600)
+//!     .locking_microbench(256, bash::Duration::ZERO)
+//!     .warmup_ns(50_000)
+//!     .measure_ns(100_000)
+//!     .run();
+//! assert!(report.runs[0].misses > 0);
+//! assert!(report.perf.mean > 0.0);
+//! ```
+//!
+//! Lower-level pieces stay reachable through the re-exported workspace
+//! crates ([`kernel`], [`net`], [`coherence`], [`adaptive`], [`workloads`],
+//! [`sim`], [`queueing`], [`tester`]) and through the flat re-exports
+//! below, so examples and tests never need to depend on more than this one
+//! crate.
+
+#![deny(missing_docs)]
+
+/// The bandwidth-adaptive mechanism (utilization + policy counters).
+pub use bash_adaptive as adaptive;
+/// The three MOSI coherence protocol engines.
+pub use bash_coherence as coherence;
+/// The discrete-event kernel: time, event queue, RNG, statistics.
+pub use bash_kernel as kernel;
+/// The crossbar interconnect model.
+pub use bash_net as net;
+/// The closed queueing model behind Figure 2.
+pub use bash_queueing as queueing;
+/// The system driver (`System`, `SystemConfig`, `RunStats`).
+pub use bash_sim as sim;
+/// The randomized protocol tester.
+pub use bash_tester as tester;
+/// Workload generators (microbenchmark, synthetic macros, scripts).
+pub use bash_workloads as workloads;
+
+pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
+pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
+pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
+pub use bash_net::{Jitter, NodeId, NodeSet};
+pub use bash_sim::{RunStats, System, SystemConfig};
+pub use bash_tester::{run_random_test, TesterConfig, TesterReport};
+pub use bash_workloads::{
+    Completion, LockingMicrobench, ScriptWorkload, SyntheticWorkload, WorkItem, Workload,
+    WorkloadParams,
+};
+
+mod builder;
+
+pub use builder::{BoxedWorkload, BuildError, Metric, RunReport, SimBuilder};

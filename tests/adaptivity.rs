@@ -1,21 +1,26 @@
 //! End-to-end tests of BASH's adaptive behaviour — the paper's central
-//! claims, checked on the full system.
+//! claims, checked on the full system through the `SimBuilder` facade.
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::{Duration, Time};
-use bash_sim::{System, SystemConfig};
-use bash_workloads::LockingMicrobench;
+use bash::{AdaptorConfig, CacheGeometry, Duration, ProtocolKind, RunReport, SimBuilder, Time};
 
 const NODES: u16 = 16;
 const LOCKS: u64 = 256;
 
-fn run(proto: ProtocolKind, mbps: u64, adaptor: AdaptorConfig) -> bash_sim::RunStats {
-    let cfg = SystemConfig::paper_default(proto, NODES, mbps)
-        .with_adaptor(adaptor)
-        .with_cache(CacheGeometry { sets: 256, ways: 4 });
-    let wl = LockingMicrobench::new(NODES, LOCKS, Duration::ZERO, 11);
-    System::run(cfg, wl, Duration::from_ns(150_000), Duration::from_ns(300_000))
+fn builder(proto: ProtocolKind, mbps: u64) -> SimBuilder {
+    SimBuilder::new(proto)
+        .nodes(NODES)
+        .bandwidth_mbps(mbps)
+        .cache(CacheGeometry { sets: 256, ways: 4 })
+        .locking_microbench(LOCKS, Duration::ZERO)
+        .seed(11)
+}
+
+fn run(proto: ProtocolKind, mbps: u64, adaptor: AdaptorConfig) -> RunReport {
+    builder(proto, mbps)
+        .adaptor(adaptor)
+        .warmup_ns(150_000)
+        .measure_ns(300_000)
+        .run()
 }
 
 #[test]
@@ -23,29 +28,24 @@ fn bash_unicasts_when_bandwidth_is_scarce() {
     // Give the mechanism time to swing: a full 0 → 255 policy transition
     // takes 512 × 255 ≈ 130k cycles of above-threshold utilization (§2.2),
     // so warm up for several multiples of that before measuring.
-    let cfg = SystemConfig::paper_default(ProtocolKind::Bash, NODES, 100)
-        .with_cache(CacheGeometry { sets: 256, ways: 4 });
-    let wl = LockingMicrobench::new(NODES, LOCKS, Duration::ZERO, 11);
-    let stats = System::run(
-        cfg,
-        wl,
-        Duration::from_ns(600_000),
-        Duration::from_ns(300_000),
-    );
+    let report = builder(ProtocolKind::Bash, 100)
+        .warmup_ns(600_000)
+        .measure_ns(300_000)
+        .run();
     assert!(
-        stats.broadcast_fraction() < 0.35,
+        report.broadcast_fraction.mean < 0.35,
         "expected mostly unicast at 100 MB/s, broadcast fraction = {}",
-        stats.broadcast_fraction()
+        report.broadcast_fraction.mean
     );
 }
 
 #[test]
 fn bash_broadcasts_when_bandwidth_is_plentiful() {
-    let stats = run(ProtocolKind::Bash, 50_000, AdaptorConfig::paper_default());
+    let report = run(ProtocolKind::Bash, 50_000, AdaptorConfig::paper_default());
     assert!(
-        stats.broadcast_fraction() > 0.95,
+        report.broadcast_fraction.mean > 0.95,
         "expected broadcasts at 50 GB/s, broadcast fraction = {}",
-        stats.broadcast_fraction()
+        report.broadcast_fraction.mean
     );
 }
 
@@ -57,23 +57,23 @@ fn bash_holds_the_utilization_target_in_the_midrange() {
     // around 1600 MB/s, where BASH must instead be (nearly) all-broadcast
     // below the target.
     for mbps in [400, 800] {
-        let stats = run(ProtocolKind::Bash, mbps, AdaptorConfig::paper_default());
+        let report = run(ProtocolKind::Bash, mbps, AdaptorConfig::paper_default());
         assert!(
-            (stats.link_utilization - 0.75).abs() < 0.06,
+            (report.link_utilization.mean - 0.75).abs() < 0.06,
             "{mbps} MB/s: utilization {} should be pinned near 0.75",
-            stats.link_utilization
+            report.link_utilization.mean
         );
     }
     let plentiful = run(ProtocolKind::Bash, 3200, AdaptorConfig::paper_default());
     assert!(
-        plentiful.link_utilization < 0.75,
+        plentiful.link_utilization.mean < 0.75,
         "plentiful bandwidth cannot hit the target: {}",
-        plentiful.link_utilization
+        plentiful.link_utilization.mean
     );
     assert!(
-        plentiful.broadcast_fraction() > 0.9,
+        plentiful.broadcast_fraction.mean > 0.9,
         "below-target utilization must drive the policy to broadcast: {}",
-        plentiful.broadcast_fraction()
+        plentiful.broadcast_fraction.mean
     );
 }
 
@@ -85,13 +85,17 @@ fn bash_is_between_or_better_than_both_bases_across_bandwidths() {
     // Directory at extremely low bandwidth).
     for mbps in [200, 800, 3200, 12800] {
         let snoop = run(ProtocolKind::Snooping, mbps, AdaptorConfig::paper_default());
-        let dir = run(ProtocolKind::Directory, mbps, AdaptorConfig::paper_default());
+        let dir = run(
+            ProtocolKind::Directory,
+            mbps,
+            AdaptorConfig::paper_default(),
+        );
         let bash = run(ProtocolKind::Bash, mbps, AdaptorConfig::paper_default());
-        let best = snoop.ops_per_sec().max(dir.ops_per_sec());
+        let best = snoop.ops_per_sec.mean.max(dir.ops_per_sec.mean);
         assert!(
-            bash.ops_per_sec() > 0.85 * best,
+            bash.ops_per_sec.mean > 0.85 * best,
             "{mbps} MB/s: BASH {} vs best base {best}",
-            bash.ops_per_sec()
+            bash.ops_per_sec.mean
         );
     }
 }
@@ -105,8 +109,8 @@ fn threshold_extremes_still_perform_reasonably() {
     for pct in [55, 95] {
         let mut a = AdaptorConfig::paper_default();
         a.threshold_percent = pct;
-        let stats = run(ProtocolKind::Bash, 800, a);
-        let ratio = stats.ops_per_sec() / reference.ops_per_sec();
+        let report = run(ProtocolKind::Bash, 800, a);
+        let ratio = report.ops_per_sec.mean / reference.ops_per_sec.mean;
         assert!(
             ratio > 0.75 && ratio < 1.35,
             "threshold {pct}%: perf ratio {ratio} too far from 75% baseline"
@@ -119,10 +123,10 @@ fn policy_counter_adapts_to_a_bandwidth_phase_change() {
     // Drive BASH at scarce bandwidth until the policy leans unicast, then
     // verify the mechanism itself reports a high unicast probability — and
     // that it started from pure broadcast.
-    let cfg = SystemConfig::paper_default(ProtocolKind::Bash, NODES, 200)
-        .with_cache(CacheGeometry { sets: 256, ways: 4 });
-    let wl = LockingMicrobench::new(NODES, LOCKS, Duration::ZERO, 13);
-    let mut sys = System::new(cfg, wl);
+    let mut sys = builder(ProtocolKind::Bash, 200)
+        .seed(13)
+        .build_system()
+        .expect("valid configuration");
     sys.enable_policy_trace();
     assert_eq!(sys.mean_unicast_probability(), 0.0, "starts at broadcast");
     sys.run_until(Time::from_ns(400_000));
@@ -143,14 +147,15 @@ fn policy_counter_adapts_to_a_bandwidth_phase_change() {
 fn adaptation_is_gradual_not_oscillating() {
     // §2.1: "our mechanism avoids oscillation by adapting relatively slowly
     // and using a probabilistic mechanism". In steady state at mid
-    // bandwidth the policy should hover, not swing rail to rail.
-    let cfg = SystemConfig::paper_default(ProtocolKind::Bash, NODES, 800)
-        .with_cache(CacheGeometry { sets: 256, ways: 4 });
-    let wl = LockingMicrobench::new(NODES, LOCKS, Duration::ZERO, 17);
-    let mut sys = System::new(cfg, wl);
-    sys.enable_policy_trace();
-    sys.run_until(Time::from_ns(800_000));
-    let trace = sys.policy_trace().expect("trace enabled");
+    // bandwidth the policy should hover, not swing rail to rail. The
+    // policy trace comes straight off the RunReport here.
+    let report = builder(ProtocolKind::Bash, 800)
+        .seed(17)
+        .trace_policy(true)
+        .warmup(Duration::ZERO)
+        .measure_ns(800_000)
+        .run();
+    let trace = report.policy_trace.as_deref().expect("trace enabled");
     // Steady state: the second half of the trace.
     let steady = &trace[trace.len() / 2..];
     let min = steady.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
@@ -159,5 +164,8 @@ fn adaptation_is_gradual_not_oscillating() {
         max - min < 128.0,
         "policy oscillates rail to rail in steady state: {min}..{max}"
     );
-    assert!(min > 0.0 && max < 255.0, "policy pegged at a rail: {min}..{max}");
+    assert!(
+        min > 0.0 && max < 255.0,
+        "policy pegged at a rail: {min}..{max}"
+    );
 }

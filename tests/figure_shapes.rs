@@ -1,21 +1,23 @@
 //! Shape tests for the paper's headline results, run at reduced scale so
 //! they fit in the test suite. The full-resolution versions live in the
 //! `bash-experiments` binary; these guard the *qualitative* claims:
-//! who wins where, and where the crossovers fall.
+//! who wins where, and where the crossovers fall. Everything runs through
+//! the `SimBuilder` facade.
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::{CacheGeometry, ProtocolKind};
-use bash_kernel::Duration;
-use bash_sim::{RunStats, System, SystemConfig};
-use bash_workloads::{LockingMicrobench, SyntheticWorkload, WorkloadParams};
+use bash::{CacheGeometry, Duration, ProtocolKind, RunReport, SimBuilder, WorkloadParams};
 
 const NODES: u16 = 32; // reduced from the paper's 64 for test runtime
 
-fn micro(proto: ProtocolKind, mbps: u64) -> RunStats {
-    let cfg = SystemConfig::paper_default(proto, NODES, mbps)
-        .with_cache(CacheGeometry { sets: 512, ways: 4 });
-    let wl = LockingMicrobench::new(NODES, 512, Duration::ZERO, 21);
-    System::run(cfg, wl, Duration::from_ns(100_000), Duration::from_ns(200_000))
+fn micro(proto: ProtocolKind, mbps: u64) -> RunReport {
+    SimBuilder::new(proto)
+        .nodes(NODES)
+        .bandwidth_mbps(mbps)
+        .cache(CacheGeometry { sets: 512, ways: 4 })
+        .locking_microbench(512, Duration::ZERO)
+        .seed(21)
+        .warmup_ns(100_000)
+        .measure_ns(200_000)
+        .run()
 }
 
 #[test]
@@ -24,18 +26,18 @@ fn figure1_directory_wins_scarce_snooping_wins_plentiful() {
     let scarce_s = micro(ProtocolKind::Snooping, 200);
     let scarce_d = micro(ProtocolKind::Directory, 200);
     assert!(
-        scarce_d.ops_per_sec() > 1.3 * scarce_s.ops_per_sec(),
+        scarce_d.ops_per_sec.mean > 1.3 * scarce_s.ops_per_sec.mean,
         "directory must dominate at 200 MB/s: D {} vs S {}",
-        scarce_d.ops_per_sec(),
-        scarce_s.ops_per_sec()
+        scarce_d.ops_per_sec.mean,
+        scarce_s.ops_per_sec.mean
     );
     let rich_s = micro(ProtocolKind::Snooping, 25_600);
     let rich_d = micro(ProtocolKind::Directory, 25_600);
     assert!(
-        rich_s.ops_per_sec() > 1.3 * rich_d.ops_per_sec(),
+        rich_s.ops_per_sec.mean > 1.3 * rich_d.ops_per_sec.mean,
         "snooping must dominate at 25.6 GB/s: S {} vs D {}",
-        rich_s.ops_per_sec(),
-        rich_d.ops_per_sec()
+        rich_s.ops_per_sec.mean,
+        rich_d.ops_per_sec.mean
     );
 }
 
@@ -45,14 +47,14 @@ fn figure1_bash_tracks_the_winner_at_both_ends() {
     let scarce_d = micro(ProtocolKind::Directory, 200);
     // Paper: BASH is ~10% worse than Directory at the far-low end (extra
     // marker messages).
-    let ratio = scarce_b.ops_per_sec() / scarce_d.ops_per_sec();
+    let ratio = scarce_b.ops_per_sec.mean / scarce_d.ops_per_sec.mean;
     assert!(
         ratio > 0.8,
         "BASH must track Directory when bandwidth is scarce: ratio {ratio}"
     );
     let rich_b = micro(ProtocolKind::Bash, 25_600);
     let rich_s = micro(ProtocolKind::Snooping, 25_600);
-    let ratio = rich_b.ops_per_sec() / rich_s.ops_per_sec();
+    let ratio = rich_b.ops_per_sec.mean / rich_s.ops_per_sec.mean;
     assert!(
         ratio > 0.97,
         "BASH must converge to Snooping when bandwidth is plentiful: ratio {ratio}"
@@ -66,13 +68,21 @@ fn figure6_utilization_ordering() {
     let s = micro(ProtocolKind::Snooping, 800);
     let b = micro(ProtocolKind::Bash, 800);
     let d = micro(ProtocolKind::Directory, 800);
-    assert!(s.link_utilization > 0.85, "snooping: {}", s.link_utilization);
     assert!(
-        (b.link_utilization - 0.75).abs() < 0.06,
-        "bash pins the target: {}",
-        b.link_utilization
+        s.link_utilization.mean > 0.85,
+        "snooping: {}",
+        s.link_utilization.mean
     );
-    assert!(d.link_utilization < 0.6, "directory: {}", d.link_utilization);
+    assert!(
+        (b.link_utilization.mean - 0.75).abs() < 0.06,
+        "bash pins the target: {}",
+        b.link_utilization.mean
+    );
+    assert!(
+        d.link_utilization.mean < 0.6,
+        "directory: {}",
+        d.link_utilization.mean
+    );
 }
 
 #[test]
@@ -80,11 +90,16 @@ fn figure8_snooping_directory_crossover_with_size() {
     // Per-processor performance: snooping wins small systems, directory
     // wins large ones (fixed per-processor bandwidth).
     let run = |proto, nodes: u16| {
-        let cfg = SystemConfig::paper_default(proto, nodes, 1600)
-            .with_cache(CacheGeometry { sets: 256, ways: 4 });
-        let wl = LockingMicrobench::new(nodes, 16 * nodes as u64, Duration::ZERO, 31);
-        let s = System::run(cfg, wl, Duration::from_ns(60_000), Duration::from_ns(150_000));
-        s.ops_per_sec() / nodes as f64
+        let report = SimBuilder::new(proto)
+            .nodes(nodes)
+            .bandwidth_mbps(1600)
+            .cache(CacheGeometry { sets: 256, ways: 4 })
+            .locking_microbench(16 * nodes as u64, Duration::ZERO)
+            .seed(31)
+            .warmup_ns(60_000)
+            .measure_ns(150_000)
+            .run();
+        report.ops_per_sec.mean / nodes as f64
     };
     let small_s = run(ProtocolKind::Snooping, 8);
     let small_d = run(ProtocolKind::Directory, 8);
@@ -106,11 +121,16 @@ fn figure9_snooping_latency_falls_with_think_time() {
     // think 1000 its latency approaches the uncontended 125 ns + queueless
     // floor and beats the directory's indirection.
     let run = |proto, think: u64| {
-        let cfg = SystemConfig::paper_default(proto, NODES, 1600)
-            .with_cache(CacheGeometry { sets: 512, ways: 4 });
-        let wl = LockingMicrobench::new(NODES, 512, Duration::from_cycles(think), 41);
-        let s = System::run(cfg, wl, Duration::from_ns(100_000), Duration::from_ns(200_000));
-        s.avg_miss_latency_ns
+        let report = SimBuilder::new(proto)
+            .nodes(NODES)
+            .bandwidth_mbps(1600)
+            .cache(CacheGeometry { sets: 512, ways: 4 })
+            .locking_microbench(512, Duration::from_cycles(think))
+            .seed(41)
+            .warmup_ns(100_000)
+            .measure_ns(200_000)
+            .run();
+        report.miss_latency_ns.mean
     };
     let busy = run(ProtocolKind::Snooping, 0);
     let idle = run(ProtocolKind::Snooping, 1000);
@@ -130,12 +150,17 @@ fn figure12_workload_dependence() {
     // SPECjbb (low sharing) favors the directory; Barnes-Hut (high sharing,
     // low miss rate) favors snooping — at 1600 MB/s with 4x broadcast cost.
     let run = |proto, params: WorkloadParams| {
-        let cfg = SystemConfig::paper_default(proto, 16, 1600)
-            .with_broadcast_cost(4)
-            .with_cache(CacheGeometry { sets: 512, ways: 4 });
-        let wl = SyntheticWorkload::new(16, params, 51);
-        let s = System::run(cfg, wl, Duration::from_ns(80_000), Duration::from_ns(250_000));
-        s.instructions_per_sec()
+        let report = SimBuilder::new(proto)
+            .nodes(16)
+            .bandwidth_mbps(1600)
+            .broadcast_cost(4)
+            .cache(CacheGeometry { sets: 512, ways: 4 })
+            .synthetic(params)
+            .seed(51)
+            .warmup_ns(80_000)
+            .measure_ns(250_000)
+            .run();
+        report.instructions_per_sec.mean
     };
     let jbb_s = run(ProtocolKind::Snooping, WorkloadParams::specjbb());
     let jbb_d = run(ProtocolKind::Directory, WorkloadParams::specjbb());
@@ -159,9 +184,9 @@ fn bash_beats_both_bases_in_the_midrange() {
     let mut best_gap = f64::MIN;
     let mut seen = Vec::new();
     for mbps in [800u64, 1600, 3200] {
-        let s = micro(ProtocolKind::Snooping, mbps).ops_per_sec();
-        let d = micro(ProtocolKind::Directory, mbps).ops_per_sec();
-        let b = micro(ProtocolKind::Bash, mbps).ops_per_sec();
+        let s = micro(ProtocolKind::Snooping, mbps).ops_per_sec.mean;
+        let d = micro(ProtocolKind::Directory, mbps).ops_per_sec.mean;
+        let b = micro(ProtocolKind::Bash, mbps).ops_per_sec.mean;
         seen.push((mbps, s, d, b));
         best_gap = best_gap.max(b / s.max(d));
     }
@@ -170,5 +195,4 @@ fn bash_beats_both_bases_in_the_midrange() {
         "BASH must match or beat the best base protocol somewhere in the \
          mid-range: {seen:?}"
     );
-    let _ = AdaptorConfig::paper_default();
 }

@@ -1,13 +1,11 @@
 //! Cross-protocol semantic equivalence: identical workloads must produce
 //! identical *values* under all three protocols — protocols change timing,
-//! never semantics.
+//! never semantics. Runs through the `bash` facade.
 
-use bash_adaptive::AdaptorConfig;
-use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind};
-use bash_kernel::Duration;
-use bash_net::NodeId;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::{LockingMicrobench, ScriptWorkload, Workload};
+use bash::{
+    AdaptorConfig, BlockAddr, CacheGeometry, DecisionMode, Duration, NodeId, ProcOp, ProtocolKind,
+    ScriptWorkload, SimBuilder, System, SystemConfig,
+};
 
 /// A deterministic multi-node script touching shared blocks with a
 /// serialized schedule (large gaps ⇒ identical logical outcome under every
@@ -18,7 +16,7 @@ fn serialized_script(nodes: u16) -> ScriptWorkload {
     for round in 0..6u64 {
         for n in 0..nodes {
             let block = BlockAddr((round + n as u64) % 4);
-            if (round + n as u64) % 3 == 0 {
+            if (round + n as u64).is_multiple_of(3) {
                 s.push(
                     NodeId(n),
                     gap,
@@ -39,7 +37,11 @@ fn serialized_script(nodes: u16) -> ScriptWorkload {
 #[test]
 fn serialized_values_are_identical_across_protocols() {
     let mut results: Vec<Vec<(u16, u64)>> = Vec::new();
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
         let mut adaptor = AdaptorConfig::paper_default();
         adaptor.initial_policy = 128; // make BASH actually mix casts
         let cfg = SystemConfig::paper_default(proto, 4, 800)
@@ -67,13 +69,22 @@ fn microbench_acquire_counts_are_comparable() {
     // window the counts differ only via timing, and at generous bandwidth
     // they should be within a modest band of each other.
     let mut counts = Vec::new();
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
-        let cfg = SystemConfig::paper_default(proto, 8, 25_000)
-            .with_cache(CacheGeometry { sets: 128, ways: 4 });
-        let wl = LockingMicrobench::new(8, 128, Duration::ZERO, 3);
-        let stats = System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(200_000));
-        assert!(stats.misses > 100, "{proto:?} made no progress");
-        counts.push((proto, stats.ops_completed));
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
+        let report = SimBuilder::new(proto)
+            .nodes(8)
+            .bandwidth_mbps(25_000)
+            .cache(CacheGeometry { sets: 128, ways: 4 })
+            .locking_microbench(128, Duration::ZERO)
+            .seed(3)
+            .warmup_ns(50_000)
+            .measure_ns(200_000)
+            .run();
+        assert!(report.stats().misses > 100, "{proto:?} made no progress");
+        counts.push((proto, report.stats().ops_completed));
     }
     let max = counts.iter().map(|&(_, c)| c).max().unwrap() as f64;
     let min = counts.iter().map(|&(_, c)| c).min().unwrap() as f64;
@@ -91,31 +102,36 @@ fn bash_with_always_broadcast_equals_snooping_exactly() {
     let run = |proto, mode| {
         let mut adaptor = AdaptorConfig::paper_default();
         adaptor.mode = mode;
-        let cfg = SystemConfig::paper_default(proto, 8, 1600)
-            .with_adaptor(adaptor)
-            .with_cache(CacheGeometry { sets: 128, ways: 4 });
-        let wl = LockingMicrobench::new(8, 128, Duration::ZERO, 9);
-        System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(200_000))
+        SimBuilder::new(proto)
+            .nodes(8)
+            .bandwidth_mbps(1600)
+            .adaptor(adaptor)
+            .cache(CacheGeometry { sets: 128, ways: 4 })
+            .locking_microbench(128, Duration::ZERO)
+            .seed(9)
+            .warmup_ns(50_000)
+            .measure_ns(200_000)
+            .run()
     };
-    let snoop = run(
-        ProtocolKind::Snooping,
-        bash_adaptive::DecisionMode::Adaptive,
-    );
-    let bash = run(
-        ProtocolKind::Bash,
-        bash_adaptive::DecisionMode::AlwaysBroadcast,
-    );
-    assert_eq!(snoop.ops_completed, bash.ops_completed);
-    assert_eq!(snoop.misses, bash.misses);
-    assert!((snoop.avg_miss_latency_ns - bash.avg_miss_latency_ns).abs() < 1e-9);
+    let snoop = run(ProtocolKind::Snooping, DecisionMode::Adaptive);
+    let bash = run(ProtocolKind::Bash, DecisionMode::AlwaysBroadcast);
+    assert_eq!(snoop.stats().ops_completed, bash.stats().ops_completed);
+    assert_eq!(snoop.stats().misses, bash.stats().misses);
+    assert!((snoop.miss_latency_ns.mean - bash.miss_latency_ns.mean).abs() < 1e-9);
 }
 
 #[test]
 fn runs_are_deterministic_for_a_seed() {
     let run = |seed| {
-        let cfg = SystemConfig::paper_default(ProtocolKind::Bash, 8, 800).with_seed(seed);
-        let wl = LockingMicrobench::new(8, 256, Duration::ZERO, seed);
-        let s = System::run(cfg, wl, Duration::from_ns(50_000), Duration::from_ns(150_000));
+        let report = SimBuilder::new(ProtocolKind::Bash)
+            .nodes(8)
+            .bandwidth_mbps(800)
+            .locking_microbench(256, Duration::ZERO)
+            .seed(seed)
+            .warmup_ns(50_000)
+            .measure_ns(150_000)
+            .run();
+        let s = report.stats();
         (s.ops_completed, s.misses, s.link_bytes, s.retries)
     };
     assert_eq!(run(5), run(5));

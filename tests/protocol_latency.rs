@@ -9,12 +9,10 @@
 //! We run at very high bandwidth so transmission time is negligible and
 //! check each completion against the paper's number (±3 ns of wire time).
 
-use bash_adaptive::{AdaptorConfig, DecisionMode};
-use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind};
-use bash_kernel::Duration;
-use bash_net::NodeId;
-use bash_sim::{System, SystemConfig};
-use bash_workloads::ScriptWorkload;
+use bash::{
+    AdaptorConfig, BlockAddr, CacheGeometry, DecisionMode, Duration, NodeId, ProcOp, ProtocolKind,
+    ScriptWorkload, System, SystemConfig,
+};
 
 const FAST_LINK: u64 = 1_000_000; // MB/s — transmission ≈ 0
 
@@ -53,12 +51,20 @@ fn three_step_script() -> (ScriptWorkload, usize) {
     s.push(
         NodeId(0),
         Duration::ZERO,
-        ProcOp::Store { block, word: 0, value: 1 },
+        ProcOp::Store {
+            block,
+            word: 0,
+            value: 1,
+        },
     );
     s.push(
         NodeId(2),
         Duration::from_ns(10_000),
-        ProcOp::Store { block, word: 2, value: 2 },
+        ProcOp::Store {
+            block,
+            word: 2,
+            value: 2,
+        },
     );
     s.push(
         NodeId(3),
@@ -121,9 +127,29 @@ fn upgrades_complete_at_the_marker() {
     let block = BlockAddr(2);
     let mut s = ScriptWorkload::new(4);
     // P1 takes M, P3 reads (P1 → O), then P1 upgrades O → M.
-    s.push(NodeId(1), Duration::ZERO, ProcOp::Store { block, word: 1, value: 1 });
-    s.push(NodeId(3), Duration::from_ns(10_000), ProcOp::Load { block, word: 1 });
-    s.push(NodeId(1), Duration::from_ns(20_000), ProcOp::Store { block, word: 1, value: 2 });
+    s.push(
+        NodeId(1),
+        Duration::ZERO,
+        ProcOp::Store {
+            block,
+            word: 1,
+            value: 1,
+        },
+    );
+    s.push(
+        NodeId(3),
+        Duration::from_ns(10_000),
+        ProcOp::Load { block, word: 1 },
+    );
+    s.push(
+        NodeId(1),
+        Duration::from_ns(20_000),
+        ProcOp::Store {
+            block,
+            word: 1,
+            value: 2,
+        },
+    );
     let lat = run_script(ProtocolKind::Snooping, DecisionMode::Adaptive, s, 3);
     assert_close(lat[2], 50.0, "upgrade completes at own marker");
 }
@@ -131,11 +157,35 @@ fn upgrades_complete_at_the_marker() {
 #[test]
 fn store_hit_in_m_is_free() {
     let block = BlockAddr(3);
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
         let mut s = ScriptWorkload::new(4);
-        s.push(NodeId(0), Duration::ZERO, ProcOp::Store { block, word: 0, value: 1 });
-        s.push(NodeId(0), Duration::from_ns(10_000), ProcOp::Store { block, word: 0, value: 2 });
-        s.push(NodeId(0), Duration::from_ns(20_000), ProcOp::Load { block, word: 0 });
+        s.push(
+            NodeId(0),
+            Duration::ZERO,
+            ProcOp::Store {
+                block,
+                word: 0,
+                value: 1,
+            },
+        );
+        s.push(
+            NodeId(0),
+            Duration::from_ns(10_000),
+            ProcOp::Store {
+                block,
+                word: 0,
+                value: 2,
+            },
+        );
+        s.push(
+            NodeId(0),
+            Duration::from_ns(20_000),
+            ProcOp::Load { block, word: 0 },
+        );
         let lat = run_script(proto, DecisionMode::Adaptive, s, 3);
         assert!(lat[1] < 1.0, "{proto:?}: store hit must be immediate");
         assert!(lat[2] < 1.0, "{proto:?}: load hit must be immediate");
@@ -144,14 +194,46 @@ fn store_hit_in_m_is_free() {
 
 #[test]
 fn loads_read_what_stores_wrote_across_protocols() {
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
         let block = BlockAddr(5);
         let mut s = ScriptWorkload::new(4);
-        s.push(NodeId(0), Duration::ZERO, ProcOp::Store { block, word: 0, value: 77 });
-        s.push(NodeId(1), Duration::from_ns(10_000), ProcOp::Load { block, word: 0 });
-        s.push(NodeId(2), Duration::from_ns(20_000), ProcOp::Store { block, word: 2, value: 88 });
-        s.push(NodeId(3), Duration::from_ns(30_000), ProcOp::Load { block, word: 0 });
-        s.push(NodeId(3), Duration::from_ns(1_000), ProcOp::Load { block, word: 2 });
+        s.push(
+            NodeId(0),
+            Duration::ZERO,
+            ProcOp::Store {
+                block,
+                word: 0,
+                value: 77,
+            },
+        );
+        s.push(
+            NodeId(1),
+            Duration::from_ns(10_000),
+            ProcOp::Load { block, word: 0 },
+        );
+        s.push(
+            NodeId(2),
+            Duration::from_ns(20_000),
+            ProcOp::Store {
+                block,
+                word: 2,
+                value: 88,
+            },
+        );
+        s.push(
+            NodeId(3),
+            Duration::from_ns(30_000),
+            ProcOp::Load { block, word: 0 },
+        );
+        s.push(
+            NodeId(3),
+            Duration::from_ns(1_000),
+            ProcOp::Load { block, word: 2 },
+        );
         let mut adaptor = AdaptorConfig::paper_default();
         adaptor.initial_policy = 128;
         let cfg = SystemConfig::paper_default(proto, 4, FAST_LINK).with_adaptor(adaptor);

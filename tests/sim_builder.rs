@@ -1,0 +1,210 @@
+//! Contract tests for the `SimBuilder` facade: validation, paper-default
+//! parity with `SystemConfig`, and seed-aggregation determinism.
+
+use bash::{BuildError, Duration, Jitter, ProtocolKind, RunReport, SimBuilder, SystemConfig};
+
+fn valid() -> SimBuilder {
+    SimBuilder::new(ProtocolKind::Bash)
+        .nodes(8)
+        .bandwidth_mbps(800)
+        .locking_microbench(128, Duration::ZERO)
+        .warmup_ns(30_000)
+        .measure_ns(60_000)
+}
+
+#[test]
+fn zero_nodes_rejected() {
+    assert_eq!(
+        valid().nodes(0).try_run().unwrap_err(),
+        BuildError::ZeroNodes
+    );
+}
+
+#[test]
+fn zero_bandwidth_rejected() {
+    assert_eq!(
+        valid().bandwidth_mbps(0).try_run().unwrap_err(),
+        BuildError::ZeroBandwidth
+    );
+    assert_eq!(
+        valid().bandwidths([800, 0, 1600]).try_run().unwrap_err(),
+        BuildError::ZeroBandwidth
+    );
+}
+
+#[test]
+fn empty_sweep_rejected() {
+    assert_eq!(
+        valid().bandwidths([]).try_run_sweep().unwrap_err(),
+        BuildError::EmptySweep
+    );
+}
+
+#[test]
+fn missing_workload_rejected() {
+    let err = SimBuilder::new(ProtocolKind::Snooping)
+        .try_run()
+        .unwrap_err();
+    assert_eq!(err, BuildError::MissingWorkload);
+}
+
+#[test]
+fn zero_seeds_and_empty_measurement_rejected() {
+    assert_eq!(
+        valid().seeds(0).try_run().unwrap_err(),
+        BuildError::ZeroSeeds
+    );
+    assert_eq!(
+        valid().measure(Duration::ZERO).try_run().unwrap_err(),
+        BuildError::EmptyMeasurement
+    );
+}
+
+#[test]
+fn zero_retry_capacity_rejected() {
+    assert_eq!(
+        valid().retry_capacity(0).try_run().unwrap_err(),
+        BuildError::ZeroRetryCapacity
+    );
+}
+
+#[test]
+fn build_system_returns_err_not_panic_for_bad_configs() {
+    // The escape hatch must report the same errors as try_run for
+    // everything System::new would otherwise panic on.
+    assert_eq!(
+        valid().retry_capacity(0).build_system().err(),
+        Some(BuildError::ZeroRetryCapacity)
+    );
+    assert_eq!(
+        valid()
+            .cache(bash::CacheGeometry { sets: 0, ways: 4 })
+            .build_system()
+            .err(),
+        Some(BuildError::BadCacheGeometry)
+    );
+    assert_eq!(
+        valid().nodes(0).build_system().err(),
+        Some(BuildError::ZeroNodes)
+    );
+    assert!(valid().build_system().is_ok());
+}
+
+#[test]
+fn build_errors_display_a_reason() {
+    let msg = format!("{}", BuildError::ZeroBandwidth);
+    assert!(msg.contains("bandwidth"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn defaults_match_paper_default_config() {
+    // The builder's untouched configuration must be exactly the paper's
+    // target system for the same (protocol, nodes, bandwidth) triple.
+    for proto in ProtocolKind::ALL {
+        let b = SimBuilder::new(proto).nodes(64).bandwidth_mbps(3200);
+        let got = b.config(3200, 0);
+        let want = SystemConfig::paper_default(proto, 64, 3200);
+        assert_eq!(got.protocol, want.protocol);
+        assert_eq!(got.nodes, want.nodes);
+        assert_eq!(got.link_mbps, want.link_mbps);
+        assert_eq!(got.traversal, want.traversal);
+        assert_eq!(got.dram_latency, want.dram_latency);
+        assert_eq!(got.cache_provide_latency, want.cache_provide_latency);
+        assert_eq!(got.cache_geometry.sets, want.cache_geometry.sets);
+        assert_eq!(got.cache_geometry.ways, want.cache_geometry.ways);
+        assert_eq!(
+            got.broadcast_cost_multiplier,
+            want.broadcast_cost_multiplier
+        );
+        assert_eq!(got.serialize_dram, want.serialize_dram);
+        assert_eq!(got.retry_capacity, want.retry_capacity);
+        assert_eq!(got.coverage, want.coverage);
+        assert_eq!(got.seed, want.seed);
+        assert!(matches!(got.jitter, Jitter::None));
+    }
+}
+
+#[test]
+fn single_seed_runs_get_no_perturbation_jitter() {
+    let cfg = valid().config(800, 0);
+    assert!(
+        matches!(cfg.jitter, Jitter::None),
+        "a single-seed run must stay unperturbed"
+    );
+    let cfg = valid().seeds(3).config(800, 1);
+    assert!(
+        matches!(cfg.jitter, Jitter::Uniform { .. }),
+        "multi-seed runs are perturbed"
+    );
+}
+
+#[test]
+fn same_seed_gives_identical_reports() {
+    // Seed-aggregation determinism: the whole RunReport — every metric,
+    // every per-seed RunStats — must be a pure function of the builder
+    // configuration.
+    let run = || valid().seeds(3).seed(0xDECAF).run();
+    let a: RunReport = run();
+    let b: RunReport = run();
+    assert_eq!(a, b);
+    assert_eq!(a.runs.len(), 3);
+    assert_eq!(a.seeds, 3);
+}
+
+#[test]
+fn different_seeds_give_different_reports() {
+    let a = valid().seed(1).run();
+    let b = valid().seed(2).run();
+    assert_ne!(a.runs[0].ops_completed, b.runs[0].ops_completed);
+}
+
+#[test]
+fn aggregation_spreads_are_sane() {
+    let report = valid().seeds(4).run();
+    assert_eq!(report.runs.len(), 4);
+    let m = report.ops_per_sec;
+    assert!(m.min <= m.mean && m.mean <= m.max, "{m:?}");
+    assert!(m.stddev >= 0.0);
+    // Perturbed runs should not all be byte-identical.
+    let first = &report.runs[0];
+    assert!(
+        report
+            .runs
+            .iter()
+            .any(|r| r.ops_completed != first.ops_completed || r.link_bytes != first.link_bytes),
+        "perturbation had no effect at all"
+    );
+}
+
+#[test]
+fn sweep_reports_cover_every_bandwidth_in_order() {
+    let reports = valid().bandwidths([400, 800, 1600]).run_sweep();
+    let bws: Vec<u64> = reports.iter().map(|r| r.bandwidth_mbps).collect();
+    assert_eq!(bws, vec![400, 800, 1600]);
+    // More bandwidth, more completed work (monotone for this workload).
+    assert!(reports[0].ops_per_sec.mean < reports[2].ops_per_sec.mean);
+}
+
+#[test]
+fn perf_picks_the_paper_metric_per_workload_kind() {
+    // The microbenchmark retires no instructions: perf = ops/s.
+    let micro = valid().run();
+    assert_eq!(micro.perf, micro.ops_per_sec);
+    // Macro workloads retire instructions: perf = instructions/s.
+    let mac = valid().synthetic(bash::WorkloadParams::specjbb()).run();
+    assert_eq!(mac.perf, mac.instructions_per_sec);
+    assert!(mac.instructions_per_sec.mean > 0.0);
+}
+
+#[test]
+fn trace_policy_lands_in_the_report() {
+    let report = valid()
+        .trace_policy(true)
+        .warmup(Duration::ZERO)
+        .measure_ns(100_000)
+        .run();
+    let trace = report.policy_trace.as_deref().expect("trace recorded");
+    assert!(!trace.is_empty());
+    let without = valid().run();
+    assert!(without.policy_trace.is_none());
+}

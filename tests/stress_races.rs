@@ -1,12 +1,9 @@
 //! Randomized race stress across protocols, seeds and hostile
 //! configurations — the paper's §3.4 methodology run as a test suite.
 
-use bash_adaptive::DecisionMode;
-use bash_coherence::ProtocolKind;
-use bash_kernel::Duration;
-use bash_tester::{run_random_test, TesterConfig};
+use bash::{run_random_test, DecisionMode, Duration, ProtocolKind, TesterConfig};
 
-fn assert_clean(report: &bash_tester::TesterReport, what: &str) {
+fn assert_clean(report: &bash::TesterReport, what: &str) {
     assert!(
         report.passed(),
         "{what}: {} violations, first: {}",
@@ -17,7 +14,11 @@ fn assert_clean(report: &bash_tester::TesterReport, what: &str) {
 
 #[test]
 fn hostile_runs_are_clean_for_every_protocol() {
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
         for seed in [11, 23] {
             let mut cfg = TesterConfig::hostile(proto, seed);
             cfg.ops_per_node = 1500;
@@ -88,7 +89,11 @@ fn bash_pure_unicast_mode_is_correct() {
 
 #[test]
 fn low_bandwidth_queueing_does_not_break_protocols() {
-    for proto in [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Bash] {
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
         let mut cfg = TesterConfig::hostile(proto, 61);
         cfg.link_mbps = 80; // heavy queueing, deep reordering windows
         cfg.ops_per_node = 600;
