@@ -20,7 +20,7 @@
 //! ```
 //! use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, Cast};
 //!
-//! let mut adaptor = BandwidthAdaptor::new(AdaptorConfig::paper_default(), 1);
+//! let mut adaptor = BandwidthAdaptor::new(&AdaptorConfig::paper_default(), 1);
 //! // Saturated link for many windows: the policy swings toward unicast.
 //! for _ in 0..600 {
 //!     adaptor.sample_window(512, 512); // busy_cycles, window_cycles

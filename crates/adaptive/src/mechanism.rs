@@ -84,9 +84,10 @@ pub struct BandwidthAdaptor {
 }
 
 impl BandwidthAdaptor {
-    /// Builds the mechanism for one node. `node_seed` perturbs the LFSR so
-    /// nodes do not make lock-step decisions.
-    pub fn new(cfg: AdaptorConfig, node_seed: u64) -> Self {
+    /// Builds the mechanism for one node from a shared configuration.
+    /// `node_seed` perturbs the LFSR so nodes do not make lock-step
+    /// decisions.
+    pub fn new(cfg: &AdaptorConfig, node_seed: u64) -> Self {
         let seed = (node_seed as u16).wrapping_mul(0x9E37) ^ 0xACE1;
         BandwidthAdaptor {
             util: UtilizationCounter::for_threshold_percent(cfg.threshold_percent),
@@ -179,7 +180,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn adaptor() -> BandwidthAdaptor {
-        BandwidthAdaptor::new(AdaptorConfig::paper_default(), 0)
+        BandwidthAdaptor::new(&AdaptorConfig::paper_default(), 0)
     }
 
     #[test]
@@ -248,14 +249,14 @@ mod tests {
         let mut cfg = AdaptorConfig::paper_default();
         cfg.mode = DecisionMode::AlwaysUnicast;
         cfg.initial_policy = 0;
-        let mut a = BandwidthAdaptor::new(cfg, 0);
+        let mut a = BandwidthAdaptor::new(&cfg, 0);
         assert_eq!(a.decide(), Cast::Unicast);
         assert_eq!(a.unicast_probability(), 1.0);
 
         let mut cfg = AdaptorConfig::paper_default();
         cfg.mode = DecisionMode::AlwaysBroadcast;
         cfg.initial_policy = 255;
-        let mut a = BandwidthAdaptor::new(cfg, 0);
+        let mut a = BandwidthAdaptor::new(&cfg, 0);
         assert_eq!(a.decide(), Cast::Broadcast);
         assert_eq!(a.unicast_probability(), 0.0);
     }
@@ -279,7 +280,7 @@ mod tests {
         fn prop_unicast_rate_matches_policy(policy in 0u32..=255) {
             let mut cfg = AdaptorConfig::paper_default();
             cfg.initial_policy = policy;
-            let mut a = BandwidthAdaptor::new(cfg, 42);
+            let mut a = BandwidthAdaptor::new(&cfg, 42);
             let n = 65535;
             let unicasts = (0..n).filter(|_| a.decide() == Cast::Unicast).count();
             let got = unicasts as f64 / n as f64;

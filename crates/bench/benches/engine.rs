@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use bash::SimBuilder;
 use bash_coherence::cache::{CacheArray, CacheGeometry, Mosi};
 use bash_coherence::types::{BlockAddr, BlockData};
 use bash_coherence::ProtocolKind;
 use bash_kernel::{Duration, EventQueue, Time};
-use bash_net::{Crossbar, Message, NetConfig, NodeId, NodeSet, VnetId};
+use bash_net::{Crossbar, Message, NetConfig, NetStep, NodeId, NodeSet, VnetId};
 use bash_sim::{System, SystemConfig};
 use bash_workloads::LockingMicrobench;
 
@@ -70,47 +71,27 @@ fn crossbar_broadcast(c: &mut Criterion) {
     g.bench_function("broadcast_64_nodes", |b| {
         let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(64, 1600));
         let mut q = EventQueue::new();
+        let mut step = NetStep::new();
         let mut now = Time::ZERO;
         b.iter(|| {
             now += Duration::from_ns(1000);
             let msg = Message::ordered(NodeId(0), NodeSet::all(64), 8, 42u64);
-            let step = net.send(now, msg);
-            for (t, e) in step.schedule {
+            net.send(now, msg, &mut step);
+            for (t, e) in step.schedule.drain(..) {
                 q.schedule(t, e);
             }
             let mut delivered = 0;
             while let Some((t, e)) = q.pop() {
-                let step = net.handle(t, e);
-                for (t2, e2) in step.schedule {
+                net.handle(t, e, &mut step);
+                for (t2, e2) in step.schedule.drain(..) {
                     q.schedule(t2, e2);
                 }
                 delivered += step.deliveries.len();
+                step.deliveries.clear();
             }
             delivered
         })
     });
-    g.finish();
-}
-
-fn end_to_end_events_per_sec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine/end_to_end");
-    g.sample_size(10);
-    for proto in ProtocolKind::ALL {
-        g.bench_function(format!("events_{}", proto.name()), |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::paper_default(proto, 16, 1600)
-                    .with_cache(CacheGeometry { sets: 256, ways: 4 });
-                let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
-                let stats = System::run(
-                    cfg,
-                    wl,
-                    Duration::from_ns(10_000),
-                    Duration::from_ns(50_000),
-                );
-                stats.events_processed
-            })
-        });
-    }
     g.finish();
 }
 
@@ -120,22 +101,74 @@ fn unicast_point_to_point(c: &mut Criterion) {
     g.bench_function("unicast", |b| {
         let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(4, 1600));
         let mut q = EventQueue::new();
+        let mut step = NetStep::new();
         let mut now = Time::ZERO;
         b.iter(|| {
             now += Duration::from_ns(500);
             let msg = Message::unordered(NodeId(0), NodeId(2), VnetId::DATA, 72, 1u64);
-            let step = net.send(now, msg);
-            for (t, e) in step.schedule {
+            net.send(now, msg, &mut step);
+            for (t, e) in step.schedule.drain(..) {
                 q.schedule(t, e);
             }
             while let Some((t, e)) = q.pop() {
-                let step = net.handle(t, e);
-                for (t2, e2) in step.schedule {
+                net.handle(t, e, &mut step);
+                for (t2, e2) in step.schedule.drain(..) {
                     q.schedule(t2, e2);
                 }
+                step.deliveries.clear();
             }
         })
     });
+    g.finish();
+}
+
+/// The headline engine metric: simulated events per wall-clock second on a
+/// fixed end-to-end run (the number `scripts/bench_baseline.sh` records in
+/// `BENCH_engine.json`).
+fn events_per_sec(c: &mut Criterion) {
+    let run = |proto: ProtocolKind| {
+        let cfg = SystemConfig::paper_default(proto, 16, 1600)
+            .with_cache(CacheGeometry { sets: 256, ways: 4 });
+        let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
+        System::run(
+            cfg,
+            wl,
+            Duration::from_ns(10_000),
+            Duration::from_ns(50_000),
+        )
+    };
+    let mut g = c.benchmark_group("engine/events_per_sec");
+    g.sample_size(10);
+    for proto in ProtocolKind::ALL {
+        // Event counts are deterministic: measure once, then report the
+        // benchmark's wall time as events/second throughput.
+        let events = run(proto).events_processed;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(proto.name(), |b| b.iter(|| run(proto).events_processed));
+    }
+    g.finish();
+}
+
+/// The parallel sweep executor against its own sequential mode: the same
+/// (bandwidth × seed) grid at `.threads(1)` and at the default thread
+/// count. The speedup ratio is the tentpole's multi-core win.
+fn sweep_parallelism(c: &mut Criterion) {
+    let grid = |threads: usize| {
+        SimBuilder::new(ProtocolKind::Bash)
+            .nodes(8)
+            .bandwidths([200, 400, 800, 1600, 3200, 6400])
+            .seeds(2)
+            .locking_microbench(128, Duration::ZERO)
+            .warmup_ns(10_000)
+            .measure_ns(40_000)
+            .threads(threads)
+            .run_sweep()
+            .len()
+    };
+    let mut g = c.benchmark_group("engine/sweep");
+    g.sample_size(10);
+    g.bench_function("serial_threads1", |b| b.iter(|| grid(1)));
+    g.bench_function("parallel_auto", |b| b.iter(|| grid(0)));
     g.finish();
 }
 
@@ -146,6 +179,7 @@ criterion_group!(
     cache_array,
     crossbar_broadcast,
     unicast_point_to_point,
-    end_to_end_events_per_sec,
+    events_per_sec,
+    sweep_parallelism,
 );
 criterion_main!(engine);

@@ -145,11 +145,11 @@ mod bash_tester_shim {
 fn adaptive_mechanism(c: &mut Criterion) {
     use bash_adaptive::BandwidthAdaptor;
     c.bench_function("adaptive/decide", |b| {
-        let mut a = BandwidthAdaptor::new(AdaptorConfig::paper_default(), 1);
+        let mut a = BandwidthAdaptor::new(&AdaptorConfig::paper_default(), 1);
         b.iter(|| a.decide())
     });
     c.bench_function("adaptive/sample_window", |b| {
-        let mut a = BandwidthAdaptor::new(AdaptorConfig::paper_default(), 1);
+        let mut a = BandwidthAdaptor::new(&AdaptorConfig::paper_default(), 1);
         b.iter(|| a.sample_window(400, 512))
     });
 }

@@ -1,0 +1,105 @@
+//! Emits `BENCH_engine.json`: the repo's engine-performance baseline.
+//!
+//! Two numbers anchor the perf trajectory:
+//!
+//! * **events/sec** — single-threaded simulated-event throughput of a fixed
+//!   end-to-end run, one value per protocol (the zero-allocation hot path's
+//!   metric);
+//! * **sweep wall time** — the same (bandwidth × seed) grid executed with
+//!   `.threads(1)` and with the default thread pool (the parallel sweep
+//!   executor's metric), plus the resulting speedup.
+//!
+//! Usage: `engine_baseline [OUTPUT.json]` (default `BENCH_engine.json`).
+//! Run it through `scripts/bench_baseline.sh` for a release build.
+
+use std::time::Instant;
+
+use bash::{Duration, ProtocolKind, SimBuilder, System, SystemConfig};
+use bash_coherence::CacheGeometry;
+use bash_kernel::pool;
+use bash_workloads::LockingMicrobench;
+
+/// One fixed end-to-end run; returns (events processed, wall seconds).
+fn timed_run(proto: ProtocolKind) -> (u64, f64) {
+    let cfg = SystemConfig::paper_default(proto, 16, 1600)
+        .with_cache(CacheGeometry { sets: 256, ways: 4 });
+    let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
+    let t0 = Instant::now();
+    let stats = System::run(
+        cfg,
+        wl,
+        Duration::from_ns(10_000),
+        Duration::from_ns(200_000),
+    );
+    (stats.events_processed, t0.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` events/sec for one protocol.
+fn events_per_sec(proto: ProtocolKind, reps: usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let (events, secs) = timed_run(proto);
+            events as f64 / secs.max(1e-9)
+        })
+        .fold(0.0, f64::max)
+}
+
+const SWEEP_BANDWIDTHS: [u64; 7] = [200, 400, 800, 1600, 3200, 6400, 12800];
+const SWEEP_SEEDS: u32 = 4;
+
+/// Wall seconds for the fixed sweep grid at the given thread count.
+fn sweep(threads: usize) -> f64 {
+    let t0 = Instant::now();
+    let reports = SimBuilder::new(ProtocolKind::Bash)
+        .nodes(8)
+        .bandwidths(SWEEP_BANDWIDTHS)
+        .seeds(SWEEP_SEEDS)
+        .locking_microbench(128, Duration::ZERO)
+        .warmup_ns(10_000)
+        .measure_ns(100_000)
+        .threads(threads)
+        .run_sweep();
+    assert_eq!(reports.len(), SWEEP_BANDWIDTHS.len());
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    eprintln!("measuring single-threaded events/sec (3 reps per protocol)...");
+    let mut proto_lines = Vec::new();
+    for proto in ProtocolKind::ALL {
+        let eps = events_per_sec(proto, 3);
+        eprintln!("  {:9} {:>12.0} events/s", proto.name(), eps);
+        proto_lines.push(format!("    \"{}\": {:.0}", proto.name(), eps));
+    }
+
+    let grid_points = SWEEP_BANDWIDTHS.len() as u32 * SWEEP_SEEDS;
+    eprintln!(
+        "measuring sweep wall time ({} bandwidths x {} seeds)...",
+        SWEEP_BANDWIDTHS.len(),
+        SWEEP_SEEDS
+    );
+    let serial_s = sweep(1);
+    let parallel_s = sweep(0);
+    let threads = pool::available_threads();
+    eprintln!(
+        "  serial {serial_s:.3}s, parallel {parallel_s:.3}s on {threads} threads ({:.2}x)",
+        serial_s / parallel_s.max(1e-9)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"events_per_sec\": {{\n{}\n  }},\n  \"sweep\": {{\n    \"grid_points\": {},\n    \"available_threads\": {},\n    \"wall_s_threads1\": {:.4},\n    \"wall_s_parallel\": {:.4},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        proto_lines.join(",\n"),
+        grid_points,
+        threads,
+        serial_s,
+        parallel_s,
+        serial_s / parallel_s.max(1e-9),
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -1,9 +1,11 @@
 //! The controller ↔ driver interface.
 //!
 //! Protocol controllers are pure state machines: they consume deliveries and
-//! processor operations and emit [`Action`]s. The system driver (in
-//! `bash-sim`) interprets the actions — scheduling sends on the crossbar and
-//! unblocking processors. This keeps every controller unit-testable without
+//! processor operations and emit [`Action`]s into a caller-owned
+//! [`ActionSink`]. The system driver (in `bash-sim`) interprets the actions
+//! — scheduling sends on the crossbar and unblocking processors — and
+//! reuses one sink across every event, so the hot event loop performs no
+//! per-event allocation. This keeps every controller unit-testable without
 //! a network or event loop.
 
 use bash_kernel::Duration;
@@ -54,6 +56,97 @@ impl Action {
     /// Convenience constructor for a delayed send.
     pub fn send_after(delay: Duration, msg: Message<ProtoMsg>) -> Action {
         Action::SendAfter { delay, msg }
+    }
+}
+
+/// A reusable buffer the controllers emit their [`Action`]s into.
+///
+/// Controller handlers take `&mut ActionSink` instead of returning
+/// `Vec<Action>`: the driver owns **one** sink, drains it after every
+/// handler call, and hands the same (already-grown) buffer to the next
+/// event. After warmup the event loop therefore emits actions with zero
+/// heap allocation, where the old return-a-`Vec` interface allocated on
+/// nearly every event.
+///
+/// Actions are interpreted strictly in push order, which is what preserves
+/// the simulator's deterministic event ordering.
+///
+/// # Example
+///
+/// ```
+/// use bash_coherence::actions::{Action, ActionSink};
+///
+/// let mut sink = ActionSink::new();
+/// assert!(sink.is_empty());
+/// // a controller would sink.push(...) / sink.send(...) here
+/// for action in sink.drain() {
+///     let _: Action = action; // driver interprets each action
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ActionSink {
+            actions: Vec::new(),
+        }
+    }
+
+    /// An empty sink with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ActionSink {
+            actions: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one action.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Appends an immediate send.
+    pub fn send(&mut self, msg: Message<ProtoMsg>) {
+        self.actions.push(Action::send(msg));
+    }
+
+    /// Appends a delayed send.
+    pub fn send_after(&mut self, delay: Duration, msg: Message<ProtoMsg>) {
+        self.actions.push(Action::send_after(delay, msg));
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when no actions are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The buffered actions, in push order.
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Removes and yields every buffered action in push order, keeping the
+    /// buffer's capacity for reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
+    /// Empties the sink, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Consumes the sink into a plain `Vec` (test and tooling convenience).
+    pub fn into_vec(self) -> Vec<Action> {
+        self.actions
     }
 }
 

@@ -28,7 +28,7 @@ use std::collections::{HashMap, VecDeque};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, VnetId};
 
-use crate::actions::Action;
+use crate::actions::ActionSink;
 use crate::common::MemStats;
 use crate::registry::TransitionLog;
 use crate::types::{
@@ -136,25 +136,36 @@ impl BashMemCtrl {
         self.retry_slots.is_empty() && self.blocks.values().all(|b| b.wb.is_none())
     }
 
-    /// Handles a delivery (the driver routes only home-block messages here).
+    /// Handles a delivery (the driver routes only home-block messages
+    /// here), emitting resulting actions into `sink`.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
                 debug_assert_eq!(req.block.home(self.nodes), self.node);
                 let order = order.expect("ordered request network");
-                self.on_request(now, req, &msg.dests, order)
+                self.on_request(now, req, &msg.dests, order, sink)
             }
-            ProtoMsg::WbData { block, from, data } => self.on_wb_data(now, *block, *from, *data),
+            ProtoMsg::WbData { block, from, data } => {
+                self.on_wb_data(now, *block, *from, *data, sink)
+            }
             other => unreachable!("unexpected message at BASH memory: {other:?}"),
         }
     }
 
-    fn on_request(&mut self, now: Time, req: &Request, mask: &NodeSet, order: u64) -> Vec<Action> {
+    fn on_request(
+        &mut self,
+        now: Time,
+        req: &Request,
+        mask: &NodeSet,
+        order: u64,
+        sink: &mut ActionSink,
+    ) {
         let block = req.block;
         let before = self.state_label(block);
         let ev: &'static str = match (req.kind, req.retry > 0) {
@@ -181,12 +192,11 @@ impl BashMemCtrl {
         };
         if stalled {
             self.log.record(before, ev, self.state_label(block));
-            return Vec::new();
+            return;
         }
 
-        let acts = self.process_request(now, req, mask, order);
+        self.process_request(now, req, mask, order, sink);
         self.log.record(before, ev, self.state_label(block));
-        acts
     }
 
     fn process_request(
@@ -195,7 +205,8 @@ impl BashMemCtrl {
         req: &Request,
         mask: &NodeSet,
         order: u64,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let block = req.block;
         if req.kind == TxnKind::PutM {
             let st = self.blocks.entry(block).or_default();
@@ -207,7 +218,7 @@ impl BashMemCtrl {
             } else {
                 self.stats.writebacks_stale += 1;
             }
-            return Vec::new();
+            return;
         }
 
         let (owner, sharers) = {
@@ -219,9 +230,8 @@ impl BashMemCtrl {
             // The request reached everyone that must see it: commit the
             // directory update; respond if memory owns the data.
             self.retry_slots.remove(&req.txn);
-            let mut acts = Vec::new();
             if owner == Owner::Memory {
-                acts.extend(self.respond_with_data(now, req, order));
+                self.respond_with_data(now, req, order, sink);
             }
             let st = self.blocks.get_mut(&block).expect("present");
             match req.kind {
@@ -234,9 +244,8 @@ impl BashMemCtrl {
                 }
                 TxnKind::PutM => unreachable!(),
             }
-            acts
         } else {
-            self.schedule_retry(now, req, owner, &sharers)
+            self.schedule_retry(now, req, owner, &sharers, sink);
         }
     }
 
@@ -246,7 +255,8 @@ impl BashMemCtrl {
         req: &Request,
         owner: Owner,
         sharers: &NodeSet,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let count = match self.retry_slots.get(&req.txn) {
             Some(&c) => c + 1,
             None => {
@@ -254,8 +264,9 @@ impl BashMemCtrl {
                     // Deadlock resolution: cannot allocate a retry buffer —
                     // nack so the requestor reissues as a broadcast.
                     self.stats.nacks_sent += 1;
-                    return vec![Action::send_after(
-                        self.dram_delay(now),
+                    let delay = self.dram_delay(now);
+                    sink.send_after(
+                        delay,
                         Message::unordered(
                             self.node,
                             req.requestor,
@@ -266,7 +277,8 @@ impl BashMemCtrl {
                                 block: req.block,
                             },
                         ),
-                    )];
+                    );
+                    return;
                 }
                 1
             }
@@ -287,8 +299,9 @@ impl BashMemCtrl {
             m.insert(self.node);
             m
         };
-        vec![Action::send_after(
-            self.dram_delay(now),
+        let delay = self.dram_delay(now);
+        sink.send_after(
+            delay,
             Message::ordered(
                 self.node,
                 mask,
@@ -298,7 +311,7 @@ impl BashMemCtrl {
                     ..*req
                 }),
             ),
-        )]
+        );
     }
 
     fn on_wb_data(
@@ -307,7 +320,8 @@ impl BashMemCtrl {
         block: BlockAddr,
         from: NodeId,
         data: BlockData,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let before = self.state_label(block);
         let st = self.blocks.get_mut(&block).expect("wb data without state");
         let wb = st.wb.take().expect("wb data without open window");
@@ -315,10 +329,9 @@ impl BashMemCtrl {
         st.owner = Owner::Memory;
         self.store.insert(block, data);
         self.stats.writebacks_accepted += 1;
-        let mut acts = Vec::new();
         for (req, mask, order) in wb.queued {
             let mid = self.state_label(block);
-            acts.extend(self.process_request(now, &req, &mask, order));
+            self.process_request(now, &req, &mask, order, sink);
             let ev: &'static str = match req.kind {
                 TxnKind::GetS => "GetS",
                 TxnKind::GetM => "GetM",
@@ -327,14 +340,14 @@ impl BashMemCtrl {
             self.log.record(mid, ev, self.state_label(block));
         }
         self.log.record(before, "WbData", self.state_label(block));
-        acts
     }
 
-    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64, sink: &mut ActionSink) {
         let data = self.stored_data(req.block);
         self.stats.data_responses += 1;
-        vec![Action::send_after(
-            self.dram_delay(now),
+        let delay = self.dram_delay(now);
+        sink.send_after(
+            delay,
             Message::unordered(
                 self.node,
                 req.requestor,
@@ -348,7 +361,7 @@ impl BashMemCtrl {
                     serialized_at: Some(order),
                 },
             ),
-        )]
+        );
     }
 
     fn dram_delay(&mut self, now: Time) -> Duration {

@@ -6,12 +6,16 @@ use bash_net::{Message, NodeId, NodeSet};
 use crate::actions::{AccessOutcome, Action};
 use crate::cache::{CacheGeometry, Mosi};
 use crate::directory::DirectoryCacheCtrl;
+use crate::test_support::{AccessCollect, Deliver};
 use crate::types::{
     BlockAddr, BlockData, ProcOp, ProtoMsg, Request, TxnId, TxnKind, CONTROL_MSG_BYTES,
     DATA_MSG_BYTES,
 };
 
 const NODES: u16 = 4;
+
+crate::test_support::impl_deliver!(DirectoryCacheCtrl);
+crate::test_support::impl_access_collect!(DirectoryCacheCtrl);
 
 fn ctrl(node: u16) -> DirectoryCacheCtrl {
     DirectoryCacheCtrl::new(
@@ -82,7 +86,7 @@ fn wb_ack(to: u16, block: u64, stale: bool) -> Message<ProtoMsg> {
 
 /// Completes a store miss on `block`, returning the txn seq used.
 fn install_m(c: &mut DirectoryCacheCtrl, node: u16, block: u64, at: u64) -> u64 {
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(at),
         ProcOp::Store {
             block: BlockAddr(block),
@@ -104,7 +108,7 @@ fn install_m(c: &mut DirectoryCacheCtrl, node: u16, block: u64, at: u64) -> u64 
         other => panic!("expected a send, got {other:?}"),
     }
     // Marker (our forwarded copy), then data.
-    c.on_delivery(
+    c.deliver(
         t(at + 5),
         &fwd(
             TxnKind::GetM,
@@ -115,7 +119,7 @@ fn install_m(c: &mut DirectoryCacheCtrl, node: u16, block: u64, at: u64) -> u64 
         ),
         Some(0),
     );
-    let acts = c.on_delivery(t(at + 10), &data(node, txn.seq, block, 0), None);
+    let acts = c.deliver(t(at + 10), &data(node, txn.seq, block, 0), None);
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
     txn.seq
 }
@@ -132,7 +136,7 @@ fn miss_completes_with_marker_and_data() {
 fn owner_answers_forwarded_gets_and_downgrades() {
     let mut c = ctrl(2);
     install_m(&mut c, 2, 1, 0);
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(100),
         &fwd(
             TxnKind::GetS,
@@ -160,7 +164,7 @@ fn owner_answers_forwarded_gets_and_downgrades() {
 fn sharer_invalidates_on_forwarded_getm() {
     let mut c = ctrl(2);
     // Get an S copy: load miss → marker → data.
-    let (outcome, _) = c.access(
+    let (outcome, _) = c.access_collect(
         t(0),
         ProcOp::Load {
             block: BlockAddr(1),
@@ -171,15 +175,15 @@ fn sharer_invalidates_on_forwarded_getm() {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
     };
-    c.on_delivery(
+    c.deliver(
         t(5),
         &fwd(TxnKind::GetS, 1, 2, txn.seq, NodeSet::singleton(NodeId(2))),
         Some(0),
     );
-    c.on_delivery(t(10), &data(2, txn.seq, 1, 7), None);
+    c.deliver(t(10), &data(2, txn.seq, 1, 7), None);
     assert_eq!(c.cache().state(BlockAddr(1)), Some(Mosi::S));
     // Forwarded foreign GetM (we are in the sharers part of the mask).
-    c.on_delivery(
+    c.deliver(
         t(20),
         &fwd(
             TxnKind::GetM,
@@ -198,7 +202,7 @@ fn o_to_m_upgrade_completes_at_the_marker_without_data() {
     let mut c = ctrl(2);
     install_m(&mut c, 2, 1, 0);
     // Downgrade to O via a forwarded GetS.
-    c.on_delivery(
+    c.deliver(
         t(100),
         &fwd(
             TxnKind::GetS,
@@ -211,7 +215,7 @@ fn o_to_m_upgrade_completes_at_the_marker_without_data() {
     );
     // Upgrade store: the directory forwards our own GetM back (mask covers
     // the sharers); we complete from our own data at the marker.
-    let (outcome, _) = c.access(
+    let (outcome, _) = c.access_collect(
         t(200),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -223,7 +227,7 @@ fn o_to_m_upgrade_completes_at_the_marker_without_data() {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
     };
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(210),
         &fwd(
             TxnKind::GetM,
@@ -246,7 +250,7 @@ fn eviction_sends_data_carrying_putm_and_waits_for_ack() {
     // evicts.
     install_m(&mut c, 2, 1, 0);
     install_m(&mut c, 2, 5, 100);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(200),
         ProcOp::Store {
             block: BlockAddr(9),
@@ -258,12 +262,12 @@ fn eviction_sends_data_carrying_putm_and_waits_for_ack() {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
     };
-    c.on_delivery(
+    c.deliver(
         t(205),
         &fwd(TxnKind::GetM, 9, 2, txn.seq, NodeSet::singleton(NodeId(2))),
         Some(2),
     );
-    let acts = c.on_delivery(t(210), &data(2, txn.seq, 9, 0), None);
+    let acts = c.deliver(t(210), &data(2, txn.seq, 9, 0), None);
     let wb = acts
         .iter()
         .find_map(|a| match a {
@@ -282,7 +286,7 @@ fn eviction_sends_data_carrying_putm_and_waits_for_ack() {
         "writeback entry outstanding until the ack"
     );
     // While unacked, we still answer forwarded requests from the buffer.
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(220),
         &fwd(
             TxnKind::GetS,
@@ -304,7 +308,7 @@ fn eviction_sends_data_carrying_putm_and_waits_for_ack() {
         }
     )));
     // The ack retires the buffer.
-    c.on_delivery(t(230), &wb_ack(2, 1, false), Some(4));
+    c.deliver(t(230), &wb_ack(2, 1, false), Some(4));
     assert!(c.is_quiescent());
     let _ = actions;
 }
@@ -316,7 +320,7 @@ fn stale_ack_after_losing_the_race_is_clean() {
     install_m(&mut c, 2, 5, 100);
     // Evict block 1 (install 9), then a forwarded GetM for block 1 beats
     // our PutM at the directory: we respond and the writeback is squashed.
-    let (outcome, _) = c.access(
+    let (outcome, _) = c.access_collect(
         t(200),
         ProcOp::Store {
             block: BlockAddr(9),
@@ -328,13 +332,13 @@ fn stale_ack_after_losing_the_race_is_clean() {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
     };
-    c.on_delivery(
+    c.deliver(
         t(205),
         &fwd(TxnKind::GetM, 9, 2, txn.seq, NodeSet::singleton(NodeId(2))),
         Some(2),
     );
-    c.on_delivery(t(210), &data(2, txn.seq, 9, 0), None);
-    let acts = c.on_delivery(
+    c.deliver(t(210), &data(2, txn.seq, 9, 0), None);
+    let acts = c.deliver(
         t(220),
         &fwd(
             TxnKind::GetM,
@@ -357,7 +361,7 @@ fn stale_ack_after_losing_the_race_is_clean() {
     )));
     assert_eq!(c.stats().writebacks_squashed, 1);
     // The directory's stale ack retires the (now invalid) buffer.
-    c.on_delivery(t(230), &wb_ack(2, 1, true), Some(4));
+    c.deliver(t(230), &wb_ack(2, 1, true), Some(4));
     assert!(c.is_quiescent());
 }
 
@@ -366,7 +370,7 @@ fn access_to_a_block_with_writeback_in_flight_stalls_then_issues() {
     let mut c = ctrl(2);
     install_m(&mut c, 2, 1, 0);
     install_m(&mut c, 2, 5, 100);
-    let (outcome, _) = c.access(
+    let (outcome, _) = c.access_collect(
         t(200),
         ProcOp::Store {
             block: BlockAddr(9),
@@ -378,14 +382,14 @@ fn access_to_a_block_with_writeback_in_flight_stalls_then_issues() {
         AccessOutcome::Miss { txn } => txn,
         _ => panic!(),
     };
-    c.on_delivery(
+    c.deliver(
         t(205),
         &fwd(TxnKind::GetM, 9, 2, txn.seq, NodeSet::singleton(NodeId(2))),
         Some(2),
     );
-    c.on_delivery(t(210), &data(2, txn.seq, 9, 0), None);
+    c.deliver(t(210), &data(2, txn.seq, 9, 0), None);
     // Re-access the evicted block 1 while its writeback is unacked.
-    let (outcome, acts) = c.access(
+    let (outcome, acts) = c.access_collect(
         t(220),
         ProcOp::Load {
             block: BlockAddr(1),
@@ -395,7 +399,7 @@ fn access_to_a_block_with_writeback_in_flight_stalls_then_issues() {
     assert!(matches!(outcome, AccessOutcome::Miss { .. }));
     assert!(acts.is_empty(), "stalled: no request until the ack");
     // The ack releases the stalled access as a fresh GetS to the home.
-    let acts = c.on_delivery(t(230), &wb_ack(2, 1, false), Some(3));
+    let acts = c.deliver(t(230), &wb_ack(2, 1, false), Some(3));
     let sent = acts
         .iter()
         .find_map(|a| match a {

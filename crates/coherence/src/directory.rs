@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, Ordered, VnetId};
 
-use crate::actions::{AccessOutcome, Action};
+use crate::actions::{AccessOutcome, Action, ActionSink};
 use crate::cache::{CacheArray, CacheGeometry, Mosi};
 use crate::common::{CacheStats, MemStats, Mshr, WbEntry};
 use crate::registry::TransitionLog;
@@ -42,6 +42,9 @@ pub struct DirectoryCacheCtrl {
     cache: CacheArray,
     mshr: Option<Mshr>,
     deferred: Vec<(Request, NodeSet)>,
+    /// Scratch buffer the deferred queue is swapped into while replaying
+    /// (reuses one allocation instead of collecting a fresh `Vec`).
+    replay_scratch: Vec<(Request, NodeSet)>,
     wb: HashMap<BlockAddr, WbEntry>,
     stalled_op: Option<(ProcOp, TxnId, Time)>,
     txn_seq: u64,
@@ -65,6 +68,7 @@ impl DirectoryCacheCtrl {
             cache: CacheArray::new(geometry),
             mshr: None,
             deferred: Vec::new(),
+            replay_scratch: Vec::new(),
             wb: HashMap::new(),
             stalled_op: None,
             txn_seq: 0,
@@ -103,12 +107,13 @@ impl DirectoryCacheCtrl {
         self.mshr.is_none() && self.wb.is_empty() && self.stalled_op.is_none()
     }
 
-    /// Handles a processor load/store (blocking processor: one at a time).
+    /// Handles a processor load/store (blocking processor: one at a time),
+    /// emitting any resulting actions into `sink`.
     ///
     /// # Panics
     ///
     /// Panics if called while a demand miss is outstanding.
-    pub fn access(&mut self, now: Time, op: ProcOp) -> (AccessOutcome, Vec<Action>) {
+    pub fn access(&mut self, now: Time, op: ProcOp, sink: &mut ActionSink) -> AccessOutcome {
         assert!(
             self.mshr.is_none() && self.stalled_op.is_none(),
             "blocking processor issued a second outstanding access"
@@ -124,7 +129,7 @@ impl DirectoryCacheCtrl {
             self.stalled_op = Some((op, txn, now));
             self.stats.misses += 1;
             self.log.record(before, ev, before);
-            return (AccessOutcome::Miss { txn }, Vec::new());
+            return AccessOutcome::Miss { txn };
         }
         let state = self.cache.touch(block);
         match (op, state) {
@@ -133,20 +138,20 @@ impl DirectoryCacheCtrl {
                 self.stats.hits += 1;
                 let s = self.label(block);
                 self.log.record(s, "Load", s);
-                (AccessOutcome::Hit { value }, Vec::new())
+                AccessOutcome::Hit { value }
             }
             (ProcOp::Store { word, value, .. }, Some(Mosi::M)) => {
                 self.cache.write_word(block, word, value);
                 self.stats.hits += 1;
                 self.log.record("M", "Store", "M");
-                (AccessOutcome::Hit { value }, Vec::new())
+                AccessOutcome::Hit { value }
             }
             _ => {
                 let before = self.label(block);
                 let txn = self.next_txn();
-                let actions = self.issue_miss(now, op, txn);
+                self.issue_miss(now, op, txn, sink);
                 self.log.record(before, ev, self.label(block));
-                (AccessOutcome::Miss { txn }, actions)
+                AccessOutcome::Miss { txn }
             }
         }
     }
@@ -159,13 +164,13 @@ impl DirectoryCacheCtrl {
         }
     }
 
-    fn issue_miss(&mut self, now: Time, op: ProcOp, txn: TxnId) -> Vec<Action> {
+    fn issue_miss(&mut self, now: Time, op: ProcOp, txn: TxnId, sink: &mut ActionSink) {
         let kind = op.miss_kind();
         let block = op.block();
         self.stats.misses += 1;
         self.stats.unicasts_sent += 1;
         self.mshr = Some(Mshr::new(op, kind, txn, now));
-        vec![Action::send(Message {
+        sink.send(Message {
             src: self.node,
             dests: NodeSet::singleton(block.home(self.nodes)),
             vnet: VnetId::DIR_REQUEST,
@@ -179,24 +184,25 @@ impl DirectoryCacheCtrl {
                 retry: 0,
                 from_dir: false,
             }),
-        })]
+        });
     }
 
     /// Handles a delivery (forwarded requests and writeback acks on VN1,
-    /// data on VN2).
+    /// data on VN2), emitting resulting actions into `sink`.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         _order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
                 debug_assert!(req.from_dir, "caches only see dir-forwarded requests");
                 if req.requestor == self.node {
-                    self.on_own_marker(now, req)
+                    self.on_own_marker(now, req, sink)
                 } else {
-                    self.on_foreign_fwd(now, req, &msg.dests, false)
+                    self.on_foreign_fwd(now, req, &msg.dests, false, sink)
                 }
             }
             ProtoMsg::Data {
@@ -205,10 +211,10 @@ impl DirectoryCacheCtrl {
                 data,
                 from_cache,
                 ..
-            } => self.on_data(now, *txn, *block, *data, *from_cache),
+            } => self.on_data(now, *txn, *block, *data, *from_cache, sink),
             ProtoMsg::WbAck { block, to, stale } => {
                 debug_assert_eq!(*to, self.node);
-                self.on_wb_ack(now, *block, *stale)
+                self.on_wb_ack(now, *block, *stale, sink)
             }
             other => unreachable!("unexpected message at directory cache: {other:?}"),
         }
@@ -216,7 +222,7 @@ impl DirectoryCacheCtrl {
 
     /// Our forwarded copy: the marker fixing our place in the VN1 total
     /// order.
-    fn on_own_marker(&mut self, now: Time, req: &Request) -> Vec<Action> {
+    fn on_own_marker(&mut self, now: Time, req: &Request, sink: &mut ActionSink) {
         let block = req.block;
         let before = self.label(block);
         let m = self.mshr.as_mut().expect("marker without outstanding miss");
@@ -228,17 +234,14 @@ impl DirectoryCacheCtrl {
         // forward reached every directory-known sharer, so complete from our
         // own data.
         if req.kind == TxnKind::GetM && self.cache.state(block) == Some(Mosi::O) {
-            let acts = self.complete_upgrade(now);
+            self.complete_upgrade(now, sink);
             self.log.record(before, "OwnFwd", self.label(block));
-            return acts;
+            return;
         }
-        let acts = if m.data.is_some() {
-            self.complete_miss(now)
-        } else {
-            Vec::new()
-        };
+        if m.data.is_some() {
+            self.complete_miss(now, sink);
+        }
         self.log.record(before, "OwnFwd", self.label(block));
-        acts
     }
 
     /// A directory-forwarded foreign request: we are the owner (respond), a
@@ -249,7 +252,8 @@ impl DirectoryCacheCtrl {
         req: &Request,
         mask: &NodeSet,
         replay: bool,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let block = req.block;
         if !replay {
             let must_defer = self
@@ -259,7 +263,7 @@ impl DirectoryCacheCtrl {
                 .unwrap_or(false);
             if must_defer {
                 self.deferred.push((*req, *mask));
-                return Vec::new();
+                return;
             }
         }
         let before = self.label(block);
@@ -268,9 +272,8 @@ impl DirectoryCacheCtrl {
             TxnKind::GetM => "ForGetM",
             TxnKind::PutM => unreachable!("PutM is never forwarded"),
         };
-        let mut acts = Vec::new();
         if self.is_local_owner(block) {
-            acts.extend(self.respond_with_data(req));
+            self.respond_with_data(req, sink);
             match req.kind {
                 TxnKind::GetS => {
                     if self.cache.state(block) == Some(Mosi::M) {
@@ -291,7 +294,6 @@ impl DirectoryCacheCtrl {
             self.cache.invalidate(block);
         }
         self.log.record(before, ev, self.label(block));
-        acts
     }
 
     fn is_local_owner(&self, block: BlockAddr) -> bool {
@@ -299,7 +301,7 @@ impl DirectoryCacheCtrl {
             || self.wb.get(&block).map(|e| e.valid).unwrap_or(false)
     }
 
-    fn respond_with_data(&mut self, req: &Request) -> Vec<Action> {
+    fn respond_with_data(&mut self, req: &Request, sink: &mut ActionSink) {
         let block = req.block;
         let data = self
             .cache
@@ -307,7 +309,7 @@ impl DirectoryCacheCtrl {
             .or_else(|| self.wb.get(&block).map(|e| e.data))
             .expect("owner has data");
         self.stats.snoop_responses += 1;
-        vec![Action::send_after(
+        sink.send_after(
             self.provide_latency,
             Message::unordered(
                 self.node,
@@ -322,7 +324,7 @@ impl DirectoryCacheCtrl {
                     serialized_at: None,
                 },
             ),
-        )]
+        );
     }
 
     fn on_data(
@@ -332,7 +334,8 @@ impl DirectoryCacheCtrl {
         block: BlockAddr,
         data: BlockData,
         from_cache: bool,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let before = self.label(block);
         let have_marker = {
             let m = self.mshr.as_mut().expect("data without outstanding miss");
@@ -341,36 +344,31 @@ impl DirectoryCacheCtrl {
             m.data = Some((data, from_cache));
             m.have_marker
         };
-        let acts = if have_marker {
-            self.complete_miss(now)
-        } else {
-            Vec::new()
-        };
+        if have_marker {
+            self.complete_miss(now, sink);
+        }
         self.log.record(before, "Data", self.label(block));
-        acts
     }
 
-    fn on_wb_ack(&mut self, now: Time, block: BlockAddr, stale: bool) -> Vec<Action> {
+    fn on_wb_ack(&mut self, now: Time, block: BlockAddr, stale: bool, sink: &mut ActionSink) {
         let before = self.label(block);
         let entry = self.wb.remove(&block).expect("ack without wb entry");
         debug_assert!(
             !stale || !entry.valid,
             "directory saw the writeback as stale but we still thought we owned it"
         );
-        let mut acts = Vec::new();
         self.log.record(before, "WbAck", self.label(block));
         if let Some((op, txn, issued)) = self.stalled_op.take() {
             if op.block() == block {
                 self.stats.misses -= 1; // issue_miss recounts
-                acts.extend(self.issue_miss(now, op, txn));
+                self.issue_miss(now, op, txn, sink);
             } else {
                 self.stalled_op = Some((op, txn, issued));
             }
         }
-        acts
     }
 
-    fn complete_upgrade(&mut self, now: Time) -> Vec<Action> {
+    fn complete_upgrade(&mut self, now: Time, sink: &mut ActionSink) {
         let m = self.mshr.take().expect("upgrade without mshr");
         let block = m.block;
         self.cache.set_state(block, Mosi::M);
@@ -381,25 +379,23 @@ impl DirectoryCacheCtrl {
             }
             ProcOp::Load { .. } => unreachable!("upgrades are stores"),
         };
-        let mut acts = vec![Action::MissDone {
+        sink.push(Action::MissDone {
             txn: m.txn,
             kind: m.kind,
             block,
             value,
             from_cache: true,
-        }];
-        acts.extend(self.replay_deferred(now));
-        acts
+        });
+        self.replay_deferred(now, sink);
     }
 
-    fn complete_miss(&mut self, now: Time) -> Vec<Action> {
+    fn complete_miss(&mut self, now: Time, sink: &mut ActionSink) {
         let m = self.mshr.take().expect("complete without mshr");
         let block = m.block;
         let (data, from_cache) = m.data.expect("complete without data");
         if from_cache {
             self.stats.sharing_misses += 1;
         }
-        let mut acts = Vec::new();
         let new_state = match m.kind {
             TxnKind::GetS => Mosi::S,
             TxnKind::GetM => Mosi::M,
@@ -408,7 +404,7 @@ impl DirectoryCacheCtrl {
         if self.cache.state(block).is_some() {
             self.cache.invalidate(block);
         }
-        self.insert_with_eviction(block, new_state, data, &mut acts);
+        self.insert_with_eviction(block, new_state, data, sink);
         let value = match m.op {
             ProcOp::Load { word, .. } => self.cache.data(block).expect("resident").read(word),
             ProcOp::Store { word, value, .. } => {
@@ -416,15 +412,14 @@ impl DirectoryCacheCtrl {
                 value
             }
         };
-        acts.push(Action::MissDone {
+        sink.push(Action::MissDone {
             txn: m.txn,
             kind: m.kind,
             block,
             value,
             from_cache,
         });
-        acts.extend(self.replay_deferred(now));
-        acts
+        self.replay_deferred(now, sink);
     }
 
     fn insert_with_eviction(
@@ -432,7 +427,7 @@ impl DirectoryCacheCtrl {
         block: BlockAddr,
         state: Mosi,
         data: BlockData,
-        acts: &mut Vec<Action>,
+        sink: &mut ActionSink,
     ) {
         if let Some(victim) = self.cache.insert(block, state, data) {
             match victim.state {
@@ -450,7 +445,7 @@ impl DirectoryCacheCtrl {
                     );
                     // The PutM and its data are one VN0 message: ownership
                     // returns to memory atomically at the directory.
-                    acts.push(Action::send(Message {
+                    sink.send(Message {
                         src: self.node,
                         dests: NodeSet::singleton(victim.block.home(self.nodes)),
                         vnet: VnetId::DIR_REQUEST,
@@ -461,7 +456,7 @@ impl DirectoryCacheCtrl {
                             from: self.node,
                             data: victim.data,
                         },
-                    }));
+                    });
                     self.log.record(before, "Replace", self.label(victim.block));
                 }
             }
@@ -469,14 +464,16 @@ impl DirectoryCacheCtrl {
     }
 
     /// In the Directory protocol the VN1 marker *is* the serialization
-    /// point, so every deferred request replays normally.
-    fn replay_deferred(&mut self, now: Time) -> Vec<Action> {
-        let drained: Vec<(Request, NodeSet)> = self.deferred.drain(..).collect();
-        let mut acts = Vec::new();
-        for (req, mask) in drained {
-            acts.extend(self.on_foreign_fwd(now, &req, &mask, true));
+    /// point, so every deferred request replays normally. The deferred
+    /// queue is swapped into a reusable scratch buffer so replays allocate
+    /// nothing in steady state.
+    fn replay_deferred(&mut self, now: Time, sink: &mut ActionSink) {
+        let mut drained = std::mem::take(&mut self.replay_scratch);
+        std::mem::swap(&mut self.deferred, &mut drained);
+        for (req, mask) in drained.drain(..) {
+            self.on_foreign_fwd(now, &req, &mask, true, sink);
         }
-        acts
+        self.replay_scratch = drained;
     }
 
     fn label(&self, block: BlockAddr) -> &'static str {
@@ -592,35 +589,36 @@ impl DirectoryCtrl {
         self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
     }
 
-    /// Handles a VN0 delivery (requests and data-carrying writebacks).
+    /// Handles a VN0 delivery (requests and data-carrying writebacks),
+    /// emitting resulting actions into `sink`.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         _order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
                 debug_assert_eq!(req.block.home(self.nodes), self.node);
                 debug_assert!(!req.from_dir);
-                self.on_request(now, req)
+                self.on_request(now, req, sink)
             }
-            ProtoMsg::WbData { block, from, data } => self.on_putm(now, *block, *from, *data),
+            ProtoMsg::WbData { block, from, data } => self.on_putm(now, *block, *from, *data, sink),
             other => unreachable!("unexpected message at directory: {other:?}"),
         }
     }
 
-    fn on_request(&mut self, now: Time, req: &Request) -> Vec<Action> {
+    fn on_request(&mut self, now: Time, req: &Request, sink: &mut ActionSink) {
         let block = req.block;
         let before = self.label(block);
         let delay = self.dram_delay(now);
         let entry = self.dir.entry(block).or_default().clone();
-        let mut acts = Vec::new();
         match (req.kind, entry.owner) {
             (TxnKind::GetS, Owner::Memory) => {
                 // Respond directly: data on VN2 plus a marker on VN1.
-                acts.push(self.data_response(delay, req));
-                acts.push(self.forward(delay, req, NodeSet::singleton(req.requestor)));
+                sink.push(self.data_response(delay, req));
+                sink.push(self.forward(delay, req, NodeSet::singleton(req.requestor)));
                 self.stats.data_responses += 1;
                 self.dir
                     .get_mut(&block)
@@ -630,7 +628,7 @@ impl DirectoryCtrl {
             }
             (TxnKind::GetS, Owner::Node(p)) => {
                 let mask = NodeSet::from_nodes([p, req.requestor]);
-                acts.push(self.forward(delay, req, mask));
+                sink.push(self.forward(delay, req, mask));
                 self.stats.forwards += 1;
                 self.dir
                     .get_mut(&block)
@@ -639,10 +637,10 @@ impl DirectoryCtrl {
                     .insert(req.requestor);
             }
             (TxnKind::GetM, Owner::Memory) => {
-                acts.push(self.data_response(delay, req));
+                sink.push(self.data_response(delay, req));
                 let mut mask = entry.sharers;
                 mask.insert(req.requestor);
-                acts.push(self.forward(delay, req, mask));
+                sink.push(self.forward(delay, req, mask));
                 self.stats.data_responses += 1;
                 let e = self.dir.get_mut(&block).expect("present");
                 e.owner = Owner::Node(req.requestor);
@@ -652,7 +650,7 @@ impl DirectoryCtrl {
                 let mut mask = entry.sharers;
                 mask.insert(p);
                 mask.insert(req.requestor);
-                acts.push(self.forward(delay, req, mask));
+                sink.push(self.forward(delay, req, mask));
                 self.stats.forwards += 1;
                 let e = self.dir.get_mut(&block).expect("present");
                 e.owner = Owner::Node(req.requestor);
@@ -661,7 +659,6 @@ impl DirectoryCtrl {
             (TxnKind::PutM, _) => unreachable!("PutM arrives as WbData"),
         }
         self.log.record(before, req.kind.name(), self.label(block));
-        acts
     }
 
     fn on_putm(
@@ -670,7 +667,8 @@ impl DirectoryCtrl {
         block: BlockAddr,
         from: NodeId,
         data: BlockData,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let before = self.label(block);
         let delay = self.dram_delay(now);
         let entry = self.dir.entry(block).or_default();
@@ -683,7 +681,7 @@ impl DirectoryCtrl {
             self.stats.writebacks_accepted += 1;
         }
         self.log.record(before, "PutM", self.label(block));
-        vec![Action::send_after(
+        sink.send_after(
             delay,
             Message::ordered(
                 self.node,
@@ -695,7 +693,7 @@ impl DirectoryCtrl {
                     stale,
                 },
             ),
-        )]
+        );
     }
 
     fn data_response(&mut self, delay: Duration, req: &Request) -> Action {

@@ -5,8 +5,10 @@
 //! All three protocols are write-invalidate MOSI with silent S→I downgrade,
 //! GetS / GetM / PutM transactions, blocking processors and sequential
 //! consistency, exactly as assumed by the paper. Controllers are pure state
-//! machines driven through [`actions::Action`] lists, which makes every race
-//! unit-testable without a network; the system driver lives in `bash-sim`.
+//! machines emitting [`actions::Action`]s into a reusable
+//! [`actions::ActionSink`], which makes every race unit-testable without a
+//! network and keeps the hot path allocation-free; the system driver lives
+//! in `bash-sim`.
 //!
 //! Module map:
 //!
@@ -39,9 +41,11 @@ pub mod snoopcache;
 #[cfg(test)]
 mod snoopcache_tests;
 pub mod snooping;
+#[cfg(test)]
+mod test_support;
 pub mod types;
 
-pub use actions::{AccessOutcome, Action};
+pub use actions::{AccessOutcome, Action, ActionSink};
 pub use cache::{CacheArray, CacheGeometry, Mosi};
 pub use protocol::{route, CacheCtrl, MemCtrl, ProtocolKind, Routing};
 pub use registry::TransitionLog;

@@ -7,6 +7,7 @@ use crate::actions::Action;
 use crate::bash::BashMemCtrl;
 use crate::directory::DirectoryCtrl;
 use crate::snooping::SnoopingMemCtrl;
+use crate::test_support::Deliver;
 use crate::types::{
     BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnId, TxnKind, CONTROL_MSG_BYTES,
     DATA_MSG_BYTES,
@@ -14,6 +15,8 @@ use crate::types::{
 
 const NODES: u16 = 4;
 const DRAM: Duration = Duration::from_ns(80);
+
+crate::test_support::impl_deliver!(SnoopingMemCtrl, DirectoryCtrl, BashMemCtrl);
 
 fn t(ns: u64) -> Time {
     Time::from_ns(ns)
@@ -84,7 +87,7 @@ fn snooping_memory_owner_responds_and_tracks_transfer() {
     // Block 0 homes at node 0.
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
     // GetM from P2 when memory owns: respond + owner := P2.
-    let acts = m.on_delivery(
+    let acts = m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
         Some(0),
@@ -92,7 +95,7 @@ fn snooping_memory_owner_responds_and_tracks_transfer() {
     assert!(matches!(sent_payloads(&acts)[0], ProtoMsg::Data { .. }));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
     // Subsequent GetS: the cache owner responds, memory is silent.
-    let acts = m.on_delivery(
+    let acts = m.deliver(
         t(10),
         &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
         Some(1),
@@ -104,20 +107,20 @@ fn snooping_memory_owner_responds_and_tracks_transfer() {
 #[test]
 fn snooping_memory_stalls_requests_during_writeback_window() {
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
         Some(0),
     );
     // P2 writes the block back.
-    let acts = m.on_delivery(
+    let acts = m.deliver(
         t(10),
         &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0),
         Some(1),
     );
     assert!(sent_payloads(&acts).is_empty());
     // A GetS ordered inside the window stalls.
-    let acts = m.on_delivery(
+    let acts = m.deliver(
         t(20),
         &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
         Some(2),
@@ -128,7 +131,7 @@ fn snooping_memory_stalls_requests_during_writeback_window() {
     );
     assert!(!m.is_quiescent());
     // Data arrives: the window closes and the stalled GetS is answered.
-    let acts = m.on_delivery(t(30), &wb_data(0, 2, 77), None);
+    let acts = m.deliver(t(30), &wb_data(0, 2, 77), None);
     let sends = sent_payloads(&acts);
     assert_eq!(sends.len(), 1);
     match sends[0] {
@@ -142,19 +145,19 @@ fn snooping_memory_stalls_requests_during_writeback_window() {
 #[test]
 fn snooping_memory_ignores_stale_putm() {
     let mut m = SnoopingMemCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
         Some(0),
     );
     // P3 steals ownership before P2's PutM is ordered.
-    m.on_delivery(
+    m.deliver(
         t(10),
         &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
         Some(1),
     );
     // P2's now-stale PutM: ignored; no window opens.
-    m.on_delivery(
+    m.deliver(
         t(20),
         &req(TxnKind::PutM, 0, 2, 2, NodeSet::all(4), 0),
         Some(2),
@@ -188,7 +191,7 @@ fn dir_req(kind: TxnKind, block: u64, requestor: u16, seq: u64) -> Message<Proto
 #[test]
 fn directory_responds_with_data_and_marker_when_memory_owns() {
     let mut d = DirectoryCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    let acts = d.on_delivery(t(0), &dir_req(TxnKind::GetS, 0, 2, 1), None);
+    let acts = d.deliver(t(0), &dir_req(TxnKind::GetS, 0, 2, 1), None);
     let sends = sent_payloads(&acts);
     assert_eq!(sends.len(), 2);
     assert!(matches!(sends[0], ProtoMsg::Data { .. }));
@@ -202,9 +205,9 @@ fn directory_responds_with_data_and_marker_when_memory_owns() {
 #[test]
 fn directory_forwards_to_owner_and_sharers_on_getm() {
     let mut d = DirectoryCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    d.on_delivery(t(0), &dir_req(TxnKind::GetM, 0, 1, 1), None); // P1 owner
-    d.on_delivery(t(10), &dir_req(TxnKind::GetS, 0, 3, 1), None); // P3 sharer
-    let acts = d.on_delivery(t(20), &dir_req(TxnKind::GetM, 0, 2, 2), None);
+    d.deliver(t(0), &dir_req(TxnKind::GetM, 0, 1, 1), None); // P1 owner
+    d.deliver(t(10), &dir_req(TxnKind::GetS, 0, 3, 1), None); // P3 sharer
+    let acts = d.deliver(t(20), &dir_req(TxnKind::GetM, 0, 2, 2), None);
     let sends: Vec<_> = acts
         .iter()
         .filter_map(|a| match a {
@@ -227,9 +230,9 @@ fn directory_forwards_to_owner_and_sharers_on_getm() {
 #[test]
 fn directory_acks_valid_and_stale_writebacks() {
     let mut d = DirectoryCtrl::new(NodeId(0), NODES, DRAM, false, true);
-    d.on_delivery(t(0), &dir_req(TxnKind::GetM, 0, 1, 1), None);
+    d.deliver(t(0), &dir_req(TxnKind::GetM, 0, 1, 1), None);
     // Valid writeback from the owner (data travels with the PutM).
-    let acts = d.on_delivery(t(10), &wb_data(0, 1, 55), None);
+    let acts = d.deliver(t(10), &wb_data(0, 1, 55), None);
     match sent_payloads(&acts)[0] {
         ProtoMsg::WbAck { stale, .. } => assert!(!stale),
         other => panic!("expected WbAck, got {other:?}"),
@@ -237,7 +240,7 @@ fn directory_acks_valid_and_stale_writebacks() {
     assert_eq!(d.entry(BlockAddr(0)).owner, Owner::Memory);
     assert_eq!(d.stored_data(BlockAddr(0)).read(0), 55);
     // A second writeback from a non-owner is stale.
-    let acts = d.on_delivery(t(20), &wb_data(0, 3, 99), None);
+    let acts = d.deliver(t(20), &wb_data(0, 3, 99), None);
     match sent_payloads(&acts)[0] {
         ProtoMsg::WbAck { stale, .. } => assert!(stale),
         other => panic!("expected WbAck, got {other:?}"),
@@ -264,7 +267,7 @@ fn dualcast(requestor: u16) -> NodeSet {
 #[test]
 fn bash_home_answers_sufficient_unicast_directly() {
     let mut m = bash_mem(4);
-    let acts = m.on_delivery(t(0), &req(TxnKind::GetM, 0, 2, 1, dualcast(2), 0), Some(0));
+    let acts = m.deliver(t(0), &req(TxnKind::GetM, 0, 2, 1, dualcast(2), 0), Some(0));
     assert!(matches!(sent_payloads(&acts)[0], ProtoMsg::Data { .. }));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
     assert!(m.is_quiescent());
@@ -274,19 +277,19 @@ fn bash_home_answers_sufficient_unicast_directly() {
 fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
     let mut m = bash_mem(4);
     // P1 takes ownership (broadcast), P3 becomes a sharer.
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
         Some(0),
     );
-    m.on_delivery(
+    m.deliver(
         t(5),
         &req(TxnKind::GetS, 0, 3, 1, NodeSet::all(4), 0),
         Some(1),
     );
     // P2's unicast GetM misses both owner and sharer → retry to
     // {owner, sharers, requestor, home}.
-    let acts = m.on_delivery(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(2));
+    let acts = m.deliver(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(2));
     let sends: Vec<_> = acts
         .iter()
         .filter_map(|a| match a {
@@ -311,7 +314,7 @@ fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
     assert!(!m.is_quiescent(), "a retry buffer is held");
     // The retry returns sufficient: bookkeeping commits, the slot frees.
     let retry_mask = sends[0].dests;
-    m.on_delivery(t(20), &req(TxnKind::GetM, 0, 2, 2, retry_mask, 1), Some(3));
+    m.deliver(t(20), &req(TxnKind::GetM, 0, 2, 2, retry_mask, 1), Some(3));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
     assert!(m.is_quiescent());
 }
@@ -319,7 +322,7 @@ fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
 #[test]
 fn bash_home_escalates_to_broadcast_on_the_third_retry() {
     let mut m = bash_mem(4);
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
         Some(0),
@@ -327,7 +330,7 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
     // P2 unicasts; the owner keeps changing inside the window of
     // vulnerability, so each retry is insufficient again.
     let mut order = 1;
-    let acts = m.on_delivery(
+    let acts = m.deliver(
         t(10),
         &req(TxnKind::GetM, 0, 2, 9, dualcast(2), 0),
         Some(order),
@@ -340,13 +343,13 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
         // Ownership moves to another node before the retry lands.
         order += 1;
         let thief = if n % 2 == 1 { 3 } else { 1 };
-        m.on_delivery(
+        m.deliver(
             t(10 + n as u64 * 10),
             &req(TxnKind::GetM, 0, thief, n as u64 + 1, NodeSet::all(4), 0),
             Some(order),
         );
         order += 1;
-        let acts = m.on_delivery(
+        let acts = m.deliver(
             t(15 + n as u64 * 10),
             &req(TxnKind::GetM, 0, 2, 9, retry_mask, n),
             Some(order),
@@ -369,16 +372,16 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
 #[test]
 fn bash_home_nacks_when_no_retry_buffer_is_free() {
     let mut m = bash_mem(1);
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 1, 1, NodeSet::all(4), 0),
         Some(0),
     );
     // First insufficient unicast occupies the only buffer.
-    m.on_delivery(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(1));
+    m.deliver(t(10), &req(TxnKind::GetM, 0, 2, 2, dualcast(2), 0), Some(1));
     assert_eq!(m.stats().retries_sent, 1);
     // Second insufficient unicast (different txn): nacked.
-    let acts = m.on_delivery(t(20), &req(TxnKind::GetS, 0, 3, 3, dualcast(3), 0), Some(2));
+    let acts = m.deliver(t(20), &req(TxnKind::GetS, 0, 3, 3, dualcast(3), 0), Some(2));
     match sent_payloads(&acts)[0] {
         ProtoMsg::Nack { txn: t2, .. } => assert_eq!(*t2, txn(3, 3)),
         other => panic!("expected nack, got {other:?}"),
@@ -389,13 +392,13 @@ fn bash_home_nacks_when_no_retry_buffer_is_free() {
 #[test]
 fn bash_home_stalls_block_during_writeback_window() {
     let mut m = bash_mem(4);
-    m.on_delivery(
+    m.deliver(
         t(0),
         &req(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
         Some(0),
     );
-    m.on_delivery(t(10), &req(TxnKind::PutM, 0, 2, 2, dualcast(2), 0), Some(1));
-    let acts = m.on_delivery(
+    m.deliver(t(10), &req(TxnKind::PutM, 0, 2, 2, dualcast(2), 0), Some(1));
+    let acts = m.deliver(
         t(20),
         &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
         Some(2),
@@ -404,7 +407,7 @@ fn bash_home_stalls_block_during_writeback_window() {
         sent_payloads(&acts).is_empty(),
         "stalled behind the writeback"
     );
-    let acts = m.on_delivery(t(30), &wb_data(0, 2, 13), None);
+    let acts = m.deliver(t(30), &wb_data(0, 2, 13), None);
     // Drain: memory owns now, responds, ownership moves to P3.
     assert!(matches!(sent_payloads(&acts)[0], ProtoMsg::Data { .. }));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(3)));
@@ -413,12 +416,12 @@ fn bash_home_stalls_block_during_writeback_window() {
 #[test]
 fn bash_sharers_accumulate_and_clear_on_getm() {
     let mut m = bash_mem(4);
-    m.on_delivery(t(0), &req(TxnKind::GetS, 0, 1, 1, dualcast(1), 0), Some(0));
-    m.on_delivery(t(5), &req(TxnKind::GetS, 0, 2, 1, dualcast(2), 0), Some(1));
+    m.deliver(t(0), &req(TxnKind::GetS, 0, 1, 1, dualcast(1), 0), Some(0));
+    m.deliver(t(5), &req(TxnKind::GetS, 0, 2, 1, dualcast(2), 0), Some(1));
     let sharers = m.sharers_of(BlockAddr(0));
     assert!(sharers.contains(NodeId(1)) && sharers.contains(NodeId(2)));
     // A broadcast GetM clears them.
-    m.on_delivery(
+    m.deliver(
         t(10),
         &req(TxnKind::GetM, 0, 3, 1, NodeSet::all(4), 0),
         Some(2),

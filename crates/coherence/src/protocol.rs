@@ -4,7 +4,7 @@ use bash_adaptive::{AdaptorConfig, BandwidthAdaptor};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId};
 
-use crate::actions::{AccessOutcome, Action};
+use crate::actions::{AccessOutcome, ActionSink};
 use crate::bash::BashMemCtrl;
 use crate::cache::CacheGeometry;
 use crate::common::{CacheStats, MemStats};
@@ -103,7 +103,7 @@ impl CacheCtrl {
         nodes: u16,
         geometry: CacheGeometry,
         provide_latency: Duration,
-        adaptor: AdaptorConfig,
+        adaptor: &AdaptorConfig,
         coverage: bool,
     ) -> Self {
         match kind {
@@ -132,24 +132,26 @@ impl CacheCtrl {
         }
     }
 
-    /// Processor access (see the per-protocol docs).
-    pub fn access(&mut self, now: Time, op: ProcOp) -> (AccessOutcome, Vec<Action>) {
+    /// Processor access (see the per-protocol docs). Actions are emitted
+    /// into the caller-owned `sink`.
+    pub fn access(&mut self, now: Time, op: ProcOp, sink: &mut ActionSink) -> AccessOutcome {
         match self {
-            CacheCtrl::Snoop(c) => c.access(now, op),
-            CacheCtrl::Directory(c) => c.access(now, op),
+            CacheCtrl::Snoop(c) => c.access(now, op, sink),
+            CacheCtrl::Directory(c) => c.access(now, op, sink),
         }
     }
 
-    /// Network delivery.
+    /// Network delivery. Actions are emitted into the caller-owned `sink`.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match self {
-            CacheCtrl::Snoop(c) => c.on_delivery(now, msg, order),
-            CacheCtrl::Directory(c) => c.on_delivery(now, msg, order),
+            CacheCtrl::Snoop(c) => c.on_delivery(now, msg, order, sink),
+            CacheCtrl::Directory(c) => c.on_delivery(now, msg, order, sink),
         }
     }
 
@@ -242,17 +244,18 @@ impl MemCtrl {
         }
     }
 
-    /// Network delivery.
+    /// Network delivery. Actions are emitted into the caller-owned `sink`.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match self {
-            MemCtrl::Snooping(m) => m.on_delivery(now, msg, order),
-            MemCtrl::Directory(m) => m.on_delivery(now, msg, order),
-            MemCtrl::Bash(m) => m.on_delivery(now, msg, order),
+            MemCtrl::Snooping(m) => m.on_delivery(now, msg, order, sink),
+            MemCtrl::Directory(m) => m.on_delivery(now, msg, order, sink),
+            MemCtrl::Bash(m) => m.on_delivery(now, msg, order, sink),
         }
     }
 

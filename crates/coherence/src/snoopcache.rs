@@ -55,7 +55,7 @@ use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, Cast};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, VnetId};
 
-use crate::actions::{AccessOutcome, Action};
+use crate::actions::{AccessOutcome, Action, ActionSink};
 use crate::cache::{CacheArray, CacheGeometry, Mosi};
 use crate::common::{CacheStats, DeferredReq, Mshr, WbEntry};
 use crate::registry::TransitionLog;
@@ -91,6 +91,10 @@ pub struct SnoopCacheCtrl {
     cache: CacheArray,
     mshr: Option<Mshr>,
     deferred: Vec<OrderedDeferred>,
+    /// Scratch buffer the deferred queue is swapped into while replaying,
+    /// so replays reuse one allocation instead of `drain(..).collect()`ing
+    /// a fresh `Vec` every time.
+    replay_scratch: Vec<OrderedDeferred>,
     wb: HashMap<BlockAddr, WbEntry>,
     /// BASH footnote 2: sharer sets tracked for blocks this cache owns.
     tracked: HashMap<BlockAddr, NodeSet>,
@@ -122,13 +126,13 @@ impl SnoopCacheCtrl {
     }
 
     /// Builds a BASH cache controller with the given adaptive mechanism
-    /// configuration.
+    /// configuration (shared by reference across every node's controller).
     pub fn new_bash(
         node: NodeId,
         nodes: u16,
         geometry: CacheGeometry,
         provide_latency: Duration,
-        adaptor: AdaptorConfig,
+        adaptor: &AdaptorConfig,
         coverage: bool,
     ) -> Self {
         let a = BandwidthAdaptor::new(adaptor, node.0 as u64 + 1);
@@ -160,6 +164,7 @@ impl SnoopCacheCtrl {
             cache: CacheArray::new(geometry),
             mshr: None,
             deferred: Vec::new(),
+            replay_scratch: Vec::new(),
             wb: HashMap::new(),
             tracked: HashMap::new(),
             stalled_op: None,
@@ -209,13 +214,14 @@ impl SnoopCacheCtrl {
     // Processor interface
     // ------------------------------------------------------------------
 
-    /// Handles a processor load/store. At most one demand miss may be
-    /// outstanding (blocking processor).
+    /// Handles a processor load/store, emitting any resulting actions into
+    /// `sink`. At most one demand miss may be outstanding (blocking
+    /// processor).
     ///
     /// # Panics
     ///
     /// Panics if called while a demand miss is outstanding.
-    pub fn access(&mut self, now: Time, op: ProcOp) -> (AccessOutcome, Vec<Action>) {
+    pub fn access(&mut self, now: Time, op: ProcOp, sink: &mut ActionSink) -> AccessOutcome {
         assert!(
             self.mshr.is_none() && self.stalled_op.is_none(),
             "blocking processor issued a second outstanding access"
@@ -234,7 +240,7 @@ impl SnoopCacheCtrl {
             self.stalled_op = Some((op, txn, now));
             self.stats.misses += 1;
             self.log.record(before, ev, before);
-            return (AccessOutcome::Miss { txn }, Vec::new());
+            return AccessOutcome::Miss { txn };
         }
 
         let state = self.cache.touch(block);
@@ -244,21 +250,21 @@ impl SnoopCacheCtrl {
                 self.stats.hits += 1;
                 let s = self.label(block);
                 self.log.record(s, "Load", s);
-                (AccessOutcome::Hit { value }, Vec::new())
+                AccessOutcome::Hit { value }
             }
             (ProcOp::Store { word, value, .. }, Some(Mosi::M)) => {
                 self.cache.write_word(block, word, value);
                 self.stats.hits += 1;
                 self.log.record("M", "Store", "M");
-                (AccessOutcome::Hit { value }, Vec::new())
+                AccessOutcome::Hit { value }
             }
             _ => {
                 // Miss: Load from I → GetS; Store from I/S/O → GetM.
                 let before = self.label(block);
                 let txn = self.next_txn();
-                let actions = self.issue_miss(now, op, txn);
+                self.issue_miss(now, op, txn, sink);
                 self.log.record(before, ev, self.label(block));
-                (AccessOutcome::Miss { txn }, actions)
+                AccessOutcome::Miss { txn }
             }
         }
     }
@@ -271,13 +277,13 @@ impl SnoopCacheCtrl {
         }
     }
 
-    fn issue_miss(&mut self, now: Time, op: ProcOp, txn: TxnId) -> Vec<Action> {
+    fn issue_miss(&mut self, now: Time, op: ProcOp, txn: TxnId, sink: &mut ActionSink) {
         let kind = op.miss_kind();
         let block = op.block();
         self.stats.misses += 1;
         self.mshr = Some(Mshr::new(op, kind, txn, now));
         let mask = self.request_mask(block);
-        vec![Action::send(self.request_msg(kind, block, txn, mask))]
+        sink.send(self.request_msg(kind, block, txn, mask));
     }
 
     /// Chooses the destination mask for a demand request.
@@ -331,21 +337,23 @@ impl SnoopCacheCtrl {
     // Network interface
     // ------------------------------------------------------------------
 
-    /// Handles a delivery from the crossbar. `order` is the network's total
-    /// order number for ordered messages.
+    /// Handles a delivery from the crossbar, emitting resulting actions
+    /// into `sink`. `order` is the network's total order number for ordered
+    /// messages.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
                 let order = order.expect("requests travel on the ordered network");
                 if req.requestor == self.node {
-                    self.on_own_request(now, req, &msg.dests, order)
+                    self.on_own_request(now, req, &msg.dests, order, sink)
                 } else {
-                    self.on_foreign_request(now, req, &msg.dests, order, false)
+                    self.on_foreign_request(now, req, &msg.dests, order, false, sink)
                 }
             }
             ProtoMsg::Data {
@@ -354,8 +362,8 @@ impl SnoopCacheCtrl {
                 data,
                 from_cache,
                 ..
-            } => self.on_data(now, *txn, *block, *data, *from_cache, msg),
-            ProtoMsg::Nack { txn, block } => self.on_nack(now, *txn, *block),
+            } => self.on_data(now, *txn, *block, *data, *from_cache, msg, sink),
+            ProtoMsg::Nack { txn, block } => self.on_nack(now, *txn, *block, sink),
             ProtoMsg::WbAck { .. } => {
                 unreachable!("WbAck does not exist in Snooping/BASH")
             }
@@ -373,9 +381,10 @@ impl SnoopCacheCtrl {
         req: &Request,
         mask: &NodeSet,
         order: u64,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match req.kind {
-            TxnKind::PutM => self.on_own_putm_marker(now, req),
+            TxnKind::PutM => self.on_own_putm_marker(now, req, sink),
             TxnKind::GetS | TxnKind::GetM => {
                 let matches = self
                     .mshr
@@ -389,12 +398,12 @@ impl SnoopCacheCtrl {
                         self.mode == SnoopMode::Bash,
                         "snooping saw an unmatched own request"
                     );
-                    return Vec::new();
+                    return;
                 }
                 if req.retry == 0 {
-                    self.on_own_marker(now, req, mask, order)
+                    self.on_own_marker(now, req, mask, order, sink)
                 } else {
-                    self.on_own_retry(now, req, mask, order)
+                    self.on_own_retry(now, req, mask, order, sink)
                 }
             }
         }
@@ -408,7 +417,8 @@ impl SnoopCacheCtrl {
         req: &Request,
         mask: &NodeSet,
         order: u64,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let block = req.block;
         let before = self.label(block);
         {
@@ -428,27 +438,24 @@ impl SnoopCacheCtrl {
                 }
             };
             if sufficient {
-                let acts = self.complete_upgrade(now);
+                self.complete_upgrade(now, sink);
                 self.log.record(before, "OwnReq", self.label(block));
-                return acts;
+                return;
             }
             self.mshr
                 .as_mut()
                 .expect("checked")
                 .awaiting_sufficient_upgrade = true;
             self.log.record(before, "OwnReq", self.label(block));
-            return Vec::new();
+            return;
         }
 
         let have_data = self.mshr.as_ref().expect("checked").data.is_some();
-        let acts = if have_data {
+        if have_data {
             // Data arrived before the marker: serialization is the marker.
-            self.complete_miss(now, Some(order))
-        } else {
-            Vec::new()
-        };
+            self.complete_miss(now, Some(order), sink);
+        }
         self.log.record(before, "OwnReq", self.label(block));
-        acts
     }
 
     /// A home-injected retry of our own transaction (BASH).
@@ -458,7 +465,8 @@ impl SnoopCacheCtrl {
         req: &Request,
         mask: &NodeSet,
         _order: u64,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         debug_assert_eq!(self.mode, SnoopMode::Bash);
         let block = req.block;
         let m = self.mshr.as_ref().expect("checked");
@@ -466,25 +474,22 @@ impl SnoopCacheCtrl {
             let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
             if mask.is_superset(&sharers) {
                 let before = self.label(block);
-                let acts = self.complete_upgrade(now);
+                self.complete_upgrade(now, sink);
                 self.log.record(before, "OwnRetry", self.label(block));
-                return acts;
             }
         }
         // Otherwise informational only: the responder acts on this copy.
-        Vec::new()
     }
 
     /// Our PutM returned: if the writeback was not squashed by an earlier
     /// ordered GetM, send the data to the home.
-    fn on_own_putm_marker(&mut self, now: Time, req: &Request) -> Vec<Action> {
+    fn on_own_putm_marker(&mut self, now: Time, req: &Request, sink: &mut ActionSink) {
         let block = req.block;
         let before = self.label(block);
         let entry = self.wb.remove(&block).expect("own PutM without wb entry");
         self.tracked.remove(&block);
-        let mut acts = Vec::new();
         if entry.valid {
-            acts.push(Action::send_after(
+            sink.send_after(
                 self.provide_latency,
                 Message::unordered(
                     self.node,
@@ -497,19 +502,18 @@ impl SnoopCacheCtrl {
                         data: entry.data,
                     },
                 ),
-            ));
+            );
         }
         self.log.record(before, "OwnPutM", self.label(block));
         // A processor access stalled behind this writeback can now issue.
         if let Some((op, txn, _issued)) = self.stalled_op.take() {
             if op.block() == block {
                 self.stats.misses -= 1; // issue_miss will recount it
-                acts.extend(self.issue_miss(now, op, txn));
+                self.issue_miss(now, op, txn, sink);
             } else {
                 self.stalled_op = Some((op, txn, _issued));
             }
         }
-        acts
     }
 
     // ---- foreign requests ----
@@ -522,11 +526,12 @@ impl SnoopCacheCtrl {
         mask: &NodeSet,
         order: u64,
         replay: bool,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let block = req.block;
         if req.kind == TxnKind::PutM {
             // Foreign writeback: only the home cares.
-            return Vec::new();
+            return;
         }
 
         // Defer discipline: a non-owner that has seen its own marker cannot
@@ -546,7 +551,7 @@ impl SnoopCacheCtrl {
                     },
                     order,
                 });
-                return Vec::new();
+                return;
             }
         }
 
@@ -559,7 +564,6 @@ impl SnoopCacheCtrl {
             (TxnKind::PutM, _) => unreachable!(),
         };
 
-        let mut acts = Vec::new();
         if self.is_local_owner(block) {
             // BASH: answer only sufficient requests; the home retries the
             // rest and our silence prevents a double response. The check
@@ -577,7 +581,7 @@ impl SnoopCacheCtrl {
                 (SnoopMode::Bash, TxnKind::PutM) => unreachable!(),
             };
             if sufficient {
-                acts.extend(self.respond_with_data(req, order));
+                self.respond_with_data(req, order, sink);
                 match req.kind {
                     TxnKind::GetS => {
                         // Stay owner: M→O (or O→O / writeback entry stays).
@@ -614,7 +618,6 @@ impl SnoopCacheCtrl {
             }
         }
         self.log.record(before, ev, self.label(block));
-        acts
     }
 
     /// True when this cache is the block's current owner (stable M/O or a
@@ -624,7 +627,7 @@ impl SnoopCacheCtrl {
             || self.wb.get(&block).map(|e| e.valid).unwrap_or(false)
     }
 
-    fn respond_with_data(&mut self, req: &Request, order: u64) -> Vec<Action> {
+    fn respond_with_data(&mut self, req: &Request, order: u64, sink: &mut ActionSink) {
         let block = req.block;
         let data = self
             .cache
@@ -632,7 +635,7 @@ impl SnoopCacheCtrl {
             .or_else(|| self.wb.get(&block).map(|e| e.data))
             .expect("owner has data");
         self.stats.snoop_responses += 1;
-        vec![Action::send_after(
+        sink.send_after(
             self.provide_latency,
             Message::unordered(
                 self.node,
@@ -647,11 +650,12 @@ impl SnoopCacheCtrl {
                     serialized_at: Some(order),
                 },
             ),
-        )]
+        );
     }
 
     // ---- responses ----
 
+    #[allow(clippy::too_many_arguments)]
     fn on_data(
         &mut self,
         now: Time,
@@ -660,7 +664,8 @@ impl SnoopCacheCtrl {
         data: BlockData,
         from_cache: bool,
         msg: &Message<ProtoMsg>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let serialized_at = match &msg.payload {
             ProtoMsg::Data { serialized_at, .. } => *serialized_at,
             _ => None,
@@ -673,27 +678,25 @@ impl SnoopCacheCtrl {
             m.data = Some((data, from_cache));
             m.have_marker
         };
-        let acts = if have_marker {
-            self.complete_miss(now, serialized_at)
-        } else {
-            Vec::new() // IS_A / IM_A: wait for the marker
-        };
+        if have_marker {
+            self.complete_miss(now, serialized_at, sink);
+        } // else IS_A / IM_A: wait for the marker
         self.log.record(before, "Data", self.label(block));
-        acts
     }
 
-    fn on_nack(&mut self, now: Time, txn: TxnId, block: BlockAddr) -> Vec<Action> {
+    fn on_nack(&mut self, now: Time, txn: TxnId, block: BlockAddr, sink: &mut ActionSink) {
         assert_eq!(self.mode, SnoopMode::Bash, "nacks exist only in BASH");
         let before = self.label(block);
         self.stats.nacks_received += 1;
         // The failed attempt changed no global state: replay anything we
         // deferred as a bystander, then reissue as a broadcast (guaranteed
         // sufficient, resolving the potential deadlock).
-        let replays: Vec<OrderedDeferred> = self.deferred.drain(..).collect();
-        let mut acts = Vec::new();
-        for d in replays {
-            acts.extend(self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true));
+        let mut replays = std::mem::take(&mut self.replay_scratch);
+        std::mem::swap(&mut self.deferred, &mut replays);
+        for d in replays.drain(..) {
+            self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true, sink);
         }
+        self.replay_scratch = replays;
         let m = self.mshr.as_mut().expect("nack without outstanding miss");
         assert_eq!(m.txn, txn, "nack for a foreign transaction");
         m.have_marker = false;
@@ -702,15 +705,14 @@ impl SnoopCacheCtrl {
         self.stats.broadcasts_sent += 1;
         let kind = m.kind;
         let mask = NodeSet::all(self.nodes as usize);
-        acts.push(Action::send(self.request_msg(kind, block, txn, mask)));
+        sink.send(self.request_msg(kind, block, txn, mask));
         self.log.record(before, "Nack", self.label(block));
-        acts
     }
 
     // ---- completion ----
 
     /// Completes an O→M upgrade from our own data.
-    fn complete_upgrade(&mut self, now: Time) -> Vec<Action> {
+    fn complete_upgrade(&mut self, now: Time, sink: &mut ActionSink) {
         let m = self.mshr.take().expect("upgrade without mshr");
         let block = m.block;
         debug_assert_eq!(self.cache.state(block), Some(Mosi::O));
@@ -724,21 +726,20 @@ impl SnoopCacheCtrl {
         };
         // Our sufficient GetM invalidated every tracked sharer.
         self.tracked.insert(block, NodeSet::EMPTY);
-        let mut acts = vec![Action::MissDone {
+        sink.push(Action::MissDone {
             txn: m.txn,
             kind: m.kind,
             block,
             value,
             from_cache: true,
-        }];
-        acts.extend(self.replay_deferred(now, None));
-        acts
+        });
+        self.replay_deferred(now, None, sink);
     }
 
     /// Completes a miss once both the marker and the data have arrived.
     /// `serialized_at` is the order number of the sufficient request copy
     /// (None when original == sufficient, as in Snooping).
-    fn complete_miss(&mut self, now: Time, serialized_at: Option<u64>) -> Vec<Action> {
+    fn complete_miss(&mut self, now: Time, serialized_at: Option<u64>, sink: &mut ActionSink) {
         let m = self.mshr.take().expect("complete without mshr");
         let block = m.block;
         let (data, from_cache) = m.data.expect("complete without data");
@@ -746,7 +747,6 @@ impl SnoopCacheCtrl {
             self.stats.sharing_misses += 1;
         }
 
-        let mut acts = Vec::new();
         let new_state = match m.kind {
             TxnKind::GetS => Mosi::S,
             TxnKind::GetM => Mosi::M,
@@ -758,7 +758,7 @@ impl SnoopCacheCtrl {
         if self.cache.state(block).is_some() {
             self.cache.invalidate(block);
         }
-        self.insert_with_eviction(block, new_state, data, &mut acts);
+        self.insert_with_eviction(block, new_state, data, sink);
 
         let value = match m.op {
             ProcOp::Load { word, .. } => self.cache.data(block).expect("resident").read(word),
@@ -770,15 +770,14 @@ impl SnoopCacheCtrl {
         if m.kind == TxnKind::GetM {
             self.tracked.insert(block, NodeSet::EMPTY);
         }
-        acts.push(Action::MissDone {
+        sink.push(Action::MissDone {
             txn: m.txn,
             kind: m.kind,
             block,
             value,
             from_cache,
         });
-        acts.extend(self.replay_deferred(now, serialized_at));
-        acts
+        self.replay_deferred(now, serialized_at, sink);
     }
 
     /// Inserts a filled block, starting a writeback for any M/O victim.
@@ -787,7 +786,7 @@ impl SnoopCacheCtrl {
         block: BlockAddr,
         state: Mosi,
         data: BlockData,
-        acts: &mut Vec<Action>,
+        sink: &mut ActionSink,
     ) {
         if let Some(victim) = self.cache.insert(block, state, data) {
             match victim.state {
@@ -811,12 +810,7 @@ impl SnoopCacheCtrl {
                     // writebacks point-to-point to the memory bank.
                     let mask = NodeSet::from_nodes([victim.block.home(self.nodes), self.node]);
                     let txn = self.next_txn();
-                    acts.push(Action::send(self.request_msg(
-                        TxnKind::PutM,
-                        victim.block,
-                        txn,
-                        mask,
-                    )));
+                    sink.send(self.request_msg(TxnKind::PutM, victim.block, txn, mask));
                     self.log.record(before, "Replace", self.label(victim.block));
                 }
             }
@@ -826,18 +820,19 @@ impl SnoopCacheCtrl {
     /// Replays deferred requests after completion. Requests ordered before
     /// the serialization point were the previous owner's responsibility and
     /// replay as no-ops; later ones are processed normally from the (owner)
-    /// state we just reached.
-    fn replay_deferred(&mut self, now: Time, serialized_at: Option<u64>) -> Vec<Action> {
-        let drained: Vec<OrderedDeferred> = self.deferred.drain(..).collect();
-        let mut acts = Vec::new();
-        for d in drained {
+    /// state we just reached. The deferred queue is swapped into a reusable
+    /// scratch buffer, so replaying allocates nothing in steady state.
+    fn replay_deferred(&mut self, now: Time, serialized_at: Option<u64>, sink: &mut ActionSink) {
+        let mut drained = std::mem::take(&mut self.replay_scratch);
+        std::mem::swap(&mut self.deferred, &mut drained);
+        for d in drained.drain(..) {
             let bystander = serialized_at.map(|s| d.order < s).unwrap_or(false);
             if bystander {
                 continue;
             }
-            acts.extend(self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true));
+            self.on_foreign_request(now, &d.inner.req, &d.inner.mask, d.order, true, sink);
         }
-        acts
+        self.replay_scratch = drained;
     }
 
     // ------------------------------------------------------------------

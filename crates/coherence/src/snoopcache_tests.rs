@@ -8,12 +8,16 @@ use bash_net::{Message, NodeId, NodeSet};
 use crate::actions::{AccessOutcome, Action};
 use crate::cache::{CacheGeometry, Mosi};
 use crate::snoopcache::SnoopCacheCtrl;
+use crate::test_support::{AccessCollect, Deliver};
 use crate::types::{
     BlockAddr, BlockData, ProcOp, ProtoMsg, Request, TxnId, TxnKind, CONTROL_MSG_BYTES,
     DATA_MSG_BYTES,
 };
 
 const NODES: u16 = 4;
+
+crate::test_support::impl_deliver!(SnoopCacheCtrl);
+crate::test_support::impl_access_collect!(SnoopCacheCtrl);
 
 fn snooping(node: u16) -> SnoopCacheCtrl {
     SnoopCacheCtrl::new_snooping(
@@ -33,7 +37,7 @@ fn bash(node: u16, mode: DecisionMode) -> SnoopCacheCtrl {
         NODES,
         CacheGeometry { sets: 4, ways: 2 },
         Duration::from_ns(25),
-        cfg,
+        &cfg,
         true,
     )
 }
@@ -110,7 +114,7 @@ fn issued_request(actions: &[Action]) -> (Request, NodeSet) {
 #[test]
 fn snooping_miss_broadcasts() {
     let mut c = snooping(0);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -127,7 +131,7 @@ fn snooping_miss_broadcasts() {
 #[test]
 fn bash_unicast_is_a_dualcast_of_home_and_self() {
     let mut c = bash(2, DecisionMode::AlwaysUnicast);
-    let (_, actions) = c.access(
+    let (_, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1), // home = node 1
@@ -143,7 +147,7 @@ fn bash_unicast_is_a_dualcast_of_home_and_self() {
 fn completion_requires_marker_and_data_in_either_order() {
     // Data first (IM_A), then marker.
     let mut c = snooping(0);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -156,10 +160,10 @@ fn completion_requires_marker_and_data_in_either_order() {
         _ => panic!("must miss"),
     };
     let (req, mask) = issued_request(&actions);
-    let acts = c.on_delivery(t(10), &data_msg(txn, 1, 7, None), None);
+    let acts = c.deliver(t(10), &data_msg(txn, 1, 7, None), None);
     assert!(acts.is_empty(), "no completion before the marker");
     let marker = req_msg(req.kind, 1, 0, txn.seq, mask, 0);
-    let acts = c.on_delivery(t(20), &marker, Some(0));
+    let acts = c.deliver(t(20), &marker, Some(0));
     assert!(
         acts.iter().any(|a| matches!(a, Action::MissDone { .. })),
         "marker after data completes the miss"
@@ -173,7 +177,7 @@ fn completion_requires_marker_and_data_in_either_order() {
 fn owner_responds_to_foreign_gets_and_becomes_o() {
     let mut c = snooping(0);
     // Install an M block by completing a miss.
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(2),
@@ -186,12 +190,12 @@ fn owner_responds_to_foreign_gets_and_becomes_o() {
         _ => panic!(),
     };
     let (req, mask) = issued_request(&actions);
-    c.on_delivery(t(5), &req_msg(req.kind, 2, 0, txn.seq, mask, 0), Some(0));
-    c.on_delivery(t(10), &data_msg(txn, 2, 0, None), None);
+    c.deliver(t(5), &req_msg(req.kind, 2, 0, txn.seq, mask, 0), Some(0));
+    c.deliver(t(10), &data_msg(txn, 2, 0, None), None);
     assert_eq!(c.cache().state(BlockAddr(2)), Some(Mosi::M));
 
     // A foreign GetS arrives: we must respond and downgrade to O.
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(20),
         &req_msg(TxnKind::GetS, 2, 3, 1, NodeSet::all(4), 0),
         Some(1),
@@ -219,7 +223,7 @@ fn owner_responds_to_foreign_gets_and_becomes_o() {
 fn foreign_getm_invalidates_s_copy() {
     let mut c = snooping(1);
     // Get an S copy via a GetS miss.
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Load {
             block: BlockAddr(3),
@@ -231,11 +235,11 @@ fn foreign_getm_invalidates_s_copy() {
         _ => panic!(),
     };
     let (req, mask) = issued_request(&actions);
-    c.on_delivery(t(5), &req_msg(req.kind, 3, 1, txn.seq, mask, 0), Some(0));
-    c.on_delivery(t(10), &data_msg(txn, 3, 42, None), None);
+    c.deliver(t(5), &req_msg(req.kind, 3, 1, txn.seq, mask, 0), Some(0));
+    c.deliver(t(10), &data_msg(txn, 3, 42, None), None);
     assert_eq!(c.cache().state(BlockAddr(3)), Some(Mosi::S));
 
-    c.on_delivery(
+    c.deliver(
         t(20),
         &req_msg(TxnKind::GetM, 3, 2, 1, NodeSet::all(4), 0),
         Some(1),
@@ -246,7 +250,7 @@ fn foreign_getm_invalidates_s_copy() {
 #[test]
 fn owner_elect_defers_and_replays_after_data() {
     let mut c = snooping(0);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -260,9 +264,9 @@ fn owner_elect_defers_and_replays_after_data() {
     };
     let (req, mask) = issued_request(&actions);
     // Marker arrives: owner-elect.
-    c.on_delivery(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
+    c.deliver(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
     // A foreign GetM ordered after ours: deferred (no actions yet).
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(6),
         &req_msg(TxnKind::GetM, 1, 2, 1, NodeSet::all(4), 0),
         Some(1),
@@ -270,7 +274,7 @@ fn owner_elect_defers_and_replays_after_data() {
     assert!(acts.is_empty(), "owner-elect must defer");
     // Data arrives: complete our miss, then answer the deferred GetM and
     // invalidate.
-    let acts = c.on_delivery(t(10), &data_msg(txn, 1, 0, Some(0)), None);
+    let acts = c.deliver(t(10), &data_msg(txn, 1, 0, Some(0)), None);
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
     assert!(acts.iter().any(|a| matches!(
         a,
@@ -288,7 +292,7 @@ fn owner_elect_defers_and_replays_after_data() {
 #[test]
 fn bash_deferred_requests_before_serialization_replay_as_bystander() {
     let mut c = bash(0, DecisionMode::AlwaysUnicast);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(0), // home = node 0 (us); mask = {0}
@@ -302,10 +306,10 @@ fn bash_deferred_requests_before_serialization_replay_as_bystander() {
     };
     let (req, mask) = issued_request(&actions);
     // Our marker at order 10; the transaction will serialize at order 30.
-    c.on_delivery(t(5), &req_msg(req.kind, 0, 0, txn.seq, mask, 0), Some(10));
+    c.deliver(t(5), &req_msg(req.kind, 0, 0, txn.seq, mask, 0), Some(10));
     // A foreign GetM at order 20 (between marker and serialization): the
     // previous owner answers it, not us.
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(6),
         &req_msg(TxnKind::GetM, 0, 2, 1, NodeSet::all(4), 0),
         Some(20),
@@ -314,7 +318,7 @@ fn bash_deferred_requests_before_serialization_replay_as_bystander() {
     // Data arrives tagged with the sufficient copy's order (30): the
     // deferred order-20 GetM must replay as a no-op (no data response) and
     // we keep the block in M.
-    let acts = c.on_delivery(t(10), &data_msg(txn, 0, 0, Some(30)), None);
+    let acts = c.deliver(t(10), &data_msg(txn, 0, 0, Some(30)), None);
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
     assert!(
         !acts.iter().any(|a| matches!(
@@ -338,7 +342,7 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
     // Fill two blocks mapping to the same set (sets=4: blocks 1 and 5) so
     // the second fill evicts the first (ways=2: need three).
     let mut install = |block: u64, seq_base: u64| {
-        let (outcome, actions) = c.access(
+        let (outcome, actions) = c.access_collect(
             t(seq_base * 100),
             ProcOp::Store {
                 block: BlockAddr(block),
@@ -351,12 +355,12 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
             _ => panic!(),
         };
         let (req, mask) = issued_request(&actions);
-        c.on_delivery(
+        c.deliver(
             t(seq_base * 100 + 5),
             &req_msg(req.kind, block, 0, txn.seq, mask, 0),
             Some(seq_base),
         );
-        c.on_delivery(
+        c.deliver(
             t(seq_base * 100 + 10),
             &data_msg(txn, block, block, None),
             None,
@@ -379,7 +383,7 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
 
     // A foreign GetM for block 1 is ordered *before* our PutM: we respond
     // and the writeback is squashed.
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(400),
         &req_msg(TxnKind::GetM, 1, 3, 7, NodeSet::all(4), 0),
         Some(4),
@@ -395,7 +399,7 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
         }
     )));
     // Our PutM marker arrives: no WbData may be sent.
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(410),
         &req_msg(TxnKind::PutM, 1, 0, putm.0.txn.seq, putm.1, 0),
         Some(5),
@@ -420,7 +424,7 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
 fn unsquashed_writeback_sends_data_at_marker() {
     let mut c = snooping(0);
     let mut install = |block: u64, seq_base: u64| {
-        let (outcome, actions) = c.access(
+        let (outcome, actions) = c.access_collect(
             t(seq_base * 100),
             ProcOp::Store {
                 block: BlockAddr(block),
@@ -433,12 +437,12 @@ fn unsquashed_writeback_sends_data_at_marker() {
             _ => panic!(),
         };
         let (req, mask) = issued_request(&actions);
-        c.on_delivery(
+        c.deliver(
             t(seq_base * 100 + 5),
             &req_msg(req.kind, block, 0, txn.seq, mask, 0),
             Some(seq_base),
         );
-        c.on_delivery(
+        c.deliver(
             t(seq_base * 100 + 10),
             &data_msg(txn, block, block, None),
             None,
@@ -457,7 +461,7 @@ fn unsquashed_writeback_sends_data_at_marker() {
             _ => None,
         })
         .expect("writeback issued");
-    let acts = c.on_delivery(
+    let acts = c.deliver(
         t(400),
         &req_msg(TxnKind::PutM, 1, 0, putm.0.txn.seq, putm.1, 0),
         Some(4),
@@ -486,7 +490,7 @@ fn bash_owner_ignores_insufficient_getm() {
     // Make node 0 the owner with a tracked sharer (node 3), then deliver a
     // dualcast GetM that misses the sharer: the owner must stay silent.
     let mut c = bash(0, DecisionMode::AlwaysBroadcast);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -499,10 +503,10 @@ fn bash_owner_ignores_insufficient_getm() {
         _ => panic!(),
     };
     let (req, mask) = issued_request(&actions);
-    c.on_delivery(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
-    c.on_delivery(t(10), &data_msg(txn, 1, 0, Some(0)), None);
+    c.deliver(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
+    c.deliver(t(10), &data_msg(txn, 1, 0, Some(0)), None);
     // Foreign GetS: respond; node 3 becomes a tracked sharer.
-    c.on_delivery(
+    c.deliver(
         t(20),
         &req_msg(TxnKind::GetS, 1, 3, 1, NodeSet::all(4), 0),
         Some(1),
@@ -518,7 +522,7 @@ fn bash_owner_ignores_insufficient_getm() {
         NodeSet::from_nodes([NodeId(0), NodeId(1), NodeId(2)]),
         0,
     );
-    let acts = c.on_delivery(t(30), &insuff, Some(2));
+    let acts = c.deliver(t(30), &insuff, Some(2));
     assert!(
         acts.is_empty(),
         "owner must not answer an insufficient GetM"
@@ -526,7 +530,7 @@ fn bash_owner_ignores_insufficient_getm() {
     assert_eq!(c.cache().state(BlockAddr(1)), Some(Mosi::O));
     // The home's retry covers the sharer: now we respond and invalidate.
     let retry = req_msg(TxnKind::GetM, 1, 2, 2, NodeSet::all(4), 1);
-    let acts = c.on_delivery(t(40), &retry, Some(3));
+    let acts = c.deliver(t(40), &retry, Some(3));
     assert!(acts.iter().any(|a| matches!(
         a,
         Action::SendAfter {
@@ -543,7 +547,7 @@ fn bash_owner_ignores_insufficient_getm() {
 #[test]
 fn nack_triggers_a_broadcast_reissue() {
     let mut c = bash(0, DecisionMode::AlwaysUnicast);
-    let (outcome, actions) = c.access(
+    let (outcome, actions) = c.access_collect(
         t(0),
         ProcOp::Store {
             block: BlockAddr(1),
@@ -556,7 +560,7 @@ fn nack_triggers_a_broadcast_reissue() {
         _ => panic!(),
     };
     let (req, mask) = issued_request(&actions);
-    c.on_delivery(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
+    c.deliver(t(5), &req_msg(req.kind, 1, 0, txn.seq, mask, 0), Some(0));
     let nack = Message::unordered(
         NodeId(1),
         NodeId(0),
@@ -567,18 +571,18 @@ fn nack_triggers_a_broadcast_reissue() {
             block: BlockAddr(1),
         },
     );
-    let acts = c.on_delivery(t(10), &nack, None);
+    let acts = c.deliver(t(10), &nack, None);
     let (reissue, remask) = issued_request(&acts);
     assert_eq!(reissue.txn, txn, "same transaction");
     assert_eq!(reissue.retry, 0, "a fresh request, not a home retry");
     assert_eq!(remask, NodeSet::all(4), "guaranteed-sufficient broadcast");
     assert_eq!(c.stats().nacks_received, 1);
     // The new marker + data complete it.
-    c.on_delivery(
+    c.deliver(
         t(20),
         &req_msg(reissue.kind, 1, 0, txn.seq, remask, 0),
         Some(5),
     );
-    let acts = c.on_delivery(t(30), &data_msg(txn, 1, 0, Some(5)), None);
+    let acts = c.deliver(t(30), &data_msg(txn, 1, 0, Some(5)), None);
     assert!(acts.iter().any(|a| matches!(a, Action::MissDone { .. })));
 }

@@ -16,7 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, VnetId};
 
-use crate::actions::Action;
+use crate::actions::ActionSink;
 use crate::common::MemStats;
 use crate::registry::TransitionLog;
 use crate::types::{BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnKind, DATA_MSG_BYTES};
@@ -104,26 +104,30 @@ impl SnoopingMemCtrl {
         self.blocks.values().all(|b| b.wb.is_none())
     }
 
-    /// Handles a delivery. The driver routes a message here only when this
-    /// node is the block's home.
+    /// Handles a delivery, emitting resulting actions into `sink`. The
+    /// driver routes a message here only when this node is the block's
+    /// home.
     pub fn on_delivery(
         &mut self,
         now: Time,
         msg: &Message<ProtoMsg>,
         order: Option<u64>,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
                 debug_assert_eq!(req.block.home(self.nodes), self.node);
                 let order = order.expect("ordered request network");
-                self.on_request(now, req, order)
+                self.on_request(now, req, order, sink)
             }
-            ProtoMsg::WbData { block, from, data } => self.on_wb_data(now, *block, *from, *data),
+            ProtoMsg::WbData { block, from, data } => {
+                self.on_wb_data(now, *block, *from, *data, sink)
+            }
             other => unreachable!("unexpected message at snooping memory: {other:?}"),
         }
     }
 
-    fn on_request(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+    fn on_request(&mut self, now: Time, req: &Request, order: u64, sink: &mut ActionSink) {
         let block = req.block;
         let before = self.state_label(block);
 
@@ -144,30 +148,27 @@ impl SnoopingMemCtrl {
         if stalled {
             self.log
                 .record(before, req.kind.name(), self.state_label(block));
-            return Vec::new();
+            return;
         }
 
-        let acts = self.process_request(now, req, order);
+        self.process_request(now, req, order, sink);
         self.log
             .record(before, req.kind.name(), self.state_label(block));
-        acts
     }
 
-    fn process_request(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+    fn process_request(&mut self, now: Time, req: &Request, order: u64, sink: &mut ActionSink) {
         let block = req.block;
         let owner = self.blocks.entry(block).or_default().owner;
         match req.kind {
             TxnKind::GetS => match owner {
-                Owner::Memory => self.respond_with_data(now, req, order),
-                Owner::Node(_) => Vec::new(), // the owning cache responds
+                Owner::Memory => self.respond_with_data(now, req, order, sink),
+                Owner::Node(_) => {} // the owning cache responds
             },
             TxnKind::GetM => {
-                let acts = match owner {
-                    Owner::Memory => self.respond_with_data(now, req, order),
-                    Owner::Node(_) => Vec::new(),
-                };
+                if owner == Owner::Memory {
+                    self.respond_with_data(now, req, order, sink);
+                }
                 self.blocks.get_mut(&block).expect("present").owner = Owner::Node(req.requestor);
-                acts
             }
             TxnKind::PutM => {
                 let st = self.blocks.get_mut(&block).expect("present");
@@ -185,7 +186,6 @@ impl SnoopingMemCtrl {
                     // and sent no data.
                     self.stats.writebacks_stale += 1;
                 }
-                Vec::new()
             }
         }
     }
@@ -196,7 +196,8 @@ impl SnoopingMemCtrl {
         block: BlockAddr,
         from: NodeId,
         data: BlockData,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         let before = self.state_label(block);
         let st = self.blocks.get_mut(&block).expect("wb data without state");
         let wb = st.wb.take().expect("wb data without open window");
@@ -205,23 +206,20 @@ impl SnoopingMemCtrl {
         self.store.insert(block, data);
         self.stats.writebacks_accepted += 1;
         // Drain the stalled requests in their network order.
-        let mut acts = Vec::new();
         for (req, order) in wb.queued {
             let mid = self.state_label(block);
-            let drained = self.process_request(now, &req, order);
-            acts.extend(drained);
+            self.process_request(now, &req, order, sink);
             self.log
                 .record(mid, req.kind.name(), self.state_label(block));
         }
         self.log.record(before, "WbData", self.state_label(block));
-        acts
     }
 
-    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64) -> Vec<Action> {
+    fn respond_with_data(&mut self, now: Time, req: &Request, order: u64, sink: &mut ActionSink) {
         let data = self.stored_data(req.block);
         self.stats.data_responses += 1;
         let delay = self.dram_delay(now);
-        vec![Action::send_after(
+        sink.send_after(
             delay,
             Message::unordered(
                 self.node,
@@ -236,7 +234,7 @@ impl SnoopingMemCtrl {
                     serialized_at: Some(order),
                 },
             ),
-        )]
+        );
     }
 
     fn dram_delay(&mut self, now: Time) -> Duration {

@@ -45,6 +45,9 @@ pub struct RunStats {
     pub nacks: u64,
     /// Simulation events processed in the window (engine throughput).
     pub events_processed: u64,
+    /// High-water mark of the event queue over the whole run — the capacity
+    /// `System::new` should pre-allocate for this workload shape.
+    pub peak_queue_len: u64,
 }
 
 impl RunStats {
@@ -125,6 +128,7 @@ mod tests {
             broadcast_escalations: 1,
             nacks: 0,
             events_processed: 123_456,
+            peak_queue_len: 97,
         }
     }
 

@@ -13,13 +13,16 @@
 //! Warmup/measurement follows the paper: run to steady state, snapshot all
 //! counters, measure, report deltas.
 
+use std::rc::Rc;
+
 use bash_coherence::common::{CacheStats, MemStats};
 use bash_coherence::{
-    route, AccessOutcome, Action, CacheCtrl, MemCtrl, ProcOp, ProtoMsg, ProtocolKind, TxnId,
+    route, AccessOutcome, Action, ActionSink, CacheCtrl, MemCtrl, ProcOp, ProtoMsg, ProtocolKind,
+    TxnId,
 };
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
-use bash_net::{Crossbar, Message, NetConfig, NetEvent, NodeId};
+use bash_net::{Crossbar, Message, NetConfig, NetEvent, NetStep, NodeId};
 use bash_workloads::{WorkItem, Workload};
 
 use crate::config::SystemConfig;
@@ -83,6 +86,12 @@ pub struct System<W: Workload> {
     workload: W,
     events: EventQueue<Event>,
     now: Time,
+    /// Reusable action buffer shared by every controller handler call —
+    /// the zero-allocation half of the hot event loop.
+    sink: ActionSink,
+    /// Reusable crossbar step buffer (schedule + deliveries) — the other
+    /// half.
+    net_step: NetStep<ProtoMsg>,
     window_deltas: Vec<WindowDelta>,
     counters: Counters,
     miss_latency: RunningStat,
@@ -117,7 +126,9 @@ impl<W: Workload> System<W> {
                     nodes,
                     cfg.cache_geometry,
                     cfg.cache_provide_latency,
-                    cfg.adaptor.clone(),
+                    // One shared config for the whole system; only BASH
+                    // controllers read it, none of them clone it.
+                    &cfg.adaptor,
                     cfg.coverage,
                 )
             })
@@ -136,7 +147,11 @@ impl<W: Workload> System<W> {
             })
             .collect();
 
-        let mut events = EventQueue::with_capacity(4096);
+        // Steady-state queue depth scales with the node count (every node
+        // keeps a handful of events in flight); size the heap up front so
+        // warmup never reallocates it. `RunStats::peak_queue_len` reports
+        // the observed high-water mark for re-tuning this factor.
+        let mut events = EventQueue::with_capacity((nodes as usize * 16).max(64));
         let mut procs: Vec<Processor> = (0..nodes).map(|_| Processor::default()).collect();
         for i in 0..nodes {
             let node = NodeId(i);
@@ -163,6 +178,8 @@ impl<W: Workload> System<W> {
             workload,
             events,
             now: Time::ZERO,
+            sink: ActionSink::with_capacity(16),
+            net_step: NetStep::new(),
             counters: Counters::default(),
             miss_latency: RunningStat::new(),
             measuring: false,
@@ -295,6 +312,7 @@ impl<W: Workload> System<W> {
             broadcast_escalations: end.mem.broadcast_escalations - start.mem.broadcast_escalations,
             nacks: end.mem.nacks_sent - start.mem.nacks_sent,
             events_processed: end.events - start.events,
+            peak_queue_len: self.events.peak_len() as u64,
         }
     }
 
@@ -361,28 +379,35 @@ impl<W: Workload> System<W> {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Inject(msg) => {
-                let step = self.net.send(self.now, msg);
-                self.absorb_net(step);
+                // The step buffer is taken out of `self` for the duration of
+                // the call (borrow discipline) and put back afterwards, so
+                // its capacity is reused by every event.
+                let mut step = std::mem::take(&mut self.net_step);
+                self.net.send(self.now, msg, &mut step);
+                self.absorb_net(&mut step);
+                self.net_step = step;
             }
             Event::Net(ne) => {
-                let step = self.net.handle(self.now, ne);
-                self.absorb_net(step);
+                let mut step = std::mem::take(&mut self.net_step);
+                self.net.handle(self.now, ne, &mut step);
+                self.absorb_net(&mut step);
+                self.net_step = step;
             }
             Event::ProcIssue(node) => self.proc_issue(node),
             Event::Sample => self.sample(),
         }
     }
 
-    fn absorb_net(&mut self, step: bash_net::NetStep<ProtoMsg>) {
-        for (t, e) in step.schedule {
+    fn absorb_net(&mut self, step: &mut NetStep<ProtoMsg>) {
+        for (t, e) in step.schedule.drain(..) {
             self.events.schedule(t, Event::Net(e));
         }
-        for d in step.deliveries {
+        for d in step.deliveries.drain(..) {
             self.deliver(d.dst, d.msg, d.order);
         }
     }
 
-    fn deliver(&mut self, dst: NodeId, msg: Message<ProtoMsg>, order: Option<u64>) {
+    fn deliver(&mut self, dst: NodeId, msg: Rc<Message<ProtoMsg>>, order: Option<u64>) {
         if let Some(trace) = self.delivery_trace.as_mut() {
             let ord = order.map(|o| format!(" ord={o}")).unwrap_or_default();
             trace.push(format!(
@@ -397,17 +422,21 @@ impl<W: Workload> System<W> {
         }
         let routing = route(self.cfg.protocol, dst, self.cfg.nodes, &msg);
         if routing.to_cache {
-            let actions = self.caches[dst.index()].on_delivery(self.now, &msg, order);
-            self.apply_actions(dst, actions);
+            let mut sink = std::mem::take(&mut self.sink);
+            self.caches[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
+            self.apply_actions(dst, &mut sink);
+            self.sink = sink;
         }
         if routing.to_mem {
-            let actions = self.mems[dst.index()].on_delivery(self.now, &msg, order);
-            self.apply_actions(dst, actions);
+            let mut sink = std::mem::take(&mut self.sink);
+            self.mems[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
+            self.apply_actions(dst, &mut sink);
+            self.sink = sink;
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for act in actions {
+    fn apply_actions(&mut self, node: NodeId, sink: &mut ActionSink) {
+        for act in sink.drain() {
             match act {
                 Action::SendAfter { delay, msg } => {
                     self.events.schedule(self.now + delay, Event::Inject(msg));
@@ -420,7 +449,8 @@ impl<W: Workload> System<W> {
     fn proc_issue(&mut self, node: NodeId) {
         let idx = node.index();
         let item = self.procs[idx].queued.take().expect("issue without item");
-        let (outcome, actions) = self.caches[idx].access(self.now, item.op);
+        let mut sink = std::mem::take(&mut self.sink);
+        let outcome = self.caches[idx].access(self.now, item.op, &mut sink);
         match outcome {
             AccessOutcome::Hit { value } => {
                 self.counters.ops += 1;
@@ -437,7 +467,8 @@ impl<W: Workload> System<W> {
                 });
             }
         }
-        self.apply_actions(node, actions);
+        self.apply_actions(node, &mut sink);
+        self.sink = sink;
     }
 
     fn miss_done(&mut self, node: NodeId, txn: TxnId, value: u64) {

@@ -88,6 +88,27 @@ pub fn point_builder(
     }
 }
 
+/// A [`point_builder`] configured for a whole bandwidth sweep: the
+/// builder's parallel executor fans the (bandwidth × seed) grid across all
+/// cores and returns reports in sweep order, byte-identical to running the
+/// points one by one.
+pub fn sweep_builder(
+    proto: ProtocolKind,
+    nodes: u16,
+    bandwidths: &[u64],
+    wl: &Wl,
+    opts: &Options,
+) -> SimBuilder {
+    point_builder(
+        proto,
+        nodes,
+        bandwidths.first().copied().unwrap_or(1600),
+        wl,
+        opts,
+    )
+    .bandwidths(bandwidths.iter().copied())
+}
+
 /// A cache comfortably holding the lock pool with conflict-free placement
 /// (the paper chooses locks ≈ lines per cache so misses are sharing misses,
 /// not capacity misses).

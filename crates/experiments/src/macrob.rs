@@ -5,7 +5,7 @@
 use bash::{Duration, ProtocolKind, WorkloadParams};
 
 use crate::common::{
-    ascii_chart, point_builder, snooping_unbounded_baseline, write_csv, Options, Wl,
+    ascii_chart, point_builder, snooping_unbounded_baseline, sweep_builder, write_csv, Options, Wl,
     MACRO_BANDWIDTHS,
 };
 
@@ -50,11 +50,11 @@ pub fn fig10_11(opts: &Options, broadcast_cost: u32) {
         let mut per_proto: Vec<(ProtocolKind, Vec<(f64, f64)>)> = Vec::new();
         for proto in ProtocolKind::ALL {
             let mut pts = Vec::new();
-            for &bw in &MACRO_BANDWIDTHS {
-                let p = point_builder(proto, MACRO_NODES, bw, &wl, opts)
-                    .broadcast_cost(broadcast_cost)
-                    .plan(warmup(opts), measure(opts))
-                    .run();
+            let reports = sweep_builder(proto, MACRO_NODES, &MACRO_BANDWIDTHS, &wl, opts)
+                .broadcast_cost(broadcast_cost)
+                .plan(warmup(opts), measure(opts))
+                .run_sweep();
+            for (&bw, p) in MACRO_BANDWIDTHS.iter().zip(reports) {
                 let norm = p.perf.mean / baseline;
                 csv.push(format!(
                     "{},{},{},{:.6},{:.6},{:.4},{:.4}",

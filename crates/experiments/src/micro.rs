@@ -2,7 +2,9 @@
 
 use bash::{AdaptorConfig, Duration, ProtocolKind, RunReport};
 
-use crate::common::{ascii_chart, point_builder, write_csv, Options, Wl, BANDWIDTHS};
+use crate::common::{
+    ascii_chart, point_builder, sweep_builder, write_csv, Options, Wl, BANDWIDTHS,
+};
 
 const MICRO_NODES: u16 = 64;
 const MICRO_LOCKS: u64 = 1024;
@@ -30,14 +32,15 @@ pub struct BandwidthSweep {
     pub rows: Vec<(ProtocolKind, u64, RunReport)>,
 }
 
-/// Runs (or reuses) the sweep.
+/// Runs the sweep — the whole (protocol × bandwidth × seed) grid goes
+/// through the builder's parallel executor, one `run_sweep` per protocol.
 pub fn bandwidth_sweep(opts: &Options) -> BandwidthSweep {
     let mut rows = Vec::new();
     for proto in ProtocolKind::ALL {
-        for &bw in &BANDWIDTHS {
-            let p = point_builder(proto, MICRO_NODES, bw, &micro_wl(0), opts)
-                .plan(warmup(opts), measure(opts))
-                .run();
+        let reports = sweep_builder(proto, MICRO_NODES, &BANDWIDTHS, &micro_wl(0), opts)
+            .plan(warmup(opts), measure(opts))
+            .run_sweep();
+        for (&bw, p) in BANDWIDTHS.iter().zip(reports) {
             eprintln!(
                 "  {:9} {:6} MB/s: {:8.1} acq/ms  util {:4.2}  bcast {:4.2}",
                 proto.name(),
@@ -159,10 +162,10 @@ pub fn fig7(opts: &Options) {
     let mut best = 0.0f64;
     let mut raw: Vec<(String, u64, RunReport)> = Vec::new();
     for proto in [ProtocolKind::Snooping, ProtocolKind::Directory] {
-        for &bw in &BANDWIDTHS {
-            let p = point_builder(proto, MICRO_NODES, bw, &micro_wl(0), opts)
-                .plan(warmup(opts), measure(opts))
-                .run();
+        let reports = sweep_builder(proto, MICRO_NODES, &BANDWIDTHS, &micro_wl(0), opts)
+            .plan(warmup(opts), measure(opts))
+            .run_sweep();
+        for (&bw, p) in BANDWIDTHS.iter().zip(reports) {
             best = best.max(p.perf.mean);
             raw.push((proto.name().to_string(), bw, p));
         }
@@ -170,11 +173,17 @@ pub fn fig7(opts: &Options) {
     for pct in [55u32, 75, 95] {
         let mut adaptor = AdaptorConfig::paper_default();
         adaptor.threshold_percent = pct;
-        for &bw in &BANDWIDTHS {
-            let p = point_builder(ProtocolKind::Bash, MICRO_NODES, bw, &micro_wl(0), opts)
-                .adaptor(adaptor.clone())
-                .plan(warmup(opts), measure(opts))
-                .run();
+        let reports = sweep_builder(
+            ProtocolKind::Bash,
+            MICRO_NODES,
+            &BANDWIDTHS,
+            &micro_wl(0),
+            opts,
+        )
+        .adaptor(adaptor.clone())
+        .plan(warmup(opts), measure(opts))
+        .run_sweep();
+        for (&bw, p) in BANDWIDTHS.iter().zip(reports) {
             best = best.max(p.perf.mean);
             raw.push((format!("BASH:{pct}%"), bw, p));
         }

@@ -28,6 +28,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
     popped: u64,
+    peak: usize,
 }
 
 #[derive(Debug)]
@@ -61,6 +62,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -70,6 +72,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -78,6 +81,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
@@ -105,6 +111,12 @@ impl<E> EventQueue<E> {
     /// Total number of events popped so far (a cheap progress metric).
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// High-water mark of pending events over the queue's lifetime — the
+    /// capacity a queue for this workload should be created with.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -149,6 +161,20 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(Time::from_ns(1), ());
+        q.schedule(Time::from_ns(2), ());
+        q.schedule(Time::from_ns(3), ());
+        q.pop();
+        q.pop();
+        q.schedule(Time::from_ns(4), ());
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

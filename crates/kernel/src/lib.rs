@@ -23,6 +23,7 @@
 //! ```
 
 pub mod event_queue;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -19,8 +19,14 @@
 //! # Integration
 //!
 //! The crossbar is driven by an external event loop: [`Crossbar::send`] and
-//! [`Crossbar::handle`] return a [`NetStep`] of future events to schedule
-//! and of finished deliveries to hand to node controllers.
+//! [`Crossbar::handle`] append to a caller-owned [`NetStep`] the future
+//! events to schedule and the finished deliveries to hand to node
+//! controllers. The driver reuses one `NetStep` buffer across every call,
+//! so the steady-state event loop allocates nothing; fan-out past the
+//! crossbar core shares one [`Rc`]'d message per transmission instead of
+//! deep-cloning the payload once per destination.
+
+use std::rc::Rc;
 
 use bash_kernel::stats::BusyTracker;
 use bash_kernel::{DetRng, Duration, Time};
@@ -81,6 +87,10 @@ pub enum Jitter {
 }
 
 /// Internal crossbar events, scheduled on the driver's event queue.
+///
+/// Past the core the message is reference-counted: a broadcast fans out as
+/// `dests.len()` pointers to one shared message, not `dests.len()` deep
+/// clones of the payload.
 #[derive(Debug, Clone)]
 pub enum NetEvent<P> {
     /// The sender link finished transmitting: the message enters the core.
@@ -89,8 +99,8 @@ pub enum NetEvent<P> {
     RxArrive {
         /// Receiving node.
         dst: NodeId,
-        /// The message (one clone per destination).
-        msg: Message<P>,
+        /// The message (shared across all destinations of the fan-out).
+        msg: Rc<Message<P>>,
         /// Global sequence for totally ordered messages.
         order: Option<u64>,
     },
@@ -98,8 +108,8 @@ pub enum NetEvent<P> {
     Deliver {
         /// Receiving node.
         dst: NodeId,
-        /// The message.
-        msg: Message<P>,
+        /// The message (shared across all destinations of the fan-out).
+        msg: Rc<Message<P>>,
         /// Global sequence for totally ordered messages.
         order: Option<u64>,
     },
@@ -110,13 +120,17 @@ pub enum NetEvent<P> {
 pub struct Delivery<P> {
     /// Receiving node.
     pub dst: NodeId,
-    /// The delivered message.
-    pub msg: Message<P>,
+    /// The delivered message (shared across the fan-out's destinations).
+    pub msg: Rc<Message<P>>,
     /// Global total-order sequence (for [`Ordered::Total`] messages).
     pub order: Option<u64>,
 }
 
-/// The outcome of one crossbar step: events to schedule plus deliveries.
+/// The outcome of crossbar steps: events to schedule plus deliveries.
+///
+/// [`Crossbar::send`] and [`Crossbar::handle`] *append* to this buffer;
+/// the driver drains both vectors after each call and reuses the same
+/// `NetStep` for the next one, so no per-event allocation survives warmup.
 #[derive(Debug)]
 pub struct NetStep<P> {
     /// Future events the driver must schedule.
@@ -125,12 +139,31 @@ pub struct NetStep<P> {
     pub deliveries: Vec<Delivery<P>>,
 }
 
+// Manual impl: the derived one would demand `P: Default` for no reason.
+impl<P> Default for NetStep<P> {
+    fn default() -> Self {
+        NetStep::new()
+    }
+}
+
 impl<P> NetStep<P> {
-    fn empty() -> Self {
+    /// An empty step buffer.
+    pub fn new() -> Self {
         NetStep {
             schedule: Vec::new(),
             deliveries: Vec::new(),
         }
+    }
+
+    /// Empties both vectors, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.schedule.clear();
+        self.deliveries.clear();
+    }
+
+    /// True when nothing is scheduled or delivered.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty() && self.deliveries.is_empty()
     }
 }
 
@@ -153,7 +186,7 @@ pub struct Crossbar<P> {
     _marker: std::marker::PhantomData<P>,
 }
 
-impl<P: Clone> Crossbar<P> {
+impl<P> Crossbar<P> {
     /// Builds a crossbar for the given configuration.
     ///
     /// # Panics
@@ -182,14 +215,14 @@ impl<P: Clone> Crossbar<P> {
         &self.cfg
     }
 
-    /// Injects a message at `now`. Returns the event that must be scheduled
-    /// (the sender-link completion).
+    /// Injects a message at `now`, appending the event that must be
+    /// scheduled (the sender-link completion) to `out`.
     ///
     /// # Panics
     ///
     /// Panics if the destination set is empty or the source id is out of
     /// range.
-    pub fn send(&mut self, now: Time, msg: Message<P>) -> NetStep<P> {
+    pub fn send(&mut self, now: Time, msg: Message<P>, out: &mut NetStep<P>) {
         assert!(!msg.dests.is_empty(), "message with no destinations");
         assert!((msg.src.index()) < self.links.len(), "bad source node");
         let eff = self.effective_size(&msg);
@@ -201,21 +234,18 @@ impl<P: Clone> Crossbar<P> {
         link.busy.mark_busy(start, end);
         link.bytes += eff;
         link.messages += 1;
-        let mut step = NetStep::empty();
-        step.schedule.push((end, NetEvent::TxDone(msg)));
-        step
+        out.schedule.push((end, NetEvent::TxDone(msg)));
     }
 
-    /// Advances an internal event. `now` must equal the time the event was
+    /// Advances an internal event, appending follow-up events and finished
+    /// deliveries to `out`. `now` must equal the time the event was
     /// scheduled for.
-    pub fn handle(&mut self, now: Time, event: NetEvent<P>) -> NetStep<P> {
+    pub fn handle(&mut self, now: Time, event: NetEvent<P>, out: &mut NetStep<P>) {
         match event {
-            NetEvent::TxDone(msg) => self.enter_core(now, msg),
-            NetEvent::RxArrive { dst, msg, order } => self.arrive(now, dst, msg, order),
+            NetEvent::TxDone(msg) => self.enter_core(now, msg, out),
+            NetEvent::RxArrive { dst, msg, order } => self.arrive(now, dst, msg, order, out),
             NetEvent::Deliver { dst, msg, order } => {
-                let mut step = NetStep::empty();
-                step.deliveries.push(Delivery { dst, msg, order });
-                step
+                out.deliveries.push(Delivery { dst, msg, order });
             }
         }
     }
@@ -255,7 +285,7 @@ impl<P: Clone> Crossbar<P> {
         self.next_order
     }
 
-    fn enter_core(&mut self, now: Time, msg: Message<P>) -> NetStep<P> {
+    fn enter_core(&mut self, now: Time, msg: Message<P>, out: &mut NetStep<P>) {
         let order = match msg.ordered {
             Ordered::Total => {
                 let o = self.next_order;
@@ -264,34 +294,37 @@ impl<P: Clone> Crossbar<P> {
             }
             Ordered::None => None,
         };
-        let mut step = NetStep::empty();
-        let dests: Vec<NodeId> = msg.dests.iter().collect();
-        for dst in dests {
-            let extra = match msg.ordered {
+        // One shared allocation per transmission: every destination's
+        // RxArrive points at the same message.
+        let ordered = msg.ordered;
+        let dests = msg.dests;
+        let shared = Rc::new(msg);
+        for dst in dests.iter() {
+            let extra = match ordered {
                 // Per-destination jitter would break the total order.
                 Ordered::Total => Duration::ZERO,
                 Ordered::None => self.traversal_jitter(),
             };
             let at = now + self.cfg.traversal + extra;
-            step.schedule.push((
+            out.schedule.push((
                 at,
                 NetEvent::RxArrive {
                     dst,
-                    msg: msg.clone(),
+                    msg: Rc::clone(&shared),
                     order,
                 },
             ));
         }
-        step
     }
 
     fn arrive(
         &mut self,
         now: Time,
         dst: NodeId,
-        msg: Message<P>,
+        msg: Rc<Message<P>>,
         order: Option<u64>,
-    ) -> NetStep<P> {
+        out: &mut NetStep<P>,
+    ) {
         let eff = self.effective_size(&msg);
         let rx_time = Duration::transmission(eff, self.cfg.link_mbps);
         let link = &mut self.links[dst.index()];
@@ -300,10 +333,8 @@ impl<P: Clone> Crossbar<P> {
         link.busy.mark_busy(start, end);
         link.bytes += eff;
         link.messages += 1;
-        let mut step = NetStep::empty();
-        step.schedule
+        out.schedule
             .push((end, NetEvent::Deliver { dst, msg, order }));
-        step
     }
 
     /// The bandwidth footprint of a message: full broadcasts are inflated by
@@ -364,15 +395,16 @@ mod tests {
             q.schedule(t, Ev::Send(m));
         }
         let mut out = Vec::new();
+        let mut step = NetStep::new();
         while let Some((now, ev)) = q.pop() {
-            let step = match ev {
-                Ev::Send(m) => net.send(now, m),
-                Ev::Net(ne) => net.handle(now, ne),
-            };
-            for (t, e) in step.schedule {
+            match ev {
+                Ev::Send(m) => net.send(now, m, &mut step),
+                Ev::Net(ne) => net.handle(now, ne, &mut step),
+            }
+            for (t, e) in step.schedule.drain(..) {
                 q.schedule(t, Ev::Net(e));
             }
-            for d in step.deliveries {
+            for d in step.deliveries.drain(..) {
                 out.push((now, d));
             }
         }
@@ -549,6 +581,18 @@ mod tests {
             size: 8,
             payload: "bad",
         };
-        net.send(Time::ZERO, m);
+        net.send(Time::ZERO, m, &mut NetStep::new());
+    }
+
+    #[test]
+    fn broadcast_shares_one_payload_allocation() {
+        // All four deliveries of a broadcast must point at the same shared
+        // message (Rc fan-out, not per-destination deep clones).
+        let mut net = Crossbar::new(cfg(4, 1600));
+        let m = Message::ordered(NodeId(0), NodeSet::all(4), 8, "shared");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 4);
+        let first = &out[0].1.msg;
+        assert!(out.iter().all(|(_, d)| std::rc::Rc::ptr_eq(&d.msg, first)));
     }
 }

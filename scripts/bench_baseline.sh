@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Produces BENCH_engine.json — the engine perf baseline (events/sec per
+# protocol + sweep wall time serial vs. parallel). Run from anywhere:
+#
+#   scripts/bench_baseline.sh [output.json]
+#
+# The JSON is the artifact CI's bench-smoke job uploads; commit-to-commit
+# comparisons of it are the repo's perf trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_engine.json}"
+cargo run --release -q -p bash-bench --bin engine_baseline -- "$OUT"

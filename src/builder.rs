@@ -13,6 +13,7 @@ use std::fmt;
 
 use bash_adaptive::AdaptorConfig;
 use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_kernel::pool;
 use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, Time};
 use bash_net::Jitter;
@@ -23,6 +24,10 @@ use bash_workloads::{
 
 /// A type-erased workload, as produced by [`SimBuilder`] workload factories.
 pub type BoxedWorkload = Box<dyn Workload>;
+
+/// One executed grid point: its measured stats plus (for the first seed,
+/// when tracing) the policy trace.
+type PointResult = (RunStats, Option<Vec<(Time, f64)>>);
 
 /// Why a [`SimBuilder`] configuration was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,8 +159,10 @@ enum WorkloadSpec {
     Macro(WorkloadParams),
     /// A fixed, deterministic script (cloned per seed).
     Script(ScriptWorkload),
-    /// An arbitrary factory: `(nodes, seed) -> workload`.
-    Factory(Box<dyn Fn(u16, u64) -> BoxedWorkload>),
+    /// An arbitrary factory: `(nodes, seed) -> workload`. `Send + Sync`
+    /// so the parallel sweep executor can build workloads on worker
+    /// threads.
+    Factory(Box<dyn Fn(u16, u64) -> BoxedWorkload + Send + Sync>),
 }
 
 impl WorkloadSpec {
@@ -195,6 +202,7 @@ pub struct SimBuilder {
     serialize_dram: Option<bool>,
     coverage: bool,
     trace_policy: bool,
+    threads: Option<usize>,
     workload: Option<WorkloadSpec>,
 }
 
@@ -219,6 +227,7 @@ impl SimBuilder {
             serialize_dram: None,
             coverage: false,
             trace_policy: false,
+            threads: None,
             workload: None,
         }
     }
@@ -371,9 +380,28 @@ impl SimBuilder {
     }
 
     /// Uses an arbitrary workload factory, called once per run with the
-    /// system size and that run's seed.
-    pub fn workload_with(mut self, factory: impl Fn(u16, u64) -> BoxedWorkload + 'static) -> Self {
+    /// system size and that run's seed. The factory must be `Send + Sync`
+    /// because runs of a sweep may build their workloads on worker threads.
+    pub fn workload_with(
+        mut self,
+        factory: impl Fn(u16, u64) -> BoxedWorkload + Send + Sync + 'static,
+    ) -> Self {
         self.workload = Some(WorkloadSpec::Factory(Box::new(factory)));
+        self
+    }
+
+    /// Caps the number of worker threads used to execute the
+    /// (bandwidth × seed) grid of [`run`](Self::run) /
+    /// [`run_sweep`](Self::run_sweep).
+    ///
+    /// Defaults to [`available_parallelism`](std::thread::available_parallelism)
+    /// (`0` restores that default); `1` forces fully sequential execution
+    /// on the calling thread. The thread count **never changes results**:
+    /// every grid point is an independent, self-seeded simulation, and
+    /// reports are assembled in grid order — `.threads(8)` is byte-identical
+    /// to `.threads(1)`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
         self
     }
 
@@ -480,14 +508,18 @@ impl SimBuilder {
     }
 
     /// Runs the first bandwidth point, aggregating over the configured
-    /// seeds.
+    /// seeds (in parallel across seeds when more than one thread is
+    /// available).
     ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run(&self) -> Result<RunReport, BuildError> {
         self.validate()?;
-        Ok(self.run_one(self.bandwidths[0]))
+        Ok(self
+            .run_grid(&self.bandwidths[..1])
+            .pop()
+            .expect("one bandwidth point"))
     }
 
     /// Runs the first bandwidth point, aggregating over the configured
@@ -503,15 +535,21 @@ impl SimBuilder {
 
     /// Runs every configured bandwidth point in order, one report each.
     ///
+    /// The full (bandwidth × seed) grid is fanned out across worker
+    /// threads (see [`threads`](Self::threads)); results are collected
+    /// back in deterministic grid order, so the reports are identical to a
+    /// sequential run.
+    ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run_sweep(&self) -> Result<Vec<RunReport>, BuildError> {
         self.validate()?;
-        Ok(self.bandwidths.iter().map(|&bw| self.run_one(bw)).collect())
+        Ok(self.run_grid(&self.bandwidths))
     }
 
-    /// Runs every configured bandwidth point in order, one report each.
+    /// Runs every configured bandwidth point in order, one report each
+    /// (in parallel; see [`try_run_sweep`](Self::try_run_sweep)).
     ///
     /// # Panics
     ///
@@ -522,27 +560,61 @@ impl SimBuilder {
             .expect("invalid SimBuilder configuration")
     }
 
-    fn run_one(&self, mbps: u64) -> RunReport {
+    /// Executes one (bandwidth, seed) grid point: build, warm up, measure.
+    fn run_point(&self, mbps: u64, seed_index: u32) -> PointResult {
         let spec = self.workload.as_ref().expect("validated");
-        let mut runs = Vec::with_capacity(self.seeds as usize);
-        let mut policy_trace = None;
-        let mut workload_name = String::new();
-        for s in 0..self.seeds {
-            let cfg = self.config(mbps, s);
-            let workload = spec.build(self.nodes, cfg.seed);
-            let mut sys = System::new(cfg, workload);
-            if self.trace_policy && s == 0 {
-                sys.enable_policy_trace();
-            }
-            sys.run_until(Time::ZERO + self.warmup);
-            sys.begin_measurement();
-            let stats = sys.finish(Time::ZERO + self.warmup + self.measure);
-            if self.trace_policy && s == 0 {
-                policy_trace = sys.policy_trace().map(|t| t.to_vec());
-            }
-            workload_name = stats.workload.clone();
-            runs.push(stats);
+        let cfg = self.config(mbps, seed_index);
+        let workload = spec.build(self.nodes, cfg.seed);
+        let mut sys = System::new(cfg, workload);
+        let trace = self.trace_policy && seed_index == 0;
+        if trace {
+            sys.enable_policy_trace();
         }
+        sys.run_until(Time::ZERO + self.warmup);
+        sys.begin_measurement();
+        let stats = sys.finish(Time::ZERO + self.warmup + self.measure);
+        let policy_trace = if trace {
+            sys.policy_trace().map(|t| t.to_vec())
+        } else {
+            None
+        };
+        (stats, policy_trace)
+    }
+
+    /// Fans the full (bandwidth × seed) grid out across the thread pool
+    /// and folds the results back into per-bandwidth reports in grid
+    /// order. Every grid point is an independent simulation with its own
+    /// deterministic seeding, so the thread count cannot affect any
+    /// reported number — only the wall-clock time.
+    fn run_grid(&self, bandwidths: &[u64]) -> Vec<RunReport> {
+        let seeds = self.seeds as usize;
+        let tasks = bandwidths.len() * seeds;
+        let threads = self
+            .threads
+            .unwrap_or_else(pool::available_threads)
+            .min(tasks.max(1));
+        let mut results = pool::run_indexed(tasks, threads, |i| {
+            self.run_point(bandwidths[i / seeds], (i % seeds) as u32)
+        });
+        bandwidths
+            .iter()
+            .map(|&mbps| {
+                let mut point: Vec<PointResult> = results.drain(..seeds).collect();
+                let policy_trace = point[0].1.take();
+                let runs: Vec<RunStats> = point.into_iter().map(|(stats, _)| stats).collect();
+                self.report_for(mbps, runs, policy_trace)
+            })
+            .collect()
+    }
+
+    /// Aggregates one bandwidth point's per-seed runs into a report.
+    fn report_for(
+        &self,
+        mbps: u64,
+        runs: Vec<RunStats>,
+        policy_trace: Option<Vec<(Time, f64)>>,
+    ) -> RunReport {
+        let workload_name = runs.last().expect("at least one seed").workload.clone();
         let metric = |f: &dyn Fn(&RunStats) -> f64| {
             Metric::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
         };
