@@ -39,6 +39,11 @@ pub struct SystemConfig {
     pub retry_capacity: usize,
     /// Record transition coverage (Table 1 / tester runs).
     pub coverage: bool,
+    /// Capture every processor op the workload issues into a replayable
+    /// [`bash_trace::Trace`] (see [`System::take_captured_trace`]).
+    ///
+    /// [`System::take_captured_trace`]: crate::System::take_captured_trace
+    pub capture_ops: bool,
     /// Message latency perturbation (tester and error-bar methodology).
     pub jitter: Jitter,
     /// Master RNG seed.
@@ -64,6 +69,7 @@ impl SystemConfig {
             serialize_dram: false,
             retry_capacity: 64,
             coverage: false,
+            capture_ops: false,
             jitter: Jitter::None,
             seed: 0xBA5E,
         }
@@ -97,6 +103,13 @@ impl SystemConfig {
     /// Enables transition-coverage recording.
     pub fn with_coverage(mut self) -> Self {
         self.coverage = true;
+        self
+    }
+
+    /// Enables op capture: the run records every issued processor op into
+    /// a replayable trace.
+    pub fn with_capture(mut self) -> Self {
+        self.capture_ops = true;
         self
     }
 

@@ -27,7 +27,7 @@ pub struct RunStats {
     pub stddev_miss_latency_ns: f64,
     /// Largest observed miss latency in ns.
     pub max_miss_latency_ns: f64,
-    /// Mean endpoint link utilization in [0,1] (Figure 6's y-axis).
+    /// Mean endpoint link utilization in `[0,1]` (Figure 6's y-axis).
     pub link_utilization: f64,
     /// Bytes through all endpoint links (bandwidth footprint).
     pub link_bytes: u64,

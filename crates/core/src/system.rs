@@ -23,6 +23,7 @@ use bash_coherence::{
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
 use bash_net::{Crossbar, Message, NetConfig, NetEvent, NetStep, NodeId};
+use bash_trace::{Trace, TraceRecord, TraceWriter};
 use bash_workloads::{WorkItem, Workload};
 
 use crate::config::SystemConfig;
@@ -39,6 +40,18 @@ enum Event {
     ProcIssue(NodeId),
     /// Adaptive-mechanism sampling tick (all nodes).
     Sample,
+}
+
+/// Appends one pulled work item to the capture hook, if it is enabled.
+fn capture_item(capture: &mut Option<TraceWriter>, node: NodeId, item: &WorkItem) {
+    if let Some(writer) = capture {
+        writer.record(TraceRecord {
+            node,
+            think: item.think,
+            instructions: item.instructions,
+            op: item.op,
+        });
+    }
 }
 
 /// An outstanding demand miss at a processor.
@@ -99,6 +112,10 @@ pub struct System<W: Workload> {
     measure_start: Snapshot,
     policy_trace: Option<Vec<(Time, f64)>>,
     delivery_trace: Option<Vec<String>>,
+    /// The op-capture hook (enabled with [`SystemConfig::with_capture`]):
+    /// every work item the workload hands a processor is appended here, in
+    /// issue-request order, producing a replayable reference trace.
+    op_capture: Option<TraceWriter>,
 }
 
 impl<W: Workload> System<W> {
@@ -153,10 +170,16 @@ impl<W: Workload> System<W> {
         // the observed high-water mark for re-tuning this factor.
         let mut events = EventQueue::with_capacity((nodes as usize * 16).max(64));
         let mut procs: Vec<Processor> = (0..nodes).map(|_| Processor::default()).collect();
+        // Capture must start before priming: the first item per node is
+        // pulled here, not in `fetch_next`.
+        let mut op_capture = cfg
+            .capture_ops
+            .then(|| TraceWriter::new(nodes, cfg.seed, workload.name()));
         for i in 0..nodes {
             let node = NodeId(i);
             match workload.next_item(node, Time::ZERO) {
                 Some(item) => {
+                    capture_item(&mut op_capture, node, &item);
                     let at = Time::ZERO + item.think;
                     procs[i as usize].queued = Some(item);
                     events.schedule(at, Event::ProcIssue(node));
@@ -186,6 +209,7 @@ impl<W: Workload> System<W> {
             measure_start: Snapshot::default(),
             policy_trace: None,
             delivery_trace: None,
+            op_capture,
             cfg,
         }
     }
@@ -235,6 +259,19 @@ impl<W: Workload> System<W> {
     /// The recorded delivery trace, if enabled.
     pub fn delivery_trace(&self) -> Option<&[String]> {
         self.delivery_trace.as_deref()
+    }
+
+    /// Finalizes and takes the captured reference trace, or `None` when
+    /// capture was not enabled. The trace header carries the run's node
+    /// count, seed and workload name, so replaying it through
+    /// `TraceWorkload` reproduces this run exactly (same config, any
+    /// thread count).
+    pub fn take_captured_trace(&mut self) -> Option<Trace> {
+        let mut writer = self.op_capture.take()?;
+        // The workload may refine its display name as it runs; stamp the
+        // final one so replay reports stay name-identical.
+        writer.set_workload(self.workload.name());
+        Some(writer.finish())
     }
 
     /// Advances simulation until `t` (events at exactly `t` included).
@@ -493,6 +530,7 @@ impl<W: Workload> System<W> {
         let idx = node.index();
         match self.workload.next_item(node, self.now) {
             Some(item) => {
+                capture_item(&mut self.op_capture, node, &item);
                 let at = self.now + item.think;
                 self.procs[idx].queued = Some(item);
                 self.events.schedule(at, Event::ProcIssue(node));

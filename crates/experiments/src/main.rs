@@ -4,7 +4,7 @@
 //! ```text
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
-//!        fig9 | fig10 | fig11 | fig12 | table1
+//!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios
 //! ```
 //!
 //! Each experiment prints an ASCII rendition of the paper's plot and writes
@@ -14,6 +14,7 @@
 mod common;
 mod macrob;
 mod micro;
+mod scenarios;
 mod static_figs;
 mod table1;
 
@@ -44,7 +45,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
-                println!("  ids: all fig1..fig12 table1");
+                println!("  ids: all fig1..fig12 table1 scenarios");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -109,6 +110,10 @@ fn main() {
     if want("fig12") {
         eprintln!("running the workload bars (fig 12)...");
         macrob::fig12(&opts);
+    }
+    if want("scenarios") {
+        eprintln!("running the scenario-catalog sweep...");
+        scenarios::scenarios(&opts);
     }
     eprintln!("done.");
 }

@@ -1,0 +1,66 @@
+//! The scenario-catalog sweep: every named scenario × every protocol ×
+//! a small bandwidth ladder, in one CSV + chart.
+//!
+//! This is the harness's window into the workload subsystem beyond the
+//! paper's own figures: the classic sharing patterns (producer-consumer,
+//! migratory, false sharing, Zipf, phase-shift) next to the Table 2
+//! stand-ins, so a protocol change shows its effect on every access
+//! pattern at once.
+
+use bash::{catalog, Duration, ProtocolKind, SimBuilder};
+
+use crate::common::{ascii_chart, write_csv, Options};
+
+/// Bandwidth ladder for the catalog sweep (MB/s).
+const BANDWIDTHS: [u64; 3] = [400, 1600, 6400];
+
+/// Runs the full catalog sweep: CSV `scenarios.csv` plus one chart of
+/// BASH's broadcast fraction per scenario (the adaptivity fingerprint).
+pub fn scenarios(opts: &Options) {
+    let warmup = opts.window(Duration::from_ns(20_000));
+    let measure = opts.window(Duration::from_ns(60_000));
+    let mut rows = Vec::new();
+    let mut adaptivity: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for s in catalog::CATALOG {
+        let mut bash_points = Vec::new();
+        for proto in ProtocolKind::ALL {
+            let reports = SimBuilder::new(proto)
+                .nodes(8)
+                .bandwidths(BANDWIDTHS)
+                .scenario(s.name)
+                .seed(0xF00D)
+                .seeds(opts.seeds.max(1))
+                .plan(warmup, measure)
+                .run_sweep();
+            for r in &reports {
+                rows.push(format!(
+                    "{},{},{},{:.1},{:.1},{:.2},{:.4},{:.4}",
+                    s.name,
+                    r.protocol.name(),
+                    r.bandwidth_mbps,
+                    r.perf.mean,
+                    r.perf.stddev,
+                    r.miss_latency_ns.mean,
+                    r.link_utilization.mean,
+                    r.broadcast_fraction.mean,
+                ));
+                if proto == ProtocolKind::Bash {
+                    bash_points.push((r.bandwidth_mbps as f64, r.broadcast_fraction.mean));
+                }
+            }
+        }
+        adaptivity.push((s.name, bash_points));
+    }
+    let path = write_csv(
+        opts,
+        "scenarios",
+        "scenario,protocol,bandwidth_mbps,perf_mean,perf_stddev,miss_latency_ns,link_utilization,broadcast_fraction",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    ascii_chart(
+        "scenario catalog: BASH broadcast fraction vs bandwidth",
+        &adaptivity,
+        true,
+    );
+}

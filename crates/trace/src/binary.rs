@@ -1,0 +1,306 @@
+//! The compact binary trace encoding (format v1).
+//!
+//! Layout (all multi-byte scalars little-endian, `varint` = LEB128 u64):
+//!
+//! ```text
+//! magic    8  b"BASHTRCE"
+//! version  2  u16 (currently 1)
+//! nodes    2  u16
+//! seed     8  u64
+//! name     varint length + UTF-8 bytes
+//! count    varint
+//! records  count × record
+//! checksum 8  u64 FNV-1a over every byte after the magic, before this field
+//! ```
+//!
+//! One record:
+//!
+//! ```text
+//! node         varint
+//! think_ps     varint
+//! instructions varint
+//! kind         1  (0 = Load, 1 = Store)
+//! block        varint
+//! word         varint
+//! value        varint   (Store only)
+//! ```
+//!
+//! Varints keep typical records under ~10 bytes (addresses and think times
+//! are small); the checksum turns silent corruption into a hard
+//! [`TraceError::ChecksumMismatch`].
+
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::Duration;
+use bash_net::NodeId;
+
+use crate::{Trace, TraceError, TraceRecord, FORMAT_VERSION};
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"BASHTRCE";
+
+const KIND_LOAD: u8 = 0;
+const KIND_STORE: u8 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16_le(&mut self) -> Result<u16, TraceError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, TraceError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn byte(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift == 63 && byte > 1 {
+                return Err(TraceError::BadVarint);
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(TraceError::BadVarint);
+            }
+        }
+    }
+}
+
+impl Trace {
+    /// Encodes the trace into the v1 binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Headers are ~20 bytes + name; records average well under 16.
+        let mut out = Vec::with_capacity(32 + self.workload.len() + self.records.len() * 16);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        put_varint(&mut out, self.workload.len() as u64);
+        out.extend_from_slice(self.workload.as_bytes());
+        put_varint(&mut out, self.records.len() as u64);
+        for r in &self.records {
+            put_varint(&mut out, r.node.0 as u64);
+            put_varint(&mut out, r.think.as_ps());
+            put_varint(&mut out, r.instructions);
+            match r.op {
+                ProcOp::Load { block, word } => {
+                    out.push(KIND_LOAD);
+                    put_varint(&mut out, block.0);
+                    put_varint(&mut out, word as u64);
+                }
+                ProcOp::Store { block, word, value } => {
+                    out.push(KIND_STORE);
+                    put_varint(&mut out, block.0);
+                    put_varint(&mut out, word as u64);
+                    put_varint(&mut out, value);
+                }
+            }
+        }
+        let checksum = fnv1a(&out[MAGIC.len()..]);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes (and [`validate`](Trace::validate)s) a v1 binary trace.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(MAGIC.len())? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = cur.u16_le()?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let nodes = cur.u16_le()?;
+        let seed = cur.u64_le()?;
+        let name_len = cur.varint()?;
+        let name_len = usize::try_from(name_len).map_err(|_| TraceError::FieldOverflow)?;
+        let workload = std::str::from_utf8(cur.take(name_len)?)
+            .map_err(|_| TraceError::BadName)?
+            .to_string();
+        let count = cur.varint()?;
+        let count = usize::try_from(count).map_err(|_| TraceError::FieldOverflow)?;
+        // Cap the pre-allocation by what the remaining bytes could possibly
+        // hold (≥ 6 bytes per record) so a corrupt count cannot OOM us.
+        let remaining = bytes.len().saturating_sub(cur.pos);
+        let mut records = Vec::with_capacity(count.min(remaining / 6 + 1));
+        for _ in 0..count {
+            let node = cur.varint()?;
+            let node = u16::try_from(node).map_err(|_| TraceError::FieldOverflow)?;
+            let think = Duration::from_ps(cur.varint()?);
+            let instructions = cur.varint()?;
+            let kind = cur.byte()?;
+            let block = BlockAddr(cur.varint()?);
+            let word = usize::try_from(cur.varint()?).map_err(|_| TraceError::FieldOverflow)?;
+            let op = match kind {
+                KIND_LOAD => ProcOp::Load { block, word },
+                KIND_STORE => ProcOp::Store {
+                    block,
+                    word,
+                    value: cur.varint()?,
+                },
+                other => return Err(TraceError::BadOpKind(other)),
+            };
+            records.push(TraceRecord {
+                node: NodeId(node),
+                think,
+                instructions,
+                op,
+            });
+        }
+        let payload_end = cur.pos;
+        let stored = cur.u64_le()?;
+        if cur.pos != bytes.len() {
+            return Err(TraceError::TrailingBytes);
+        }
+        if fnv1a(&bytes[MAGIC.len()..payload_end]) != stored {
+            return Err(TraceError::ChecksumMismatch);
+        }
+        let trace = Trace {
+            nodes,
+            seed,
+            workload,
+            records,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::sample_trace;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let t = sample_trace();
+        // Magic+version+nodes+seed = 20 bytes; two small records must stay
+        // well under a fixed-width (8 × 8-byte fields) encoding.
+        assert!(t.to_bytes().len() < 80, "got {}", t.to_bytes().len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let t = sample_trace();
+        let mut bytes = t.to_bytes();
+        // Flip a bit inside the record payload (past the 20-byte header).
+        let mid = bytes.len() - 12;
+        bytes[mid] ^= 0x40;
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        // Depending on which field the flip lands in, decode fails
+        // structurally or the checksum catches it; silent success is the
+        // only unacceptable outcome.
+        assert_ne!(err, TraceError::BadMagic);
+    }
+
+    #[test]
+    fn checksum_catches_tail_corruption() {
+        let t = sample_trace();
+        let mut bytes = t.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_trace().to_bytes();
+        for cut in [4, 12, 21, bytes.len() - 1] {
+            assert!(
+                Trace::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes.push(0);
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::TrailingBytes));
+    }
+
+    #[test]
+    fn varint_extremes_roundtrip() {
+        let mut t = sample_trace();
+        t.records[1].op = ProcOp::Store {
+            block: BlockAddr(u64::MAX),
+            word: 7,
+            value: u64::MAX,
+        };
+        t.records[1].instructions = u64::MAX;
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+}

@@ -1,0 +1,380 @@
+//! Versioned on-disk memory-reference traces.
+//!
+//! A [`Trace`] is the protocol-independent record of every processor
+//! operation a workload issued during one run: per record the issuing
+//! node, the think time before the issue, the instructions retired while
+//! thinking, and the [`ProcOp`] itself. Because the coherence protocol
+//! only ever observes this op stream, a captured trace can be replayed
+//! through *any* protocol, bandwidth, or thread count and the replay is a
+//! pure function of the trace plus the system configuration — which is
+//! what lets CI gate on byte-exact golden reports.
+//!
+//! Two interchangeable encodings:
+//!
+//! * a **compact binary form** ([`Trace::to_bytes`] / [`Trace::from_bytes`],
+//!   module [`binary`]) — magic + version header, LEB128 varint fields and
+//!   an FNV-1a trailer checksum; this is the on-disk format of the
+//!   committed golden mini-traces;
+//! * a **text debug form** ([`Trace::to_text`] / [`Trace::from_text`],
+//!   module [`text`]) — one record per line, diffable and hand-editable.
+//!
+//! Every decode path runs the [`Trace::validate`] checks, so a corrupt or
+//! hand-mangled trace fails loudly instead of silently replaying garbage.
+
+#![deny(missing_docs)]
+
+pub mod binary;
+pub mod text;
+
+use std::fmt;
+use std::path::Path;
+
+use bash_coherence::types::WORDS_PER_BLOCK;
+use bash_coherence::ProcOp;
+use bash_kernel::Duration;
+use bash_net::NodeId;
+
+/// The only binary/text format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// One captured processor operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The node that issued the operation.
+    pub node: NodeId,
+    /// Think/execute time between the previous completion and this issue.
+    pub think: Duration,
+    /// Instructions retired during `think`.
+    pub instructions: u64,
+    /// The memory operation.
+    pub op: ProcOp,
+}
+
+/// A complete captured reference stream plus its provenance header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// System size the trace was captured on. Replays must use the same
+    /// node count (records address nodes `0..nodes`).
+    pub nodes: u16,
+    /// RNG seed of the capturing run (provenance only; replay needs no
+    /// randomness).
+    pub seed: u64,
+    /// Display name of the captured workload. Replayers report this name
+    /// so a replayed report is comparable to the captured one.
+    pub workload: String,
+    /// The op stream, in capture (issue-request) order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Why a trace failed to decode or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended mid-field.
+    Truncated,
+    /// The trailer checksum does not match the payload.
+    ChecksumMismatch,
+    /// Bytes remain after the checksum trailer.
+    TrailingBytes,
+    /// The workload name is not valid UTF-8.
+    BadName,
+    /// An unknown op-kind tag was read.
+    BadOpKind(u8),
+    /// A varint ran past 10 bytes (not a canonical u64).
+    BadVarint,
+    /// A numeric field does not fit its domain (e.g. a node id over u16).
+    FieldOverflow,
+    /// The header declares zero nodes.
+    ZeroNodes,
+    /// The trace has no records.
+    Empty,
+    /// A record addresses a node outside `0..nodes`.
+    NodeOutOfRange {
+        /// The offending record index.
+        record: usize,
+        /// The out-of-range node id.
+        node: u16,
+        /// The header's node count.
+        nodes: u16,
+    },
+    /// A record addresses a word outside the cache block.
+    WordOutOfRange {
+        /// The offending record index.
+        record: usize,
+        /// The out-of-range word index.
+        word: usize,
+    },
+    /// A text line could not be parsed.
+    BadTextLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// An I/O error while reading or writing a trace file.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a bash-trace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (reader is v{FORMAT_VERSION})"
+                )
+            }
+            TraceError::Truncated => write!(f, "trace truncated mid-field"),
+            TraceError::ChecksumMismatch => write!(f, "trace checksum mismatch (corrupt payload)"),
+            TraceError::TrailingBytes => write!(f, "trailing bytes after trace checksum"),
+            TraceError::BadName => write!(f, "workload name is not valid UTF-8"),
+            TraceError::BadOpKind(k) => write!(f, "unknown op kind tag {k}"),
+            TraceError::BadVarint => write!(f, "varint longer than 10 bytes"),
+            TraceError::FieldOverflow => write!(f, "numeric field out of range"),
+            TraceError::ZeroNodes => write!(f, "trace header declares zero nodes"),
+            TraceError::Empty => write!(f, "trace has no records"),
+            TraceError::NodeOutOfRange {
+                record,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "record {record} addresses node {node} but the trace has {nodes} nodes"
+            ),
+            TraceError::WordOutOfRange { record, word } => write!(
+                f,
+                "record {record} addresses word {word} (blocks have {WORDS_PER_BLOCK} words)"
+            ),
+            TraceError::BadTextLine { line, what } => {
+                write!(f, "text trace line {line}: {what}")
+            }
+            TraceError::Io(e) => write!(f, "trace i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Checks the structural invariants every decode path enforces: a
+    /// positive node count, at least one record, every record addressing a
+    /// node inside the system and a word inside the block.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.nodes == 0 {
+            return Err(TraceError::ZeroNodes);
+        }
+        if self.records.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (i, r) in self.records.iter().enumerate() {
+            if r.node.0 >= self.nodes {
+                return Err(TraceError::NodeOutOfRange {
+                    record: i,
+                    node: r.node.0,
+                    nodes: self.nodes,
+                });
+            }
+            let word = match r.op {
+                ProcOp::Load { word, .. } | ProcOp::Store { word, .. } => word,
+            };
+            if word >= WORDS_PER_BLOCK {
+                return Err(TraceError::WordOutOfRange { record: i, word });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of records addressed to `node`.
+    pub fn ops_for(&self, node: NodeId) -> usize {
+        self.records.iter().filter(|r| r.node == node).count()
+    }
+
+    /// Writes the compact binary form to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| TraceError::Io(e.to_string()))
+    }
+
+    /// Reads (and validates) the compact binary form from `path`.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let bytes = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        Trace::from_bytes(&bytes)
+    }
+}
+
+/// An incremental trace builder — what the simulation core's capture hook
+/// appends to while a run executes.
+///
+/// ```
+/// use bash_trace::{TraceWriter, TraceRecord};
+/// use bash_coherence::{BlockAddr, ProcOp};
+/// use bash_kernel::Duration;
+/// use bash_net::NodeId;
+///
+/// let mut w = TraceWriter::new(2, 42, "demo");
+/// w.record(TraceRecord {
+///     node: NodeId(0),
+///     think: Duration::from_ns(5),
+///     instructions: 20,
+///     op: ProcOp::Load { block: BlockAddr(7), word: 3 },
+/// });
+/// let trace = w.finish();
+/// assert_eq!(trace.records.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    trace: Trace,
+}
+
+impl TraceWriter {
+    /// Starts an empty trace for a `nodes`-node run.
+    pub fn new(nodes: u16, seed: u64, workload: impl Into<String>) -> Self {
+        TraceWriter {
+            trace: Trace {
+                nodes,
+                seed,
+                workload: workload.into(),
+                records: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends one captured op.
+    pub fn record(&mut self, record: TraceRecord) {
+        self.trace.records.push(record);
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.trace.records.len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.trace.records.is_empty()
+    }
+
+    /// Updates the workload display name (the capture hook only learns the
+    /// final name when the run finishes).
+    pub fn set_workload(&mut self, workload: impl Into<String>) {
+        self.trace.workload = workload.into();
+    }
+
+    /// Finalizes the capture into an owned [`Trace`].
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_coherence::BlockAddr;
+
+    pub(crate) fn sample_trace() -> Trace {
+        Trace {
+            nodes: 3,
+            seed: 0xBA5E,
+            workload: "sample".to_string(),
+            records: vec![
+                TraceRecord {
+                    node: NodeId(0),
+                    think: Duration::from_ns(5),
+                    instructions: 20,
+                    op: ProcOp::Load {
+                        block: BlockAddr(7),
+                        word: 3,
+                    },
+                },
+                TraceRecord {
+                    node: NodeId(2),
+                    think: Duration::ZERO,
+                    instructions: 0,
+                    op: ProcOp::Store {
+                        block: BlockAddr((1 << 40) + 9),
+                        word: 0,
+                        value: u64::MAX,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_trace() {
+        assert_eq!(sample_trace().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_node() {
+        let mut t = sample_trace();
+        t.records[1].node = NodeId(3);
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NodeOutOfRange {
+                record: 1,
+                node: 3,
+                nodes: 3
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_word() {
+        let mut t = sample_trace();
+        t.records[0].op = ProcOp::Load {
+            block: BlockAddr(1),
+            word: WORDS_PER_BLOCK,
+        };
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::WordOutOfRange {
+                record: 0,
+                word: WORDS_PER_BLOCK
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let mut t = sample_trace();
+        t.records.clear();
+        assert_eq!(t.validate(), Err(TraceError::Empty));
+        t.nodes = 0;
+        assert_eq!(t.validate(), Err(TraceError::ZeroNodes));
+    }
+
+    #[test]
+    fn writer_accumulates() {
+        let mut w = TraceWriter::new(2, 1, "w");
+        assert!(w.is_empty());
+        w.record(sample_trace().records[0]);
+        w.set_workload("renamed");
+        assert_eq!(w.len(), 1);
+        let t = w.finish();
+        assert_eq!(t.workload, "renamed");
+        assert_eq!(t.nodes, 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("bash_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        t.write_to(&path).unwrap();
+        assert_eq!(Trace::read_from(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        match Trace::read_from("/nonexistent/bash.trace") {
+            Err(TraceError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

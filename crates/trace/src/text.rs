@@ -1,0 +1,205 @@
+//! The human-readable text form of a trace — diffable, greppable, and
+//! hand-editable for authoring regression cases.
+//!
+//! ```text
+//! bash-trace v1 nodes=3 seed=47710 workload=sample
+//! # node think_ps instructions (L block word | S block word value)
+//! 0 5000 20 L 0x7 3
+//! 2 0 0 S 0x10000000009 0 18446744073709551615
+//! ```
+//!
+//! The first line is the header (`workload=` is always the last field and
+//! runs to the end of the line, so names may contain spaces). Lines that
+//! are empty or start with `#` are comments. Block addresses print in hex
+//! (they encode region layouts), every other number in decimal.
+
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::Duration;
+use bash_net::NodeId;
+
+use crate::{Trace, TraceError, TraceRecord, FORMAT_VERSION};
+
+impl Trace {
+    /// Renders the text debug form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.records.len() * 24);
+        out.push_str(&format!(
+            "bash-trace v{FORMAT_VERSION} nodes={} seed={} workload={}\n",
+            self.nodes, self.seed, self.workload
+        ));
+        out.push_str("# node think_ps instructions (L block word | S block word value)\n");
+        for r in &self.records {
+            match r.op {
+                ProcOp::Load { block, word } => out.push_str(&format!(
+                    "{} {} {} L {:#x} {}\n",
+                    r.node.0,
+                    r.think.as_ps(),
+                    r.instructions,
+                    block.0,
+                    word
+                )),
+                ProcOp::Store { block, word, value } => out.push_str(&format!(
+                    "{} {} {} S {:#x} {} {}\n",
+                    r.node.0,
+                    r.think.as_ps(),
+                    r.instructions,
+                    block.0,
+                    word,
+                    value
+                )),
+            }
+        }
+        out
+    }
+
+    /// Parses (and [`validate`](Trace::validate)s) the text debug form.
+    pub fn from_text(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (line_no, header) = lines.next().ok_or(TraceError::BadTextLine {
+            line: 1,
+            what: "empty input",
+        })?;
+        let trace_header = parse_header(header).ok_or(TraceError::BadTextLine {
+            line: line_no + 1,
+            what: "malformed header (expected `bash-trace v1 nodes=N seed=S workload=NAME`)",
+        })?;
+        let (nodes, seed, workload, version) = trace_header;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            records.push(parse_record(trimmed).ok_or(TraceError::BadTextLine {
+                line: line_no,
+                what: "malformed record",
+            })?);
+        }
+        let trace = Trace {
+            nodes,
+            seed,
+            workload,
+            records,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+fn parse_header(line: &str) -> Option<(u16, u64, String, u16)> {
+    let rest = line.strip_prefix("bash-trace v")?;
+    let (version, rest) = rest.split_once(' ')?;
+    let version: u16 = version.parse().ok()?;
+    let rest = rest.trim_start().strip_prefix("nodes=")?;
+    let (nodes, rest) = rest.split_once(' ')?;
+    let nodes: u16 = nodes.parse().ok()?;
+    let rest = rest.trim_start().strip_prefix("seed=")?;
+    let (seed, rest) = rest.split_once(' ')?;
+    let seed: u64 = seed.parse().ok()?;
+    let workload = rest.trim_start().strip_prefix("workload=")?;
+    Some((nodes, seed, workload.to_string(), version))
+}
+
+fn parse_u64(token: &str) -> Option<u64> {
+    if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        token.parse().ok()
+    }
+}
+
+fn parse_record(line: &str) -> Option<TraceRecord> {
+    let mut tok = line.split_ascii_whitespace();
+    let node: u16 = tok.next()?.parse().ok()?;
+    let think = Duration::from_ps(parse_u64(tok.next()?)?);
+    let instructions = parse_u64(tok.next()?)?;
+    let kind = tok.next()?;
+    let block = BlockAddr(parse_u64(tok.next()?)?);
+    let word: usize = tok.next()?.parse().ok()?;
+    let op = match kind {
+        "L" => ProcOp::Load { block, word },
+        "S" => ProcOp::Store {
+            block,
+            word,
+            value: parse_u64(tok.next()?)?,
+        },
+        _ => return None,
+    };
+    if tok.next().is_some() {
+        return None;
+    }
+    Some(TraceRecord {
+        node: NodeId(node),
+        think,
+        instructions,
+        op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::sample_trace;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let text = t.to_text();
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let t = sample_trace();
+        let mut text = t.to_text();
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn workload_names_may_contain_spaces() {
+        let mut t = sample_trace();
+        t.workload = "OLTP warm run".to_string();
+        assert_eq!(Trace::from_text(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = Trace::from_text("nonsense\n1 0 0 L 0x0 0\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadTextLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let err = Trace::from_text("bash-trace v9 nodes=1 seed=0 workload=x\n0 0 0 L 0x0 0\n")
+            .unwrap_err();
+        assert_eq!(err, TraceError::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn malformed_record_reports_line() {
+        let text = "bash-trace v1 nodes=1 seed=0 workload=x\n0 0 0 Q 0x0 0\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(matches!(err, TraceError::BadTextLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn text_decode_validates() {
+        // Node 5 out of range for a 1-node trace.
+        let text = "bash-trace v1 nodes=1 seed=0 workload=x\n5 0 0 L 0x0 0\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(matches!(err, TraceError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn binary_and_text_describe_the_same_trace() {
+        let t = sample_trace();
+        let via_text = Trace::from_text(&t.to_text()).unwrap();
+        let via_bin = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(via_text, via_bin);
+    }
+}

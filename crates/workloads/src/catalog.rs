@@ -1,0 +1,226 @@
+//! The named scenario catalog: every workload the repo can synthesize,
+//! addressable by a stable string name.
+//!
+//! A scenario is a deterministic workload factory `(nodes, seed) → stream`.
+//! Every entry is **completion- and time-independent** (its op stream is a
+//! pure function of the seed), so any scenario can be captured once into a
+//! [`bash_trace::Trace`] and replayed byte-identically through any
+//! protocol — the contract `tests/scenario_catalog.rs` enforces for every
+//! name listed here.
+//!
+//! The facade exposes this as `SimBuilder::scenario("migratory")`; the
+//! experiments harness sweeps the whole catalog with the `scenarios` id.
+
+use bash_kernel::Duration;
+
+use crate::patterns::{PatternParams, PatternWorkload};
+use crate::{LockingMicrobench, SyntheticWorkload, WorkItem, Workload, WorkloadParams};
+
+/// One catalog entry: a named, seeded workload factory.
+pub struct Scenario {
+    /// Stable lookup name (kebab-case).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    build: fn(nodes: u16, seed: u64) -> Box<dyn Workload>,
+}
+
+impl Scenario {
+    /// Instantiates the scenario's workload for a `nodes`-processor system.
+    ///
+    /// The returned workload reports the **catalog name** as its display
+    /// name (not the inner generator's own name, e.g. `"OLTP"`), so
+    /// reports and captured trace headers always map back to a name
+    /// `find`/`build` will resolve.
+    pub fn build(&self, nodes: u16, seed: u64) -> Box<dyn Workload> {
+        Box::new(NamedWorkload {
+            name: self.name,
+            inner: (self.build)(nodes, seed),
+        })
+    }
+}
+
+/// Delegating wrapper that stamps the catalog name onto any workload.
+struct NamedWorkload {
+    name: &'static str,
+    inner: Box<dyn Workload>,
+}
+
+impl Workload for NamedWorkload {
+    fn next_item(&mut self, node: bash_net::NodeId, now: bash_kernel::Time) -> Option<WorkItem> {
+        self.inner.next_item(node, now)
+    }
+
+    fn on_complete(
+        &mut self,
+        node: bash_net::NodeId,
+        now: bash_kernel::Time,
+        op: &bash_coherence::ProcOp,
+        value: u64,
+    ) {
+        self.inner.on_complete(node, now, op, value)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+macro_rules! pattern_entry {
+    ($name:literal, $summary:literal, $ctor:ident) => {
+        Scenario {
+            name: $name,
+            summary: $summary,
+            build: |nodes, seed| {
+                Box::new(PatternWorkload::new(nodes, PatternParams::$ctor(), seed))
+            },
+        }
+    };
+}
+
+macro_rules! synthetic_entry {
+    ($name:literal, $summary:literal, $ctor:ident) => {
+        Scenario {
+            name: $name,
+            summary: $summary,
+            build: |nodes, seed| {
+                Box::new(SyntheticWorkload::new(nodes, WorkloadParams::$ctor(), seed))
+            },
+        }
+    };
+}
+
+/// Every named scenario, in listing order.
+pub const CATALOG: &[Scenario] = &[
+    pattern_entry!(
+        "producer-consumer",
+        "one fixed producer per block, all other nodes re-read it",
+        producer_consumer
+    ),
+    pattern_entry!(
+        "migratory",
+        "staggered read-modify-write over a shared pool (ownership chases)",
+        migratory
+    ),
+    pattern_entry!(
+        "false-sharing",
+        "all nodes store disjoint words of the same blocks",
+        false_sharing
+    ),
+    pattern_entry!(
+        "zipf",
+        "Zipf-skewed hot-set accesses, 30% stores",
+        zipf_hot_set
+    ),
+    pattern_entry!(
+        "phase-shift",
+        "alternating calm-sharing / write-burst phases (stresses adaptivity)",
+        phase_shift
+    ),
+    Scenario {
+        name: "locking",
+        summary: "the paper's locking microbenchmark (256 locks, 50 ns think)",
+        build: |nodes, seed| {
+            Box::new(LockingMicrobench::new(
+                nodes,
+                256,
+                Duration::from_ns(50),
+                seed,
+            ))
+        },
+    },
+    synthetic_entry!("oltp", "synthetic OLTP (DB2/TPC-C stand-in, Table 2)", oltp),
+    synthetic_entry!(
+        "apache",
+        "synthetic Apache/SURGE static web serving (Table 2)",
+        apache
+    ),
+    synthetic_entry!(
+        "specjbb",
+        "synthetic SPECjbb2000 (small sharing fraction, Table 2)",
+        specjbb
+    ),
+    synthetic_entry!(
+        "slashcode",
+        "synthetic Slashcode dynamic web serving (Table 2)",
+        slashcode
+    ),
+    synthetic_entry!(
+        "barnes-hut",
+        "synthetic SPLASH-2 Barnes-Hut (low miss rate, migratory)",
+        barnes_hut
+    ),
+];
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    CATALOG.iter().find(|s| s.name == name)
+}
+
+/// All scenario names, in listing order.
+pub fn names() -> Vec<&'static str> {
+    CATALOG.iter().map(|s| s.name).collect()
+}
+
+/// Builds the named scenario, or `None` for an unknown name.
+pub fn build(name: &str, nodes: u16, seed: u64) -> Option<Box<dyn Workload>> {
+    Some(find(name)?.build(nodes, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_kernel::Time;
+    use bash_net::NodeId;
+
+    #[test]
+    fn names_are_unique_and_kebab_case() {
+        let names = names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        for n in names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "name {n:?} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn find_and_build_work() {
+        assert!(find("migratory").is_some());
+        assert!(find("no-such-scenario").is_none());
+        let mut wl = build("migratory", 4, 1).unwrap();
+        assert!(wl.next_item(NodeId(0), Time::ZERO).is_some());
+        assert!(build("no-such-scenario", 4, 1).is_none());
+    }
+
+    #[test]
+    fn built_workloads_report_their_catalog_name() {
+        for s in CATALOG {
+            let wl = s.build(4, 1);
+            assert_eq!(
+                wl.name(),
+                s.name,
+                "scenario {} reports a different display name",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_scenario_yields_work_for_every_node() {
+        for s in CATALOG {
+            let mut wl = s.build(4, 7);
+            for node in 0..4 {
+                assert!(
+                    wl.next_item(NodeId(node), Time::ZERO).is_some(),
+                    "scenario {} returned no work for node {node}",
+                    s.name
+                );
+            }
+        }
+    }
+}

@@ -9,12 +9,20 @@
 //!   images; the generators reproduce the three properties §5.4 says drive
 //!   the results: L2 miss rate, fraction of sharing misses, and read/write
 //!   mix (see DESIGN.md §5 for the substitution argument).
+//! * [`patterns`] — the classic sharing patterns (producer-consumer,
+//!   migratory, false sharing, Zipf hot set, phase-shifting mixes).
+//! * [`catalog`] — every workload above as a named, seeded scenario.
+//! * [`trace_replay`] — feeds a captured [`bash_trace::Trace`] back
+//!   through any protocol.
 //!
-//! Both implement the [`Workload`] trait consumed by the `bash-sim` driver.
+//! All implement the [`Workload`] trait consumed by the `bash-sim` driver.
 
+pub mod catalog;
 pub mod microbench;
+pub mod patterns;
 pub mod script;
 pub mod synthetic;
+pub mod trace_replay;
 
 use bash_coherence::ProcOp;
 use bash_kernel::{Duration, Time};
@@ -68,6 +76,9 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
     }
 }
 
+pub use catalog::Scenario;
 pub use microbench::LockingMicrobench;
+pub use patterns::{PatternKind, PatternParams, PatternWorkload};
 pub use script::{Completion, ScriptWorkload};
 pub use synthetic::{SyntheticWorkload, WorkloadParams};
+pub use trace_replay::TraceWorkload;

@@ -1,0 +1,154 @@
+//! Replaying a captured [`Trace`] as a [`Workload`].
+//!
+//! The driver pulls work per node, in order, so replay only needs one
+//! FIFO queue per node: [`next_item`](Workload::next_item) pops the next
+//! recorded op for that node and completions are ignored (the stream is
+//! already fixed). A replay is therefore a pure function of the trace and
+//! the system configuration — the same trace replayed through any
+//! protocol, bandwidth, or `SimBuilder::threads` count yields the same
+//! reference stream, which is what the golden-report CI gate relies on.
+
+use std::collections::VecDeque;
+
+use bash_net::NodeId;
+use bash_trace::{Trace, TraceError};
+
+use crate::{WorkItem, Workload};
+
+/// A workload that feeds a recorded reference stream back through the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    queues: Vec<VecDeque<WorkItem>>,
+    replayed: u64,
+}
+
+impl TraceWorkload {
+    /// Builds a replayer from a validated trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`TraceError`] when the trace fails
+    /// [`Trace::validate`] (empty, zero nodes, out-of-range records).
+    pub fn from_trace(trace: &Trace) -> Result<Self, TraceError> {
+        trace.validate()?;
+        let mut queues: Vec<VecDeque<WorkItem>> =
+            (0..trace.nodes).map(|_| VecDeque::new()).collect();
+        for r in &trace.records {
+            queues[r.node.index()].push_back(WorkItem {
+                think: r.think,
+                instructions: r.instructions,
+                op: r.op,
+            });
+        }
+        Ok(TraceWorkload {
+            name: trace.workload.clone(),
+            queues,
+            replayed: 0,
+        })
+    }
+
+    /// The node count the trace was captured on (the replay system must
+    /// match it).
+    pub fn nodes(&self) -> u16 {
+        self.queues.len() as u16
+    }
+
+    /// Ops handed to the driver so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Ops still queued across all nodes.
+    pub fn remaining(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn next_item(&mut self, node: NodeId, _now: bash_kernel::Time) -> Option<WorkItem> {
+        let item = self.queues[node.index()].pop_front()?;
+        self.replayed += 1;
+        Some(item)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_coherence::{BlockAddr, ProcOp};
+    use bash_kernel::{Duration, Time};
+    use bash_trace::TraceRecord;
+
+    fn two_node_trace() -> Trace {
+        Trace {
+            nodes: 2,
+            seed: 7,
+            workload: "replayed".to_string(),
+            records: vec![
+                TraceRecord {
+                    node: NodeId(0),
+                    think: Duration::from_ns(1),
+                    instructions: 4,
+                    op: ProcOp::Load {
+                        block: BlockAddr(10),
+                        word: 0,
+                    },
+                },
+                TraceRecord {
+                    node: NodeId(1),
+                    think: Duration::ZERO,
+                    instructions: 0,
+                    op: ProcOp::Store {
+                        block: BlockAddr(11),
+                        word: 1,
+                        value: 9,
+                    },
+                },
+                TraceRecord {
+                    node: NodeId(0),
+                    think: Duration::from_ns(2),
+                    instructions: 8,
+                    op: ProcOp::Load {
+                        block: BlockAddr(12),
+                        word: 2,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn replays_per_node_in_capture_order() {
+        let mut wl = TraceWorkload::from_trace(&two_node_trace()).unwrap();
+        assert_eq!(wl.nodes(), 2);
+        assert_eq!(wl.remaining(), 3);
+        let a = wl.next_item(NodeId(0), Time::ZERO).unwrap();
+        assert_eq!(a.op.block(), BlockAddr(10));
+        let b = wl.next_item(NodeId(0), Time::ZERO).unwrap();
+        assert_eq!(b.op.block(), BlockAddr(12));
+        assert!(wl.next_item(NodeId(0), Time::ZERO).is_none());
+        let c = wl.next_item(NodeId(1), Time::ZERO).unwrap();
+        assert_eq!(c.op.block(), BlockAddr(11));
+        assert_eq!(wl.replayed(), 3);
+        assert_eq!(wl.remaining(), 0);
+    }
+
+    #[test]
+    fn keeps_the_captured_name() {
+        let wl = TraceWorkload::from_trace(&two_node_trace()).unwrap();
+        assert_eq!(wl.name(), "replayed");
+    }
+
+    #[test]
+    fn rejects_invalid_traces() {
+        let mut t = two_node_trace();
+        t.records.clear();
+        assert!(TraceWorkload::from_trace(&t).is_err());
+    }
+}

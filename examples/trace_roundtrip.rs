@@ -1,0 +1,118 @@
+//! Trace round trip: capture a live run into the versioned trace format,
+//! push it through both encodings, and replay it across every protocol
+//! and thread count — demonstrating the capture-once / replay-anywhere
+//! workflow the golden-report CI gates are built on.
+//!
+//! ```text
+//! cargo run --release --example trace_roundtrip [scenario]
+//! ```
+//!
+//! `scenario` is any catalog name (default `phase-shift`); run with an
+//! unknown name to see the catalog listing.
+
+use bash::{catalog, sweep_canonical_text, ProtocolKind, SimBuilder, Trace};
+
+const NODES: u16 = 8;
+const WARMUP_NS: u64 = 20_000;
+const MEASURE_NS: u64 = 60_000;
+
+fn builder(proto: ProtocolKind, scenario: &str) -> SimBuilder {
+    SimBuilder::new(proto)
+        .nodes(NODES)
+        .bandwidth_mbps(1600)
+        .scenario(scenario)
+        .seed(0xF00D)
+        .warmup_ns(WARMUP_NS)
+        .measure_ns(MEASURE_NS)
+}
+
+fn main() {
+    let scenario = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "phase-shift".to_string());
+    if catalog::find(&scenario).is_none() {
+        eprintln!("unknown scenario {scenario:?}; the catalog:");
+        for s in catalog::CATALOG {
+            eprintln!("  {:<18} {}", s.name, s.summary);
+        }
+        std::process::exit(2);
+    }
+
+    // 1. Capture: run the scenario once under BASH with the op-capture
+    //    hook enabled.
+    let (live, trace) = builder(ProtocolKind::Bash, &scenario).run_captured();
+    println!(
+        "captured {:>6} ops from a live '{scenario}' run ({} nodes, seed {:#x})",
+        trace.records.len(),
+        trace.nodes,
+        trace.seed
+    );
+
+    // 2. Round-trip through both encodings.
+    let bytes = trace.to_bytes();
+    let via_binary = Trace::from_bytes(&bytes).expect("binary decode");
+    let text = trace.to_text();
+    let via_text = Trace::from_text(&text).expect("text decode");
+    assert_eq!(via_binary, trace);
+    assert_eq!(via_text, trace);
+    println!(
+        "binary form: {} bytes ({:.1} B/record); text form: {} bytes — both decode identically",
+        bytes.len(),
+        bytes.len() as f64 / trace.records.len() as f64,
+        text.len()
+    );
+    let path = std::env::temp_dir().join("bash_trace_roundtrip.trace");
+    trace.write_to(&path).expect("write trace");
+    let from_disk = Trace::read_from(&path).expect("read trace");
+    assert_eq!(from_disk, trace);
+    println!("on-disk round trip via {} ok", path.display());
+    std::fs::remove_file(&path).ok();
+
+    // 3. Replay byte-identically: same protocol, same plan, any threads.
+    let replayed = builder(ProtocolKind::Bash, &scenario)
+        .trace_in(trace.clone())
+        .run();
+    assert_eq!(
+        live.canonical_text(),
+        replayed.canonical_text(),
+        "replay must reproduce the captured run"
+    );
+    let serial = sweep_canonical_text(
+        &builder(ProtocolKind::Bash, &scenario)
+            .trace_in(trace.clone())
+            .bandwidths([400, 1600, 6400])
+            .threads(1)
+            .run_sweep(),
+    );
+    let parallel = sweep_canonical_text(
+        &builder(ProtocolKind::Bash, &scenario)
+            .trace_in(trace.clone())
+            .bandwidths([400, 1600, 6400])
+            .threads(4)
+            .run_sweep(),
+    );
+    assert_eq!(serial, parallel);
+    println!("replay is byte-identical to the live run, threads(1) == threads(4)\n");
+
+    // 4. The payoff: one captured stream, compared across all protocols.
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>10}",
+        "protocol", "ops/ms", "latency", "util", "broadcast"
+    );
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Bash,
+        ProtocolKind::Directory,
+    ] {
+        let report = builder(proto, &scenario).trace_in(trace.clone()).run();
+        println!(
+            "{:<10} {:>10.1} {:>8.1}ns {:>7.1}% {:>9.1}%",
+            report.protocol.name(),
+            report.ops_per_sec.mean / 1e6,
+            report.miss_latency_ns.mean,
+            report.link_utilization.mean * 100.0,
+            report.broadcast_fraction.mean * 100.0,
+        );
+    }
+    println!("\n(same reference stream in all three rows — that's the point)");
+}

@@ -10,3 +10,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_engine.json}"
 cargo run --release -q -p bash-bench --bin engine_baseline -- "$OUT"
+
+# Fail loudly if the bench silently produced nothing: CI uploads this file
+# as the perf-trajectory artifact, and an empty artifact is worse than a
+# red job.
+if [[ ! -s "$OUT" ]]; then
+  echo "bench_baseline: $OUT is missing or empty" >&2
+  exit 1
+fi
+if ! grep -q '"events_per_sec"' "$OUT"; then
+  echo "bench_baseline: $OUT has no events_per_sec section — bench output is malformed" >&2
+  exit 1
+fi

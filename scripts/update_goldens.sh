@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the golden-report regression fixtures under tests/golden/:
+# re-captures any *missing* mini-trace (committed traces are never
+# overwritten — they are the stable reference streams) and rewrites every
+# golden report text from the current engine. Review and commit the diff;
+# CI's golden-reports job fails on any un-blessed drift.
+#
+#   scripts/update_goldens.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BASH_BLESS=1 cargo test --release --test golden_reports -- --nocapture
+echo "goldens updated; review with: git diff tests/golden"

@@ -10,6 +10,8 @@
 //! bandwidths.
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use bash_adaptive::AdaptorConfig;
 use bash_coherence::{CacheGeometry, ProtocolKind};
@@ -18,16 +20,22 @@ use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, Time};
 use bash_net::Jitter;
 use bash_sim::{RunStats, System, SystemConfig};
+use bash_trace::Trace;
 use bash_workloads::{
-    LockingMicrobench, ScriptWorkload, SyntheticWorkload, Workload, WorkloadParams,
+    catalog, LockingMicrobench, ScriptWorkload, SyntheticWorkload, TraceWorkload, Workload,
+    WorkloadParams,
 };
 
 /// A type-erased workload, as produced by [`SimBuilder`] workload factories.
 pub type BoxedWorkload = Box<dyn Workload>;
 
-/// One executed grid point: its measured stats plus (for the first seed,
-/// when tracing) the policy trace.
-type PointResult = (RunStats, Option<Vec<(Time, f64)>>);
+/// One executed grid point: its measured stats plus (for the first grid
+/// point only, when enabled) the policy trace and the captured op trace.
+struct PointResult {
+    stats: RunStats,
+    policy_trace: Option<Vec<(Time, f64)>>,
+    captured: Option<Trace>,
+}
 
 /// Why a [`SimBuilder`] configuration was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,22 +58,40 @@ pub enum BuildError {
     ZeroRetryCapacity,
     /// The cache needs at least one set and one way.
     BadCacheGeometry,
+    /// [`SimBuilder::scenario`] was given a name the catalog does not know.
+    UnknownScenario(String),
+    /// [`SimBuilder::trace_in`] trace was captured on a different node
+    /// count than the builder is configured for.
+    TraceNodeMismatch {
+        /// Node count in the trace header.
+        trace: u16,
+        /// Node count the builder is configured for.
+        nodes: u16,
+    },
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let msg = match self {
-            BuildError::ZeroNodes => "need at least one node",
-            BuildError::ZeroBandwidth => "bandwidth must be positive",
-            BuildError::EmptySweep => "bandwidth sweep needs at least one point",
-            BuildError::ZeroSeeds => "seed aggregation needs at least one run",
-            BuildError::EmptyMeasurement => "measurement window must be non-empty",
-            BuildError::MissingWorkload => "no workload configured",
-            BuildError::BadBroadcastCost => "broadcast cost multiplier must be >= 1",
-            BuildError::ZeroRetryCapacity => "BASH needs at least one retry buffer",
-            BuildError::BadCacheGeometry => "cache needs at least one set and one way",
-        };
-        f.write_str(msg)
+        match self {
+            BuildError::ZeroNodes => f.write_str("need at least one node"),
+            BuildError::ZeroBandwidth => f.write_str("bandwidth must be positive"),
+            BuildError::EmptySweep => f.write_str("bandwidth sweep needs at least one point"),
+            BuildError::ZeroSeeds => f.write_str("seed aggregation needs at least one run"),
+            BuildError::EmptyMeasurement => f.write_str("measurement window must be non-empty"),
+            BuildError::MissingWorkload => f.write_str("no workload configured"),
+            BuildError::BadBroadcastCost => f.write_str("broadcast cost multiplier must be >= 1"),
+            BuildError::ZeroRetryCapacity => f.write_str("BASH needs at least one retry buffer"),
+            BuildError::BadCacheGeometry => f.write_str("cache needs at least one set and one way"),
+            BuildError::UnknownScenario(name) => write!(
+                f,
+                "unknown scenario {name:?} (known: {})",
+                catalog::names().join(", ")
+            ),
+            BuildError::TraceNodeMismatch { trace, nodes } => write!(
+                f,
+                "trace was captured on {trace} nodes but the builder is configured for {nodes}"
+            ),
+        }
     }
 }
 
@@ -133,7 +159,7 @@ pub struct RunReport {
     pub instructions_per_sec: Metric,
     /// Mean demand-miss latency in ns (Figure 9's y-axis).
     pub miss_latency_ns: Metric,
-    /// Mean endpoint link utilization in [0,1] (Figure 6's y-axis).
+    /// Mean endpoint link utilization in `[0,1]` (Figure 6's y-axis).
     pub link_utilization: Metric,
     /// Fraction of cache requests broadcast (1 = snooping-like behaviour).
     pub broadcast_fraction: Metric,
@@ -159,6 +185,11 @@ enum WorkloadSpec {
     Macro(WorkloadParams),
     /// A fixed, deterministic script (cloned per seed).
     Script(ScriptWorkload),
+    /// A named catalog scenario (resolved at build time; validated first).
+    Scenario(String),
+    /// A recorded reference stream, replayed per run (shared, not cloned,
+    /// across the sweep grid — replay queues are rebuilt per run).
+    Trace(Arc<Trace>),
     /// An arbitrary factory: `(nodes, seed) -> workload`. `Send + Sync`
     /// so the parallel sweep executor can build workloads on worker
     /// threads.
@@ -175,6 +206,12 @@ impl WorkloadSpec {
                 Box::new(SyntheticWorkload::new(nodes, params.clone(), seed ^ 0xA5))
             }
             WorkloadSpec::Script(script) => Box::new(script.clone()),
+            WorkloadSpec::Scenario(name) => {
+                catalog::build(name, nodes, seed ^ 0xA5).expect("validated scenario name")
+            }
+            WorkloadSpec::Trace(trace) => {
+                Box::new(TraceWorkload::from_trace(trace).expect("validated trace"))
+            }
             WorkloadSpec::Factory(f) => f(nodes, seed),
         }
     }
@@ -202,6 +239,7 @@ pub struct SimBuilder {
     serialize_dram: Option<bool>,
     coverage: bool,
     trace_policy: bool,
+    trace_out: Option<PathBuf>,
     threads: Option<usize>,
     workload: Option<WorkloadSpec>,
 }
@@ -227,6 +265,7 @@ impl SimBuilder {
             serialize_dram: None,
             coverage: false,
             trace_policy: false,
+            trace_out: None,
             threads: None,
             workload: None,
         }
@@ -379,6 +418,43 @@ impl SimBuilder {
         self
     }
 
+    /// Uses a named scenario from the workload catalog (e.g.
+    /// `"migratory"`, `"producer-consumer"`, `"zipf"`; see
+    /// [`catalog::names`]). Unknown names are rejected at
+    /// [`validate`](Self::validate) / run time.
+    pub fn scenario(mut self, name: impl Into<String>) -> Self {
+        self.workload = Some(WorkloadSpec::Scenario(name.into()));
+        self
+    }
+
+    /// Replays a recorded reference trace instead of generating a
+    /// workload. Adopts the trace's node count (override it afterwards at
+    /// your peril: [`validate`](Self::validate) insists they match, since
+    /// trace records address capture-time nodes).
+    pub fn trace_in(mut self, trace: Trace) -> Self {
+        self.nodes = trace.nodes;
+        self.workload = Some(WorkloadSpec::Trace(Arc::new(trace)));
+        self
+    }
+
+    /// Captures the op stream of the first grid point (first bandwidth,
+    /// seed 0) and writes it to `path` in the compact binary form when the
+    /// run finishes. Capture once, then feed the file back through
+    /// [`trace_in`](Self::trace_in) to replay it under any protocol,
+    /// bandwidth, or thread count. See
+    /// [`try_run_captured`](Self::try_run_captured) for what the capture
+    /// covers on multi-seed runs.
+    ///
+    /// The run (including `try_run`/`try_run_sweep`) **panics** if `path`
+    /// cannot be opened for writing (probed up front, before any
+    /// simulation runs) or the capture turns out unusable (the workload
+    /// yielded no ops) — capture failures are programmer errors, not
+    /// configuration errors, so they are not `BuildError`s.
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
     /// Uses an arbitrary workload factory, called once per run with the
     /// system size and that run's seed. The factory must be `Send + Sync`
     /// because runs of a sweep may build their workloads on worker threads.
@@ -436,7 +512,27 @@ impl SimBuilder {
                 return Err(BuildError::BadCacheGeometry);
             }
         }
+        if let Some(spec) = &self.workload {
+            self.check_spec(spec)?;
+        }
         Ok(())
+    }
+
+    /// The spec checks `WorkloadSpec::build` relies on (shared by
+    /// [`validate`](Self::validate) and [`build_system`](Self::build_system)).
+    fn check_spec(&self, spec: &WorkloadSpec) -> Result<(), BuildError> {
+        match spec {
+            WorkloadSpec::Scenario(name) if catalog::find(name).is_none() => {
+                Err(BuildError::UnknownScenario(name.clone()))
+            }
+            WorkloadSpec::Trace(trace) if trace.nodes != self.nodes => {
+                Err(BuildError::TraceNodeMismatch {
+                    trace: trace.nodes,
+                    nodes: self.nodes,
+                })
+            }
+            _ => Ok(()),
+        }
     }
 
     /// The `SystemConfig` run `seed_index` would use at `mbps` — the
@@ -502,6 +598,7 @@ impl SimBuilder {
             }
         }
         let spec = self.workload.as_ref().ok_or(BuildError::MissingWorkload)?;
+        self.check_spec(spec)?;
         let cfg = self.config(self.bandwidths[0], 0);
         let workload = spec.build(self.nodes, cfg.seed);
         Ok(System::new(cfg, workload))
@@ -517,7 +614,8 @@ impl SimBuilder {
     pub fn try_run(&self) -> Result<RunReport, BuildError> {
         self.validate()?;
         Ok(self
-            .run_grid(&self.bandwidths[..1])
+            .run_grid(&self.bandwidths[..1], self.trace_out.is_some())
+            .0
             .pop()
             .expect("one bandwidth point"))
     }
@@ -545,7 +643,7 @@ impl SimBuilder {
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run_sweep(&self) -> Result<Vec<RunReport>, BuildError> {
         self.validate()?;
-        Ok(self.run_grid(&self.bandwidths))
+        Ok(self.run_grid(&self.bandwidths, self.trace_out.is_some()).0)
     }
 
     /// Runs every configured bandwidth point in order, one report each
@@ -560,10 +658,49 @@ impl SimBuilder {
             .expect("invalid SimBuilder configuration")
     }
 
+    /// Runs the first bandwidth point and also returns the reference
+    /// trace captured from its first seed — the programmatic form of
+    /// [`trace_out`](Self::trace_out). Feed the trace back through
+    /// [`trace_in`](Self::trace_in) (same plan and config) and the replay
+    /// reproduces the returned report byte-for-byte, at any thread count.
+    ///
+    /// The byte-for-byte contract holds for single-seed runs (the
+    /// default). With [`seeds`](Self::seeds) `> 1`, only seed 0's stream
+    /// is captured: the live report aggregates a *distinct* generated
+    /// stream per seed, while a replay feeds every seed the same recorded
+    /// stream (under the usual per-seed injection perturbation), so the
+    /// aggregates differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the configuration is invalid.
+    pub fn try_run_captured(&self) -> Result<(RunReport, Trace), BuildError> {
+        self.validate()?;
+        let (mut reports, trace) = self.run_grid(&self.bandwidths[..1], true);
+        Ok((
+            reports.pop().expect("one bandwidth point"),
+            trace.expect("capture was enabled"),
+        ))
+    }
+
+    /// Runs the first bandwidth point and returns the report plus the
+    /// captured trace (see [`try_run_captured`](Self::try_run_captured)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn run_captured(&self) -> (RunReport, Trace) {
+        self.try_run_captured()
+            .expect("invalid SimBuilder configuration")
+    }
+
     /// Executes one (bandwidth, seed) grid point: build, warm up, measure.
-    fn run_point(&self, mbps: u64, seed_index: u32) -> PointResult {
+    fn run_point(&self, mbps: u64, seed_index: u32, capture: bool) -> PointResult {
         let spec = self.workload.as_ref().expect("validated");
-        let cfg = self.config(mbps, seed_index);
+        let mut cfg = self.config(mbps, seed_index);
+        if capture {
+            cfg = cfg.with_capture();
+        }
         let workload = spec.build(self.nodes, cfg.seed);
         let mut sys = System::new(cfg, workload);
         let trace = self.trace_policy && seed_index == 0;
@@ -578,7 +715,11 @@ impl SimBuilder {
         } else {
             None
         };
-        (stats, policy_trace)
+        PointResult {
+            stats,
+            policy_trace,
+            captured: sys.take_captured_trace(),
+        }
     }
 
     /// Fans the full (bandwidth × seed) grid out across the thread pool
@@ -586,7 +727,22 @@ impl SimBuilder {
     /// order. Every grid point is an independent simulation with its own
     /// deterministic seeding, so the thread count cannot affect any
     /// reported number — only the wall-clock time.
-    fn run_grid(&self, bandwidths: &[u64]) -> Vec<RunReport> {
+    ///
+    /// With `capture`, the first grid point (first bandwidth, seed 0) also
+    /// records its op stream; the trace is returned and, when
+    /// [`trace_out`](Self::trace_out) is set, written to disk.
+    fn run_grid(&self, bandwidths: &[u64], capture: bool) -> (Vec<RunReport>, Option<Trace>) {
+        if let (true, Some(path)) = (capture, &self.trace_out) {
+            // Probe the output path before burning the whole grid's
+            // compute on it: open-for-append creates a missing file and
+            // surfaces an unwritable one, without clobbering any existing
+            // trace should the run itself fail.
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("trace_out path {} unwritable: {e}", path.display()));
+        }
         let seeds = self.seeds as usize;
         let tasks = bandwidths.len() * seeds;
         let threads = self
@@ -594,17 +750,32 @@ impl SimBuilder {
             .unwrap_or_else(pool::available_threads)
             .min(tasks.max(1));
         let mut results = pool::run_indexed(tasks, threads, |i| {
-            self.run_point(bandwidths[i / seeds], (i % seeds) as u32)
+            self.run_point(bandwidths[i / seeds], (i % seeds) as u32, capture && i == 0)
         });
-        bandwidths
+        let captured = results[0].captured.take();
+        if let Some(trace) = &captured {
+            // A capture that fails validation (e.g. the workload yielded
+            // zero ops) would be unloadable by every decode path; fail at
+            // the source instead of persisting a poisoned artifact.
+            trace
+                .validate()
+                .unwrap_or_else(|e| panic!("captured trace is unusable: {e}"));
+        }
+        if let (Some(path), Some(trace)) = (&self.trace_out, &captured) {
+            trace
+                .write_to(path)
+                .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        }
+        let reports = bandwidths
             .iter()
             .map(|&mbps| {
                 let mut point: Vec<PointResult> = results.drain(..seeds).collect();
-                let policy_trace = point[0].1.take();
-                let runs: Vec<RunStats> = point.into_iter().map(|(stats, _)| stats).collect();
+                let policy_trace = point[0].policy_trace.take();
+                let runs: Vec<RunStats> = point.into_iter().map(|p| p.stats).collect();
                 self.report_for(mbps, runs, policy_trace)
             })
-            .collect()
+            .collect();
+        (reports, captured)
     }
 
     /// Aggregates one bandwidth point's per-seed runs into a report.

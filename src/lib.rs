@@ -47,7 +47,10 @@ pub use bash_queueing as queueing;
 pub use bash_sim as sim;
 /// The randomized protocol tester.
 pub use bash_tester as tester;
-/// Workload generators (microbenchmark, synthetic macros, scripts).
+/// Versioned on-disk reference traces (binary + text, capture/replay).
+pub use bash_trace as trace;
+/// Workload generators (microbenchmark, synthetic macros, scripts,
+/// sharing patterns, the scenario catalog, trace replay).
 pub use bash_workloads as workloads;
 
 pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
@@ -56,11 +59,14 @@ pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
 pub use bash_net::{Jitter, NodeId, NodeSet};
 pub use bash_sim::{RunStats, System, SystemConfig};
 pub use bash_tester::{run_random_test, TesterConfig, TesterReport};
+pub use bash_trace::{Trace, TraceError, TraceRecord, TraceWriter};
 pub use bash_workloads::{
-    Completion, LockingMicrobench, ScriptWorkload, SyntheticWorkload, WorkItem, Workload,
-    WorkloadParams,
+    catalog, Completion, LockingMicrobench, PatternKind, PatternParams, PatternWorkload, Scenario,
+    ScriptWorkload, SyntheticWorkload, TraceWorkload, WorkItem, Workload, WorkloadParams,
 };
 
 mod builder;
+mod report_text;
 
 pub use builder::{BoxedWorkload, BuildError, Metric, RunReport, SimBuilder};
+pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};

@@ -1,0 +1,129 @@
+//! Canonical text serialization of [`RunReport`] — the byte-exact form
+//! the golden-report regression gates diff.
+//!
+//! The format is versioned, line-oriented and fully deterministic: field
+//! order is fixed, floats print with Rust's shortest round-trip formatting
+//! (identical bytes for identical bits), and every number the simulator
+//! reports is included — so any behavioural drift in the engine, the
+//! protocols, or the statistics shows up as a one-line diff against the
+//! checked-in goldens. The canonical text of a run is a pure function of
+//! the [`RunReport`]; thread counts, wall-clock time and host platform
+//! never appear in it.
+
+use std::fmt::Write as _;
+
+use crate::builder::{Metric, RunReport};
+
+/// Version tag of the canonical text layout (bump when fields change).
+pub const REPORT_TEXT_VERSION: u32 = 1;
+
+fn push_metric(out: &mut String, name: &str, m: &Metric) {
+    let _ = writeln!(
+        out,
+        "{name} mean={:?} stddev={:?} min={:?} max={:?}",
+        m.mean, m.stddev, m.min, m.max
+    );
+}
+
+impl RunReport {
+    /// Renders the byte-exact canonical text form of this report.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "run-report v{REPORT_TEXT_VERSION}");
+        let _ = writeln!(out, "protocol={}", self.protocol.name());
+        let _ = writeln!(out, "workload={}", self.workload);
+        let _ = writeln!(out, "nodes={}", self.nodes);
+        let _ = writeln!(out, "bandwidth_mbps={}", self.bandwidth_mbps);
+        let _ = writeln!(out, "seeds={}", self.seeds);
+        push_metric(&mut out, "perf", &self.perf);
+        push_metric(&mut out, "ops_per_sec", &self.ops_per_sec);
+        push_metric(&mut out, "instructions_per_sec", &self.instructions_per_sec);
+        push_metric(&mut out, "miss_latency_ns", &self.miss_latency_ns);
+        push_metric(&mut out, "link_utilization", &self.link_utilization);
+        push_metric(&mut out, "broadcast_fraction", &self.broadcast_fraction);
+        match &self.policy_trace {
+            None => {
+                let _ = writeln!(out, "policy_trace none");
+            }
+            Some(points) => {
+                let _ = writeln!(out, "policy_trace points={}", points.len());
+                for (t, v) in points {
+                    let _ = writeln!(out, "  {} {:?}", t.as_ps(), v);
+                }
+            }
+        }
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = writeln!(out, "run {i}");
+            let _ = writeln!(out, "  duration_ps={}", r.duration.as_ps());
+            let _ = writeln!(out, "  ops_completed={}", r.ops_completed);
+            let _ = writeln!(out, "  retired_instructions={}", r.retired_instructions);
+            let _ = writeln!(out, "  misses={}", r.misses);
+            let _ = writeln!(out, "  hits={}", r.hits);
+            let _ = writeln!(out, "  sharing_misses={}", r.sharing_misses);
+            let _ = writeln!(out, "  avg_miss_latency_ns={:?}", r.avg_miss_latency_ns);
+            let _ = writeln!(
+                out,
+                "  stddev_miss_latency_ns={:?}",
+                r.stddev_miss_latency_ns
+            );
+            let _ = writeln!(out, "  max_miss_latency_ns={:?}", r.max_miss_latency_ns);
+            let _ = writeln!(out, "  link_utilization={:?}", r.link_utilization);
+            let _ = writeln!(out, "  link_bytes={}", r.link_bytes);
+            let _ = writeln!(out, "  broadcasts={}", r.broadcasts);
+            let _ = writeln!(out, "  unicasts={}", r.unicasts);
+            let _ = writeln!(out, "  writebacks={}", r.writebacks);
+            let _ = writeln!(out, "  retries={}", r.retries);
+            let _ = writeln!(out, "  broadcast_escalations={}", r.broadcast_escalations);
+            let _ = writeln!(out, "  nacks={}", r.nacks);
+            let _ = writeln!(out, "  events_processed={}", r.events_processed);
+            let _ = writeln!(out, "  peak_queue_len={}", r.peak_queue_len);
+        }
+        out
+    }
+}
+
+/// Renders a sweep (one report per bandwidth point) as one canonical
+/// document, reports separated by a blank line.
+pub fn sweep_canonical_text(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&r.canonical_text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimBuilder;
+    use bash_coherence::ProtocolKind;
+    use bash_kernel::Duration;
+
+    fn tiny_report() -> RunReport {
+        SimBuilder::new(ProtocolKind::Snooping)
+            .nodes(2)
+            .locking_microbench(16, Duration::ZERO)
+            .warmup_ns(2_000)
+            .measure_ns(5_000)
+            .run()
+    }
+
+    #[test]
+    fn canonical_text_is_stable_per_report() {
+        let a = tiny_report();
+        let b = tiny_report();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert!(a.canonical_text().starts_with("run-report v1\n"));
+        assert!(a.canonical_text().contains("protocol=Snooping"));
+    }
+
+    #[test]
+    fn sweep_text_concatenates_in_order() {
+        let reports = vec![tiny_report(), tiny_report()];
+        let text = sweep_canonical_text(&reports);
+        assert_eq!(text.matches("run-report v1").count(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Golden-report regression gates.
+//!
+//! The committed mini-traces under `tests/golden/*.trace` are replayed
+//! through all three protocols, at several bandwidths, at `threads(1)`
+//! and `threads(4)`, and the canonical report text is diffed **byte for
+//! byte** against the checked-in goldens. Any behavioural change to the
+//! engine, a protocol, the network model, or the statistics shows up here
+//! as a diff — "it compiles and the unit tests pass" is no longer enough
+//! to ship a silent semantic change.
+//!
+//! When a change is *intentional*, regenerate the goldens and commit the
+//! diff:
+//!
+//! ```text
+//! scripts/update_goldens.sh        # = BASH_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! Blessing rewrites the golden `.txt` files and re-captures any missing
+//! `.trace` file; existing traces are never overwritten (the whole point
+//! is a stable reference stream).
+//!
+//! Determinism note: replay never draws a random number and the simulator
+//! core uses only IEEE-deterministic arithmetic, so these bytes are
+//! platform-independent; libm-dependent paths (`ln`, `powf`) run only at
+//! capture time, and captures are committed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bash::{sweep_canonical_text, ProtocolKind, SimBuilder, Trace};
+
+/// The scenarios with committed mini-traces.
+const SCENARIOS: &[&str] = &["migratory", "zipf"];
+
+/// Bandwidth points each golden replay sweeps (three points so
+/// `threads(4)` genuinely runs grid points concurrently).
+const BANDWIDTHS: [u64; 3] = [400, 800, 1600];
+
+const NODES: u16 = 4;
+const SEED: u64 = 0xF00D;
+const WARMUP_NS: u64 = 5_000;
+const MEASURE_NS: u64 = 20_000;
+
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Snooping,
+    ProtocolKind::Directory,
+    ProtocolKind::Bash,
+];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("BASH_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Loads a committed mini-trace; in bless mode, captures and commits a
+/// missing one from a live run (the capture hook itself is the source).
+fn mini_trace(scenario: &str) -> Trace {
+    let path = golden_dir().join(format!("{scenario}.trace"));
+    if path.exists() {
+        return Trace::read_from(&path)
+            .unwrap_or_else(|e| panic!("committed trace {} is invalid: {e}", path.display()));
+    }
+    assert!(
+        blessing(),
+        "missing committed trace {} — run scripts/update_goldens.sh",
+        path.display()
+    );
+    let (_, trace) = SimBuilder::new(ProtocolKind::Snooping)
+        .nodes(NODES)
+        .bandwidth_mbps(1600)
+        .scenario(scenario)
+        .seed(SEED)
+        .warmup_ns(WARMUP_NS)
+        .measure_ns(MEASURE_NS)
+        .run_captured();
+    fs::create_dir_all(golden_dir()).unwrap();
+    trace.write_to(&path).unwrap();
+    eprintln!(
+        "blessed {} ({} records)",
+        path.display(),
+        trace.records.len()
+    );
+    trace
+}
+
+/// Replays one mini-trace through one protocol across the bandwidth sweep.
+fn replay(trace: &Trace, proto: ProtocolKind, threads: usize) -> String {
+    sweep_canonical_text(
+        &SimBuilder::new(proto)
+            .trace_in(trace.clone())
+            .bandwidths(BANDWIDTHS)
+            .seed(SEED)
+            .warmup_ns(WARMUP_NS)
+            .measure_ns(MEASURE_NS)
+            .threads(threads)
+            .run_sweep(),
+    )
+}
+
+#[test]
+fn golden_reports_match_and_are_thread_invariant() {
+    let mut failures = Vec::new();
+    for scenario in SCENARIOS {
+        let trace = mini_trace(scenario);
+        for proto in PROTOCOLS {
+            let serial = replay(&trace, proto, 1);
+            let parallel = replay(&trace, proto, 4);
+            assert_eq!(
+                serial, parallel,
+                "{scenario}/{:?}: threads=4 replay diverged from threads=1",
+                proto
+            );
+            let golden_path = golden_dir().join(format!(
+                "{scenario}.{}.golden.txt",
+                proto.name().to_ascii_lowercase()
+            ));
+            if blessing() {
+                fs::create_dir_all(golden_dir()).unwrap();
+                fs::write(&golden_path, &serial).unwrap();
+                eprintln!("blessed {}", golden_path.display());
+                continue;
+            }
+            let golden = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+                panic!(
+                    "missing golden {} — run scripts/update_goldens.sh",
+                    golden_path.display()
+                )
+            });
+            if golden != serial {
+                failures.push(diff_summary(&golden_path, &golden, &serial));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden reports diverged; if intentional, run scripts/update_goldens.sh \
+         and commit the diff:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// A compact first-divergence summary, so CI logs show *what* drifted
+/// without dumping whole reports.
+fn diff_summary(path: &Path, golden: &str, actual: &str) -> String {
+    let mut golden_lines = golden.lines();
+    let mut actual_lines = actual.lines();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        match (golden_lines.next(), actual_lines.next()) {
+            (Some(g), Some(a)) if g == a => continue,
+            (Some(g), Some(a)) => {
+                return format!(
+                    "{}: first diff at line {line_no}:\n  golden: {g}\n  actual: {a}",
+                    path.display()
+                )
+            }
+            (Some(g), None) => {
+                return format!(
+                    "{}: actual ends early at line {line_no} (golden has: {g})",
+                    path.display()
+                )
+            }
+            (None, Some(a)) => {
+                return format!("{}: actual has extra line {line_no}: {a}", path.display())
+            }
+            (None, None) => return format!("{}: differ (whitespace only?)", path.display()),
+        }
+    }
+}
+
+#[test]
+fn committed_traces_validate_and_roundtrip() {
+    for scenario in SCENARIOS {
+        let path = golden_dir().join(format!("{scenario}.trace"));
+        if !path.exists() {
+            // `golden_reports_match_and_are_thread_invariant` handles the
+            // missing-file message; don't double-fail here in bless runs.
+            continue;
+        }
+        let trace = Trace::read_from(&path).unwrap();
+        assert_eq!(trace.nodes, NODES);
+        assert!(trace.validate().is_ok());
+        assert_eq!(Trace::from_bytes(&trace.to_bytes()).unwrap(), trace);
+        assert_eq!(Trace::from_text(&trace.to_text()).unwrap(), trace);
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end contract of the trace subsystem: capture a live run, replay
+//! it, and get the same report back — across encodings, protocols and
+//! thread counts.
+
+use bash::{ProtocolKind, SimBuilder, Trace};
+
+const WARMUP_NS: u64 = 5_000;
+const MEASURE_NS: u64 = 20_000;
+
+fn capture_builder(proto: ProtocolKind) -> SimBuilder {
+    SimBuilder::new(proto)
+        .nodes(4)
+        .bandwidth_mbps(1600)
+        .scenario("migratory")
+        .seed(0xF00D)
+        .warmup_ns(WARMUP_NS)
+        .measure_ns(MEASURE_NS)
+}
+
+#[test]
+fn capture_then_replay_reproduces_the_report_byte_for_byte() {
+    let (report, trace) = capture_builder(ProtocolKind::Bash).run_captured();
+    assert!(trace.validate().is_ok());
+    assert!(trace.records.len() > 50, "trace too short to be meaningful");
+    assert_eq!(trace.nodes, 4);
+    assert_eq!(trace.workload, "migratory");
+    let per_node: usize = (0..4).map(|n| trace.ops_for(bash::NodeId(n))).sum();
+    assert_eq!(per_node, trace.records.len());
+    for n in 0..4 {
+        assert!(trace.ops_for(bash::NodeId(n)) > 0, "node {n} captured idle");
+    }
+
+    let replayed = capture_builder(ProtocolKind::Bash).trace_in(trace).run();
+    assert_eq!(
+        report.canonical_text(),
+        replayed.canonical_text(),
+        "replay diverged from the captured run"
+    );
+}
+
+#[test]
+fn replay_is_thread_count_invariant() {
+    let (_, trace) = capture_builder(ProtocolKind::Snooping).run_captured();
+    let sweep = |threads: usize| {
+        bash::sweep_canonical_text(
+            &capture_builder(ProtocolKind::Snooping)
+                .trace_in(trace.clone())
+                .bandwidths([400, 1600, 6400])
+                .threads(threads)
+                .run_sweep(),
+        )
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(4), "threads=4 diverged from threads=1");
+    assert_eq!(serial, sweep(3), "threads=3 diverged from threads=1");
+}
+
+#[test]
+fn one_capture_replays_through_every_protocol() {
+    let (_, trace) = capture_builder(ProtocolKind::Snooping).run_captured();
+    for proto in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Bash,
+    ] {
+        let report = capture_builder(proto).trace_in(trace.clone()).run();
+        assert!(report.stats().misses > 0, "{proto:?} replay did no work");
+        assert_eq!(report.workload, "migratory");
+        // Replays of the same stream are deterministic per protocol.
+        let again = capture_builder(proto).trace_in(trace.clone()).run();
+        assert_eq!(report.canonical_text(), again.canonical_text());
+    }
+}
+
+#[test]
+fn binary_and_text_roundtrips_preserve_replay_results() {
+    let (_, trace) = capture_builder(ProtocolKind::Bash).run_captured();
+    let via_bytes = Trace::from_bytes(&trace.to_bytes()).unwrap();
+    let via_text = Trace::from_text(&trace.to_text()).unwrap();
+    assert_eq!(trace, via_bytes);
+    assert_eq!(trace, via_text);
+}
+
+#[test]
+fn trace_out_writes_a_loadable_file() {
+    let dir = std::env::temp_dir().join("bash_trace_subsystem_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.trace");
+    let report = capture_builder(ProtocolKind::Bash).trace_out(&path).run();
+    let trace = Trace::read_from(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let replayed = capture_builder(ProtocolKind::Bash).trace_in(trace).run();
+    assert_eq!(report.canonical_text(), replayed.canonical_text());
+}
+
+#[test]
+fn trace_in_adopts_node_count_and_rejects_mismatch() {
+    let (_, trace) = capture_builder(ProtocolKind::Snooping).run_captured();
+    let b = SimBuilder::new(ProtocolKind::Snooping).trace_in(trace.clone());
+    assert!(b.validate().is_ok(), "trace_in should adopt the node count");
+    let b = SimBuilder::new(ProtocolKind::Snooping)
+        .trace_in(trace)
+        .nodes(8);
+    assert!(matches!(
+        b.validate(),
+        Err(bash::BuildError::TraceNodeMismatch { trace: 4, nodes: 8 })
+    ));
+}
+
+#[test]
+fn unknown_scenario_is_rejected_with_the_catalog() {
+    let err = SimBuilder::new(ProtocolKind::Bash)
+        .scenario("definitely-not-a-scenario")
+        .validate()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("definitely-not-a-scenario"));
+    assert!(msg.contains("migratory"), "error should list known names");
+}
