@@ -6,6 +6,23 @@ use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::Duration;
 use bash_net::Jitter;
 
+/// Deliberate fault injection — the verification harness's self-test
+/// hook. A protocol tester is only trustworthy if it demonstrably catches
+/// broken protocols; injecting a fault here produces a "broken protocol
+/// variant" whose violations the harness must detect and whose failing
+/// trace the minimizer must shrink. Never enabled by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Corrupt the value returned by every `period`-th completed load
+    /// (counting across all nodes; `period = 1` corrupts every load),
+    /// emulating a protocol that returns stale or fabricated data to the
+    /// processor.
+    CorruptLoads {
+        /// Corruption period in completed loads (must be ≥ 1).
+        period: u64,
+    },
+}
+
 /// Full configuration of a simulated system.
 ///
 /// Defaults ([`SystemConfig::paper_default`]) reproduce the paper's timing:
@@ -46,6 +63,9 @@ pub struct SystemConfig {
     pub capture_ops: bool,
     /// Message latency perturbation (tester and error-bar methodology).
     pub jitter: Jitter,
+    /// Deliberate fault injection (verification-harness self-tests only;
+    /// `None` in every normal run).
+    pub fault: Option<FaultInjection>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -71,6 +91,7 @@ impl SystemConfig {
             coverage: false,
             capture_ops: false,
             jitter: Jitter::None,
+            fault: None,
             seed: 0xBA5E,
         }
     }
@@ -119,6 +140,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables deliberate fault injection (harness self-tests).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -133,6 +160,9 @@ impl SystemConfig {
             "BASH needs at least one retry buffer"
         );
         assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
+        if let Some(FaultInjection::CorruptLoads { period }) = self.fault {
+            assert!(period > 0, "fault period must be at least 1");
+        }
     }
 }
 

@@ -36,6 +36,6 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
-pub use config::SystemConfig;
+pub use config::{FaultInjection, SystemConfig};
 pub use stats::RunStats;
 pub use system::System;

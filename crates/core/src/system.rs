@@ -26,7 +26,7 @@ use bash_net::{Crossbar, Message, NetConfig, NetEvent, NetStep, NodeId};
 use bash_trace::{Trace, TraceRecord, TraceWriter};
 use bash_workloads::{WorkItem, Workload};
 
-use crate::config::SystemConfig;
+use crate::config::{FaultInjection, SystemConfig};
 use crate::stats::RunStats;
 
 /// Driver events.
@@ -116,6 +116,8 @@ pub struct System<W: Workload> {
     /// every work item the workload hands a processor is appended here, in
     /// issue-request order, producing a replayable reference trace.
     op_capture: Option<TraceWriter>,
+    /// Completed-load counter driving [`FaultInjection::CorruptLoads`].
+    loads_completed: u64,
 }
 
 impl<W: Workload> System<W> {
@@ -210,6 +212,7 @@ impl<W: Workload> System<W> {
             policy_trace: None,
             delivery_trace: None,
             op_capture,
+            loads_completed: 0,
             cfg,
         }
     }
@@ -227,6 +230,12 @@ impl<W: Workload> System<W> {
     /// The workload (for domain metrics like lock acquires).
     pub fn workload(&self) -> &W {
         &self.workload
+    }
+
+    /// Mutable workload access (verification harnesses drain recorded
+    /// observations out of their workload wrappers after a run).
+    pub fn workload_mut(&mut self) -> &mut W {
+        &mut self.workload
     }
 
     /// The cache controllers (tester invariant checks).
@@ -492,7 +501,7 @@ impl<W: Workload> System<W> {
             AccessOutcome::Hit { value } => {
                 self.counters.ops += 1;
                 self.counters.retired += item.instructions;
-                self.workload.on_complete(node, self.now, &item.op, value);
+                self.complete_op(node, &item.op, value);
                 self.fetch_next(node);
             }
             AccessOutcome::Miss { txn } => {
@@ -521,9 +530,25 @@ impl<W: Workload> System<W> {
         }
         self.counters.ops += 1;
         self.counters.retired += pending.instructions;
-        self.workload
-            .on_complete(node, self.now, &pending.op, value);
+        self.complete_op(node, &pending.op, value);
         self.fetch_next(node);
+    }
+
+    /// Reports a completed op to the workload, applying any configured
+    /// fault injection to the observed value first.
+    fn complete_op(&mut self, node: NodeId, op: &ProcOp, value: u64) {
+        let mut value = value;
+        if let (Some(FaultInjection::CorruptLoads { period }), ProcOp::Load { .. }) =
+            (self.cfg.fault, op)
+        {
+            self.loads_completed += 1;
+            if self.loads_completed.is_multiple_of(period) {
+                // Set the top bit: far outside any oracle token range, so
+                // the corruption is unambiguously out-of-thin-air.
+                value ^= 1 << 63;
+            }
+        }
+        self.workload.on_complete(node, self.now, op, value);
     }
 
     fn fetch_next(&mut self, node: NodeId) {

@@ -4,8 +4,12 @@
 //! ```text
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
-//!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios
+//!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | verify
 //! ```
+//!
+//! `verify` is not part of `all`: it is the invariant gate (catalog ×
+//! protocols under the verification harness), exits non-zero on any
+//! violation, and writes a minimized repro trace for each failing cell.
 //!
 //! Each experiment prints an ASCII rendition of the paper's plot and writes
 //! a CSV under `--out` (default `results/`). See EXPERIMENTS.md for the
@@ -17,6 +21,7 @@ mod micro;
 mod scenarios;
 mod static_figs;
 mod table1;
+mod verify;
 
 use common::Options;
 
@@ -45,7 +50,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
-                println!("  ids: all fig1..fig12 table1 scenarios");
+                println!("  ids: all fig1..fig12 table1 scenarios verify");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -114,6 +119,15 @@ fn main() {
     if want("scenarios") {
         eprintln!("running the scenario-catalog sweep...");
         scenarios::scenarios(&opts);
+    }
+    // The invariant gate is opt-in (not part of `all`): it fails the
+    // process on any violation, which figure regeneration should not.
+    if ids.iter().any(|i| i == "verify") {
+        eprintln!("running the catalog verification matrix...");
+        if !verify::verify(&opts) {
+            eprintln!("verify: violations found; minimized repro traces written");
+            std::process::exit(1);
+        }
     }
     eprintln!("done.");
 }

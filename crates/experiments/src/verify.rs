@@ -1,0 +1,123 @@
+//! The `verify` experiment: every catalog scenario × every protocol under
+//! the invariant harness — the CI `verify-smoke` gate.
+//!
+//! Each cell runs a scenario to quiescence with the generalized value
+//! oracle and structural sweeps enabled. On a violation the harness
+//! re-runs the failing cell, greedily minimizes the captured trace while
+//! the violation reproduces, and writes the repro to
+//! `<out>/verify_repro_<scenario>_<protocol>.trace` (CI uploads it as an
+//! artifact), then exits non-zero.
+
+use bash::tester::{minimize_trace, run_verify_trace, verify_catalog_reports, VerifyConfig};
+use bash::{kernel::pool, ProtocolKind};
+
+use crate::common::{write_csv, Options};
+
+/// Fixed seed of the smoke gate (violations must be reproducible).
+const SEED: u64 = 0xF00D;
+/// System size per cell (the harness default).
+const NODES: u16 = 4;
+/// Per-node op cap per cell.
+const OPS_PER_NODE: u64 = 400;
+/// Replay budget per minimization.
+const MAX_REPLAYS: usize = 400;
+
+/// Runs the full verification matrix (via the tester's
+/// `verify_catalog_reports`, the single source of truth for the grid);
+/// returns `true` when every cell is clean. Writes `verify.csv` with one
+/// row per cell and, for any failing cell, a minimized repro trace.
+pub fn verify(opts: &Options) -> bool {
+    let reports = verify_catalog_reports(NODES, SEED, OPS_PER_NODE, pool::available_threads());
+    let tasks = reports.len();
+
+    let mut rows = Vec::new();
+    let mut all_clean = true;
+    println!(
+        "{:<18} {:<10} {:>7} {:>8} {:>8} {:>7}  verdict",
+        "scenario", "protocol", "ops", "loads", "stores", "blocks"
+    );
+    for (name, report) in &reports {
+        let protocol = &report.protocol;
+        let verdict = if report.passed() { "ok" } else { "VIOLATION" };
+        println!(
+            "{:<18} {:<10} {:>7} {:>8} {:>8} {:>7}  {verdict}",
+            name,
+            protocol.name(),
+            report.ops,
+            report.loads_checked,
+            report.stores_applied,
+            report.blocks_touched,
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{}",
+            name,
+            protocol.name(),
+            report.ops,
+            report.loads_checked,
+            report.stores_applied,
+            report.blocks_touched,
+            report.multi_writer_locations,
+            report.violations.len(),
+        ));
+        if !report.passed() {
+            all_clean = false;
+            eprintln!(
+                "  first violation: {}",
+                report.first_violation().unwrap_or("<none>")
+            );
+            shrink_and_write(opts, name, *protocol, report);
+        }
+    }
+    let path = write_csv(
+        opts,
+        "verify",
+        "scenario,protocol,ops,loads_checked,stores_applied,blocks_touched,multi_writer_locations,violations",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    if all_clean {
+        println!(
+            "verify: {} cells clean ({} scenarios x {} protocols)",
+            tasks,
+            bash::catalog::CATALOG.len(),
+            ProtocolKind::ALL.len()
+        );
+    }
+    all_clean
+}
+
+/// Minimizes a failing cell's captured trace and writes the repro.
+fn shrink_and_write(
+    opts: &Options,
+    scenario: &str,
+    protocol: ProtocolKind,
+    report: &bash::VerifyReport,
+) {
+    // The replay config must match the capture run: same seed, nodes and
+    // hostile defaults (run_verify_trace adopts nodes/length from the
+    // trace itself).
+    let mut cfg = VerifyConfig::new(protocol, SEED);
+    cfg.nodes = NODES;
+    let outcome = minimize_trace(
+        &report.trace,
+        |candidate| !run_verify_trace(&cfg, candidate).passed(),
+        MAX_REPLAYS,
+    );
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = opts.out_dir.join(format!(
+        "verify_repro_{}_{}.trace",
+        scenario.replace('-', "_"),
+        protocol.name().to_ascii_lowercase()
+    ));
+    outcome
+        .trace
+        .write_to(&path)
+        .expect("write minimized repro trace");
+    eprintln!(
+        "  minimized {} -> {} ops in {} replays; repro written to {}",
+        outcome.reduced_from,
+        outcome.trace.records.len(),
+        outcome.replays,
+        path.display()
+    );
+}

@@ -1,0 +1,330 @@
+//! Cross-protocol differential replay: run the **same captured trace**
+//! through Snooping, Directory and BASH, then diff the final memory
+//! images and the per-location value histories.
+//!
+//! What must agree and what may differ:
+//!
+//! * **Single-writer locations** (one node issues every store to the
+//!   (block, word)) have a protocol-independent final value — the
+//!   writer's last store in program order. Any disagreement is a hard
+//!   coherence failure in at least one protocol, and is reported as a
+//!   [`DiffMismatch`].
+//! * **Multi-writer locations** can legally settle differently: each
+//!   protocol may order racing writes its own way. Cross-protocol
+//!   disagreement there is counted ([`DifferentialReport::racy_divergences`])
+//!   but is not a failure.
+//! * **Load histories** (the sequence of values each node observed at a
+//!   location) legitimately differ across protocols even on single-writer
+//!   data — timing decides how many updates a reader catches. They are
+//!   diffed and counted for inspection, never gated on.
+
+use std::collections::BTreeMap;
+
+use bash_coherence::types::WORDS_PER_BLOCK;
+use bash_coherence::{BlockAddr, ProcOp, ProtocolKind};
+use bash_kernel::Time;
+use bash_net::NodeId;
+use bash_sim::System;
+use bash_trace::Trace;
+use bash_workloads::{TraceWorkload, WorkItem, Workload};
+
+use crate::harness::authoritative_data;
+use crate::verify::VerifyConfig;
+
+/// A (block, word) memory location.
+pub type Location = (BlockAddr, usize);
+
+/// A hard differential failure: a single-writer location whose final
+/// value differs across protocols (or from the trace-derived expectation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffMismatch {
+    /// The location.
+    pub block: BlockAddr,
+    /// The word within the block.
+    pub word: usize,
+    /// Final value under each protocol, in [`ProtocolKind::ALL`] order.
+    pub finals: Vec<u64>,
+    /// The value the trace says the sole writer stored last.
+    pub expected: u64,
+}
+
+/// The outcome of one differential run.
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// Workload name from the trace header.
+    pub workload: String,
+    /// Protocols compared, in run order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Per-protocol quiescence (a stuck protocol is a hard failure).
+    pub quiescent: Vec<bool>,
+    /// Locations compared.
+    pub locations: usize,
+    /// Hard failures: single-writer final values that diverged.
+    pub mismatches: Vec<DiffMismatch>,
+    /// Multi-writer locations whose finals differ across protocols
+    /// (legal; informational).
+    pub racy_divergences: usize,
+    /// (node, location) load histories that differ across protocols
+    /// (legal; informational).
+    pub history_divergences: usize,
+}
+
+impl DifferentialReport {
+    /// True when every protocol reached quiescence and no single-writer
+    /// location diverged.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.quiescent.iter().all(|&q| q)
+    }
+}
+
+/// Records what one protocol's replay observed: load histories per
+/// (node, location) plus the final memory image.
+#[derive(Debug, Default)]
+struct Observation {
+    quiescent: bool,
+    histories: BTreeMap<(u16, Location), Vec<u64>>,
+    finals: BTreeMap<Location, u64>,
+}
+
+/// A replayer that additionally records every load's observed value.
+struct RecordingWorkload {
+    inner: TraceWorkload,
+    histories: BTreeMap<(u16, Location), Vec<u64>>,
+}
+
+impl Workload for RecordingWorkload {
+    fn next_item(&mut self, node: NodeId, now: Time) -> Option<WorkItem> {
+        self.inner.next_item(node, now)
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: Time, op: &ProcOp, value: u64) {
+        if let ProcOp::Load { block, word } = *op {
+            self.histories
+                .entry((node.0, (block, word)))
+                .or_default()
+                .push(value);
+        }
+        self.inner.on_complete(node, now, op, value);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Every location the trace touches, with the values each writer stored
+/// (in program order) — the static ground truth the diff is checked
+/// against.
+fn locations_of(trace: &Trace) -> BTreeMap<Location, BTreeMap<u16, Vec<u64>>> {
+    let mut locations: BTreeMap<Location, BTreeMap<u16, Vec<u64>>> = BTreeMap::new();
+    for r in &trace.records {
+        match r.op {
+            ProcOp::Load { block, word } => {
+                locations.entry((block, word)).or_default();
+            }
+            ProcOp::Store { block, word, value } => {
+                locations
+                    .entry((block, word))
+                    .or_default()
+                    .entry(r.node.0)
+                    .or_default()
+                    .push(value);
+            }
+        }
+    }
+    locations
+}
+
+fn replay_one(cfg: &VerifyConfig, trace: &Trace, blocks: &[BlockAddr]) -> Observation {
+    let replay = TraceWorkload::from_trace(trace).expect("trace validated before differential run");
+    let workload = RecordingWorkload {
+        inner: replay,
+        histories: BTreeMap::new(),
+    };
+    let mut sys_cfg = cfg.system_config();
+    sys_cfg.capture_ops = false; // the reference stream is already on disk
+    let mut system = System::new(sys_cfg, workload);
+    system.run_to_idle();
+    let mut obs = Observation {
+        quiescent: system.is_quiescent(),
+        ..Observation::default()
+    };
+    for &block in blocks {
+        // The same "truth" rule as the invariant sweep, shared via
+        // `authoritative_data` so the two can never disagree.
+        let data = authoritative_data(&system, block);
+        for word in 0..WORDS_PER_BLOCK {
+            obs.finals.insert((block, word), data.read(word));
+        }
+    }
+    obs.histories = std::mem::take(&mut system.workload_mut().histories);
+    obs
+}
+
+/// Replays `trace` through all three protocols under `cfg` (the protocol
+/// field of `cfg` is ignored) and diffs the results.
+pub fn differential_trace(cfg: &VerifyConfig, trace: &Trace) -> DifferentialReport {
+    let locations_map = locations_of(trace);
+    // Diff every word of every touched block — including words no op
+    // addressed: a protocol that corrupts a neighbouring word must not
+    // escape.
+    let blocks: Vec<BlockAddr> = locations_map
+        .keys()
+        .map(|&(b, _)| b)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let all_words: Vec<Location> = blocks
+        .iter()
+        .flat_map(|&b| (0..WORDS_PER_BLOCK).map(move |w| (b, w)))
+        .collect();
+
+    let protocols: Vec<ProtocolKind> = ProtocolKind::ALL.to_vec();
+    let observations: Vec<Observation> = protocols
+        .iter()
+        .map(|&p| {
+            let mut cfg = cfg.clone();
+            cfg.protocol = p;
+            cfg.nodes = trace.nodes;
+            replay_one(&cfg, trace, &blocks)
+        })
+        .collect();
+
+    let mut mismatches = Vec::new();
+    let mut racy_divergences = 0usize;
+    for &(block, word) in &all_words {
+        let finals: Vec<u64> = observations
+            .iter()
+            .map(|o| o.finals.get(&(block, word)).copied().unwrap_or(0))
+            .collect();
+        let writers = locations_map.get(&(block, word));
+        let writer_count = writers.map(|w| w.len()).unwrap_or(0);
+        match writer_count {
+            0 | 1 => {
+                // Never-written words must stay 0; single-writer words
+                // must equal the writer's last store — under every
+                // protocol.
+                let expected = writers
+                    .and_then(|w| w.values().next())
+                    .and_then(|vals| vals.last().copied())
+                    .unwrap_or(0);
+                if finals.iter().any(|&f| f != expected) {
+                    mismatches.push(DiffMismatch {
+                        block,
+                        word,
+                        finals,
+                        expected,
+                    });
+                }
+            }
+            _ => {
+                if finals.windows(2).any(|w| w[0] != w[1]) {
+                    racy_divergences += 1;
+                }
+            }
+        }
+    }
+
+    // Load-history diff (informational).
+    let mut history_keys: Vec<(u16, Location)> = observations
+        .iter()
+        .flat_map(|o| o.histories.keys().copied())
+        .collect();
+    history_keys.sort_unstable();
+    history_keys.dedup();
+    let history_divergences = history_keys
+        .iter()
+        .filter(|k| {
+            let first = observations[0].histories.get(k);
+            observations[1..]
+                .iter()
+                .any(|o| o.histories.get(k) != first)
+        })
+        .count();
+
+    DifferentialReport {
+        workload: trace.workload.clone(),
+        protocols,
+        quiescent: observations.iter().map(|o| o.quiescent).collect(),
+        locations: all_words.len(),
+        mismatches,
+        racy_divergences,
+        history_divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{run_verify_scenario, VerifyConfig};
+
+    #[test]
+    fn clean_trace_has_no_single_writer_mismatches() {
+        // producer-consumer is all single-writer: the strictest case.
+        let mut cfg = VerifyConfig::new(ProtocolKind::Snooping, 9);
+        cfg.ops_per_node = 120;
+        let report = run_verify_scenario(&cfg, "producer-consumer");
+        assert!(report.passed(), "first: {:?}", report.first_violation());
+        let diff = differential_trace(&cfg, &report.trace);
+        assert!(diff.passed(), "mismatches: {:?}", diff.mismatches);
+        assert_eq!(diff.quiescent, vec![true, true, true]);
+        assert!(diff.locations > 0);
+        assert!(diff.racy_divergences == 0, "single-writer workload");
+    }
+
+    #[test]
+    fn multi_writer_trace_is_diffed_without_false_failures() {
+        let mut cfg = VerifyConfig::new(ProtocolKind::Snooping, 13);
+        cfg.ops_per_node = 120;
+        let report = run_verify_scenario(&cfg, "migratory");
+        assert!(report.passed(), "first: {:?}", report.first_violation());
+        let diff = differential_trace(&cfg, &report.trace);
+        assert!(diff.passed(), "mismatches: {:?}", diff.mismatches);
+    }
+
+    #[test]
+    fn locations_of_collects_writer_programs() {
+        use bash_kernel::Duration;
+        use bash_trace::TraceRecord;
+        let t = Trace {
+            nodes: 2,
+            seed: 0,
+            workload: "x".into(),
+            records: vec![
+                TraceRecord {
+                    node: NodeId(0),
+                    think: Duration::ZERO,
+                    instructions: 0,
+                    op: ProcOp::Store {
+                        block: BlockAddr(3),
+                        word: 1,
+                        value: 10,
+                    },
+                },
+                TraceRecord {
+                    node: NodeId(0),
+                    think: Duration::ZERO,
+                    instructions: 0,
+                    op: ProcOp::Store {
+                        block: BlockAddr(3),
+                        word: 1,
+                        value: 11,
+                    },
+                },
+                TraceRecord {
+                    node: NodeId(1),
+                    think: Duration::ZERO,
+                    instructions: 0,
+                    op: ProcOp::Load {
+                        block: BlockAddr(4),
+                        word: 0,
+                    },
+                },
+            ],
+        };
+        let locs = locations_of(&t);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs[&(BlockAddr(3), 1)][&0], vec![10, 11]);
+        assert!(locs[&(BlockAddr(4), 0)].is_empty());
+    }
+}

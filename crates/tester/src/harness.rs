@@ -6,7 +6,8 @@ use std::rc::Rc;
 
 use bash_adaptive::{AdaptorConfig, DecisionMode};
 use bash_coherence::cache::CacheGeometry;
-use bash_coherence::{BlockAddr, Mosi, Owner, ProtocolKind, TransitionLog};
+use bash_coherence::types::WORDS_PER_BLOCK;
+use bash_coherence::{BlockAddr, BlockData, Mosi, Owner, ProtocolKind, TransitionLog};
 use bash_kernel::Duration;
 use bash_net::{Jitter, NodeId, NodeSet};
 use bash_sim::{System, SystemConfig};
@@ -152,7 +153,7 @@ pub fn run_random_test(cfg: TesterConfig) -> TesterReport {
         if !system.is_quiescent() {
             o.report("system failed to reach quiescence (possible deadlock)".into());
         }
-        sweep_invariants(&system, &cfg, &mut o);
+        sweep_structural(&system, &mut o);
     }
 
     // ---- coverage + stats ----
@@ -191,14 +192,38 @@ pub fn run_random_test(cfg: TesterConfig) -> TesterReport {
     }
 }
 
-/// Post-quiescence structural invariants.
-fn sweep_invariants<W: Workload>(system: &System<W>, cfg: &TesterConfig, oracle: &mut Oracle) {
-    for b in 0..cfg.blocks {
-        let block = BlockAddr(b);
-        let home = block.home(cfg.nodes);
+/// The authoritative copy of `block` at quiescence: the owning cache's
+/// data if any node holds it in M or O, the home memory's otherwise.
+/// This is *the* definition of "truth" the invariant sweep and the
+/// differential diff both check against.
+pub fn authoritative_data<W: Workload>(system: &System<W>, block: BlockAddr) -> BlockData {
+    let nodes = system.config().nodes;
+    let owner = (0..nodes).map(NodeId).find(|n| {
+        matches!(
+            system.caches()[n.index()].cache().state(block),
+            Some(Mosi::M) | Some(Mosi::O)
+        )
+    });
+    match owner {
+        Some(p) => system.caches()[p.index()]
+            .cache()
+            .data(block)
+            .expect("owner has data"),
+        None => system.mems()[block.home(nodes).index()].stored_data(block),
+    }
+}
+
+/// Post-quiescence structural invariants, over every block the run
+/// touched (the oracle records the touched set, so this works for any
+/// workload — random tester, catalog scenario, or replayed trace).
+pub fn sweep_structural<W: Workload>(system: &System<W>, oracle: &mut Oracle) {
+    let nodes = system.config().nodes;
+    let protocol = system.config().protocol;
+    for block in oracle.touched_blocks() {
+        let home = block.home(nodes);
 
         // At most one cache owner.
-        let owners: Vec<NodeId> = (0..cfg.nodes)
+        let owners: Vec<NodeId> = (0..nodes)
             .map(NodeId)
             .filter(|n| {
                 matches!(
@@ -231,17 +256,11 @@ fn sweep_invariants<W: Workload>(system: &System<W>, cfg: &TesterConfig, oracle:
         }
 
         // Authoritative data: owner cache or home memory.
-        let truth = match owners.first() {
-            Some(p) => system.caches()[p.index()]
-                .cache()
-                .data(block)
-                .expect("owner has data"),
-            None => system.mems()[home.index()].stored_data(block),
-        };
+        let truth = authoritative_data(system, block);
 
         // Every S copy agrees with the truth; sharer records are supersets.
         let mut actual_sharers = NodeSet::EMPTY;
-        for n in (0..cfg.nodes).map(NodeId) {
+        for n in (0..nodes).map(NodeId) {
             if system.caches()[n.index()].cache().state(block) == Some(Mosi::S) {
                 actual_sharers.insert(n);
                 let copy = system.caches()[n.index()]
@@ -253,21 +272,19 @@ fn sweep_invariants<W: Workload>(system: &System<W>, cfg: &TesterConfig, oracle:
                 }
             }
         }
-        if cfg.protocol != ProtocolKind::Snooping {
+        if protocol != ProtocolKind::Snooping {
             let recorded = system.mems()[home.index()].sharer_record(block);
-            let mut expected = actual_sharers;
             // The owner itself may appear in stale sharer supersets; only
             // require recorded ⊇ actual.
-            if !recorded.union(&NodeSet::EMPTY).is_superset(&expected) {
+            if !recorded.union(&NodeSet::EMPTY).is_superset(&actual_sharers) {
                 oracle.report(format!(
-                    "{block}: sharer record {recorded} misses actual sharers {expected}"
+                    "{block}: sharer record {recorded} misses actual sharers {actual_sharers}"
                 ));
             }
-            expected.clear();
         }
 
-        // Final values equal each writer's last store.
-        for word in 0..cfg.nodes as usize {
+        // Final values: 0 or some writer's last store, per word.
+        for word in 0..WORDS_PER_BLOCK {
             oracle.check_final(block, word, truth.read(word));
         }
     }

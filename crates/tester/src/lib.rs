@@ -23,11 +23,32 @@
 //!   the owner's data, and each word equals its writer's last store;
 //! * **transition coverage** — every controller records its (state, event)
 //!   transitions, feeding Table 1.
+//!
+//! Beyond the random tester, the crate is a full **scenario-driven
+//! verification subsystem**:
+//!
+//! * [`verify`] — drive any catalog scenario or replayed trace through
+//!   any protocol with the (generalized) value oracle, quiescence and
+//!   structural invariants enabled;
+//! * [`differential`] — replay one captured trace through all three
+//!   protocols and diff final memory images and per-location value
+//!   histories;
+//! * [`minimize`] — greedily shrink a failing trace while the violation
+//!   reproduces, yielding a minimal `.trace` repro.
 
 pub mod checker;
+pub mod differential;
 pub mod harness;
+pub mod minimize;
+pub mod verify;
 pub mod workload;
 
 pub use checker::{CheckViolation, Oracle};
-pub use harness::{run_random_test, TesterConfig, TesterReport};
+pub use differential::{differential_trace, DiffMismatch, DifferentialReport};
+pub use harness::{run_random_test, sweep_structural, TesterConfig, TesterReport};
+pub use minimize::{minimize_trace, MinimizeOutcome};
+pub use verify::{
+    run_verify, run_verify_scenario, run_verify_trace, verify_catalog, verify_catalog_reports,
+    CheckedWorkload, VerifyConfig, VerifyReport, VerifyVerdict,
+};
 pub use workload::RandomWorkload;

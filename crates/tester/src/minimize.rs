@@ -1,0 +1,287 @@
+//! Failing-trace minimization: greedily shrink a captured trace while a
+//! violation still reproduces, then hand back a minimal `.trace` repro.
+//!
+//! The shrinker is transformation-based delta debugging: every candidate
+//! is produced by a structure-preserving edit (drop a run of ops, drop a
+//! whole node and renumber, remap the block set onto a smaller pool, zero
+//! the think times), validated with [`Trace::validate`], and kept only if
+//! the caller's `reproduces` predicate still fails on it. Because the
+//! predicate re-runs the full verification harness, any transformation is
+//! fair game — the repro does not need to be a subsequence of the
+//! original, only to exhibit *a* violation under the same configuration.
+//!
+//! Passes repeat until a fixpoint (or the replay budget runs out), chunk
+//! removal first (largest expected reduction per replay), then node and
+//! block reductions, then cosmetic simplifications.
+
+use bash_net::NodeId;
+use bash_trace::Trace;
+
+/// The result of a minimization run.
+#[derive(Debug)]
+pub struct MinimizeOutcome {
+    /// The minimized trace (still reproducing the violation).
+    pub trace: Trace,
+    /// Replays spent (predicate invocations).
+    pub replays: usize,
+    /// Record count of the input trace.
+    pub reduced_from: usize,
+}
+
+/// Greedily shrinks `trace` while `reproduces` keeps returning `true`,
+/// spending at most `max_replays` predicate calls.
+///
+/// The input must itself reproduce (`reproduces(trace) == true`);
+/// otherwise the input is returned unchanged with `replays == 1`.
+pub fn minimize_trace<F>(trace: &Trace, mut reproduces: F, max_replays: usize) -> MinimizeOutcome
+where
+    F: FnMut(&Trace) -> bool,
+{
+    let reduced_from = trace.records.len();
+    let mut replays = 0usize;
+    let mut check = |t: &Trace, replays: &mut usize| -> bool {
+        if *replays >= max_replays || t.validate().is_err() {
+            return false;
+        }
+        *replays += 1;
+        reproduces(t)
+    };
+    if !check(trace, &mut replays) {
+        return MinimizeOutcome {
+            trace: trace.clone(),
+            replays,
+            reduced_from,
+        };
+    }
+
+    let mut best = trace.clone();
+    loop {
+        let before = (best.records.len(), best.nodes, distinct_blocks(&best));
+        shrink_ops(&mut best, &mut check, &mut replays);
+        shrink_nodes(&mut best, &mut check, &mut replays);
+        shrink_blocks(&mut best, &mut check, &mut replays);
+        simplify(&mut best, &mut check, &mut replays);
+        let after = (best.records.len(), best.nodes, distinct_blocks(&best));
+        if after == before || replays >= max_replays {
+            break;
+        }
+    }
+    MinimizeOutcome {
+        trace: best,
+        replays,
+        reduced_from,
+    }
+}
+
+fn distinct_blocks(t: &Trace) -> usize {
+    let mut blocks: Vec<u64> = t.records.iter().map(|r| r.op.block().0).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks.len()
+}
+
+/// Classic ddmin chunk removal: drop windows of records, halving the
+/// window as progress stalls.
+fn shrink_ops<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
+where
+    F: FnMut(&Trace, &mut usize) -> bool,
+{
+    let mut chunk = (best.records.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        let mut progressed = false;
+        while i < best.records.len() {
+            let mut candidate = best.clone();
+            let end = (i + chunk).min(candidate.records.len());
+            candidate.records.drain(i..end);
+            if check(&candidate, replays) {
+                *best = candidate;
+                progressed = true;
+                // Do not advance: the next window slid into place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !progressed {
+            break;
+        }
+        if !progressed {
+            chunk /= 2;
+        }
+    }
+}
+
+/// Tries to drop each node's ops entirely, renumbering the survivors so
+/// the trace header shrinks with the node set.
+fn shrink_nodes<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
+where
+    F: FnMut(&Trace, &mut usize) -> bool,
+{
+    let mut node = best.nodes;
+    while node > 0 && best.nodes > 1 {
+        node -= 1;
+        if node >= best.nodes {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.records.retain(|r| r.node.0 != node);
+        for r in &mut candidate.records {
+            if r.node.0 > node {
+                r.node = NodeId(r.node.0 - 1);
+            }
+        }
+        candidate.nodes -= 1;
+        if check(&candidate, replays) {
+            *best = candidate;
+        }
+    }
+}
+
+/// Tries to remap the touched block set onto a smaller, denser pool
+/// (compact first, then repeated halving). Remapping changes home nodes
+/// and cache indices, so candidates count only if the violation survives.
+fn shrink_blocks<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
+where
+    F: FnMut(&Trace, &mut usize) -> bool,
+{
+    loop {
+        let mut blocks: Vec<u64> = best.records.iter().map(|r| r.op.block().0).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        // Compact to 0..n, then halve the pool (a candidate identical to
+        // the current best is skipped, so this terminates).
+        let mut progressed = false;
+        for pool in [
+            blocks.len() as u64,
+            (blocks.len() as u64).div_ceil(2).max(1),
+        ] {
+            let mut candidate = best.clone();
+            for r in &mut candidate.records {
+                let rank = blocks.binary_search(&r.op.block().0).expect("present") as u64;
+                remap_block(r, rank % pool);
+            }
+            if candidate != *best && check(&candidate, replays) {
+                *best = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+fn remap_block(r: &mut bash_trace::TraceRecord, new_block: u64) {
+    use bash_coherence::{BlockAddr, ProcOp};
+    r.op = match r.op {
+        ProcOp::Load { word, .. } => ProcOp::Load {
+            block: BlockAddr(new_block),
+            word,
+        },
+        ProcOp::Store { word, value, .. } => ProcOp::Store {
+            block: BlockAddr(new_block),
+            word,
+            value,
+        },
+    };
+}
+
+/// Cosmetic simplifications that make the repro easier to read: zero the
+/// think times and instruction counts.
+fn simplify<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
+where
+    F: FnMut(&Trace, &mut usize) -> bool,
+{
+    let mut candidate = best.clone();
+    for r in &mut candidate.records {
+        r.think = bash_kernel::Duration::ZERO;
+        r.instructions = 0;
+    }
+    if candidate != *best && check(&candidate, replays) {
+        *best = candidate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash_coherence::{BlockAddr, ProcOp};
+    use bash_kernel::Duration;
+    use bash_trace::TraceRecord;
+
+    fn record(node: u16, block: u64, word: usize) -> TraceRecord {
+        TraceRecord {
+            node: NodeId(node),
+            think: Duration::from_ns(5),
+            instructions: 3,
+            op: ProcOp::Load {
+                block: BlockAddr(block),
+                word,
+            },
+        }
+    }
+
+    fn big_trace() -> Trace {
+        Trace {
+            nodes: 4,
+            seed: 1,
+            workload: "synthetic".to_string(),
+            records: (0..200)
+                .map(|i| record((i % 4) as u16, 100 + (i % 7) as u64, i % 3))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_predicates_core() {
+        // "Violation" = the trace still contains a node-2 load of word 2.
+        let t = big_trace();
+        let out = minimize_trace(
+            &t,
+            |c| {
+                c.records
+                    .iter()
+                    .any(|r| r.node == NodeId(2) && matches!(r.op, ProcOp::Load { word: 2, .. }))
+            },
+            2_000,
+        );
+        assert!(
+            out.trace.records.len() <= 2,
+            "got {}",
+            out.trace.records.len()
+        );
+        assert_eq!(out.reduced_from, 200);
+        assert!(out.trace.validate().is_ok());
+        assert_eq!(out.trace.nodes, 3, "nodes 3 (node 2 kept after renumber)");
+        // Cosmetic pass zeroed the thinks.
+        assert!(out.trace.records.iter().all(|r| r.think.is_zero()));
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let t = big_trace();
+        let out = minimize_trace(&t, |_| false, 100);
+        assert_eq!(out.trace, t);
+        assert_eq!(out.replays, 1);
+    }
+
+    #[test]
+    fn respects_the_replay_budget() {
+        let t = big_trace();
+        let out = minimize_trace(&t, |c| !c.records.is_empty(), 10);
+        assert!(out.replays <= 10);
+        assert!(out.trace.validate().is_ok());
+    }
+
+    #[test]
+    fn block_remap_compacts_the_pool() {
+        let t = big_trace();
+        let out = minimize_trace(&t, |c| !c.records.is_empty(), 5_000);
+        assert_eq!(out.trace.records.len(), 1);
+        assert!(
+            out.trace.records[0].op.block().0 < 7,
+            "blocks were compacted"
+        );
+    }
+}

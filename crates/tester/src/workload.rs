@@ -80,12 +80,9 @@ impl Workload for RandomWorkload {
             Duration::from_ps(rng.below(self.max_think.as_ps() + 1))
         };
         let op = if rng.chance(self.store_fraction) {
-            let value = self.oracle.borrow_mut().next_store_value(node, block);
-            ProcOp::Store {
-                block,
-                word: idx % WORDS_PER_BLOCK,
-                value,
-            }
+            let word = idx % WORDS_PER_BLOCK;
+            let value = self.oracle.borrow_mut().issue_store(node, block, word);
+            ProcOp::Store { block, word, value }
         } else {
             // Load a random word: sometimes our own (exact check), sometimes
             // another node's (monotonicity check).

@@ -1,0 +1,152 @@
+//! Property tests for the generalized oracle: on any history that is
+//! sequentially consistent per location, the checker must stay silent —
+//! no false positives — and on fabricated values it must fire.
+
+use std::collections::HashMap;
+
+use bash_coherence::{BlockAddr, ProcOp};
+use bash_kernel::Time;
+use bash_net::NodeId;
+use bash_tester::Oracle;
+use proptest::prelude::*;
+
+const NODES: u16 = 4;
+const BLOCKS: u64 = 4;
+const WORDS: usize = 4;
+
+/// One generated op: (node, block, word, is_store).
+type Op = (u16, u64, usize, bool);
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0..NODES, 0..BLOCKS, 0..WORDS, any::<bool>()), 1..200)
+}
+
+fn store(oracle: &mut Oracle, node: NodeId, block: BlockAddr, word: usize) -> u64 {
+    let token = oracle.issue_store(node, block, word);
+    oracle.observe(
+        node,
+        Time::ZERO,
+        &ProcOp::Store {
+            block,
+            word,
+            value: token,
+        },
+        token,
+    );
+    token
+}
+
+fn load(oracle: &mut Oracle, node: NodeId, block: BlockAddr, word: usize, value: u64) {
+    oracle.observe(node, Time::ZERO, &ProcOp::Load { block, word }, value);
+}
+
+proptest! {
+    /// Serial execution (every load returns the latest store) is the
+    /// canonical SC history; the oracle must never flag it, including the
+    /// final sweep.
+    #[test]
+    fn serial_execution_has_no_false_positives(ops in op_strategy()) {
+        let mut oracle = Oracle::new();
+        let mut memory: HashMap<(u64, usize), u64> = HashMap::new();
+        for (node, block, word, is_store) in ops {
+            let (node, block) = (NodeId(node), BlockAddr(block));
+            if is_store {
+                let token = store(&mut oracle, node, block, word);
+                memory.insert((block.0, word), token);
+            } else {
+                let value = memory.get(&(block.0, word)).copied().unwrap_or(0);
+                load(&mut oracle, node, block, word, value);
+            }
+        }
+        for block in 0..BLOCKS {
+            for word in 0..WORDS {
+                let truth = memory.get(&(block, word)).copied().unwrap_or(0);
+                oracle.check_final(BlockAddr(block), word, truth);
+            }
+        }
+        prop_assert!(
+            oracle.violations().is_empty(),
+            "false positive: {:?}",
+            oracle.violations().first()
+        );
+    }
+
+    /// Stale-but-monotone reads: each (reader, location) holds a cursor
+    /// into the location's write history and every load advances it by a
+    /// random amount (possibly zero). That is exactly per-location
+    /// sequential consistency with arbitrarily delayed visibility — the
+    /// weakest history a coherent protocol may produce — and the oracle
+    /// must accept all of it.
+    #[test]
+    fn stale_monotone_reads_have_no_false_positives(
+        ops in op_strategy(),
+        jumps in prop::collection::vec(0u64..8, 1..200),
+    ) {
+        let mut oracle = Oracle::new();
+        // Per-location write history, and per-(reader, location) cursor.
+        let mut history: HashMap<(u64, usize), Vec<u64>> = HashMap::new();
+        let mut cursor: HashMap<(u16, u64, usize), usize> = HashMap::new();
+        let mut jump = jumps.iter().cycle();
+        for (node, block, word, is_store) in ops {
+            let (n, b) = (NodeId(node), BlockAddr(block));
+            let writes = history.entry((block, word)).or_default();
+            if is_store {
+                let token = store(&mut oracle, n, b, word);
+                writes.push(token);
+                // Read-your-writes: the writer's cursor moves to its own
+                // store (coherence orders it before nothing earlier).
+                let c = cursor.entry((node, block, word)).or_default();
+                *c = writes.len();
+            } else {
+                let c = cursor.entry((node, block, word)).or_default();
+                let advance = *jump.next().expect("cycled") as usize;
+                *c = (*c + advance).min(writes.len());
+                let value = if *c == 0 { 0 } else { writes[*c - 1] };
+                load(&mut oracle, n, b, word, value);
+            }
+        }
+        prop_assert!(
+            oracle.violations().is_empty(),
+            "false positive: {:?}",
+            oracle.violations().first()
+        );
+    }
+
+    /// Fabricated values are always flagged, whatever history preceded
+    /// them.
+    #[test]
+    fn fabricated_values_are_flagged(ops in op_strategy(), reader in 0..NODES) {
+        let mut oracle = Oracle::new();
+        let mut memory: HashMap<(u64, usize), u64> = HashMap::new();
+        for (node, block, word, is_store) in ops {
+            let (n, b) = (NodeId(node), BlockAddr(block));
+            if is_store {
+                let token = store(&mut oracle, n, b, word);
+                memory.insert((block, word), token);
+            } else {
+                let value = memory.get(&(block, word)).copied().unwrap_or(0);
+                load(&mut oracle, n, b, word, value);
+            }
+        }
+        let before = oracle.violations().len();
+        // The top bit is outside any token the oracle ever issues.
+        load(&mut oracle, NodeId(reader), BlockAddr(0), 0, (1 << 63) | 7);
+        prop_assert_eq!(oracle.violations().len(), before + 1);
+        prop_assert!(oracle.violations()[before].what.contains("thin air"));
+    }
+
+    /// A final value that no writer's last store explains is flagged.
+    #[test]
+    fn wrong_final_values_are_flagged(stores in 1u64..20) {
+        let mut oracle = Oracle::new();
+        let b = BlockAddr(1);
+        let mut last = 0;
+        for i in 0..stores {
+            last = store(&mut oracle, NodeId((i % 2) as u16), b, 0);
+        }
+        oracle.check_final(b, 0, last);
+        prop_assert!(oracle.violations().is_empty());
+        oracle.check_final(b, 0, u64::MAX);
+        prop_assert_eq!(oracle.violations().len(), 1);
+    }
+}

@@ -10,7 +10,7 @@
 //! bandwidths.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bash_adaptive::AdaptorConfig;
@@ -68,6 +68,9 @@ pub enum BuildError {
         /// Node count the builder is configured for.
         nodes: u16,
     },
+    /// [`SimBuilder::trace_out_all_points`] was enabled without a
+    /// [`SimBuilder::trace_out`] path to derive the bundle paths from.
+    AllPointsWithoutTraceOut,
 }
 
 impl fmt::Display for BuildError {
@@ -91,6 +94,9 @@ impl fmt::Display for BuildError {
                 f,
                 "trace was captured on {trace} nodes but the builder is configured for {nodes}"
             ),
+            BuildError::AllPointsWithoutTraceOut => {
+                f.write_str("trace_out_all_points needs a trace_out path to derive bundle paths")
+            }
         }
     }
 }
@@ -240,6 +246,7 @@ pub struct SimBuilder {
     coverage: bool,
     trace_policy: bool,
     trace_out: Option<PathBuf>,
+    trace_out_all: bool,
     threads: Option<usize>,
     workload: Option<WorkloadSpec>,
 }
@@ -266,6 +273,7 @@ impl SimBuilder {
             coverage: false,
             trace_policy: false,
             trace_out: None,
+            trace_out_all: false,
             threads: None,
             workload: None,
         }
@@ -441,7 +449,9 @@ impl SimBuilder {
     /// seed 0) and writes it to `path` in the compact binary form when the
     /// run finishes. Capture once, then feed the file back through
     /// [`trace_in`](Self::trace_in) to replay it under any protocol,
-    /// bandwidth, or thread count. See
+    /// bandwidth, or thread count. To capture **every** (bandwidth × seed)
+    /// grid point instead of just the first, add
+    /// [`trace_out_all_points`](Self::trace_out_all_points). See
     /// [`try_run_captured`](Self::try_run_captured) for what the capture
     /// covers on multi-seed runs.
     ///
@@ -452,6 +462,18 @@ impl SimBuilder {
     /// configuration errors, so they are not `BuildError`s.
     pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Captures **every** (bandwidth × seed) grid point of the run into a
+    /// trace bundle, not just the first. Each point is written next to the
+    /// [`trace_out`](Self::trace_out) path with a `.b<mbps>.s<seed>`
+    /// infix — `traces/run.trace` becomes `traces/run.b400.s0.trace`,
+    /// `traces/run.b400.s1.trace`, … — and the first grid point is still
+    /// written to the plain path itself. Requires `trace_out`;
+    /// [`validate`](Self::validate) rejects the combination otherwise.
+    pub fn trace_out_all_points(mut self, on: bool) -> Self {
+        self.trace_out_all = on;
         self
     }
 
@@ -511,6 +533,9 @@ impl SimBuilder {
             if g.sets == 0 || g.ways == 0 {
                 return Err(BuildError::BadCacheGeometry);
             }
+        }
+        if self.trace_out_all && self.trace_out.is_none() {
+            return Err(BuildError::AllPointsWithoutTraceOut);
         }
         if let Some(spec) = &self.workload {
             self.check_spec(spec)?;
@@ -574,9 +599,17 @@ impl SimBuilder {
     /// seed without running it — the escape hatch for callers that drive
     /// time themselves (`run_until`, `run_to_idle`, traces).
     pub fn build_system(&self) -> Result<System<BoxedWorkload>, BuildError> {
-        // A system can be built without a measurement plan; reject
-        // everything `System::new` itself would panic on, plus a missing
-        // workload.
+        let spec = self.check_runnable()?;
+        let cfg = self.config(self.bandwidths[0], 0);
+        let workload = spec.build(self.nodes, cfg.seed);
+        Ok(System::new(cfg, workload))
+    }
+
+    /// The checks shared by every plan-less entry point
+    /// ([`build_system`](Self::build_system), [`try_verify`](Self::try_verify)):
+    /// a system can be built without a measurement plan; reject everything
+    /// `System::new` itself would panic on, plus a missing workload.
+    fn check_runnable(&self) -> Result<&WorkloadSpec, BuildError> {
         if self.nodes == 0 {
             return Err(BuildError::ZeroNodes);
         }
@@ -599,9 +632,57 @@ impl SimBuilder {
         }
         let spec = self.workload.as_ref().ok_or(BuildError::MissingWorkload)?;
         self.check_spec(spec)?;
+        Ok(spec)
+    }
+
+    /// Runs the configured workload through the verification harness:
+    /// the builder's protocol, node count, first bandwidth point, seed,
+    /// and cache/jitter overrides, with the generalized value oracle,
+    /// quiescence check and structural invariant sweep enabled. Endless
+    /// workloads are capped at `ops_per_node` operations per node so the
+    /// run reaches quiescence; a [`trace_in`](Self::trace_in) replay
+    /// ignores the cap and always runs the whole trace (it is the
+    /// reproduction path for captured failures).
+    ///
+    /// Unlike [`run`](Self::run), this ignores the measurement plan: a
+    /// verification run always executes to idle and sweeps invariants at
+    /// quiescence. The returned report carries the instrumented op trace,
+    /// ready for [`tester::minimize_trace`](bash_tester::minimize_trace)
+    /// if the run failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the configuration is invalid.
+    pub fn try_verify(&self, ops_per_node: u64) -> Result<bash_tester::VerifyReport, BuildError> {
+        let spec = self.check_runnable()?;
         let cfg = self.config(self.bandwidths[0], 0);
+        let mut vcfg = bash_tester::VerifyConfig::new(self.protocol, cfg.seed);
+        vcfg.nodes = self.nodes;
+        vcfg.link_mbps = self.bandwidths[0];
+        vcfg.ops_per_node = ops_per_node;
+        if self.jitter.is_some() {
+            vcfg.jitter = self.jitter.clone();
+        }
+        if let Some(geometry) = self.cache {
+            vcfg.cache = geometry;
+        }
+        if let WorkloadSpec::Trace(trace) = spec {
+            // A replay must reproduce the whole captured stream: the
+            // trace's own length, not the op cap, bounds the run.
+            return Ok(bash_tester::run_verify_trace(&vcfg, trace));
+        }
         let workload = spec.build(self.nodes, cfg.seed);
-        Ok(System::new(cfg, workload))
+        Ok(bash_tester::run_verify(&vcfg, workload))
+    }
+
+    /// Runs the verification harness (see [`try_verify`](Self::try_verify)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn verify(&self, ops_per_node: u64) -> bash_tester::VerifyReport {
+        self.try_verify(ops_per_node)
+            .expect("invalid SimBuilder configuration")
     }
 
     /// Runs the first bandwidth point, aggregating over the configured
@@ -749,8 +830,13 @@ impl SimBuilder {
             .threads
             .unwrap_or_else(pool::available_threads)
             .min(tasks.max(1));
+        let capture_all = capture && self.trace_out_all && self.trace_out.is_some();
         let mut results = pool::run_indexed(tasks, threads, |i| {
-            self.run_point(bandwidths[i / seeds], (i % seeds) as u32, capture && i == 0)
+            self.run_point(
+                bandwidths[i / seeds],
+                (i % seeds) as u32,
+                capture && (i == 0 || capture_all),
+            )
         });
         let captured = results[0].captured.take();
         if let Some(trace) = &captured {
@@ -765,6 +851,19 @@ impl SimBuilder {
             trace
                 .write_to(path)
                 .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+            if capture_all {
+                self.write_point_trace(path, bandwidths[0], 0, trace);
+            }
+        }
+        if capture_all {
+            let path = self.trace_out.as_ref().expect("checked above");
+            for (i, result) in results.iter_mut().enumerate().skip(1) {
+                let trace = result.captured.take().expect("all points captured");
+                trace
+                    .validate()
+                    .unwrap_or_else(|e| panic!("captured trace is unusable: {e}"));
+                self.write_point_trace(path, bandwidths[i / seeds], (i % seeds) as u32, &trace);
+            }
         }
         let reports = bandwidths
             .iter()
@@ -776,6 +875,24 @@ impl SimBuilder {
             })
             .collect();
         (reports, captured)
+    }
+
+    /// Writes one grid point's captured trace next to the `trace_out`
+    /// base path, tagged with its bandwidth and seed index:
+    /// `run.trace` → `run.b<mbps>.s<seed>.trace`.
+    fn write_point_trace(&self, base: &Path, mbps: u64, seed_index: u32, trace: &Trace) {
+        let stem = base
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        let ext = base
+            .extension()
+            .map(|e| format!(".{}", e.to_string_lossy()))
+            .unwrap_or_default();
+        let path = base.with_file_name(format!("{stem}.b{mbps}.s{seed_index}{ext}"));
+        trace
+            .write_to(&path)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
     }
 
     /// Aggregates one bandwidth point's per-seed runs into a report.

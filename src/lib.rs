@@ -57,8 +57,12 @@ pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, Utilizati
 pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
 pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
 pub use bash_net::{Jitter, NodeId, NodeSet};
-pub use bash_sim::{RunStats, System, SystemConfig};
-pub use bash_tester::{run_random_test, TesterConfig, TesterReport};
+pub use bash_sim::{FaultInjection, RunStats, System, SystemConfig};
+pub use bash_tester::{
+    differential_trace, minimize_trace, run_random_test, run_verify, run_verify_trace,
+    verify_catalog, CheckViolation, DiffMismatch, DifferentialReport, MinimizeOutcome,
+    TesterConfig, TesterReport, VerifyConfig, VerifyReport, VerifyVerdict,
+};
 pub use bash_trace::{Trace, TraceError, TraceRecord, TraceWriter};
 pub use bash_workloads::{
     catalog, Completion, LockingMicrobench, PatternKind, PatternParams, PatternWorkload, Scenario,
@@ -70,3 +74,24 @@ mod report_text;
 
 pub use builder::{BoxedWorkload, BuildError, Metric, RunReport, SimBuilder};
 pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};
+
+/// Verifies a named catalog scenario under one protocol with the
+/// harness's hostile defaults (4 nodes, tiny thrashing cache, jittered
+/// latencies, 400 ops per node): the one-call entry point to the
+/// invariant suite.
+///
+/// ```
+/// let report = bash::verify_scenario("migratory", bash::ProtocolKind::Bash).unwrap();
+/// assert!(report.passed());
+/// ```
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnknownScenario`] for a name the catalog does
+/// not know.
+pub fn verify_scenario(scenario: &str, protocol: ProtocolKind) -> Result<VerifyReport, BuildError> {
+    SimBuilder::new(protocol)
+        .nodes(4)
+        .scenario(scenario)
+        .try_verify(400)
+}

@@ -29,8 +29,10 @@ use std::path::{Path, PathBuf};
 
 use bash::{sweep_canonical_text, ProtocolKind, SimBuilder, Trace};
 
-/// The scenarios with committed mini-traces.
-const SCENARIOS: &[&str] = &["migratory", "zipf"];
+/// The scenarios with committed mini-traces. `phase-shift` is the
+/// adaptive-switching regression: its calm/burst regime flips drive the
+/// BASH policy counter through both extremes during the replay window.
+const SCENARIOS: &[&str] = &["migratory", "zipf", "phase-shift"];
 
 /// Bandwidth points each golden replay sweeps (three points so
 /// `threads(4)` genuinely runs grid points concurrently).

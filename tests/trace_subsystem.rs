@@ -94,6 +94,55 @@ fn trace_out_writes_a_loadable_file() {
 }
 
 #[test]
+fn trace_out_all_points_writes_the_whole_grid() {
+    let dir = std::env::temp_dir().join("bash_trace_allpoints_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("grid.trace");
+    capture_builder(ProtocolKind::Snooping)
+        .bandwidths([400, 1600])
+        .seeds(2)
+        .trace_out(&base)
+        .trace_out_all_points(true)
+        .run_sweep();
+    // One file per (bandwidth, seed) grid point, plus the plain base path
+    // carrying the first point.
+    let mut traces = Vec::new();
+    for name in [
+        "grid.trace",
+        "grid.b400.s0.trace",
+        "grid.b400.s1.trace",
+        "grid.b1600.s0.trace",
+        "grid.b1600.s1.trace",
+    ] {
+        let path = dir.join(name);
+        let trace =
+            Trace::read_from(&path).unwrap_or_else(|e| panic!("{name} missing or invalid: {e}"));
+        assert!(trace.validate().is_ok(), "{name}");
+        assert_eq!(trace.nodes, 4, "{name}");
+        traces.push(trace);
+        std::fs::remove_file(&path).ok();
+    }
+    // The base path and the first grid point are the same capture, and
+    // every captured point replays.
+    assert_eq!(traces[0], traces[1]);
+    for trace in traces {
+        let report = capture_builder(ProtocolKind::Snooping)
+            .trace_in(trace)
+            .run();
+        assert!(report.stats().misses > 0);
+    }
+}
+
+#[test]
+fn trace_out_all_points_requires_a_path() {
+    let err = capture_builder(ProtocolKind::Snooping)
+        .trace_out_all_points(true)
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, bash::BuildError::AllPointsWithoutTraceOut));
+}
+
+#[test]
 fn trace_in_adopts_node_count_and_rejects_mismatch() {
     let (_, trace) = capture_builder(ProtocolKind::Snooping).run_captured();
     let b = SimBuilder::new(ProtocolKind::Snooping).trace_in(trace.clone());
