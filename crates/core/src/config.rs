@@ -21,6 +21,17 @@ pub enum FaultInjection {
         /// Corruption period in completed loads (must be ≥ 1).
         period: u64,
     },
+    /// Drop every `period`-th invalidation: a GetM delivery addressed to a
+    /// bystander cache holding the block in the Shared state is silently
+    /// discarded instead of invalidating the copy, emulating a lost
+    /// invalidation message. The stale copy keeps serving local loads, so
+    /// the oracle must flag the protocol (stale or out-of-thin-air
+    /// values). Only pure sharers are targeted — an owner must still
+    /// supply data or the system would deadlock rather than misbehave.
+    DropInvalidations {
+        /// Drop period in eligible invalidation deliveries (must be ≥ 1).
+        period: u64,
+    },
 }
 
 /// Full configuration of a simulated system.
@@ -61,6 +72,10 @@ pub struct SystemConfig {
     ///
     /// [`System::take_captured_trace`]: crate::System::take_captured_trace
     pub capture_ops: bool,
+    /// Also stamp every captured op with its issue→complete latency
+    /// (requires [`capture_ops`](Self::capture_ops)), producing a
+    /// completion-bearing trace that latency-diff passes can consume.
+    pub capture_completions: bool,
     /// Message latency perturbation (tester and error-bar methodology).
     pub jitter: Jitter,
     /// Deliberate fault injection (verification-harness self-tests only;
@@ -90,6 +105,7 @@ impl SystemConfig {
             retry_capacity: 64,
             coverage: false,
             capture_ops: false,
+            capture_completions: false,
             jitter: Jitter::None,
             fault: None,
             seed: 0xBA5E,
@@ -134,6 +150,14 @@ impl SystemConfig {
         self
     }
 
+    /// Enables op capture *with* completion events: every captured op is
+    /// stamped with the issue→complete latency the run observed.
+    pub fn with_capture_completions(mut self) -> Self {
+        self.capture_ops = true;
+        self.capture_completions = true;
+        self
+    }
+
     /// Enables message-latency jitter.
     pub fn with_jitter(mut self, jitter: Jitter) -> Self {
         self.jitter = jitter;
@@ -160,9 +184,16 @@ impl SystemConfig {
             "BASH needs at least one retry buffer"
         );
         assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
-        if let Some(FaultInjection::CorruptLoads { period }) = self.fault {
+        if let Some(
+            FaultInjection::CorruptLoads { period } | FaultInjection::DropInvalidations { period },
+        ) = self.fault
+        {
             assert!(period > 0, "fault period must be at least 1");
         }
+        assert!(
+            self.capture_ops || !self.capture_completions,
+            "completion capture requires op capture"
+        );
     }
 }
 

@@ -17,13 +17,13 @@ use std::rc::Rc;
 
 use bash_coherence::common::{CacheStats, MemStats};
 use bash_coherence::{
-    route, AccessOutcome, Action, ActionSink, CacheCtrl, MemCtrl, ProcOp, ProtoMsg, ProtocolKind,
-    TxnId,
+    route, AccessOutcome, Action, ActionSink, CacheCtrl, MemCtrl, Mosi, ProcOp, ProtoMsg,
+    ProtocolKind, TxnId, TxnKind,
 };
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
 use bash_net::{Crossbar, Message, NetConfig, NetEvent, NetStep, NodeId};
-use bash_trace::{Trace, TraceRecord, TraceWriter};
+use bash_trace::{Trace, TraceCapture, TraceRecord};
 use bash_workloads::{WorkItem, Workload};
 
 use crate::config::{FaultInjection, SystemConfig};
@@ -43,13 +43,14 @@ enum Event {
 }
 
 /// Appends one pulled work item to the capture hook, if it is enabled.
-fn capture_item(capture: &mut Option<TraceWriter>, node: NodeId, item: &WorkItem) {
+fn capture_item(capture: &mut Option<TraceCapture>, node: NodeId, item: &WorkItem) {
     if let Some(writer) = capture {
         writer.record(TraceRecord {
             node,
             think: item.think,
             instructions: item.instructions,
             op: item.op,
+            completion: None,
         });
     }
 }
@@ -114,10 +115,15 @@ pub struct System<W: Workload> {
     delivery_trace: Option<Vec<String>>,
     /// The op-capture hook (enabled with [`SystemConfig::with_capture`]):
     /// every work item the workload hands a processor is appended here, in
-    /// issue-request order, producing a replayable reference trace.
-    op_capture: Option<TraceWriter>,
+    /// issue-request order, producing a replayable reference trace. With
+    /// [`SystemConfig::capture_completions`] each record is additionally
+    /// stamped with its issue→complete latency as the op finishes.
+    op_capture: Option<TraceCapture>,
     /// Completed-load counter driving [`FaultInjection::CorruptLoads`].
     loads_completed: u64,
+    /// Eligible-invalidation counter driving
+    /// [`FaultInjection::DropInvalidations`].
+    invalidations_seen: u64,
 }
 
 impl<W: Workload> System<W> {
@@ -176,7 +182,7 @@ impl<W: Workload> System<W> {
         // pulled here, not in `fetch_next`.
         let mut op_capture = cfg
             .capture_ops
-            .then(|| TraceWriter::new(nodes, cfg.seed, workload.name()));
+            .then(|| TraceCapture::new(nodes, cfg.seed, workload.name()));
         for i in 0..nodes {
             let node = NodeId(i);
             match workload.next_item(node, Time::ZERO) {
@@ -213,6 +219,7 @@ impl<W: Workload> System<W> {
             delivery_trace: None,
             op_capture,
             loads_completed: 0,
+            invalidations_seen: 0,
             cfg,
         }
     }
@@ -453,6 +460,28 @@ impl<W: Workload> System<W> {
         }
     }
 
+    /// True when this delivery is an invalidation the configured
+    /// [`FaultInjection::DropInvalidations`] fault elects to lose: a GetM
+    /// reaching a bystander cache that holds the block as a pure sharer.
+    /// Owners are never targeted — they must still supply data, so the
+    /// fault produces stale values, not deadlock.
+    fn fault_drops_invalidation(&mut self, dst: NodeId, msg: &Message<ProtoMsg>) -> bool {
+        let Some(FaultInjection::DropInvalidations { period }) = self.cfg.fault else {
+            return false;
+        };
+        let ProtoMsg::Request(req) = &msg.payload else {
+            return false;
+        };
+        if req.kind != TxnKind::GetM || req.requestor == dst {
+            return false;
+        }
+        if self.caches[dst.index()].cache().state(req.block) != Some(Mosi::S) {
+            return false;
+        }
+        self.invalidations_seen += 1;
+        self.invalidations_seen.is_multiple_of(period)
+    }
+
     fn deliver(&mut self, dst: NodeId, msg: Rc<Message<ProtoMsg>>, order: Option<u64>) {
         if let Some(trace) = self.delivery_trace.as_mut() {
             let ord = order.map(|o| format!(" ord={o}")).unwrap_or_default();
@@ -467,7 +496,10 @@ impl<W: Workload> System<W> {
             ));
         }
         let routing = route(self.cfg.protocol, dst, self.cfg.nodes, &msg);
-        if routing.to_cache {
+        if routing.to_cache && self.fault_drops_invalidation(dst, &msg) {
+            // The cache never sees the invalidation; its stale copy keeps
+            // serving loads. Memory-side routing proceeds untouched.
+        } else if routing.to_cache {
             let mut sink = std::mem::take(&mut self.sink);
             self.caches[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
             self.apply_actions(dst, &mut sink);
@@ -501,6 +533,9 @@ impl<W: Workload> System<W> {
             AccessOutcome::Hit { value } => {
                 self.counters.ops += 1;
                 self.counters.retired += item.instructions;
+                // A hit completes at issue time in this model: the
+                // completion event records a zero latency.
+                self.capture_completion(node, Duration::ZERO);
                 self.complete_op(node, &item.op, value);
                 self.fetch_next(node);
             }
@@ -530,8 +565,20 @@ impl<W: Workload> System<W> {
         }
         self.counters.ops += 1;
         self.counters.retired += pending.instructions;
+        self.capture_completion(node, self.now.since(pending.issued_at));
         self.complete_op(node, &pending.op, value);
         self.fetch_next(node);
+    }
+
+    /// Stamps the in-flight op's issue→complete latency onto its captured
+    /// record, when completion capture is enabled.
+    fn capture_completion(&mut self, node: NodeId, latency: Duration) {
+        if !self.cfg.capture_completions {
+            return;
+        }
+        if let Some(capture) = &mut self.op_capture {
+            capture.record_completion(node, latency);
+        }
     }
 
     /// Reports a completed op to the workload, applying any configured

@@ -5,11 +5,18 @@
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
 //!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | verify
+//! bash-experiments trace <info FILE | migrate IN OUT | replay FILE | diff FILE>
 //! ```
 //!
 //! `verify` is not part of `all`: it is the invariant gate (catalog ×
 //! protocols under the verification harness), exits non-zero on any
-//! violation, and writes a minimized repro trace for each failing cell.
+//! violation, writes a minimized repro trace for each failing cell, and —
+//! on a clean matrix — emits the cross-protocol latency-distribution
+//! diff from a completion-bearing trace.
+//!
+//! `trace` is the streaming trace-file toolbox: inspect a header and
+//! chunk map, migrate a v1 file to v2, replay a file through all three
+//! protocols without loading it, or print its differential latency diff.
 //!
 //! Each experiment prints an ASCII rendition of the paper's plot and writes
 //! a CSV under `--out` (default `results/`). See EXPERIMENTS.md for the
@@ -21,6 +28,7 @@ mod micro;
 mod scenarios;
 mod static_figs;
 mod table1;
+mod trace;
 mod verify;
 
 use common::Options;
@@ -51,10 +59,18 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
                 println!("  ids: all fig1..fig12 table1 scenarios verify");
+                println!("       trace <info FILE | migrate IN OUT | replay FILE | diff FILE>");
                 return;
             }
             other => ids.push(other.to_string()),
         }
+    }
+    // `trace` consumes the rest of the line as its own sub-arguments.
+    if ids.first().map(String::as_str) == Some("trace") {
+        if !trace::trace_cmd(&opts, &ids[1..]) {
+            std::process::exit(1);
+        }
+        return;
     }
     if ids.is_empty() {
         ids.push("all".to_string());

@@ -1,0 +1,220 @@
+//! The `trace` experiment subcommand: streaming trace-file tooling.
+//!
+//! ```text
+//! bash-experiments trace info <file>            header, counts, chunk map
+//! bash-experiments trace migrate <in> <out>     re-encode (v1 or v2) as v2
+//! bash-experiments trace replay <file>          stream through all protocols
+//! bash-experiments trace diff <file>            differential latency diff
+//! ```
+//!
+//! Everything here runs on the streaming API ([`TraceReader`] /
+//! [`TraceWriter`] / `SimBuilder::trace_in_path`), so none of the
+//! subcommands require the trace to fit in memory except `diff` (which
+//! replays through the verification harness and wants the record list in
+//! hand).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+
+use bash::tester::VerifyConfig;
+use bash::{differential_trace, ProtocolKind, SimBuilder, Trace, TraceReader, TraceWriter};
+
+use crate::common::Options;
+
+/// Entry point: dispatches the `trace` subcommand. Returns `false` on a
+/// usage or I/O error (the caller exits non-zero).
+pub fn trace_cmd(opts: &Options, args: &[String]) -> bool {
+    match args {
+        [sub, file] if sub == "info" => info(file),
+        [sub, input, output] if sub == "migrate" => migrate(input, output),
+        [sub, file] if sub == "replay" => replay(opts, file),
+        [sub, file] if sub == "diff" => diff(file),
+        _ => {
+            eprintln!("usage: bash-experiments trace <info FILE | migrate IN OUT | replay FILE | diff FILE>");
+            false
+        }
+    }
+}
+
+fn open_reader(path: &str) -> Option<TraceReader<BufReader<File>>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace: cannot open {path}: {e}");
+            return None;
+        }
+    };
+    match TraceReader::new(BufReader::new(file)) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("trace: cannot decode {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Streams the whole file once: header, record/completion counts, and the
+/// chunk map when the trace carries an index.
+fn info(path: &str) -> bool {
+    let Some(mut reader) = open_reader(path) else {
+        return false;
+    };
+    let header = reader.header().clone();
+    println!(
+        "{path}: bash-trace v{} nodes={} seed={:#x} workload={:?}",
+        header.version, header.nodes, header.seed, header.workload
+    );
+    let mut records = 0usize;
+    let mut completions = 0usize;
+    let mut per_node = vec![0u64; header.nodes as usize];
+    for r in &mut reader {
+        let r = match r {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace: decode failed after {records} records: {e}");
+                return false;
+            }
+        };
+        records += 1;
+        completions += r.completion.is_some() as usize;
+        per_node[r.node.index()] += 1;
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "  {records} records ({completions} with completion latency), {bytes} bytes \
+         ({:.2} B/record)",
+        bytes as f64 / records.max(1) as f64
+    );
+    println!(
+        "  per-node ops: [{}]",
+        per_node
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match reader.index() {
+        Some(index) => println!(
+            "  chunk index: {} chunks, largest {} records",
+            index.entries.len(),
+            index.entries.iter().map(|e| e.count).max().unwrap_or(0)
+        ),
+        None => println!("  no chunk index (v1 trace or index-less v2)"),
+    }
+    true
+}
+
+/// Streams `input` (either version) into a fresh v2 `output` — the bless
+/// path for migrating committed fixtures. Record-preserving: completions
+/// and ordering survive; only the container changes.
+fn migrate(input: &str, output: &str) -> bool {
+    let Some(mut reader) = open_reader(input) else {
+        return false;
+    };
+    let header = reader.header().clone();
+    let out = match File::create(output) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace: cannot create {output}: {e}");
+            return false;
+        }
+    };
+    let mut writer = match TraceWriter::new(
+        BufWriter::new(out),
+        header.nodes,
+        header.seed,
+        header.workload.clone(),
+    ) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("trace: cannot write {output}: {e}");
+            return false;
+        }
+    };
+    let mut records = 0usize;
+    for r in &mut reader {
+        let r = match r {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace: {input} decode failed after {records} records: {e}");
+                return false;
+            }
+        };
+        if let Err(e) = writer.write(r) {
+            eprintln!("trace: {output} write failed at record {records}: {e}");
+            return false;
+        }
+        records += 1;
+    }
+    match writer.finish().map(|mut w| w.flush()) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("trace: {output} flush failed: {e}");
+            return false;
+        }
+        Err(e) => {
+            eprintln!("trace: {output} finalize failed: {e}");
+            return false;
+        }
+    }
+    println!(
+        "migrated {input} (v{}) -> {output} (v2), {records} records",
+        header.version
+    );
+    true
+}
+
+/// Replays the file through all three protocols at the paper-default
+/// system, decoding the trace streaming per run (`trace_in_path`).
+fn replay(opts: &Options, path: &str) -> bool {
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>10}",
+        "protocol", "ops/ms", "latency", "util", "broadcast"
+    );
+    for proto in ProtocolKind::ALL {
+        let builder = match SimBuilder::new(proto).trace_in_path(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("trace: {e}");
+                return false;
+            }
+        };
+        let report = builder
+            .warmup(opts.window(bash::Duration::from_ns(5_000)))
+            .measure(opts.window(bash::Duration::from_ns(20_000)))
+            .run();
+        println!(
+            "{:<10} {:>12.1} {:>10.1}ns {:>7.1}% {:>9.1}%",
+            report.protocol.name(),
+            report.ops_per_sec.mean / 1e6,
+            report.miss_latency_ns.mean,
+            report.link_utilization.mean * 100.0,
+            report.broadcast_fraction.mean * 100.0,
+        );
+    }
+    true
+}
+
+/// Runs the differential pass on the file and prints the per-protocol
+/// latency-distribution diff (see the `verify` subcommand for the
+/// catalog-wide latency gate).
+fn diff(path: &str) -> bool {
+    let trace = match Trace::read_from(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let cfg = VerifyConfig::new(ProtocolKind::Snooping, trace.seed);
+    let report = differential_trace(&cfg, &trace);
+    crate::verify::print_latency_diff(&report);
+    if !report.passed() {
+        eprintln!(
+            "trace: differential FAILED: {} single-writer mismatches",
+            report.mismatches.len()
+        );
+        return false;
+    }
+    true
+}

@@ -7,9 +7,17 @@
 //! the violation reproduces, and writes the repro to
 //! `<out>/verify_repro_<scenario>_<protocol>.trace` (CI uploads it as an
 //! artifact), then exits non-zero.
+//!
+//! After a clean matrix the gate additionally runs the **differential
+//! latency pass**: one completion-bearing trace from the matrix is
+//! replayed through all three protocols and the per-node issue→complete
+//! latency distributions (mean/p50/p99) are diffed against the configured
+//! tolerance — printed per protocol and written to `latency_diff.csv`.
+//! Latency divergence is informational (the protocols are *supposed* to
+//! trade latency for bandwidth); only value divergence fails the gate.
 
 use bash::tester::{minimize_trace, run_verify_trace, verify_catalog_reports, VerifyConfig};
-use bash::{kernel::pool, ProtocolKind};
+use bash::{differential_trace, kernel::pool, DifferentialReport, ProtocolKind};
 
 use crate::common::{write_csv, Options};
 
@@ -82,8 +90,113 @@ pub fn verify(opts: &Options) -> bool {
             bash::catalog::CATALOG.len(),
             ProtocolKind::ALL.len()
         );
+        all_clean = latency_diff(opts, &reports);
     }
     all_clean
+}
+
+/// The differential latency pass over one completion-bearing trace from
+/// the clean matrix (the phase-shift scenario exercises both protocol
+/// regimes, so its latency spread is the interesting one).
+fn latency_diff(opts: &Options, reports: &[(&'static str, bash::VerifyReport)]) -> bool {
+    let Some((_, report)) = reports
+        .iter()
+        .find(|(name, r)| *name == "phase-shift" && r.protocol == ProtocolKind::Snooping)
+    else {
+        eprintln!("verify: phase-shift cell missing from the matrix");
+        return false;
+    };
+    assert!(
+        report.trace.completions() > 0,
+        "verification captures carry completion events"
+    );
+    let cfg = VerifyConfig::new(ProtocolKind::Snooping, SEED);
+    let diff = differential_trace(&cfg, &report.trace);
+    print_latency_diff(&diff);
+    let mut rows = Vec::new();
+    for d in &diff.latency {
+        let node = d
+            .node
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "all".into());
+        for (proto, summary) in diff.protocols.iter().zip(&d.per_protocol) {
+            let Some(s) = summary else { continue };
+            rows.push(format!(
+                "{node},{},{},{:.3},{:.3},{:.3},{:.4},{}",
+                proto.name(),
+                s.count,
+                s.mean_ns,
+                s.p50_ns,
+                s.p99_ns,
+                d.relative_spread,
+                d.within_tolerance,
+            ));
+        }
+    }
+    let path = write_csv(
+        opts,
+        "latency_diff",
+        "node,protocol,completions,mean_ns,p50_ns,p99_ns,relative_spread,within_tolerance",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+    if !diff.passed() {
+        eprintln!(
+            "verify: differential latency pass found {} single-writer value mismatches",
+            diff.mismatches.len()
+        );
+        return false;
+    }
+    true
+}
+
+/// Prints a differential report's latency-distribution diff (shared with
+/// the `trace diff` subcommand).
+pub(crate) fn print_latency_diff(diff: &DifferentialReport) {
+    println!(
+        "latency diff over '{}' ({} completions captured live):",
+        diff.workload,
+        diff.captured_latency.map(|s| s.count).unwrap_or(0)
+    );
+    println!(
+        "{:<6} {:<10} {:>7} {:>10} {:>10} {:>10}",
+        "node", "protocol", "ops", "mean", "p50", "p99"
+    );
+    for d in &diff.latency {
+        let node = d
+            .node
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "all".into());
+        for (proto, summary) in diff.protocols.iter().zip(&d.per_protocol) {
+            let Some(s) = summary else { continue };
+            println!(
+                "{:<6} {:<10} {:>7} {:>8.1}ns {:>8.1}ns {:>8.1}ns",
+                node,
+                proto.name(),
+                s.count,
+                s.mean_ns,
+                s.p50_ns,
+                s.p99_ns,
+            );
+        }
+        println!(
+            "{:<6} {:<10} spread {:.1}% ({})",
+            node,
+            "",
+            d.relative_spread * 100.0,
+            if d.within_tolerance {
+                "within tolerance"
+            } else {
+                "diverged — informational"
+            }
+        );
+    }
+    println!(
+        "latency rows over tolerance: {} of {} (informational; hard failures: {})",
+        diff.latency_divergences,
+        diff.latency.len(),
+        diff.mismatches.len()
+    );
 }
 
 /// Minimizes a failing cell's captured trace and writes the repro.

@@ -17,6 +17,14 @@
 //!   location) legitimately differ across protocols even on single-writer
 //!   data — timing decides how many updates a reader catches. They are
 //!   diffed and counted for inspection, never gated on.
+//! * **Latency distributions**: every replay captures issue→complete
+//!   latencies, and the report carries per-node mean/p50/p99 summaries
+//!   per protocol plus their relative spread against
+//!   [`VerifyConfig::latency_tolerance`]. Latency *differences* are the
+//!   paper's whole point (protocols trade latency for bandwidth), so
+//!   exceeding the tolerance is informational
+//!   ([`DifferentialReport::latency_divergences`]) — only value
+//!   divergence fails the run.
 
 use std::collections::BTreeMap;
 
@@ -48,6 +56,57 @@ pub struct DiffMismatch {
     pub expected: u64,
 }
 
+/// A mean/percentile summary of one latency sample set (all values ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Completions summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes raw latencies (picoseconds, as captured). Percentiles
+    /// use the standard nearest-rank definition: the `⌈q·n⌉`-th smallest
+    /// sample.
+    pub fn from_ps(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let pct = |q: f64| samples[(q * count as f64).ceil() as usize - 1] as f64 / 1000.0;
+        let mean_ps = samples.iter().map(|&s| s as f64).sum::<f64>() / count as f64;
+        Some(LatencySummary {
+            count,
+            mean_ns: mean_ps / 1000.0,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        })
+    }
+}
+
+/// Per-node (or aggregate) latency distributions of one location class,
+/// compared across protocols.
+#[derive(Debug, Clone)]
+pub struct LatencyDiff {
+    /// The node, or `None` for the all-nodes aggregate row.
+    pub node: Option<u16>,
+    /// One summary per compared protocol, in
+    /// [`DifferentialReport::protocols`] order (`None` when that replay
+    /// completed no ops for the node).
+    pub per_protocol: Vec<Option<LatencySummary>>,
+    /// `(max mean − min mean) / min mean` across the protocols that have
+    /// a summary.
+    pub relative_spread: f64,
+    /// True when `relative_spread` stays within the configured tolerance.
+    pub within_tolerance: bool,
+}
+
 /// The outcome of one differential run.
 #[derive(Debug)]
 pub struct DifferentialReport {
@@ -67,6 +126,18 @@ pub struct DifferentialReport {
     /// (node, location) load histories that differ across protocols
     /// (legal; informational).
     pub history_divergences: usize,
+    /// Latency-distribution comparison: the all-nodes aggregate first,
+    /// then one row per node.
+    pub latency: Vec<LatencyDiff>,
+    /// Rows of [`latency`](Self::latency) whose spread exceeded
+    /// [`VerifyConfig::latency_tolerance`] (informational — latency
+    /// differences across protocols are expected and quantified, never
+    /// gated on).
+    pub latency_divergences: usize,
+    /// Summary of the completions the *input* trace itself carried, when
+    /// it was captured with completion events — the capture-time baseline
+    /// the replays are compared against.
+    pub captured_latency: Option<LatencySummary>,
 }
 
 impl DifferentialReport {
@@ -78,12 +149,15 @@ impl DifferentialReport {
 }
 
 /// Records what one protocol's replay observed: load histories per
-/// (node, location) plus the final memory image.
+/// (node, location), the final memory image, and every op's
+/// issue→complete latency per node.
 #[derive(Debug, Default)]
 struct Observation {
     quiescent: bool,
     histories: BTreeMap<(u16, Location), Vec<u64>>,
     finals: BTreeMap<Location, u64>,
+    /// Per-node completion latencies (ps), in completion-capture order.
+    latencies: Vec<Vec<u64>>,
 }
 
 /// A replayer that additionally records every load's observed value.
@@ -141,8 +215,10 @@ fn replay_one(cfg: &VerifyConfig, trace: &Trace, blocks: &[BlockAddr]) -> Observ
         inner: replay,
         histories: BTreeMap::new(),
     };
-    let mut sys_cfg = cfg.system_config();
-    sys_cfg.capture_ops = false; // the reference stream is already on disk
+    // The reference stream is already on disk; the replay's capture runs
+    // anyway (with completion events) because it is how the per-protocol
+    // latency distributions are measured.
+    let sys_cfg = cfg.system_config();
     let mut system = System::new(sys_cfg, workload);
     system.run_to_idle();
     let mut obs = Observation {
@@ -155,6 +231,14 @@ fn replay_one(cfg: &VerifyConfig, trace: &Trace, blocks: &[BlockAddr]) -> Observ
         let data = authoritative_data(&system, block);
         for word in 0..WORDS_PER_BLOCK {
             obs.finals.insert((block, word), data.read(word));
+        }
+    }
+    obs.latencies = vec![Vec::new(); trace.nodes as usize];
+    if let Some(captured) = system.take_captured_trace() {
+        for r in &captured.records {
+            if let Some(lat) = r.completion {
+                obs.latencies[r.node.index()].push(lat.as_ps());
+            }
         }
     }
     obs.histories = std::mem::take(&mut system.workload_mut().histories);
@@ -242,6 +326,44 @@ pub fn differential_trace(cfg: &VerifyConfig, trace: &Trace) -> DifferentialRepo
         })
         .count();
 
+    // Latency-distribution diff: the all-nodes aggregate, then per node.
+    let mut latency = Vec::with_capacity(1 + trace.nodes as usize);
+    let rows = std::iter::once(None).chain((0..trace.nodes).map(Some));
+    for node in rows {
+        let per_protocol: Vec<Option<LatencySummary>> = observations
+            .iter()
+            .map(|o| {
+                let samples: Vec<u64> = match node {
+                    Some(n) => o.latencies[n as usize].clone(),
+                    None => o.latencies.iter().flatten().copied().collect(),
+                };
+                LatencySummary::from_ps(samples)
+            })
+            .collect();
+        let means: Vec<f64> = per_protocol.iter().flatten().map(|s| s.mean_ns).collect();
+        let relative_spread = match (
+            means.iter().cloned().fold(f64::INFINITY, f64::min),
+            means.iter().cloned().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min.is_finite() && min > 0.0 => (max - min) / min,
+            _ => 0.0,
+        };
+        latency.push(LatencyDiff {
+            node,
+            per_protocol,
+            relative_spread,
+            within_tolerance: relative_spread <= cfg.latency_tolerance,
+        });
+    }
+    let latency_divergences = latency.iter().filter(|d| !d.within_tolerance).count();
+    let captured_latency = LatencySummary::from_ps(
+        trace
+            .records
+            .iter()
+            .filter_map(|r| r.completion.map(|d| d.as_ps()))
+            .collect(),
+    );
+
     DifferentialReport {
         workload: trace.workload.clone(),
         protocols,
@@ -250,6 +372,9 @@ pub fn differential_trace(cfg: &VerifyConfig, trace: &Trace) -> DifferentialRepo
         mismatches,
         racy_divergences,
         history_divergences,
+        latency,
+        latency_divergences,
+        captured_latency,
     }
 }
 
@@ -270,6 +395,35 @@ mod tests {
         assert_eq!(diff.quiescent, vec![true, true, true]);
         assert!(diff.locations > 0);
         assert!(diff.racy_divergences == 0, "single-writer workload");
+
+        // Verification runs capture completions, so the latency pass has
+        // data: an aggregate row plus one per node, every protocol with a
+        // summary, and a capture-time baseline.
+        assert_eq!(diff.latency.len(), 1 + cfg.nodes as usize);
+        let aggregate = &diff.latency[0];
+        assert_eq!(aggregate.node, None);
+        for (proto, summary) in diff.protocols.iter().zip(&aggregate.per_protocol) {
+            let s = summary.unwrap_or_else(|| panic!("{proto:?} has no latency samples"));
+            assert!(s.count > 0 && s.mean_ns > 0.0 && s.p99_ns >= s.p50_ns);
+        }
+        let captured = diff.captured_latency.expect("trace bears completions");
+        assert!(captured.count > 0);
+        assert!(
+            diff.latency_divergences <= diff.latency.len(),
+            "divergence count is a subset of rows"
+        );
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_nearest_rank() {
+        let s = LatencySummary::from_ps((1..=100).map(|i| i * 1000).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        // Nearest-rank: the ⌈q·n⌉-th smallest sample — ⌈50⌉ = the 50th
+        // for p50, ⌈99⌉ = the 99th for p99.
+        assert_eq!(s.p50_ns, 50.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert!(LatencySummary::from_ps(Vec::new()).is_none());
     }
 
     #[test]
@@ -300,6 +454,7 @@ mod tests {
                         word: 1,
                         value: 10,
                     },
+                    completion: None,
                 },
                 TraceRecord {
                     node: NodeId(0),
@@ -310,6 +465,7 @@ mod tests {
                         word: 1,
                         value: 11,
                     },
+                    completion: None,
                 },
                 TraceRecord {
                     node: NodeId(1),
@@ -319,6 +475,7 @@ mod tests {
                         block: BlockAddr(4),
                         word: 0,
                     },
+                    completion: None,
                 },
             ],
         };

@@ -44,7 +44,9 @@ pub mod verify;
 pub mod workload;
 
 pub use checker::{CheckViolation, Oracle};
-pub use differential::{differential_trace, DiffMismatch, DifferentialReport};
+pub use differential::{
+    differential_trace, DiffMismatch, DifferentialReport, LatencyDiff, LatencySummary,
+};
 pub use harness::{run_random_test, sweep_structural, TesterConfig, TesterReport};
 pub use minimize::{minimize_trace, MinimizeOutcome};
 pub use verify::{

@@ -10,12 +10,14 @@
 //! fair game — the repro does not need to be a subsequence of the
 //! original, only to exhibit *a* violation under the same configuration.
 //!
-//! Passes repeat until a fixpoint (or the replay budget runs out), chunk
-//! removal first (largest expected reduction per replay), then node and
-//! block reductions, then cosmetic simplifications.
+//! Passes repeat until a fixpoint (or the replay budget runs out):
+//! v2-chunk-aligned removal first (whole on-disk chunks, so candidates
+//! re-encode cheaply and failing windows correspond to file chunks), then
+//! classic ddmin windows, then node and block reductions, then cosmetic
+//! simplifications.
 
 use bash_net::NodeId;
-use bash_trace::Trace;
+use bash_trace::{stream::DEFAULT_CHUNK_RECORDS, Trace};
 
 /// The result of a minimization run.
 #[derive(Debug)]
@@ -57,6 +59,7 @@ where
     let mut best = trace.clone();
     loop {
         let before = (best.records.len(), best.nodes, distinct_blocks(&best));
+        shrink_whole_chunks(&mut best, &mut check, &mut replays);
         shrink_ops(&mut best, &mut check, &mut replays);
         shrink_nodes(&mut best, &mut check, &mut replays);
         shrink_blocks(&mut best, &mut check, &mut replays);
@@ -78,6 +81,32 @@ fn distinct_blocks(t: &Trace) -> usize {
     blocks.sort_unstable();
     blocks.dedup();
     blocks.len()
+}
+
+/// Chunk-aware pre-pass for traces larger than one v2 chunk: drop whole
+/// [`DEFAULT_CHUNK_RECORDS`]-aligned windows. Candidates keep the
+/// surviving records' chunk alignment (only the tail chunk re-packs), so
+/// each attempt corresponds to deleting on-disk chunks — the cheapest
+/// large bite before the general ddmin pass takes over.
+fn shrink_whole_chunks<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
+where
+    F: FnMut(&Trace, &mut usize) -> bool,
+{
+    if best.records.len() <= DEFAULT_CHUNK_RECORDS {
+        return;
+    }
+    let mut i = 0;
+    while i < best.records.len() {
+        let mut candidate = best.clone();
+        let end = (i + DEFAULT_CHUNK_RECORDS).min(candidate.records.len());
+        candidate.records.drain(i..end);
+        if check(&candidate, replays) {
+            *best = candidate;
+            // Do not advance: the next chunk slid into place at `i`.
+        } else {
+            i += DEFAULT_CHUNK_RECORDS;
+        }
+    }
 }
 
 /// Classic ddmin chunk removal: drop windows of records, halving the
@@ -188,7 +217,9 @@ fn remap_block(r: &mut bash_trace::TraceRecord, new_block: u64) {
 }
 
 /// Cosmetic simplifications that make the repro easier to read: zero the
-/// think times and instruction counts.
+/// think times and instruction counts and strip captured completion
+/// latencies (replay ignores them; a repro should not drag measurement
+/// noise along).
 fn simplify<F>(best: &mut Trace, check: &mut F, replays: &mut usize)
 where
     F: FnMut(&Trace, &mut usize) -> bool,
@@ -197,6 +228,7 @@ where
     for r in &mut candidate.records {
         r.think = bash_kernel::Duration::ZERO;
         r.instructions = 0;
+        r.completion = None;
     }
     if candidate != *best && check(&candidate, replays) {
         *best = candidate;
@@ -219,6 +251,7 @@ mod tests {
                 block: BlockAddr(block),
                 word,
             },
+            completion: Some(Duration::from_ns(200)),
         }
     }
 

@@ -46,6 +46,12 @@ pub struct VerifyConfig {
     pub cache: CacheGeometry,
     /// Deliberate fault injection (harness self-tests only).
     pub fault: Option<FaultInjection>,
+    /// Relative spread of per-node mean latencies across protocols above
+    /// which a differential run counts the location as a latency
+    /// divergence (informational — latency differences are *expected*
+    /// across protocols; the diff exists to quantify them, and only value
+    /// divergence ever fails a run). 0.25 = 25 %.
+    pub latency_tolerance: f64,
 }
 
 impl VerifyConfig {
@@ -65,15 +71,19 @@ impl VerifyConfig {
             }),
             cache: CacheGeometry { sets: 4, ways: 2 },
             fault: None,
+            latency_tolerance: 0.25,
         }
     }
 
     /// The `SystemConfig` a verification run under this config uses.
+    /// Capture is always on — with completion events, so every
+    /// verification trace doubles as input to the differential latency
+    /// pass.
     pub fn system_config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper_default(self.protocol, self.nodes, self.link_mbps)
             .with_seed(self.seed)
             .with_cache(self.cache)
-            .with_capture();
+            .with_capture_completions();
         if let Some(jitter) = &self.jitter {
             cfg = cfg.with_jitter(jitter.clone());
         }

@@ -1,10 +1,10 @@
-//! The compact binary trace encoding (format v1).
+//! The legacy v1 binary trace encoding.
 //!
 //! Layout (all multi-byte scalars little-endian, `varint` = LEB128 u64):
 //!
 //! ```text
 //! magic    8  b"BASHTRCE"
-//! version  2  u16 (currently 1)
+//! version  2  u16 (1)
 //! nodes    2  u16
 //! seed     8  u64
 //! name     varint length + UTF-8 bytes
@@ -25,15 +25,20 @@
 //! value        varint   (Store only)
 //! ```
 //!
-//! Varints keep typical records under ~10 bytes (addresses and think times
-//! are small); the checksum turns silent corruption into a hard
-//! [`TraceError::ChecksumMismatch`].
+//! **Decode is permanent** — [`Trace::from_bytes`] and
+//! [`TraceReader`](crate::TraceReader) recognize the version header and
+//! stream v1 payloads forever (the committed v1 compatibility fixture
+//! pins this in CI). **Encode survives only as [`Trace::to_bytes_v1`]**:
+//! the current writer is the v2 chunked form (module
+//! [`stream`](crate::stream)), which adds per-chunk checksums, per-node
+//! delta-encoded block addresses, completion latencies and a seekable
+//! index — none of which v1 can carry (completions are silently dropped
+//! by `to_bytes_v1`).
 
-use bash_coherence::{BlockAddr, ProcOp};
-use bash_kernel::Duration;
-use bash_net::NodeId;
+use bash_coherence::ProcOp;
 
-use crate::{Trace, TraceError, TraceRecord, FORMAT_VERSION};
+use crate::wire::{fnv1a, put_varint};
+use crate::{Trace, FORMAT_V1};
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"BASHTRCE";
@@ -41,84 +46,20 @@ pub const MAGIC: [u8; 8] = *b"BASHTRCE";
 const KIND_LOAD: u8 = 0;
 const KIND_STORE: u8 = 1;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
-        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(TraceError::Truncated);
-        }
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u16_le(&mut self) -> Result<u16, TraceError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u64_le(&mut self) -> Result<u64, TraceError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    fn byte(&mut self) -> Result<u8, TraceError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn varint(&mut self) -> Result<u64, TraceError> {
-        let mut value = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let byte = self.byte()?;
-            if shift == 63 && byte > 1 {
-                return Err(TraceError::BadVarint);
-            }
-            value |= ((byte & 0x7f) as u64) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(value);
-            }
-            shift += 7;
-            if shift > 63 {
-                return Err(TraceError::BadVarint);
-            }
-        }
-    }
-}
-
 impl Trace {
-    /// Encodes the trace into the v1 binary form.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Encodes the trace into the legacy v1 binary form — for
+    /// compatibility fixtures and size comparisons only; everything else
+    /// writes v2 via [`Trace::to_bytes`] or
+    /// [`TraceWriter`](crate::TraceWriter).
+    ///
+    /// v1 has no completion field, so any issue→complete latencies the
+    /// trace carries are dropped: `from_bytes(to_bytes_v1(t))` equals `t`
+    /// with every `completion` set to `None`.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         // Headers are ~20 bytes + name; records average well under 16.
         let mut out = Vec::with_capacity(32 + self.workload.len() + self.records.len() * 16);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&FORMAT_V1.to_le_bytes());
         out.extend_from_slice(&self.nodes.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
         put_varint(&mut out, self.workload.len() as u64);
@@ -146,103 +87,57 @@ impl Trace {
         out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
-
-    /// Decodes (and [`validate`](Trace::validate)s) a v1 binary trace.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
-        let mut cur = Cursor { bytes, pos: 0 };
-        if cur.take(MAGIC.len())? != MAGIC {
-            return Err(TraceError::BadMagic);
-        }
-        let version = cur.u16_le()?;
-        if version != FORMAT_VERSION {
-            return Err(TraceError::UnsupportedVersion(version));
-        }
-        let nodes = cur.u16_le()?;
-        let seed = cur.u64_le()?;
-        let name_len = cur.varint()?;
-        let name_len = usize::try_from(name_len).map_err(|_| TraceError::FieldOverflow)?;
-        let workload = std::str::from_utf8(cur.take(name_len)?)
-            .map_err(|_| TraceError::BadName)?
-            .to_string();
-        let count = cur.varint()?;
-        let count = usize::try_from(count).map_err(|_| TraceError::FieldOverflow)?;
-        // Cap the pre-allocation by what the remaining bytes could possibly
-        // hold (≥ 6 bytes per record) so a corrupt count cannot OOM us.
-        let remaining = bytes.len().saturating_sub(cur.pos);
-        let mut records = Vec::with_capacity(count.min(remaining / 6 + 1));
-        for _ in 0..count {
-            let node = cur.varint()?;
-            let node = u16::try_from(node).map_err(|_| TraceError::FieldOverflow)?;
-            let think = Duration::from_ps(cur.varint()?);
-            let instructions = cur.varint()?;
-            let kind = cur.byte()?;
-            let block = BlockAddr(cur.varint()?);
-            let word = usize::try_from(cur.varint()?).map_err(|_| TraceError::FieldOverflow)?;
-            let op = match kind {
-                KIND_LOAD => ProcOp::Load { block, word },
-                KIND_STORE => ProcOp::Store {
-                    block,
-                    word,
-                    value: cur.varint()?,
-                },
-                other => return Err(TraceError::BadOpKind(other)),
-            };
-            records.push(TraceRecord {
-                node: NodeId(node),
-                think,
-                instructions,
-                op,
-            });
-        }
-        let payload_end = cur.pos;
-        let stored = cur.u64_le()?;
-        if cur.pos != bytes.len() {
-            return Err(TraceError::TrailingBytes);
-        }
-        if fnv1a(&bytes[MAGIC.len()..payload_end]) != stored {
-            return Err(TraceError::ChecksumMismatch);
-        }
-        let trace = Trace {
-            nodes,
-            seed,
-            workload,
-            records,
-        };
-        trace.validate()?;
-        Ok(trace)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tests::sample_trace;
+    use crate::TraceError;
+    use bash_coherence::BlockAddr;
+
+    fn v1_sample() -> Trace {
+        let mut t = sample_trace();
+        for r in &mut t.records {
+            r.completion = None;
+        }
+        t
+    }
 
     #[test]
-    fn roundtrip_preserves_everything() {
-        let t = sample_trace();
-        let bytes = t.to_bytes();
+    fn v1_roundtrip_preserves_everything() {
+        let t = v1_sample();
+        let bytes = t.to_bytes_v1();
         assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
     }
 
     #[test]
-    fn encoding_is_compact() {
+    fn v1_encode_drops_completions() {
         let t = sample_trace();
+        assert!(t.completions() > 0);
+        let decoded = Trace::from_bytes(&t.to_bytes_v1()).unwrap();
+        assert_eq!(decoded.completions(), 0);
+        assert_eq!(decoded.records.len(), t.records.len());
+    }
+
+    #[test]
+    fn v1_encoding_is_compact() {
+        let t = v1_sample();
         // Magic+version+nodes+seed = 20 bytes; two small records must stay
         // well under a fixed-width (8 × 8-byte fields) encoding.
-        assert!(t.to_bytes().len() < 80, "got {}", t.to_bytes().len());
+        assert!(t.to_bytes_v1().len() < 80, "got {}", t.to_bytes_v1().len());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = sample_trace().to_bytes();
+        let mut bytes = v1_sample().to_bytes_v1();
         bytes[0] = b'X';
         assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::BadMagic));
     }
 
     #[test]
     fn future_version_rejected() {
-        let mut bytes = sample_trace().to_bytes();
+        let mut bytes = v1_sample().to_bytes_v1();
         bytes[8] = 99;
         assert_eq!(
             Trace::from_bytes(&bytes),
@@ -252,8 +147,8 @@ mod tests {
 
     #[test]
     fn flipped_payload_byte_fails_checksum() {
-        let t = sample_trace();
-        let mut bytes = t.to_bytes();
+        let t = v1_sample();
+        let mut bytes = t.to_bytes_v1();
         // Flip a bit inside the record payload (past the 20-byte header).
         let mid = bytes.len() - 12;
         bytes[mid] ^= 0x40;
@@ -266,8 +161,8 @@ mod tests {
 
     #[test]
     fn checksum_catches_tail_corruption() {
-        let t = sample_trace();
-        let mut bytes = t.to_bytes();
+        let t = v1_sample();
+        let mut bytes = t.to_bytes_v1();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::ChecksumMismatch));
@@ -275,7 +170,7 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let bytes = sample_trace().to_bytes();
+        let bytes = v1_sample().to_bytes_v1();
         for cut in [4, 12, 21, bytes.len() - 1] {
             assert!(
                 Trace::from_bytes(&bytes[..cut]).is_err(),
@@ -286,21 +181,34 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = sample_trace().to_bytes();
+        let mut bytes = v1_sample().to_bytes_v1();
         bytes.push(0);
         assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::TrailingBytes));
     }
 
     #[test]
     fn varint_extremes_roundtrip() {
-        let mut t = sample_trace();
+        let mut t = v1_sample();
         t.records[1].op = ProcOp::Store {
             block: BlockAddr(u64::MAX),
             word: 7,
             value: u64::MAX,
         };
         t.records[1].instructions = u64::MAX;
-        let bytes = t.to_bytes();
+        let bytes = t.to_bytes_v1();
         assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn semantically_invalid_v1_bytes_fail_validation() {
+        // v1 encode does not validate, so garbage can be serialized — and
+        // the decoder must catch it (the v2 writer refuses at encode time
+        // instead).
+        let mut t = v1_sample();
+        t.records[0].node = bash_net::NodeId(9);
+        assert!(matches!(
+            Trace::from_bytes(&t.to_bytes_v1()),
+            Err(TraceError::NodeOutOfRange { node: 9, .. })
+        ));
     }
 }

@@ -3,30 +3,46 @@
 //! A [`Trace`] is the protocol-independent record of every processor
 //! operation a workload issued during one run: per record the issuing
 //! node, the think time before the issue, the instructions retired while
-//! thinking, and the [`ProcOp`] itself. Because the coherence protocol
+//! thinking, the [`ProcOp`] itself, and (optionally) the issue→complete
+//! latency the capturing run observed. Because the coherence protocol
 //! only ever observes this op stream, a captured trace can be replayed
 //! through *any* protocol, bandwidth, or thread count and the replay is a
 //! pure function of the trace plus the system configuration — which is
 //! what lets CI gate on byte-exact golden reports.
 //!
-//! Two interchangeable encodings:
+//! Encodings:
 //!
-//! * a **compact binary form** ([`Trace::to_bytes`] / [`Trace::from_bytes`],
-//!   module [`binary`]) — magic + version header, LEB128 varint fields and
-//!   an FNV-1a trailer checksum; this is the on-disk format of the
-//!   committed golden mini-traces;
+//! * the **v2 chunked binary form** (module [`stream`]) — the current
+//!   on-disk format: a checksummed header followed by fixed-size record
+//!   chunks, each carrying its own record count, FNV-1a checksum and
+//!   per-node delta-encoded block addresses, terminated by an empty chunk
+//!   and an optional seekable chunk index. Written and read *streaming*
+//!   through [`TraceWriter`]/[`TraceReader`], so multi-GB traces never
+//!   need to fit in memory; [`Trace::to_bytes`]/[`Trace::from_bytes`] are
+//!   the in-memory convenience wrappers.
+//! * the **v1 binary form** (module [`binary`]) — the original
+//!   whole-buffer format. Decode support is permanent ([`Trace::from_bytes`]
+//!   and [`TraceReader`] dispatch on the version header); encode survives
+//!   as [`Trace::to_bytes_v1`] for compatibility fixtures and size
+//!   comparisons.
 //! * a **text debug form** ([`Trace::to_text`] / [`Trace::from_text`],
 //!   module [`text`]) — one record per line, diffable and hand-editable.
 //!
-//! Every decode path runs the [`Trace::validate`] checks, so a corrupt or
-//! hand-mangled trace fails loudly instead of silently replaying garbage.
+//! Every decode path runs the [`Trace::validate`] checks (streaming
+//! decoders validate records as they go), so a corrupt or hand-mangled
+//! trace fails loudly instead of silently replaying garbage.
+//!
+//! The wire formats are specified field-by-field in `docs/TRACE_FORMAT.md`.
 
 #![deny(missing_docs)]
 
 pub mod binary;
+pub mod stream;
 pub mod text;
+mod wire;
 
 use std::fmt;
+use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
 use bash_coherence::types::WORDS_PER_BLOCK;
@@ -34,8 +50,15 @@ use bash_coherence::ProcOp;
 use bash_kernel::Duration;
 use bash_net::NodeId;
 
-/// The only binary/text format version this crate reads and writes.
-pub const FORMAT_VERSION: u16 = 1;
+pub use stream::{ChunkIndex, SeekableTrace, TraceHeader, TraceReader, TraceWriter};
+
+/// The binary/text format version this crate writes (decoders also accept
+/// [`FORMAT_V1`]).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The legacy format version: decode is kept working forever, encode only
+/// through [`Trace::to_bytes_v1`].
+pub const FORMAT_V1: u16 = 1;
 
 /// One captured processor operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +71,11 @@ pub struct TraceRecord {
     pub instructions: u64,
     /// The memory operation.
     pub op: ProcOp,
+    /// Issue→complete latency the capturing run observed, when completion
+    /// capture was enabled (v2 traces only; v1 decode always yields
+    /// `None`). Replay ignores it — the field exists so latency-sensitive
+    /// passes can diff distributions across protocols.
+    pub completion: Option<Duration>,
 }
 
 /// A complete captured reference stream plus its provenance header.
@@ -75,13 +103,29 @@ pub enum TraceError {
     UnsupportedVersion(u16),
     /// The buffer ended mid-field.
     Truncated,
-    /// The trailer checksum does not match the payload.
+    /// A whole-payload (v1) or header/index (v2) checksum does not match.
     ChecksumMismatch,
-    /// Bytes remain after the checksum trailer.
+    /// A v2 chunk's checksum does not match its payload.
+    ChunkChecksumMismatch {
+        /// 0-based index of the corrupt chunk.
+        chunk: usize,
+    },
+    /// A v2 chunk is structurally broken (its payload decoded to the
+    /// wrong record count or length).
+    BadChunk {
+        /// 0-based index of the broken chunk.
+        chunk: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// The trailing chunk index is malformed or inconsistent with the
+    /// chunks actually read.
+    BadIndex(&'static str),
+    /// Bytes remain after the end of the trace.
     TrailingBytes,
     /// The workload name is not valid UTF-8.
     BadName,
-    /// An unknown op-kind tag was read.
+    /// An unknown op-kind tag or record flag was read.
     BadOpKind(u8),
     /// A varint ran past 10 bytes (not a canonical u64).
     BadVarint,
@@ -130,9 +174,14 @@ impl fmt::Display for TraceError {
             }
             TraceError::Truncated => write!(f, "trace truncated mid-field"),
             TraceError::ChecksumMismatch => write!(f, "trace checksum mismatch (corrupt payload)"),
-            TraceError::TrailingBytes => write!(f, "trailing bytes after trace checksum"),
+            TraceError::ChunkChecksumMismatch { chunk } => {
+                write!(f, "chunk {chunk}: checksum mismatch (corrupt chunk)")
+            }
+            TraceError::BadChunk { chunk, what } => write!(f, "chunk {chunk}: {what}"),
+            TraceError::BadIndex(what) => write!(f, "trace chunk index: {what}"),
+            TraceError::TrailingBytes => write!(f, "trailing bytes after end of trace"),
             TraceError::BadName => write!(f, "workload name is not valid UTF-8"),
-            TraceError::BadOpKind(k) => write!(f, "unknown op kind tag {k}"),
+            TraceError::BadOpKind(k) => write!(f, "unknown op kind tag or record flag {k:#04x}"),
             TraceError::BadVarint => write!(f, "varint longer than 10 bytes"),
             TraceError::FieldOverflow => write!(f, "numeric field out of range"),
             TraceError::ZeroNodes => write!(f, "trace header declares zero nodes"),
@@ -159,6 +208,30 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Checks one record against the header's node count and the block
+/// geometry — the per-record half of [`Trace::validate`], shared with the
+/// streaming decoders (which validate records as they arrive instead of
+/// after buffering a whole trace).
+pub(crate) fn validate_record(r: &TraceRecord, index: usize, nodes: u16) -> Result<(), TraceError> {
+    if r.node.0 >= nodes {
+        return Err(TraceError::NodeOutOfRange {
+            record: index,
+            node: r.node.0,
+            nodes,
+        });
+    }
+    let word = match r.op {
+        ProcOp::Load { word, .. } | ProcOp::Store { word, .. } => word,
+    };
+    if word >= WORDS_PER_BLOCK {
+        return Err(TraceError::WordOutOfRange {
+            record: index,
+            word,
+        });
+    }
+    Ok(())
+}
+
 impl Trace {
     /// Checks the structural invariants every decode path enforces: a
     /// positive node count, at least one record, every record addressing a
@@ -171,19 +244,7 @@ impl Trace {
             return Err(TraceError::Empty);
         }
         for (i, r) in self.records.iter().enumerate() {
-            if r.node.0 >= self.nodes {
-                return Err(TraceError::NodeOutOfRange {
-                    record: i,
-                    node: r.node.0,
-                    nodes: self.nodes,
-                });
-            }
-            let word = match r.op {
-                ProcOp::Load { word, .. } | ProcOp::Store { word, .. } => word,
-            };
-            if word >= WORDS_PER_BLOCK {
-                return Err(TraceError::WordOutOfRange { record: i, word });
-            }
+            validate_record(r, i, self.nodes)?;
         }
         Ok(())
     }
@@ -193,58 +254,131 @@ impl Trace {
         self.records.iter().filter(|r| r.node == node).count()
     }
 
-    /// Writes the compact binary form to `path`.
-    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| TraceError::Io(e.to_string()))
+    /// Number of records carrying an issue→complete latency.
+    pub fn completions(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.completion.is_some())
+            .count()
     }
 
-    /// Reads (and validates) the compact binary form from `path`.
+    /// Writes the v2 chunked binary form to `path`, streaming through a
+    /// buffered [`TraceWriter`] (the file is written incrementally, never
+    /// assembled in memory).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let file = std::fs::File::create(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        let mut writer = TraceWriter::new(
+            BufWriter::new(file),
+            self.nodes,
+            self.seed,
+            self.workload.clone(),
+        )?;
+        for r in &self.records {
+            writer.write(*r)?;
+        }
+        use std::io::Write as _;
+        writer
+            .finish()?
+            .flush()
+            .map_err(|e| TraceError::Io(e.to_string()))
+    }
+
+    /// Reads (and validates) the binary form — either version — from
+    /// `path`, streaming through a buffered [`TraceReader`].
     pub fn read_from(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
-        let bytes = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
-        Trace::from_bytes(&bytes)
+        let file = std::fs::File::open(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        TraceReader::new(BufReader::new(file))?.into_trace()
     }
 }
 
-/// An incremental trace builder — what the simulation core's capture hook
-/// appends to while a run executes.
+/// The incremental in-memory capture buffer — what the simulation core's
+/// capture hook appends to while a run executes. (The *streaming* encoder
+/// is [`TraceWriter`]; this type exists because the capture hook must
+/// patch completion latencies into already-captured records, which a
+/// write-once stream cannot do.)
 ///
 /// ```
-/// use bash_trace::{TraceWriter, TraceRecord};
+/// use bash_trace::{TraceCapture, TraceRecord};
 /// use bash_coherence::{BlockAddr, ProcOp};
 /// use bash_kernel::Duration;
 /// use bash_net::NodeId;
 ///
-/// let mut w = TraceWriter::new(2, 42, "demo");
-/// w.record(TraceRecord {
+/// let mut c = TraceCapture::new(2, 42, "demo");
+/// c.record(TraceRecord {
 ///     node: NodeId(0),
 ///     think: Duration::from_ns(5),
 ///     instructions: 20,
 ///     op: ProcOp::Load { block: BlockAddr(7), word: 3 },
+///     completion: None,
 /// });
-/// let trace = w.finish();
+/// c.record_completion(NodeId(0), Duration::from_ns(125));
+/// let trace = c.finish();
 /// assert_eq!(trace.records.len(), 1);
+/// assert_eq!(trace.records[0].completion, Some(Duration::from_ns(125)));
 /// ```
 #[derive(Debug, Clone)]
-pub struct TraceWriter {
+pub struct TraceCapture {
     trace: Trace,
+    /// Per-node index of the most recently captured record — the op whose
+    /// completion has not been observed yet (processors are blocking, so
+    /// at most one per node is in flight).
+    last: Vec<Option<usize>>,
 }
 
-impl TraceWriter {
-    /// Starts an empty trace for a `nodes`-node run.
+impl TraceCapture {
+    /// Starts an empty capture for a `nodes`-node run.
     pub fn new(nodes: u16, seed: u64, workload: impl Into<String>) -> Self {
-        TraceWriter {
+        TraceCapture {
             trace: Trace {
                 nodes,
                 seed,
                 workload: workload.into(),
                 records: Vec::new(),
             },
+            last: vec![None; nodes as usize],
         }
     }
 
     /// Appends one captured op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record addresses a node outside the capture's
+    /// `0..nodes` range — the capture hook receives records the driver
+    /// built from its own node ids, so an out-of-range node is a
+    /// programming error, not data to tolerate. (The lenient encoders
+    /// accept such traces and defer to decode-time validation; see
+    /// `Trace::to_bytes_v1`.)
     pub fn record(&mut self, record: TraceRecord) {
+        assert!(
+            record.node.0 < self.trace.nodes,
+            "captured record addresses node {} but the capture has {} nodes",
+            record.node.0,
+            self.trace.nodes
+        );
+        self.last[record.node.index()] = Some(self.trace.records.len());
         self.trace.records.push(record);
+    }
+
+    /// Stamps the issue→complete latency onto `node`'s most recently
+    /// captured record (the op currently in flight at that processor).
+    /// A completion with no captured record is ignored — it belongs to an
+    /// op issued before capture was enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the capture's `0..nodes` range (see
+    /// [`record`](Self::record)).
+    pub fn record_completion(&mut self, node: NodeId, latency: Duration) {
+        assert!(
+            node.0 < self.trace.nodes,
+            "completion for node {} but the capture has {} nodes",
+            node.0,
+            self.trace.nodes
+        );
+        if let Some(idx) = self.last[node.index()] {
+            self.trace.records[idx].completion = Some(latency);
+        }
     }
 
     /// Number of records captured so far.
@@ -288,6 +422,7 @@ mod tests {
                         block: BlockAddr(7),
                         word: 3,
                     },
+                    completion: Some(Duration::from_ns(180)),
                 },
                 TraceRecord {
                     node: NodeId(2),
@@ -298,6 +433,7 @@ mod tests {
                         word: 0,
                         value: u64::MAX,
                     },
+                    completion: None,
                 },
             ],
         }
@@ -348,15 +484,44 @@ mod tests {
     }
 
     #[test]
-    fn writer_accumulates() {
-        let mut w = TraceWriter::new(2, 1, "w");
-        assert!(w.is_empty());
-        w.record(sample_trace().records[0]);
-        w.set_workload("renamed");
-        assert_eq!(w.len(), 1);
-        let t = w.finish();
+    fn capture_accumulates_and_patches_completions() {
+        let mut c = TraceCapture::new(2, 1, "w");
+        assert!(c.is_empty());
+        let mut rec = sample_trace().records[0];
+        rec.node = NodeId(0);
+        rec.completion = None;
+        c.record(rec);
+        c.record_completion(NodeId(0), Duration::from_ns(99));
+        // A completion for a node with no captured record is ignored.
+        c.record_completion(NodeId(1), Duration::from_ns(5));
+        c.set_workload("renamed");
+        assert_eq!(c.len(), 1);
+        let t = c.finish();
         assert_eq!(t.workload, "renamed");
         assert_eq!(t.nodes, 2);
+        assert_eq!(t.records[0].completion, Some(Duration::from_ns(99)));
+    }
+
+    #[test]
+    fn completion_patch_targets_the_latest_record_per_node() {
+        let base = sample_trace().records[0];
+        let mut c = TraceCapture::new(1, 0, "w");
+        let mut first = base;
+        first.completion = None;
+        c.record(first);
+        c.record_completion(NodeId(0), Duration::from_ns(10));
+        let mut second = base;
+        second.completion = None;
+        c.record(second);
+        c.record_completion(NodeId(0), Duration::from_ns(20));
+        let t = c.finish();
+        assert_eq!(t.records[0].completion, Some(Duration::from_ns(10)));
+        assert_eq!(t.records[1].completion, Some(Duration::from_ns(20)));
+    }
+
+    #[test]
+    fn completions_counts_latency_bearing_records() {
+        assert_eq!(sample_trace().completions(), 1);
     }
 
     #[test]

@@ -2,36 +2,41 @@
 //! hand-editable for authoring regression cases.
 //!
 //! ```text
-//! bash-trace v1 nodes=3 seed=47710 workload=sample
-//! # node think_ps instructions (L block word | S block word value)
-//! 0 5000 20 L 0x7 3
+//! bash-trace v2 nodes=3 seed=47710 workload=sample
+//! # node think_ps instructions (L block word | S block word value) [c<latency_ps>]
+//! 0 5000 20 L 0x7 3 c180000
 //! 2 0 0 S 0x10000000009 0 18446744073709551615
 //! ```
 //!
 //! The first line is the header (`workload=` is always the last field and
 //! runs to the end of the line, so names may contain spaces). Lines that
 //! are empty or start with `#` are comments. Block addresses print in hex
-//! (they encode region layouts), every other number in decimal.
+//! (they encode region layouts), every other number in decimal. A record
+//! that carries an issue→complete latency appends it as a final
+//! `c<picoseconds>` token; v1 text (which predates completions) parses
+//! identically minus that token.
 
 use bash_coherence::{BlockAddr, ProcOp};
 use bash_kernel::Duration;
 use bash_net::NodeId;
 
-use crate::{Trace, TraceError, TraceRecord, FORMAT_VERSION};
+use crate::{Trace, TraceError, TraceRecord, FORMAT_V1, FORMAT_VERSION};
 
 impl Trace {
-    /// Renders the text debug form.
+    /// Renders the text debug form (always the current version).
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(64 + self.records.len() * 24);
         out.push_str(&format!(
             "bash-trace v{FORMAT_VERSION} nodes={} seed={} workload={}\n",
             self.nodes, self.seed, self.workload
         ));
-        out.push_str("# node think_ps instructions (L block word | S block word value)\n");
+        out.push_str(
+            "# node think_ps instructions (L block word | S block word value) [c<latency_ps>]\n",
+        );
         for r in &self.records {
             match r.op {
                 ProcOp::Load { block, word } => out.push_str(&format!(
-                    "{} {} {} L {:#x} {}\n",
+                    "{} {} {} L {:#x} {}",
                     r.node.0,
                     r.think.as_ps(),
                     r.instructions,
@@ -39,7 +44,7 @@ impl Trace {
                     word
                 )),
                 ProcOp::Store { block, word, value } => out.push_str(&format!(
-                    "{} {} {} S {:#x} {} {}\n",
+                    "{} {} {} S {:#x} {} {}",
                     r.node.0,
                     r.think.as_ps(),
                     r.instructions,
@@ -48,11 +53,16 @@ impl Trace {
                     value
                 )),
             }
+            if let Some(lat) = r.completion {
+                out.push_str(&format!(" c{}", lat.as_ps()));
+            }
+            out.push('\n');
         }
         out
     }
 
-    /// Parses (and [`validate`](Trace::validate)s) the text debug form.
+    /// Parses (and [`validate`](Trace::validate)s) the text debug form,
+    /// either version.
     pub fn from_text(text: &str) -> Result<Trace, TraceError> {
         let mut lines = text.lines().enumerate();
         let (line_no, header) = lines.next().ok_or(TraceError::BadTextLine {
@@ -61,10 +71,10 @@ impl Trace {
         })?;
         let trace_header = parse_header(header).ok_or(TraceError::BadTextLine {
             line: line_no + 1,
-            what: "malformed header (expected `bash-trace v1 nodes=N seed=S workload=NAME`)",
+            what: "malformed header (expected `bash-trace v2 nodes=N seed=S workload=NAME`)",
         })?;
         let (nodes, seed, workload, version) = trace_header;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_V1 {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let mut records = Vec::new();
@@ -129,6 +139,10 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         },
         _ => return None,
     };
+    let completion = match tok.next() {
+        None => None,
+        Some(t) => Some(Duration::from_ps(parse_u64(t.strip_prefix('c')?)?)),
+    };
     if tok.next().is_some() {
         return None;
     }
@@ -137,6 +151,7 @@ fn parse_record(line: &str) -> Option<TraceRecord> {
         think,
         instructions,
         op,
+        completion,
     })
 }
 
@@ -150,6 +165,26 @@ mod tests {
         let t = sample_trace();
         let text = t.to_text();
         assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn completions_print_and_parse() {
+        let t = sample_trace();
+        let text = t.to_text();
+        assert!(text.contains(" c180000"), "latency token missing: {text}");
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed.completions(), 1);
+    }
+
+    #[test]
+    fn v1_text_still_parses() {
+        let text = "bash-trace v1 nodes=2 seed=7 workload=legacy\n\
+                    0 5000 20 L 0x7 3\n\
+                    1 0 0 S 0x9 0 42\n";
+        let t = Trace::from_text(text).unwrap();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.completions(), 0);
+        assert_eq!(t.workload, "legacy");
     }
 
     #[test]
@@ -182,7 +217,14 @@ mod tests {
 
     #[test]
     fn malformed_record_reports_line() {
-        let text = "bash-trace v1 nodes=1 seed=0 workload=x\n0 0 0 Q 0x0 0\n";
+        let text = "bash-trace v2 nodes=1 seed=0 workload=x\n0 0 0 Q 0x0 0\n";
+        let err = Trace::from_text(text).unwrap_err();
+        assert!(matches!(err, TraceError::BadTextLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn malformed_completion_token_reports_line() {
+        let text = "bash-trace v2 nodes=1 seed=0 workload=x\n0 0 0 L 0x0 0 zap\n";
         let err = Trace::from_text(text).unwrap_err();
         assert!(matches!(err, TraceError::BadTextLine { line: 2, .. }));
     }
@@ -190,7 +232,7 @@ mod tests {
     #[test]
     fn text_decode_validates() {
         // Node 5 out of range for a 1-node trace.
-        let text = "bash-trace v1 nodes=1 seed=0 workload=x\n5 0 0 L 0x0 0\n";
+        let text = "bash-trace v2 nodes=1 seed=0 workload=x\n5 0 0 L 0x0 0\n";
         let err = Trace::from_text(text).unwrap_err();
         assert!(matches!(err, TraceError::NodeOutOfRange { .. }));
     }

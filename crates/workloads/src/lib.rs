@@ -81,4 +81,4 @@ pub use microbench::LockingMicrobench;
 pub use patterns::{PatternKind, PatternParams, PatternWorkload};
 pub use script::{Completion, ScriptWorkload};
 pub use synthetic::{SyntheticWorkload, WorkloadParams};
-pub use trace_replay::TraceWorkload;
+pub use trace_replay::{StreamingTraceWorkload, TraceWorkload};

@@ -7,11 +7,22 @@
 //! the system configuration — the same trace replayed through any
 //! protocol, bandwidth, or `SimBuilder::threads` count yields the same
 //! reference stream, which is what the golden-report CI gate relies on.
+//!
+//! Two replayers share that contract:
+//!
+//! * [`TraceWorkload`] buffers the whole trace up front — cheap to clone
+//!   across a sweep grid, right for the committed mini-traces;
+//! * [`StreamingTraceWorkload`] pulls records off a
+//!   [`TraceReader`] on demand — a multi-GB
+//!   trace file replays without ever being resident; memory is bounded by
+//!   the per-node lookahead the record interleaving forces (plus the
+//!   reader's one-chunk buffer).
 
 use std::collections::VecDeque;
+use std::io::Read;
 
 use bash_net::NodeId;
-use bash_trace::{Trace, TraceError};
+use bash_trace::{Trace, TraceError, TraceReader};
 
 use crate::{WorkItem, Workload};
 
@@ -78,6 +89,115 @@ impl Workload for TraceWorkload {
     }
 }
 
+fn work_item(r: &bash_trace::TraceRecord) -> WorkItem {
+    WorkItem {
+        think: r.think,
+        instructions: r.instructions,
+        op: r.op,
+    }
+}
+
+/// A replayer that decodes its trace *while* replaying it: records are
+/// pulled off a [`TraceReader`] on demand, so the trace never has to fit
+/// in memory.
+///
+/// The driver asks nodes for work in simulation order, which differs from
+/// capture (file) order; records for not-yet-asked nodes are buffered in
+/// per-node FIFOs until their node catches up. For real captures the
+/// interleaving is tight (nodes progress together), so the lookahead —
+/// reported by [`peak_buffered`](Self::peak_buffered) — stays small.
+///
+/// # Panics
+///
+/// A decode error in the middle of the stream (truncation, corrupt
+/// chunk) panics: replay cannot meaningfully continue on a half-decoded
+/// reference stream, and silently ending it would fake a shorter trace.
+/// The header is validated when the reader is constructed, so malformed
+/// files are rejected before any simulation runs.
+pub struct StreamingTraceWorkload<R: Read> {
+    name: String,
+    reader: Option<TraceReader<R>>,
+    buffers: Vec<VecDeque<WorkItem>>,
+    replayed: u64,
+    peak_buffered: usize,
+}
+
+impl<R: Read> StreamingTraceWorkload<R> {
+    /// Wraps an open [`TraceReader`] (its header is already decoded and
+    /// validated).
+    pub fn new(reader: TraceReader<R>) -> Self {
+        let header = reader.header();
+        StreamingTraceWorkload {
+            name: header.workload.clone(),
+            buffers: (0..header.nodes).map(|_| VecDeque::new()).collect(),
+            reader: Some(reader),
+            replayed: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    /// The node count the trace was captured on (the replay system must
+    /// match it).
+    pub fn nodes(&self) -> u16 {
+        self.buffers.len() as u16
+    }
+
+    /// Ops handed to the driver so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Ops currently buffered ahead of their node.
+    pub fn buffered(&self) -> usize {
+        self.buffers.iter().map(VecDeque::len).sum()
+    }
+
+    /// High-water mark of [`buffered`](Self::buffered) — how much
+    /// cross-node lookahead the record interleaving forced.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Pulls records off the reader until one lands in `node`'s buffer or
+    /// the stream ends.
+    fn refill_for(&mut self, node: NodeId) {
+        while self.buffers[node.index()].is_empty() {
+            let Some(reader) = &mut self.reader else {
+                return;
+            };
+            match reader.next() {
+                Some(Ok(r)) => {
+                    self.buffers[r.node.index()].push_back(work_item(&r));
+                }
+                Some(Err(e)) => panic!(
+                    "streaming trace replay failed after {} records: {e}",
+                    reader.records_read()
+                ),
+                None => {
+                    self.reader = None;
+                    return;
+                }
+            }
+            self.peak_buffered = self.peak_buffered.max(self.buffered());
+        }
+    }
+}
+
+impl<R: Read> Workload for StreamingTraceWorkload<R> {
+    fn next_item(&mut self, node: NodeId, _now: bash_kernel::Time) -> Option<WorkItem> {
+        if self.buffers[node.index()].is_empty() {
+            self.refill_for(node);
+        }
+        let item = self.buffers[node.index()].pop_front()?;
+        self.replayed += 1;
+        Some(item)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +219,7 @@ mod tests {
                         block: BlockAddr(10),
                         word: 0,
                     },
+                    completion: None,
                 },
                 TraceRecord {
                     node: NodeId(1),
@@ -109,6 +230,7 @@ mod tests {
                         word: 1,
                         value: 9,
                     },
+                    completion: Some(Duration::from_ns(180)),
                 },
                 TraceRecord {
                     node: NodeId(0),
@@ -118,6 +240,7 @@ mod tests {
                         block: BlockAddr(12),
                         word: 2,
                     },
+                    completion: None,
                 },
             ],
         }
@@ -150,5 +273,45 @@ mod tests {
         let mut t = two_node_trace();
         t.records.clear();
         assert!(TraceWorkload::from_trace(&t).is_err());
+    }
+
+    #[test]
+    fn streaming_replay_matches_in_memory_replay() {
+        let t = two_node_trace();
+        let bytes = t.to_bytes();
+        let mut streaming = StreamingTraceWorkload::new(TraceReader::new(&bytes[..]).unwrap());
+        let mut buffered = TraceWorkload::from_trace(&t).unwrap();
+        assert_eq!(streaming.nodes(), 2);
+        assert_eq!(streaming.name(), "replayed");
+        // Pull in an order that forces cross-node lookahead: node 1 first.
+        for node in [1u16, 0, 0, 1, 0] {
+            assert_eq!(
+                streaming.next_item(NodeId(node), Time::ZERO),
+                buffered.next_item(NodeId(node), Time::ZERO),
+                "node {node} diverged"
+            );
+        }
+        assert_eq!(streaming.replayed(), 3);
+        assert_eq!(streaming.buffered(), 0);
+        assert!(
+            streaming.peak_buffered() >= 1,
+            "node-1-first forced lookahead"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming trace replay failed")]
+    fn streaming_replay_panics_on_mid_stream_corruption() {
+        let t = two_node_trace();
+        let mut bytes = t.to_bytes();
+        // Corrupt a byte inside the (single) chunk payload; the header
+        // stays intact so the reader opens fine.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let mut wl =
+            StreamingTraceWorkload::new(TraceReader::new(&bytes[..]).expect("header intact"));
+        // Drain: hits the corruption mid-stream.
+        while wl.next_item(NodeId(0), Time::ZERO).is_some() {}
+        while wl.next_item(NodeId(1), Time::ZERO).is_some() {}
     }
 }

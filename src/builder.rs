@@ -20,10 +20,10 @@ use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, Time};
 use bash_net::Jitter;
 use bash_sim::{RunStats, System, SystemConfig};
-use bash_trace::Trace;
+use bash_trace::{Trace, TraceReader};
 use bash_workloads::{
-    catalog, LockingMicrobench, ScriptWorkload, SyntheticWorkload, TraceWorkload, Workload,
-    WorkloadParams,
+    catalog, LockingMicrobench, ScriptWorkload, StreamingTraceWorkload, SyntheticWorkload,
+    TraceWorkload, Workload, WorkloadParams,
 };
 
 /// A type-erased workload, as produced by [`SimBuilder`] workload factories.
@@ -71,6 +71,14 @@ pub enum BuildError {
     /// [`SimBuilder::trace_out_all_points`] was enabled without a
     /// [`SimBuilder::trace_out`] path to derive the bundle paths from.
     AllPointsWithoutTraceOut,
+    /// [`SimBuilder::trace_in_path`] could not open or decode the trace
+    /// file's header.
+    TraceUnreadable {
+        /// The offending path.
+        path: PathBuf,
+        /// The decode error, rendered.
+        error: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -96,6 +104,9 @@ impl fmt::Display for BuildError {
             ),
             BuildError::AllPointsWithoutTraceOut => {
                 f.write_str("trace_out_all_points needs a trace_out path to derive bundle paths")
+            }
+            BuildError::TraceUnreadable { path, error } => {
+                write!(f, "trace file {}: {error}", path.display())
             }
         }
     }
@@ -196,6 +207,16 @@ enum WorkloadSpec {
     /// A recorded reference stream, replayed per run (shared, not cloned,
     /// across the sweep grid — replay queues are rebuilt per run).
     Trace(Arc<Trace>),
+    /// A trace file replayed *streaming*: every run re-opens the file and
+    /// pulls records through a [`TraceReader`] on demand, so the trace is
+    /// never resident — the multi-GB path. The node count was read from
+    /// the header at [`SimBuilder::trace_in_path`] time.
+    TraceFile {
+        /// The on-disk trace (either format version).
+        path: PathBuf,
+        /// Node count from the file header.
+        nodes: u16,
+    },
     /// An arbitrary factory: `(nodes, seed) -> workload`. `Send + Sync`
     /// so the parallel sweep executor can build workloads on worker
     /// threads.
@@ -217,6 +238,16 @@ impl WorkloadSpec {
             }
             WorkloadSpec::Trace(trace) => {
                 Box::new(TraceWorkload::from_trace(trace).expect("validated trace"))
+            }
+            WorkloadSpec::TraceFile { path, .. } => {
+                // The header was validated when the path was configured; a
+                // file that vanished or rotted since is an environment
+                // failure, kept loud like the capture-side panics.
+                let file = std::fs::File::open(path)
+                    .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display()));
+                let reader = TraceReader::new(std::io::BufReader::new(file))
+                    .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display()));
+                Box::new(StreamingTraceWorkload::new(reader))
             }
             WorkloadSpec::Factory(f) => f(nodes, seed),
         }
@@ -247,6 +278,7 @@ pub struct SimBuilder {
     trace_policy: bool,
     trace_out: Option<PathBuf>,
     trace_out_all: bool,
+    capture_completions: bool,
     threads: Option<usize>,
     workload: Option<WorkloadSpec>,
 }
@@ -274,6 +306,7 @@ impl SimBuilder {
             trace_policy: false,
             trace_out: None,
             trace_out_all: false,
+            capture_completions: false,
             threads: None,
             workload: None,
         }
@@ -445,6 +478,33 @@ impl SimBuilder {
         self
     }
 
+    /// Replays a trace **file** instead of generating a workload, decoding
+    /// it *streaming*: every run of the grid re-opens `path` and pulls
+    /// records through a [`TraceReader`] on demand, so a multi-GB trace
+    /// never has to fit in memory (unlike [`trace_in`](Self::trace_in),
+    /// which buffers the whole record list). The file header is read (and
+    /// the node count adopted) here; a missing or corrupt header is
+    /// reported immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::TraceUnreadable`] when `path` cannot be opened or its
+    /// header fails to decode.
+    pub fn trace_in_path(mut self, path: impl Into<PathBuf>) -> Result<Self, BuildError> {
+        let path = path.into();
+        let unreadable = |error: String, path: &PathBuf| BuildError::TraceUnreadable {
+            path: path.clone(),
+            error,
+        };
+        let file = std::fs::File::open(&path).map_err(|e| unreadable(e.to_string(), &path))?;
+        let reader = TraceReader::new(std::io::BufReader::new(file))
+            .map_err(|e| unreadable(e.to_string(), &path))?;
+        let nodes = reader.header().nodes;
+        self.nodes = nodes;
+        self.workload = Some(WorkloadSpec::TraceFile { path, nodes });
+        Ok(self)
+    }
+
     /// Captures the op stream of the first grid point (first bandwidth,
     /// seed 0) and writes it to `path` in the compact binary form when the
     /// run finishes. Capture once, then feed the file back through
@@ -462,6 +522,18 @@ impl SimBuilder {
     /// configuration errors, so they are not `BuildError`s.
     pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Stamps every captured op with its issue→complete latency, so
+    /// [`trace_out`](Self::trace_out) /
+    /// [`run_captured`](Self::run_captured) produce **completion-bearing**
+    /// traces — the input the differential latency pass
+    /// ([`bash_tester::differential_trace`]) summarizes per protocol.
+    /// Off by default: reference-stream goldens stay lean and
+    /// timing-free.
+    pub fn capture_completions(mut self, on: bool) -> Self {
+        self.capture_completions = on;
         self
     }
 
@@ -553,6 +625,12 @@ impl SimBuilder {
             WorkloadSpec::Trace(trace) if trace.nodes != self.nodes => {
                 Err(BuildError::TraceNodeMismatch {
                     trace: trace.nodes,
+                    nodes: self.nodes,
+                })
+            }
+            WorkloadSpec::TraceFile { nodes, .. } if *nodes != self.nodes => {
+                Err(BuildError::TraceNodeMismatch {
+                    trace: *nodes,
                     nodes: self.nodes,
                 })
             }
@@ -671,6 +749,15 @@ impl SimBuilder {
             // trace's own length, not the op cap, bounds the run.
             return Ok(bash_tester::run_verify_trace(&vcfg, trace));
         }
+        if let WorkloadSpec::TraceFile { path, .. } = spec {
+            // Verification re-captures and may minimize, so it wants the
+            // whole trace in hand; load it once here.
+            let trace = Trace::read_from(path).map_err(|e| BuildError::TraceUnreadable {
+                path: path.clone(),
+                error: e.to_string(),
+            })?;
+            return Ok(bash_tester::run_verify_trace(&vcfg, &trace));
+        }
         let workload = spec.build(self.nodes, cfg.seed);
         Ok(bash_tester::run_verify(&vcfg, workload))
     }
@@ -780,7 +867,11 @@ impl SimBuilder {
         let spec = self.workload.as_ref().expect("validated");
         let mut cfg = self.config(mbps, seed_index);
         if capture {
-            cfg = cfg.with_capture();
+            cfg = if self.capture_completions {
+                cfg.with_capture_completions()
+            } else {
+                cfg.with_capture()
+            };
         }
         let workload = spec.build(self.nodes, cfg.seed);
         let mut sys = System::new(cfg, workload);

@@ -60,13 +60,17 @@ pub use bash_net::{Jitter, NodeId, NodeSet};
 pub use bash_sim::{FaultInjection, RunStats, System, SystemConfig};
 pub use bash_tester::{
     differential_trace, minimize_trace, run_random_test, run_verify, run_verify_trace,
-    verify_catalog, CheckViolation, DiffMismatch, DifferentialReport, MinimizeOutcome,
-    TesterConfig, TesterReport, VerifyConfig, VerifyReport, VerifyVerdict,
+    verify_catalog, CheckViolation, DiffMismatch, DifferentialReport, LatencyDiff, LatencySummary,
+    MinimizeOutcome, TesterConfig, TesterReport, VerifyConfig, VerifyReport, VerifyVerdict,
 };
-pub use bash_trace::{Trace, TraceError, TraceRecord, TraceWriter};
+pub use bash_trace::{
+    ChunkIndex, SeekableTrace, Trace, TraceCapture, TraceError, TraceHeader, TraceReader,
+    TraceRecord, TraceWriter,
+};
 pub use bash_workloads::{
     catalog, Completion, LockingMicrobench, PatternKind, PatternParams, PatternWorkload, Scenario,
-    ScriptWorkload, SyntheticWorkload, TraceWorkload, WorkItem, Workload, WorkloadParams,
+    ScriptWorkload, StreamingTraceWorkload, SyntheticWorkload, TraceWorkload, WorkItem, Workload,
+    WorkloadParams,
 };
 
 mod builder;

@@ -190,3 +190,41 @@ fn committed_traces_validate_and_roundtrip() {
         assert_eq!(Trace::from_text(&trace.to_text()).unwrap(), trace);
     }
 }
+
+/// Backward-compatibility pin: `zipf.v1.trace` is the *v1-format* byte
+/// stream the zipf mini-trace was originally committed as. It is never
+/// regenerated (bless refuses to touch existing traces) — decoding it
+/// with the current reader and replaying it must keep producing the
+/// blessed zipf goldens, byte for byte, forever. This is the CI
+/// `trace-compat` step.
+#[test]
+fn trace_compat_v1_fixture_replays_to_the_blessed_goldens() {
+    let v1_path = golden_dir().join("zipf.v1.trace");
+    let trace = Trace::read_from(&v1_path)
+        .unwrap_or_else(|e| panic!("pinned v1 fixture {} failed: {e}", v1_path.display()));
+    // The fixture must stay v1 on disk: its first version byte is 1.
+    let raw = fs::read(&v1_path).unwrap();
+    assert_eq!(
+        u16::from_le_bytes([raw[8], raw[9]]),
+        1,
+        "zipf.v1.trace must remain a v1-format file"
+    );
+    // Same records as the (migrated, v2) committed trace…
+    let v2 = Trace::read_from(golden_dir().join("zipf.trace")).unwrap();
+    assert_eq!(trace, v2, "v1 fixture and v2 trace must carry one stream");
+    // …and the same blessed reports under every protocol.
+    for proto in PROTOCOLS {
+        let golden_path = golden_dir().join(format!(
+            "zipf.{}.golden.txt",
+            proto.name().to_ascii_lowercase()
+        ));
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("missing golden {}", golden_path.display()));
+        assert_eq!(
+            replay(&trace, proto, 1),
+            golden,
+            "v1 fixture replay diverged from the blessed {:?} golden",
+            proto
+        );
+    }
+}

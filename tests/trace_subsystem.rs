@@ -93,6 +93,115 @@ fn trace_out_writes_a_loadable_file() {
     assert_eq!(report.canonical_text(), replayed.canonical_text());
 }
 
+/// The streaming file replay path (`trace_in_path`) is report-identical
+/// to the buffered path (`trace_in`): capture → write-chunked (v2 on
+/// disk) → read-streaming reproduces the in-memory replay byte for byte,
+/// across a bandwidth sweep and at any thread count.
+#[test]
+fn streaming_file_replay_matches_buffered_replay() {
+    let dir = std::env::temp_dir().join("bash_trace_streaming_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("streamed.trace");
+    let (live, trace) = capture_builder(ProtocolKind::Bash).run_captured();
+    trace.write_to(&path).unwrap();
+
+    // Single point: streamed replay reproduces the live capture run.
+    let streamed = capture_builder(ProtocolKind::Bash)
+        .trace_in_path(&path)
+        .unwrap()
+        .run();
+    assert_eq!(live.canonical_text(), streamed.canonical_text());
+
+    // Sweep: streamed == buffered for every grid point, threads 1 and 4
+    // (every run re-opens and re-decodes the file independently).
+    let buffered_sweep = bash::sweep_canonical_text(
+        &capture_builder(ProtocolKind::Bash)
+            .trace_in(trace)
+            .bandwidths([400, 1600])
+            .threads(1)
+            .run_sweep(),
+    );
+    for threads in [1usize, 4] {
+        let streamed_sweep = bash::sweep_canonical_text(
+            &capture_builder(ProtocolKind::Bash)
+                .trace_in_path(&path)
+                .unwrap()
+                .bandwidths([400, 1600])
+                .threads(threads)
+                .run_sweep(),
+        );
+        assert_eq!(
+            buffered_sweep, streamed_sweep,
+            "streaming replay diverged at threads={threads}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_in_path_rejects_missing_and_corrupt_files() {
+    let err = SimBuilder::new(ProtocolKind::Bash)
+        .trace_in_path("/nonexistent/stream.trace")
+        .err()
+        .expect("missing file must be rejected");
+    assert!(matches!(err, bash::BuildError::TraceUnreadable { .. }));
+
+    let dir = std::env::temp_dir().join("bash_trace_streaming_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.trace");
+    std::fs::write(&path, b"definitely not a trace").unwrap();
+    let err = SimBuilder::new(ProtocolKind::Bash)
+        .trace_in_path(&path)
+        .err()
+        .expect("corrupt header must be rejected");
+    assert!(matches!(err, bash::BuildError::TraceUnreadable { .. }));
+    std::fs::remove_file(&path).ok();
+}
+
+/// `capture_completions` stamps issue→complete latencies onto the
+/// captured records; the reference stream itself (and therefore the
+/// replay) is unchanged, and the latencies survive the on-disk round
+/// trip.
+#[test]
+fn completion_capture_is_replay_invisible_and_persistent() {
+    let (_, lean) = capture_builder(ProtocolKind::Bash).run_captured();
+    let (report, bearing) = capture_builder(ProtocolKind::Bash)
+        .capture_completions(true)
+        .run_captured();
+    assert_eq!(lean.completions(), 0, "plain capture stays timing-free");
+    // Every record completes except, at most, the one op still in flight
+    // per node when the run's time window closed.
+    assert!(
+        bearing.completions() >= bearing.records.len() - bearing.nodes as usize
+            && bearing.completions() > 0,
+        "{} of {} records carry latencies",
+        bearing.completions(),
+        bearing.records.len()
+    );
+    // Same reference stream either way.
+    let mut stripped = bearing.clone();
+    for r in &mut stripped.records {
+        r.completion = None;
+    }
+    assert_eq!(stripped, lean);
+    // Misses take at least a crossbar round trip, so real latencies must
+    // appear (migratory is all sharing misses — no zero-latency hits).
+    let latencies: Vec<u64> = bearing
+        .records
+        .iter()
+        .filter_map(|r| r.completion.map(|d| d.as_ns()))
+        .collect();
+    assert!(latencies.iter().any(|&l| l >= 100), "no miss latencies");
+    // Completions survive binary, text and file round trips.
+    assert_eq!(Trace::from_bytes(&bearing.to_bytes()).unwrap(), bearing);
+    assert_eq!(Trace::from_text(&bearing.to_text()).unwrap(), bearing);
+    // And the replay is report-identical to a replay of the lean trace.
+    let a = capture_builder(ProtocolKind::Bash).trace_in(bearing).run();
+    let b = capture_builder(ProtocolKind::Bash).trace_in(lean).run();
+    assert_eq!(a.canonical_text(), b.canonical_text());
+    let _ = report;
+}
+
 #[test]
 fn trace_out_all_points_writes_the_whole_grid() {
     let dir = std::env::temp_dir().join("bash_trace_allpoints_test");

@@ -146,6 +146,45 @@ fn broken_protocol_variant_is_caught_and_shrunk() {
     }
 }
 
+/// A protocol that loses invalidations — every 3rd GetM delivery to a
+/// pure-sharer bystander is dropped, leaving a stale Shared copy that
+/// keeps serving loads — must be caught by the value oracle for every
+/// protocol. (Owners are never targeted, so the fault manifests as wrong
+/// *values*, never as deadlock: the system still reaches quiescence.)
+#[test]
+fn dropped_invalidations_are_caught_for_every_protocol() {
+    for proto in PROTOCOLS {
+        let mut cfg = VerifyConfig::new(proto, 0xDEAD);
+        cfg.ops_per_node = 200;
+        cfg.fault = Some(FaultInjection::DropInvalidations { period: 3 });
+        // producer-consumer maximizes S-state bystanders: every consumer
+        // holds the block Shared when the producer's next GetM arrives.
+        let report = run_verify_scenario(&cfg, "producer-consumer");
+        assert!(
+            !report.passed(),
+            "{proto:?}: lost invalidations must be caught"
+        );
+        // A stale copy serves old tokens: the violation reads as a stale /
+        // out-of-order / thin-air value, never as a deadlock.
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| !v.what.contains("quiescence")),
+            "{proto:?}: fault should corrupt values, not deadlock: {:?}",
+            report.first_violation()
+        );
+        // Control: the same trace is clean without the fault — the
+        // harness is detecting the fault, not the workload.
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.fault = None;
+        assert!(
+            run_verify_trace(&clean_cfg, &report.trace).passed(),
+            "{proto:?}: the captured stream must be clean without the fault"
+        );
+    }
+}
+
 /// Differential mode over a captured catalog trace: all three protocols
 /// replay the same stream, reach quiescence, and agree on every
 /// single-writer final value.
