@@ -109,6 +109,11 @@ pub struct CacheStats {
     pub nack_reissues: u64,
     /// Snoops of foreign requests answered with data.
     pub snoop_responses: u64,
+    /// Deliveries dropped in fault-tolerant mode because they addressed a
+    /// transaction this controller no longer (or never) had open —
+    /// duplicated or reordered network traffic from the harness's
+    /// broken-network fault injections.
+    pub spurious_dropped: u64,
 }
 
 /// Statistics kept by every memory/directory controller.
@@ -128,6 +133,11 @@ pub struct MemStats {
     pub writebacks_accepted: u64,
     /// Writebacks ignored as stale (lost an ownership race).
     pub writebacks_stale: u64,
+    /// Deliveries dropped in fault-tolerant mode (writeback data with no
+    /// open window, or from a node the owner record no longer credits) —
+    /// duplicated or reordered network traffic from the harness's
+    /// broken-network fault injections.
+    pub spurious_dropped: u64,
 }
 
 /// Identifies one node's view of who it is relative to a request.

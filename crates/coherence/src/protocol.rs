@@ -194,6 +194,16 @@ impl CacheCtrl {
             CacheCtrl::Directory(c) => c.is_quiescent(),
         }
     }
+
+    /// Makes unexpected deliveries drop (counted) instead of panic — set
+    /// by the driver for the broken-network fault injections, which
+    /// deliberately violate the delivery contract the asserts encode.
+    pub fn set_tolerant(&mut self, tolerant: bool) {
+        match self {
+            CacheCtrl::Snoop(c) => c.set_tolerant(tolerant),
+            CacheCtrl::Directory(c) => c.set_tolerant(tolerant),
+        }
+    }
 }
 
 /// A memory/directory controller of any protocol.
@@ -283,6 +293,18 @@ impl MemCtrl {
             MemCtrl::Snooping(m) => m.is_quiescent(),
             MemCtrl::Directory(_) => true, // the directory has no transient state
             MemCtrl::Bash(m) => m.is_quiescent(),
+        }
+    }
+
+    /// Makes unexpected deliveries drop (counted) instead of panic — set
+    /// by the driver for the broken-network fault injections. The
+    /// directory controller is a total state machine (every delivery is
+    /// legal in every state), so it has nothing to relax.
+    pub fn set_tolerant(&mut self, tolerant: bool) {
+        match self {
+            MemCtrl::Snooping(m) => m.set_tolerant(tolerant),
+            MemCtrl::Directory(_) => {}
+            MemCtrl::Bash(m) => m.set_tolerant(tolerant),
         }
     }
 

@@ -4,7 +4,7 @@
 use bash_adaptive::AdaptorConfig;
 use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::Duration;
-use bash_net::Jitter;
+use bash_net::{Jitter, TopologyKind};
 
 /// Deliberate fault injection — the verification harness's self-test
 /// hook. A protocol tester is only trustworthy if it demonstrably catches
@@ -32,6 +32,47 @@ pub enum FaultInjection {
         /// Drop period in eligible invalidation deliveries (must be ≥ 1).
         period: u64,
     },
+    /// Redeliver every `period`-th eligible request — a GetM arriving at
+    /// its home memory controller, the ownership-transfer point all three
+    /// protocols share — a second time, 20 µs later, emulating a network
+    /// that duplicates messages. The duplicate fires only if ownership has
+    /// moved to *another* cache in the meantime (a duplicate the home
+    /// would treat as idempotent proves nothing), so the home re-runs the
+    /// ownership transfer and corrupts the owner record out from under the
+    /// real owner: its writeback is then discarded as stale (dirty data
+    /// lost → stale memory values) or requests for the block wedge with an
+    /// owner that will never answer (quiescence failure). Either way the
+    /// oracle must flag the run.
+    DuplicateDeliveries {
+        /// Duplication period in eligible deliveries (must be ≥ 1).
+        period: u64,
+    },
+    /// Deliver totally ordered messages out of order: per destination
+    /// node, hold ordered deliveries back and release each batch of
+    /// `window` in reverse, so different nodes observe overlapping
+    /// requests in different orders — emulating an interconnect that lost
+    /// its total-order guarantee. Protocol serialization breaks down (two
+    /// caches both believe they won an ownership race, writebacks squash
+    /// at the cache but not at the home, …), which the oracle must flag as
+    /// stale values or a quiescence failure.
+    ReorderOrdered {
+        /// Reorder window in ordered deliveries per node (must be ≥ 2).
+        window: u64,
+    },
+}
+
+impl FaultInjection {
+    /// True for the broken-*network* faults, which deliberately violate
+    /// the delivery contract the controllers' internal asserts encode; the
+    /// driver switches the controllers into tolerant (drop-and-count) mode
+    /// for them so the injected breakage surfaces as an oracle violation
+    /// rather than a panic.
+    pub fn breaks_network(self) -> bool {
+        matches!(
+            self,
+            FaultInjection::DuplicateDeliveries { .. } | FaultInjection::ReorderOrdered { .. }
+        )
+    }
 }
 
 /// Full configuration of a simulated system.
@@ -48,6 +89,11 @@ pub struct SystemConfig {
     pub nodes: u16,
     /// Endpoint link bandwidth in MB/s (the paper's x-axis).
     pub link_mbps: u64,
+    /// Interconnect topology. [`TopologyKind::Crossbar`] (the default) is
+    /// the paper's contended-endpoint crossbar; every other kind routes
+    /// messages hop-by-hop through the fabric engine with per-directed-link
+    /// contention.
+    pub topology: TopologyKind,
     /// Fixed crossbar traversal latency.
     pub traversal: Duration,
     /// DRAM / directory access latency.
@@ -92,6 +138,7 @@ impl SystemConfig {
             protocol,
             nodes,
             link_mbps,
+            topology: TopologyKind::Crossbar,
             traversal: Duration::from_ns(50),
             dram_latency: Duration::from_ns(80),
             cache_provide_latency: Duration::from_ns(25),
@@ -115,6 +162,12 @@ impl SystemConfig {
     /// Overrides the cache geometry.
     pub fn with_cache(mut self, geometry: CacheGeometry) -> Self {
         self.cache_geometry = geometry;
+        self
+    }
+
+    /// Overrides the interconnect topology.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -185,10 +238,15 @@ impl SystemConfig {
         );
         assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
         if let Some(
-            FaultInjection::CorruptLoads { period } | FaultInjection::DropInvalidations { period },
+            FaultInjection::CorruptLoads { period }
+            | FaultInjection::DropInvalidations { period }
+            | FaultInjection::DuplicateDeliveries { period },
         ) = self.fault
         {
             assert!(period > 0, "fault period must be at least 1");
+        }
+        if let Some(FaultInjection::ReorderOrdered { window }) = self.fault {
+            assert!(window >= 2, "reorder window must be at least 2");
         }
         assert!(
             self.capture_ops || !self.capture_completions,

@@ -37,5 +37,5 @@ pub mod stats;
 pub mod system;
 
 pub use config::{FaultInjection, SystemConfig};
-pub use stats::RunStats;
+pub use stats::{LinkStat, RunStats};
 pub use system::System;

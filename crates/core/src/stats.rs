@@ -2,6 +2,25 @@
 
 use bash_kernel::Duration;
 
+/// Per-directed-link statistics of one measured window on a routed fabric
+/// topology. The crossbar models endpoint links only and reports none.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStat {
+    /// Source vertex of the directed link. Vertices `>= nodes` are
+    /// internal switch vertices (the star topology's hub).
+    pub from: u16,
+    /// Destination vertex of the directed link.
+    pub to: u16,
+    /// Bytes forwarded over the link in the measured window.
+    pub bytes: u64,
+    /// Messages forwarded over the link in the measured window.
+    pub messages: u64,
+    /// Peak same-instant enqueue demand observed over the whole run.
+    pub peak_demand: u32,
+    /// Fraction of the measured window the link spent transmitting.
+    pub busy_fraction: f64,
+}
+
 /// Aggregate results of one measured simulation window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
@@ -48,6 +67,9 @@ pub struct RunStats {
     /// High-water mark of the event queue over the whole run — the capacity
     /// `System::new` should pre-allocate for this workload shape.
     pub peak_queue_len: u64,
+    /// Per-directed-link stats, in the topology's link order (empty on the
+    /// crossbar, which has no routed links).
+    pub links: Vec<LinkStat>,
 }
 
 impl RunStats {
@@ -129,6 +151,7 @@ mod tests {
             nacks: 0,
             events_processed: 123_456,
             peak_queue_len: 97,
+            links: Vec::new(),
         }
     }
 

@@ -4,7 +4,8 @@
 //! ```text
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
-//!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | verify
+//!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | topology |
+//!        verify
 //! bash-experiments trace <info FILE | migrate IN OUT | replay FILE | diff FILE>
 //! ```
 //!
@@ -28,6 +29,7 @@ mod micro;
 mod scenarios;
 mod static_figs;
 mod table1;
+mod topology;
 mod trace;
 mod verify;
 
@@ -58,7 +60,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
-                println!("  ids: all fig1..fig12 table1 scenarios verify");
+                println!("  ids: all fig1..fig12 table1 scenarios topology verify");
                 println!("       trace <info FILE | migrate IN OUT | replay FILE | diff FILE>");
                 return;
             }
@@ -135,6 +137,10 @@ fn main() {
     if want("scenarios") {
         eprintln!("running the scenario-catalog sweep...");
         scenarios::scenarios(&opts);
+    }
+    if want("topology") {
+        eprintln!("running the protocol x topology sweep...");
+        topology::topology(&opts);
     }
     // The invariant gate is opt-in (not part of `all`): it fails the
     // process on any violation, which figure regeneration should not.

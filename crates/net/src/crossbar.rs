@@ -33,6 +33,7 @@ use bash_kernel::{DetRng, Duration, Time};
 
 use crate::ids::{NodeId, NodeSet};
 use crate::message::{Message, Ordered};
+use crate::topology::TopologyKind;
 
 /// Static configuration of the interconnect.
 #[derive(Debug, Clone)]
@@ -41,7 +42,8 @@ pub struct NetConfig {
     pub nodes: u16,
     /// Endpoint link bandwidth in MB/s (the x-axis of Figures 1, 5–7, 10, 11).
     pub link_mbps: u64,
-    /// Fixed crossbar traversal latency (50 ns in the paper).
+    /// Fixed crossbar traversal latency (50 ns in the paper); in the
+    /// fabric, the per-hop store-and-forward latency at each vertex.
     pub traversal: Duration,
     /// Bandwidth-footprint multiplier applied to full-broadcast messages
     /// (1 normally; 4 for Figure 11's larger-system approximation).
@@ -49,11 +51,15 @@ pub struct NetConfig {
     /// Optional randomized latency perturbation (used by the random tester
     /// and by the paper's measurement-perturbation methodology).
     pub jitter: Jitter,
+    /// Which interconnect to build: the default [`TopologyKind::Crossbar`]
+    /// selects this crate's [`Crossbar`]; any other kind selects the
+    /// routed [`crate::fabric::Fabric`].
+    pub topology: TopologyKind,
 }
 
 impl NetConfig {
     /// A configuration with the paper's defaults: 50 ns traversal, no
-    /// broadcast penalty, no jitter.
+    /// broadcast penalty, no jitter, crossbar topology.
     pub fn new(nodes: u16, link_mbps: u64) -> Self {
         NetConfig {
             nodes,
@@ -61,6 +67,7 @@ impl NetConfig {
             traversal: Duration::from_ns(50),
             broadcast_cost_multiplier: 1,
             jitter: Jitter::None,
+            topology: TopologyKind::Crossbar,
         }
     }
 }
@@ -112,6 +119,14 @@ pub enum NetEvent<P> {
         msg: Rc<Message<P>>,
         /// Global sequence for totally ordered messages.
         order: Option<u64>,
+    },
+    /// Fabric only: a forwarding-tree node's in-link finished crossing
+    /// (see [`crate::fabric`]; never scheduled by the crossbar).
+    Hop {
+        /// The in-flight message and its multicast forwarding tree.
+        flight: Rc<crate::fabric::FabricFlight<P>>,
+        /// Index of the tree node whose in-link completed.
+        node: u32,
     },
 }
 
@@ -247,6 +262,7 @@ impl<P> Crossbar<P> {
             NetEvent::Deliver { dst, msg, order } => {
                 out.deliveries.push(Delivery { dst, msg, order });
             }
+            NetEvent::Hop { .. } => unreachable!("fabric-only event reached the crossbar"),
         }
     }
 

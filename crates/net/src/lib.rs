@@ -17,13 +17,25 @@
 //! * a **broadcast cost multiplier** inflates the bandwidth footprint of
 //!   full-broadcast messages (Figure 11's "4× broadcast cost" experiment).
 //!
+//! Beyond the paper's crossbar, the crate provides a topology-aware
+//! [`fabric`]: routed star / line / ring / mesh / torus graphs
+//! ([`topology`]) whose messages advance hop-by-hop through
+//! per-directed-link FIFO bandwidth queues, with endpoint re-sequencing
+//! preserving the crossbar's total-order delivery guarantee.
+//! [`Interconnect`] dispatches between the two engines based on
+//! [`NetConfig::topology`] (the crossbar remains the default).
+//!
 //! The crate is payload-agnostic: protocol crates instantiate
 //! [`Crossbar`]`<P>` with their own message payloads.
 
 pub mod crossbar;
+pub mod fabric;
 pub mod ids;
 pub mod message;
+pub mod topology;
 
-pub use crossbar::{Crossbar, Jitter, NetConfig, NetEvent, NetStep};
+pub use crossbar::{Crossbar, Delivery, Jitter, NetConfig, NetEvent, NetStep};
+pub use fabric::{Fabric, Interconnect};
 pub use ids::{NodeId, NodeSet};
 pub use message::{Message, Ordered, VnetId};
+pub use topology::{OrderingMode, Topology, TopologyKind};

@@ -1,0 +1,579 @@
+//! Interconnect topologies and deterministic per-message routing.
+//!
+//! The fabric engine ([`crate::fabric::Fabric`]) is topology-agnostic: it
+//! asks a [`Topology`] for the directed-link graph and for next-hop
+//! decisions, and advances messages hop by hop. This module defines the
+//! topology catalog:
+//!
+//! * [`TopologyKind::Star`] — every endpoint hangs off one central switch
+//!   vertex; the crossbar-equivalent fabric (same two-link path per
+//!   message, single natural ordering point);
+//! * [`TopologyKind::Line`] — endpoints chained `0 – 1 – … – n-1`;
+//! * [`TopologyKind::Ring`] — the line closed into a cycle, shortest-way
+//!   routing with a clockwise tie-break;
+//! * [`TopologyKind::Mesh2D`] — a 2D grid with dimension-order (X then Y)
+//!   routing;
+//! * [`TopologyKind::Torus`] — the grid with per-dimension wraparound,
+//!   shortest-way per dimension with a clockwise tie-break.
+//!
+//! Routing is **deterministic and memoryless**: the next hop depends only
+//! on the current vertex and the destination. For each topology here, the
+//! union of the routes from one source to any destination set forms a
+//! tree (each vertex is entered over a unique in-link per source), which
+//! is what lets the fabric forward one shared copy of a multicast along a
+//! branching route instead of sending per-destination clones.
+//!
+//! Grid shapes are chosen as `cols = ` smallest divisor of `n` that is
+//! `≥ ⌈√n⌉`, `rows = n / cols` — always an exact grid with no holes
+//! (n=16 → 4×4, n=8 → 2×4, a prime n degenerates to 1×n, i.e. a line or
+//! ring).
+
+use crate::ids::NodeId;
+
+/// Which interconnect model a [`crate::NetConfig`] selects.
+///
+/// [`TopologyKind::Crossbar`] is the default and selects the original
+/// endpoint-link crossbar ([`crate::Crossbar`]); every other kind selects
+/// the hop-by-hop [`crate::fabric::Fabric`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// The paper's fixed-latency crossbar (default; not a fabric topology).
+    #[default]
+    Crossbar,
+    /// Endpoints around a single central switch vertex.
+    Star,
+    /// An open chain of endpoints.
+    Line,
+    /// A closed cycle of endpoints.
+    Ring,
+    /// A 2D grid, dimension-order routed.
+    Mesh2D,
+    /// A 2D grid with per-dimension wraparound.
+    Torus,
+}
+
+impl TopologyKind {
+    /// Display name (stable: used in CSV output and sweep labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Crossbar => "crossbar",
+            TopologyKind::Star => "star",
+            TopologyKind::Line => "line",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Mesh2D => "mesh2d",
+            TopologyKind::Torus => "torus",
+        }
+    }
+
+    /// Parses a name as produced by [`TopologyKind::name`].
+    pub fn parse(s: &str) -> Option<TopologyKind> {
+        match s {
+            "crossbar" => Some(TopologyKind::Crossbar),
+            "star" => Some(TopologyKind::Star),
+            "line" => Some(TopologyKind::Line),
+            "ring" => Some(TopologyKind::Ring),
+            "mesh2d" | "mesh" => Some(TopologyKind::Mesh2D),
+            "torus" => Some(TopologyKind::Torus),
+            _ => None,
+        }
+    }
+
+    /// Every kind, crossbar first (sweep order).
+    pub const ALL: [TopologyKind; 6] = [
+        TopologyKind::Crossbar,
+        TopologyKind::Star,
+        TopologyKind::Line,
+        TopologyKind::Ring,
+        TopologyKind::Mesh2D,
+        TopologyKind::Torus,
+    ];
+
+    /// The fabric topologies (everything except the crossbar).
+    pub const ALL_FABRIC: [TopologyKind; 5] = [
+        TopologyKind::Star,
+        TopologyKind::Line,
+        TopologyKind::Ring,
+        TopologyKind::Mesh2D,
+        TopologyKind::Torus,
+    ];
+
+    /// Builds the routing graph for `nodes` endpoints, or `None` for
+    /// [`TopologyKind::Crossbar`] (which is not route-based).
+    pub fn build(self, nodes: u16) -> Option<Box<dyn Topology>> {
+        assert!(nodes > 0, "need at least one node");
+        match self {
+            TopologyKind::Crossbar => None,
+            TopologyKind::Star => Some(Box::new(Star::new(nodes))),
+            TopologyKind::Line => Some(Box::new(Path::new(nodes, false))),
+            TopologyKind::Ring => Some(Box::new(Path::new(nodes, true))),
+            TopologyKind::Mesh2D => Some(Box::new(Grid::new(nodes, false))),
+            TopologyKind::Torus => Some(Box::new(Grid::new(nodes, true))),
+        }
+    }
+}
+
+/// How a fabric topology supplies the total-order delivery guarantee the
+/// snooping protocols require.
+///
+/// The fabric *always* delivers [`crate::Ordered::Total`] messages to
+/// every endpoint in one global sequence (assigned at injection). This
+/// capability reports whether the topology provides that order natively —
+/// a single merge vertex every ordered message crosses — or whether the
+/// engine must re-sequence at the endpoints (hold back messages that
+/// overtook an earlier sequence number on a shorter route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// A single ordering point exists on every route (crossbar, star).
+    NativeTotalOrder,
+    /// Routes have no common ordering point; endpoints re-sequence.
+    Resequenced,
+}
+
+impl OrderingMode {
+    /// Display name (stable; surfaced in verify reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderingMode::NativeTotalOrder => "native-total-order",
+            OrderingMode::Resequenced => "resequenced",
+        }
+    }
+}
+
+/// A routed interconnect graph: endpoints (vertices `0..nodes`), optional
+/// switch vertices (`nodes..vertices`), directed links, and a memoryless
+/// deterministic next-hop function.
+pub trait Topology: std::fmt::Debug {
+    /// The kind this graph was built from.
+    fn kind(&self) -> TopologyKind;
+    /// Number of endpoint nodes (vertices `0..nodes()` are endpoints).
+    fn nodes(&self) -> u16;
+    /// Total vertex count, endpoints first, then internal switch vertices.
+    fn vertices(&self) -> u16;
+    /// Every directed link `(from, to)`, in a fixed deterministic order.
+    fn links(&self) -> &[(u16, u16)];
+    /// The vertex a message at `at` moves to next on its way to `dst`.
+    /// Must not be called with `at == dst`.
+    fn next_hop(&self, at: u16, dst: NodeId) -> u16;
+    /// Ordering capability (see [`OrderingMode`]).
+    fn ordering(&self) -> OrderingMode;
+
+    /// The full route from endpoint `from` to endpoint `to` as a chain of
+    /// directed links. Empty when `from == to` (loopback never crosses a
+    /// link).
+    fn route(&self, from: NodeId, to: NodeId) -> Vec<(u16, u16)> {
+        let mut hops = Vec::new();
+        let mut at = from.0;
+        while at != to.0 {
+            let next = self.next_hop(at, to);
+            hops.push((at, next));
+            at = next;
+            assert!(
+                hops.len() <= self.vertices() as usize,
+                "route {}->{} did not converge",
+                from.0,
+                to.0
+            );
+        }
+        hops
+    }
+}
+
+/// Star: endpoints `0..n`, hub vertex `n`.
+#[derive(Debug)]
+struct Star {
+    nodes: u16,
+    links: Vec<(u16, u16)>,
+}
+
+impl Star {
+    fn new(nodes: u16) -> Self {
+        let hub = nodes;
+        let mut links = Vec::with_capacity(2 * nodes as usize);
+        for i in 0..nodes {
+            links.push((i, hub));
+            links.push((hub, i));
+        }
+        Star { nodes, links }
+    }
+}
+
+impl Topology for Star {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Star
+    }
+    fn nodes(&self) -> u16 {
+        self.nodes
+    }
+    fn vertices(&self) -> u16 {
+        self.nodes + 1
+    }
+    fn links(&self) -> &[(u16, u16)] {
+        &self.links
+    }
+    fn next_hop(&self, at: u16, dst: NodeId) -> u16 {
+        debug_assert_ne!(at, dst.0);
+        if at == self.nodes {
+            dst.0
+        } else {
+            self.nodes
+        }
+    }
+    fn ordering(&self) -> OrderingMode {
+        OrderingMode::NativeTotalOrder
+    }
+}
+
+/// Line (`wrap = false`) or ring (`wrap = true`) of endpoints.
+#[derive(Debug)]
+struct Path {
+    nodes: u16,
+    wrap: bool,
+    links: Vec<(u16, u16)>,
+}
+
+impl Path {
+    fn new(nodes: u16, wrap: bool) -> Self {
+        let mut links = std::collections::BTreeSet::new();
+        for i in 0..nodes {
+            if i + 1 < nodes {
+                links.insert((i, i + 1));
+                links.insert((i + 1, i));
+            } else if wrap && nodes > 1 {
+                links.insert((i, 0));
+                links.insert((0, i));
+            }
+        }
+        Path {
+            nodes,
+            wrap,
+            links: links.into_iter().collect(),
+        }
+    }
+}
+
+impl Topology for Path {
+    fn kind(&self) -> TopologyKind {
+        if self.wrap {
+            TopologyKind::Ring
+        } else {
+            TopologyKind::Line
+        }
+    }
+    fn nodes(&self) -> u16 {
+        self.nodes
+    }
+    fn vertices(&self) -> u16 {
+        self.nodes
+    }
+    fn links(&self) -> &[(u16, u16)] {
+        &self.links
+    }
+    fn next_hop(&self, at: u16, dst: NodeId) -> u16 {
+        debug_assert_ne!(at, dst.0);
+        if !self.wrap {
+            return if dst.0 > at { at + 1 } else { at - 1 };
+        }
+        let n = self.nodes;
+        // Shortest way around the ring; ties go clockwise (+1).
+        let cw = (dst.0 + n - at) % n;
+        if cw <= n - cw {
+            (at + 1) % n
+        } else {
+            (at + n - 1) % n
+        }
+    }
+    fn ordering(&self) -> OrderingMode {
+        OrderingMode::Resequenced
+    }
+}
+
+/// 2D grid (`wrap = false`: mesh, `true`: torus) of endpoints, vertex
+/// `r * cols + c`, dimension-order (X then Y) routing.
+#[derive(Debug)]
+struct Grid {
+    nodes: u16,
+    rows: u16,
+    cols: u16,
+    wrap: bool,
+    links: Vec<(u16, u16)>,
+}
+
+/// `cols` = smallest divisor of `n` that is `≥ ⌈√n⌉` (so the grid is
+/// always exact, with `rows = n / cols ≤ cols`).
+fn grid_dims(n: u16) -> (u16, u16) {
+    let mut cols = 1u16;
+    while cols * cols < n {
+        cols += 1;
+    }
+    while !n.is_multiple_of(cols) {
+        cols += 1;
+    }
+    (n / cols, cols)
+}
+
+impl Grid {
+    fn new(nodes: u16, wrap: bool) -> Self {
+        let (rows, cols) = grid_dims(nodes);
+        let mut links = std::collections::BTreeSet::new();
+        let vid = |r: u16, c: u16| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut neighbors = Vec::new();
+                if c + 1 < cols {
+                    neighbors.push(vid(r, c + 1));
+                } else if wrap && cols > 1 {
+                    neighbors.push(vid(r, 0));
+                }
+                if c > 0 {
+                    neighbors.push(vid(r, c - 1));
+                } else if wrap && cols > 1 {
+                    neighbors.push(vid(r, cols - 1));
+                }
+                if r + 1 < rows {
+                    neighbors.push(vid(r + 1, c));
+                } else if wrap && rows > 1 {
+                    neighbors.push(vid(0, c));
+                }
+                if r > 0 {
+                    neighbors.push(vid(r - 1, c));
+                } else if wrap && rows > 1 {
+                    neighbors.push(vid(rows - 1, c));
+                }
+                for nb in neighbors {
+                    links.insert((vid(r, c), nb));
+                }
+            }
+        }
+        Grid {
+            nodes,
+            rows,
+            cols,
+            wrap,
+            links: links.into_iter().collect(),
+        }
+    }
+}
+
+impl Topology for Grid {
+    fn kind(&self) -> TopologyKind {
+        if self.wrap {
+            TopologyKind::Torus
+        } else {
+            TopologyKind::Mesh2D
+        }
+    }
+    fn nodes(&self) -> u16 {
+        self.nodes
+    }
+    fn vertices(&self) -> u16 {
+        self.nodes
+    }
+    fn links(&self) -> &[(u16, u16)] {
+        &self.links
+    }
+    fn next_hop(&self, at: u16, dst: NodeId) -> u16 {
+        debug_assert_ne!(at, dst.0);
+        let (rows, cols) = (self.rows, self.cols);
+        let (r, c) = (at / cols, at % cols);
+        let (rd, cd) = (dst.0 / cols, dst.0 % cols);
+        if c != cd {
+            if !self.wrap {
+                return if cd > c { at + 1 } else { at - 1 };
+            }
+            // Shortest way around the row cycle; ties go clockwise (+1).
+            let cw = (cd + cols - c) % cols;
+            if cw <= cols - cw {
+                r * cols + (c + 1) % cols
+            } else {
+                r * cols + (c + cols - 1) % cols
+            }
+        } else {
+            if !self.wrap {
+                return if rd > r { at + cols } else { at - cols };
+            }
+            let cw = (rd + rows - r) % rows;
+            if cw <= rows - cw {
+                ((r + 1) % rows) * cols + c
+            } else {
+                ((r + rows - 1) % rows) * cols + c
+            }
+        }
+    }
+    fn ordering(&self) -> OrderingMode {
+        OrderingMode::Resequenced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_pairs(kind: TopologyKind, nodes: u16) -> Box<dyn Topology> {
+        kind.build(nodes).expect("fabric topology")
+    }
+
+    #[test]
+    fn grid_dims_are_exact_factorizations() {
+        assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(4), (2, 2));
+        assert_eq!(grid_dims(8), (2, 4));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(7), (1, 7)); // prime: degenerates to a line
+        for n in 1..=64u16 {
+            let (r, c) = grid_dims(n);
+            assert_eq!(r * c, n);
+            assert!(r <= c);
+        }
+    }
+
+    #[test]
+    fn star_routes_pass_through_the_hub() {
+        let t = all_pairs(TopologyKind::Star, 4);
+        assert_eq!(t.vertices(), 5);
+        assert_eq!(t.links().len(), 8);
+        assert_eq!(t.route(NodeId(0), NodeId(3)), vec![(0, 4), (4, 3)]);
+        assert_eq!(t.route(NodeId(2), NodeId(2)), vec![]);
+        assert_eq!(t.ordering(), OrderingMode::NativeTotalOrder);
+    }
+
+    #[test]
+    fn ring_prefers_the_short_way_with_clockwise_ties() {
+        let t = all_pairs(TopologyKind::Ring, 6);
+        // 0→2 clockwise (2 hops), 0→5 counter-clockwise (1 hop).
+        assert_eq!(t.route(NodeId(0), NodeId(2)), vec![(0, 1), (1, 2)]);
+        assert_eq!(t.route(NodeId(0), NodeId(5)), vec![(0, 5)]);
+        // Tie at distance 3: clockwise wins.
+        assert_eq!(t.route(NodeId(0), NodeId(3)), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn mesh_routes_x_then_y() {
+        // 4×4 grid: 1 = (0,1), 14 = (3,2).
+        let t = all_pairs(TopologyKind::Mesh2D, 16);
+        assert_eq!(
+            t.route(NodeId(1), NodeId(14)),
+            vec![(1, 2), (2, 6), (6, 10), (10, 14)]
+        );
+        assert_eq!(t.ordering(), OrderingMode::Resequenced);
+    }
+
+    #[test]
+    fn torus_wraps_both_dimensions() {
+        // 4×4: 0 = (0,0), 15 = (3,3): one wrap step left, one wrap step up.
+        let t = all_pairs(TopologyKind::Torus, 16);
+        assert_eq!(t.route(NodeId(0), NodeId(15)), vec![(0, 3), (3, 15)]);
+    }
+
+    #[test]
+    fn degenerate_small_topologies_are_consistent() {
+        for kind in TopologyKind::ALL_FABRIC {
+            for n in [1u16, 2, 3] {
+                let t = all_pairs(kind, n);
+                assert_eq!(t.nodes(), n);
+                // No duplicate links.
+                let mut seen = std::collections::BTreeSet::new();
+                for &l in t.links() {
+                    assert_ne!(l.0, l.1, "{kind:?}/{n}: self-loop link");
+                    assert!(seen.insert(l), "{kind:?}/{n}: duplicate link {l:?}");
+                }
+                for s in 0..n {
+                    for d in 0..n {
+                        let route = t.route(NodeId(s), NodeId(d));
+                        if s == d {
+                            assert!(route.is_empty());
+                        } else {
+                            assert_eq!(route.first().unwrap().0, s);
+                            assert_eq!(route.last().unwrap().1, d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TopologyKind::parse("mesh"), Some(TopologyKind::Mesh2D));
+        assert_eq!(TopologyKind::parse("hypercube"), None);
+        assert_eq!(TopologyKind::default(), TopologyKind::Crossbar);
+    }
+
+    /// Satellite invariant (proptest): every route from every topology is
+    /// a connected chain of valid directed links that starts at the
+    /// source, ends at the destination, and visits no vertex twice.
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_routes_are_connected_chains_of_valid_links(
+                kind_ix in 0usize..TopologyKind::ALL_FABRIC.len(),
+                nodes in 1u16..33,
+                src in 0u16..33,
+                dst in 0u16..33,
+            ) {
+                let kind = TopologyKind::ALL_FABRIC[kind_ix];
+                let (src, dst) = (src % nodes, dst % nodes);
+                let t = kind.build(nodes).expect("fabric topology");
+                let valid: std::collections::BTreeSet<(u16, u16)> =
+                    t.links().iter().copied().collect();
+                let route = t.route(NodeId(src), NodeId(dst));
+                if src == dst {
+                    prop_assert!(route.is_empty());
+                } else {
+                    prop_assert_eq!(route.first().unwrap().0, src);
+                    prop_assert_eq!(route.last().unwrap().1, dst);
+                    let mut visited = std::collections::BTreeSet::new();
+                    visited.insert(src);
+                    let mut at = src;
+                    for &(from, to) in &route {
+                        // Connected: each hop leaves where the last arrived.
+                        prop_assert_eq!(from, at);
+                        // Valid: the hop is a declared directed link.
+                        prop_assert!(valid.contains(&(from, to)),
+                            "{:?}/{}: {}->{} is not a link", kind, nodes, from, to);
+                        // Loop-free.
+                        prop_assert!(visited.insert(to),
+                            "{:?}/{}: vertex {} visited twice", kind, nodes, to);
+                        at = to;
+                    }
+                    prop_assert!(route.len() <= t.vertices() as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_union_is_a_tree() {
+        // For every topology and source, the union of routes to all
+        // destinations must enter each vertex over at most one in-link —
+        // the property the fabric's shared-copy multicast forwarding
+        // relies on.
+        for kind in TopologyKind::ALL_FABRIC {
+            for n in [2u16, 4, 5, 6, 8, 9, 12, 16] {
+                let t = all_pairs(kind, n);
+                for s in 0..n {
+                    let mut in_link: std::collections::BTreeMap<u16, (u16, u16)> =
+                        Default::default();
+                    for d in 0..n {
+                        for hop in t.route(NodeId(s), NodeId(d)) {
+                            let prev = in_link.insert(hop.1, hop);
+                            assert!(
+                                prev.is_none() || prev == Some(hop),
+                                "{kind:?}/{n}: vertex {} entered via {:?} and {:?} from {s}",
+                                hop.1,
+                                prev.unwrap(),
+                                hop
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -138,13 +138,27 @@ pub struct DifferentialReport {
     /// it was captured with completion events — the capture-time baseline
     /// the replays are compared against.
     pub captured_latency: Option<LatencySummary>,
+    /// Same-protocol replay exactness: replaying the trace under the
+    /// protocol that captured it (`cfg.protocol`) must reproduce the
+    /// captured per-node latency sequences **byte-exactly** — same seed,
+    /// same config, same op stream, so any drift is nondeterminism in the
+    /// engine. `None` when the input trace carries no completions (nothing
+    /// to gate against); `Some(false)` fails the run.
+    pub replay_exact: Option<bool>,
+    /// Nodes whose replayed latency sequence differed from the captured
+    /// one (0 when [`replay_exact`](Self::replay_exact) holds).
+    pub replay_latency_mismatches: usize,
 }
 
 impl DifferentialReport {
-    /// True when every protocol reached quiescence and no single-writer
-    /// location diverged.
+    /// True when every protocol reached quiescence, no single-writer
+    /// location diverged, and the same-protocol replay reproduced the
+    /// captured latency distribution byte-exactly (when the trace carried
+    /// one).
     pub fn passed(&self) -> bool {
-        self.mismatches.is_empty() && self.quiescent.iter().all(|&q| q)
+        self.mismatches.is_empty()
+            && self.quiescent.iter().all(|&q| q)
+            && self.replay_exact != Some(false)
     }
 }
 
@@ -364,6 +378,30 @@ pub fn differential_trace(cfg: &VerifyConfig, trace: &Trace) -> DifferentialRepo
             .collect(),
     );
 
+    // Same-protocol replay exactness: the protocol that captured the trace
+    // must reproduce the captured per-node latency sequences to the bit.
+    let mut expected: Vec<Vec<u64>> = vec![Vec::new(); trace.nodes as usize];
+    for r in &trace.records {
+        if let Some(lat) = r.completion {
+            expected[r.node.index()].push(lat.as_ps());
+        }
+    }
+    let (replay_exact, replay_latency_mismatches) =
+        if expected.iter().all(|node_lats| node_lats.is_empty()) {
+            (None, 0)
+        } else {
+            let base = protocols
+                .iter()
+                .position(|&p| p == cfg.protocol)
+                .expect("the capturing protocol is always compared");
+            let mismatches = expected
+                .iter()
+                .zip(&observations[base].latencies)
+                .filter(|(want, got)| want != got)
+                .count();
+            (Some(mismatches == 0), mismatches)
+        };
+
     DifferentialReport {
         workload: trace.workload.clone(),
         protocols,
@@ -375,6 +413,8 @@ pub fn differential_trace(cfg: &VerifyConfig, trace: &Trace) -> DifferentialRepo
         latency,
         latency_divergences,
         captured_latency,
+        replay_exact,
+        replay_latency_mismatches,
     }
 }
 
@@ -408,6 +448,10 @@ mod tests {
         }
         let captured = diff.captured_latency.expect("trace bears completions");
         assert!(captured.count > 0);
+        // Same protocol, same seed, same config: the replay must land on
+        // the captured latencies exactly.
+        assert_eq!(diff.replay_exact, Some(true));
+        assert_eq!(diff.replay_latency_mismatches, 0);
         assert!(
             diff.latency_divergences <= diff.latency.len(),
             "divergence count is a subset of rows"

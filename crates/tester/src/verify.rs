@@ -17,7 +17,7 @@ use std::rc::Rc;
 use bash_coherence::cache::CacheGeometry;
 use bash_coherence::{ProcOp, ProtocolKind};
 use bash_kernel::{pool, Duration, Time};
-use bash_net::{Jitter, NodeId};
+use bash_net::{Jitter, NodeId, OrderingMode, TopologyKind};
 use bash_sim::{FaultInjection, System, SystemConfig};
 use bash_trace::Trace;
 use bash_workloads::{catalog, TraceWorkload, WorkItem, Workload};
@@ -34,6 +34,12 @@ pub struct VerifyConfig {
     pub nodes: u16,
     /// Endpoint bandwidth (low values add queueing-driven reordering).
     pub link_mbps: u64,
+    /// Interconnect topology under test. Non-crossbar topologies route
+    /// hop-by-hop through the fabric engine; the report's
+    /// [`ordering`](VerifyReport::ordering) field records whether the
+    /// delivery order the protocols saw was the interconnect's native
+    /// total order or a resequenced one.
+    pub topology: TopologyKind,
     /// Master seed (workload construction and jitter).
     pub seed: u64,
     /// Per-node op cap applied to endless generators. Trace replays run to
@@ -62,6 +68,7 @@ impl VerifyConfig {
             protocol,
             nodes: 4,
             link_mbps: 800,
+            topology: TopologyKind::Crossbar,
             seed,
             ops_per_node: 400,
             jitter: Some(Jitter::Uniform {
@@ -81,6 +88,7 @@ impl VerifyConfig {
     /// pass.
     pub fn system_config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper_default(self.protocol, self.nodes, self.link_mbps)
+            .with_topology(self.topology)
             .with_seed(self.seed)
             .with_cache(self.cache)
             .with_capture_completions();
@@ -101,6 +109,11 @@ pub struct VerifyReport {
     pub protocol: ProtocolKind,
     /// System size in nodes.
     pub nodes: u16,
+    /// How the interconnect provided the total order the protocols
+    /// consumed: natively (crossbar, star) or resequenced at the edges
+    /// (line, ring, mesh, torus). The invariant suite holds either way —
+    /// that is the point of checking both.
+    pub ordering: OrderingMode,
     /// Operations the workload issued.
     pub ops: u64,
     /// Loads validated against the oracle.
@@ -201,6 +214,7 @@ pub fn run_verify<W: Workload>(cfg: &VerifyConfig, workload: W) -> VerifyReport 
         sweep_structural(&system, &mut o);
     }
 
+    let ordering = system.ordering();
     let trace = system
         .take_captured_trace()
         .expect("verification runs always capture");
@@ -214,6 +228,7 @@ pub fn run_verify<W: Workload>(cfg: &VerifyConfig, workload: W) -> VerifyReport 
         workload: workload_name,
         protocol: cfg.protocol,
         nodes: cfg.nodes,
+        ordering,
         ops,
         loads_checked: oracle.loads_checked(),
         stores_applied: oracle.stores_applied(),
@@ -329,6 +344,26 @@ mod tests {
         assert!(report.stores_applied > 0);
         assert!(report.blocks_touched > 1);
         assert_eq!(report.trace.records.len() as u64, report.ops);
+    }
+
+    #[test]
+    fn fabric_topologies_verify_and_report_their_ordering() {
+        for (topology, want) in [
+            (TopologyKind::Crossbar, OrderingMode::NativeTotalOrder),
+            (TopologyKind::Star, OrderingMode::NativeTotalOrder),
+            (TopologyKind::Mesh2D, OrderingMode::Resequenced),
+        ] {
+            let mut cfg = VerifyConfig::new(ProtocolKind::Bash, 21);
+            cfg.topology = topology;
+            cfg.ops_per_node = 120;
+            let report = run_verify_scenario(&cfg, "migratory");
+            assert_eq!(report.ordering, want, "{topology:?}");
+            assert!(
+                report.passed(),
+                "{topology:?} first: {:?}",
+                report.first_violation()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Produces BENCH_fabric.json — the interconnect fabric's throughput
+# baseline (events/sec, 16-node BASH, 4x4 mesh vs. crossbar). Run from
+# anywhere:
+#
+#   scripts/bench_fabric.sh [output.json]
+#
+# The JSON is the artifact CI's bench-smoke job uploads; commit-to-commit
+# comparisons of the mesh_vs_crossbar factor track what routed delivery
+# costs the engine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_fabric.json}"
+cargo run --release -q -p bash-bench --bin fabric_throughput -- "$OUT"
+
+# Fail loudly if the bench silently produced nothing: CI uploads this file
+# as the perf-trajectory artifact, and an empty artifact is worse than a
+# red job.
+if [[ ! -s "$OUT" ]]; then
+  echo "bench_fabric: $OUT is missing or empty" >&2
+  exit 1
+fi
+if ! grep -q '"mesh_vs_crossbar"' "$OUT"; then
+  echo "bench_fabric: $OUT has no mesh_vs_crossbar field — bench output is malformed" >&2
+  exit 1
+fi

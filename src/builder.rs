@@ -18,7 +18,7 @@ use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::pool;
 use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, Time};
-use bash_net::Jitter;
+use bash_net::{Jitter, TopologyKind};
 use bash_sim::{RunStats, System, SystemConfig};
 use bash_trace::{Trace, TraceReader};
 use bash_workloads::{
@@ -262,6 +262,7 @@ impl WorkloadSpec {
 pub struct SimBuilder {
     protocol: ProtocolKind,
     nodes: u16,
+    topology: TopologyKind,
     bandwidths: Vec<u64>,
     warmup: Duration,
     measure: Duration,
@@ -290,6 +291,7 @@ impl SimBuilder {
         SimBuilder {
             protocol,
             nodes: 16,
+            topology: TopologyKind::Crossbar,
             bandwidths: vec![1600],
             warmup: Duration::from_ns(100_000),
             measure: Duration::from_ns(400_000),
@@ -321,6 +323,16 @@ impl SimBuilder {
     /// Sets the system size in nodes.
     pub fn nodes(mut self, nodes: u16) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Sets the interconnect topology. The default,
+    /// [`TopologyKind::Crossbar`], is the paper's contended-endpoint
+    /// crossbar; every other kind routes messages hop-by-hop through the
+    /// fabric engine with per-directed-link contention and per-link stats
+    /// in [`RunStats::links`](bash_sim::RunStats).
+    pub fn topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -642,6 +654,7 @@ impl SimBuilder {
     /// paper defaults plus every builder override.
     pub fn config(&self, mbps: u64, seed_index: u32) -> SystemConfig {
         let mut cfg = SystemConfig::paper_default(self.protocol, self.nodes, mbps)
+            .with_topology(self.topology)
             .with_broadcast_cost(self.broadcast_cost)
             .with_seed(self.base_seed.wrapping_add(seed_index as u64 * 7919));
         if let Some(adaptor) = &self.adaptor {
@@ -737,6 +750,7 @@ impl SimBuilder {
         let mut vcfg = bash_tester::VerifyConfig::new(self.protocol, cfg.seed);
         vcfg.nodes = self.nodes;
         vcfg.link_mbps = self.bandwidths[0];
+        vcfg.topology = self.topology;
         vcfg.ops_per_node = ops_per_node;
         if self.jitter.is_some() {
             vcfg.jitter = self.jitter.clone();

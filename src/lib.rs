@@ -39,7 +39,8 @@ pub use bash_adaptive as adaptive;
 pub use bash_coherence as coherence;
 /// The discrete-event kernel: time, event queue, RNG, statistics.
 pub use bash_kernel as kernel;
-/// The crossbar interconnect model.
+/// The interconnect models: the paper's crossbar plus the routed
+/// multi-topology fabric.
 pub use bash_net as net;
 /// The closed queueing model behind Figure 2.
 pub use bash_queueing as queueing;
@@ -56,8 +57,8 @@ pub use bash_workloads as workloads;
 pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
 pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
 pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
-pub use bash_net::{Jitter, NodeId, NodeSet};
-pub use bash_sim::{FaultInjection, RunStats, System, SystemConfig};
+pub use bash_net::{Jitter, NodeId, NodeSet, OrderingMode, TopologyKind};
+pub use bash_sim::{FaultInjection, LinkStat, RunStats, System, SystemConfig};
 pub use bash_tester::{
     differential_trace, minimize_trace, run_random_test, run_verify, run_verify_trace,
     verify_catalog, CheckViolation, DiffMismatch, DifferentialReport, LatencyDiff, LatencySummary,

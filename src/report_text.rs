@@ -77,6 +77,19 @@ impl RunReport {
             let _ = writeln!(out, "  nacks={}", r.nacks);
             let _ = writeln!(out, "  events_processed={}", r.events_processed);
             let _ = writeln!(out, "  peak_queue_len={}", r.peak_queue_len);
+            // Routed-fabric runs only: the crossbar reports no per-link
+            // stats, so its canonical text is byte-identical to v1 reports
+            // produced before topologies existed.
+            if !r.links.is_empty() {
+                let _ = writeln!(out, "  links={}", r.links.len());
+                for l in &r.links {
+                    let _ = writeln!(
+                        out,
+                        "    link {}->{} bytes={} messages={} peak_demand={} busy_fraction={:?}",
+                        l.from, l.to, l.bytes, l.messages, l.peak_demand, l.busy_fraction
+                    );
+                }
+            }
         }
         out
     }

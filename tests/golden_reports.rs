@@ -27,7 +27,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bash::{sweep_canonical_text, ProtocolKind, SimBuilder, Trace};
+use bash::{sweep_canonical_text, ProtocolKind, SimBuilder, TopologyKind, Trace};
 
 /// The scenarios with committed mini-traces. `phase-shift` is the
 /// adaptive-switching regression: its calm/burst regime flips drive the
@@ -172,6 +172,67 @@ fn diff_summary(path: &Path, golden: &str, actual: &str) -> String {
             (None, None) => return format!("{}: differ (whitespace only?)", path.display()),
         }
     }
+}
+
+/// Golden pin for the routed fabric: the migratory mini-trace replayed on
+/// a 2×2 mesh through all three protocols, byte-for-byte against its own
+/// blessed golden (which, unlike the crossbar goldens, carries a per-link
+/// stats block). Any change to routing, per-link queueing, resequenced
+/// delivery, or the link statistics shows up here as a diff.
+#[test]
+fn mesh_golden_reports_match_and_are_thread_invariant() {
+    let trace = mini_trace("migratory");
+    let mut failures = Vec::new();
+    for proto in PROTOCOLS {
+        let render = |threads: usize| {
+            sweep_canonical_text(
+                &SimBuilder::new(proto)
+                    .trace_in(trace.clone())
+                    .topology(TopologyKind::Mesh2D)
+                    .bandwidths(BANDWIDTHS)
+                    .seed(SEED)
+                    .warmup_ns(WARMUP_NS)
+                    .measure_ns(MEASURE_NS)
+                    .threads(threads)
+                    .run_sweep(),
+            )
+        };
+        let serial = render(1);
+        let parallel = render(4);
+        assert_eq!(
+            serial, parallel,
+            "migratory-mesh/{proto:?}: threads=4 replay diverged from threads=1"
+        );
+        assert!(
+            serial.contains("links="),
+            "mesh replay must report per-link stats"
+        );
+        let golden_path = golden_dir().join(format!(
+            "migratory-mesh.{}.golden.txt",
+            proto.name().to_ascii_lowercase()
+        ));
+        if blessing() {
+            fs::create_dir_all(golden_dir()).unwrap();
+            fs::write(&golden_path, &serial).unwrap();
+            eprintln!("blessed {}", golden_path.display());
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {} — run scripts/update_goldens.sh",
+                golden_path.display()
+            )
+        });
+        if golden != serial {
+            failures.push(diff_summary(&golden_path, &golden, &serial));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "mesh golden reports diverged; if intentional, run scripts/update_goldens.sh \
+         and commit the diff:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

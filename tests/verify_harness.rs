@@ -185,6 +185,59 @@ fn dropped_invalidations_are_caught_for_every_protocol() {
     }
 }
 
+/// A network that duplicates messages — every 2nd GetM reaching its home
+/// is redelivered once ownership has migrated to another cache, so the
+/// home re-runs the ownership transfer and corrupts its owner record out
+/// from under the real owner — must be caught for every protocol.
+/// Migratory sharing maximizes ownership movement, so every duplicate
+/// finds a moved owner to corrupt.
+#[test]
+fn duplicated_deliveries_are_caught_for_every_protocol() {
+    for proto in PROTOCOLS {
+        let mut cfg = VerifyConfig::new(proto, 1);
+        cfg.ops_per_node = 200;
+        cfg.fault = Some(FaultInjection::DuplicateDeliveries { period: 2 });
+        let report = run_verify_scenario(&cfg, "migratory");
+        assert!(
+            !report.passed(),
+            "{proto:?}: duplicated deliveries must be caught"
+        );
+        // Control: the same stream is clean without the fault.
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.fault = None;
+        assert!(
+            run_verify_trace(&clean_cfg, &report.trace).passed(),
+            "{proto:?}: the captured stream must be clean without the fault"
+        );
+    }
+}
+
+/// A network that loses its total-order guarantee — per destination node,
+/// ordered deliveries are batched in pairs and released in reverse, so
+/// nodes observe overlapping requests in different orders — must be
+/// caught for every protocol: request serialization is exactly what all
+/// three protocols build on top of the ordered network.
+#[test]
+fn reordered_ordered_deliveries_are_caught_for_every_protocol() {
+    for proto in PROTOCOLS {
+        let mut cfg = VerifyConfig::new(proto, 1);
+        cfg.ops_per_node = 200;
+        cfg.fault = Some(FaultInjection::ReorderOrdered { window: 2 });
+        let report = run_verify_scenario(&cfg, "migratory");
+        assert!(
+            !report.passed(),
+            "{proto:?}: reordered ordered deliveries must be caught"
+        );
+        // Control: the same stream is clean without the fault.
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.fault = None;
+        assert!(
+            run_verify_trace(&clean_cfg, &report.trace).passed(),
+            "{proto:?}: the captured stream must be clean without the fault"
+        );
+    }
+}
+
 /// Differential mode over a captured catalog trace: all three protocols
 /// replay the same stream, reach quiescence, and agree on every
 /// single-writer final value.
