@@ -52,6 +52,11 @@ struct BlockState {
     owner: Owner,
     sharers: NodeSet,
     wb: Option<WbPending>,
+    /// Writeback data that outran its own PutM marker (the data network
+    /// is unordered; the ordered chain toward this home can lag under
+    /// the fault plane's retransmission delays). It waits here and
+    /// completes the writeback the instant the window opens.
+    early_wb: Vec<(NodeId, BlockData)>,
 }
 
 /// The BASH home memory controller for one node's slice of memory.
@@ -131,14 +136,31 @@ impl BashMemCtrl {
             .unwrap_or(NodeSet::EMPTY)
     }
 
+    /// Fault injection (`StaleSharerMask`): silently erase the home's
+    /// record of `node` — drop its sharer bit and, if it is the recorded
+    /// owner, reset ownership to memory. Harness self-tests only.
+    pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
+        if let Some(b) = self.blocks.get_mut(&block) {
+            b.sharers.remove(node);
+            if b.owner == Owner::Node(node) {
+                b.owner = Owner::Memory;
+            }
+        }
+    }
+
     /// The stored contents of a block (defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
         self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
     }
 
-    /// True when no writeback windows or retry buffers are outstanding.
+    /// True when no writeback windows, early writeback data, or retry
+    /// buffers are outstanding.
     pub fn is_quiescent(&self) -> bool {
-        self.retry_slots.is_empty() && self.blocks.values().all(|b| b.wb.is_none())
+        self.retry_slots.is_empty()
+            && self
+                .blocks
+                .values()
+                .all(|b| b.wb.is_none() && b.early_wb.is_empty())
     }
 
     /// Makes unexpected deliveries (duplicated or reordered network
@@ -223,14 +245,25 @@ impl BashMemCtrl {
     ) {
         let block = req.block;
         if req.kind == TxnKind::PutM {
-            let st = self.blocks.entry(block).or_default();
-            if st.owner == Owner::Node(req.requestor) {
-                st.wb = Some(WbPending {
-                    from: req.requestor,
-                    queued: VecDeque::new(),
-                });
-            } else {
-                self.stats.writebacks_stale += 1;
+            let early = {
+                let st = self.blocks.entry(block).or_default();
+                if st.owner == Owner::Node(req.requestor) {
+                    st.wb = Some(WbPending {
+                        from: req.requestor,
+                        queued: VecDeque::new(),
+                    });
+                    // The data may already have outrun this marker.
+                    st.early_wb
+                        .iter()
+                        .position(|(f, _)| *f == req.requestor)
+                        .map(|i| st.early_wb.remove(i))
+                } else {
+                    self.stats.writebacks_stale += 1;
+                    None
+                }
+            };
+            if let Some((from, data)) = early {
+                self.on_wb_data(now, block, from, data, sink);
             }
             return;
         }
@@ -337,25 +370,26 @@ impl BashMemCtrl {
         sink: &mut ActionSink,
     ) {
         let before = self.state_label(block);
-        if self.tolerant {
-            // A corrupted owner record (duplicated/reordered request
-            // traffic) can leave writeback data arriving with no open
-            // window, or from a node the window no longer credits. Drop
-            // it — the dirty data is lost, which is exactly the
-            // corruption the oracle must then flag.
-            let window_matches = self
-                .blocks
-                .get(&block)
-                .and_then(|st| st.wb.as_ref())
-                .is_some_and(|wb| wb.from == from);
-            if !window_matches {
+        let st = self.blocks.entry(block).or_default();
+        if st.wb.as_ref().is_none_or(|wb| wb.from != from) {
+            if self.tolerant {
+                // A corrupted owner record (duplicated/reordered request
+                // traffic) can leave writeback data arriving with no open
+                // window, or from a node the window no longer credits.
+                // Drop it — the dirty data is lost, which is exactly the
+                // corruption the oracle must then flag.
                 self.stats.spurious_dropped += 1;
-                return;
+            } else {
+                // The unordered data network outran the ordered PutM
+                // marker (skewed per-destination chains, e.g. under a
+                // retransmitting fault plane). Hold the data; the marker
+                // is guaranteed to follow — the writer only sends data
+                // after observing its own marker in the total order.
+                st.early_wb.push((from, data));
             }
+            return;
         }
-        let st = self.blocks.get_mut(&block).expect("wb data without state");
-        let wb = st.wb.take().expect("wb data without open window");
-        assert_eq!(wb.from, from, "writeback data from the wrong node");
+        let wb = st.wb.take().expect("window checked above");
         st.owner = Owner::Memory;
         self.store.insert(block, data);
         self.stats.writebacks_accepted += 1;

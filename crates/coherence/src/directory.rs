@@ -625,6 +625,21 @@ impl DirectoryCtrl {
         self.dir.get(&block).cloned().unwrap_or_default()
     }
 
+    /// Fault injection (`StaleSharerMask`): silently erase the
+    /// directory's record of `node` — drop its sharer bit and, if it is
+    /// the recorded owner, reset ownership to memory. The directory will
+    /// subsequently skip `node` when invalidating, or serve stale DRAM
+    /// data while `node` owns the only dirty copy. Harness self-tests
+    /// only.
+    pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
+        if let Some(e) = self.dir.get_mut(&block) {
+            e.sharers.remove(node);
+            if e.owner == Owner::Node(node) {
+                e.owner = Owner::Memory;
+            }
+        }
+    }
+
     /// The stored contents of a block (defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
         self.store.get(&block).copied().unwrap_or(BlockData::ZERO)

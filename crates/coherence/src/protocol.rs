@@ -308,6 +308,21 @@ impl MemCtrl {
         }
     }
 
+    /// Fault injection (`StaleSharerMask`): silently erase the home's
+    /// record of `node` for `block` — remove it from the sharer bitmap
+    /// and, if it is the recorded owner, reset ownership to memory. The
+    /// block's actual cached copies are untouched, so the record now
+    /// disagrees with reality; the verification harness must catch the
+    /// fallout (stale values or a structural mismatch). Never called
+    /// outside harness self-tests.
+    pub fn fault_forget_sharer(&mut self, block: crate::types::BlockAddr, node: NodeId) {
+        match self {
+            MemCtrl::Snooping(m) => m.fault_forget_sharer(block, node),
+            MemCtrl::Directory(m) => m.fault_forget_sharer(block, node),
+            MemCtrl::Bash(m) => m.fault_forget_sharer(block, node),
+        }
+    }
+
     /// The recorded owner of a home block (invariant checks).
     pub fn owner_record(&self, block: crate::types::BlockAddr) -> crate::types::Owner {
         match self {

@@ -35,6 +35,12 @@ struct WbPending {
 struct BlockState {
     owner: Owner,
     wb: Option<WbPending>,
+    /// Writeback data that outran its own PutM marker. The data network
+    /// is unordered, so when the ordered chain toward this home lags
+    /// (e.g. a retransmission under the fault plane), the data legally
+    /// arrives before the marker that opens the window; it waits here
+    /// and completes the writeback the instant the window opens.
+    early_wb: Vec<(NodeId, BlockData)>,
 }
 
 /// The Snooping memory controller for one node's slice of memory.
@@ -99,14 +105,29 @@ impl SnoopingMemCtrl {
         self.blocks.get(&block).map(|b| b.owner).unwrap_or_default()
     }
 
+    /// Fault injection (`StaleSharerMask`): if `node` is the recorded
+    /// owner, silently reset ownership to memory — the home will then
+    /// serve stale DRAM data while `node` still holds the dirty copy.
+    /// (Snooping tracks no sharer bitmap.) Harness self-tests only.
+    pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
+        if let Some(b) = self.blocks.get_mut(&block) {
+            if b.owner == Owner::Node(node) {
+                b.owner = Owner::Memory;
+            }
+        }
+    }
+
     /// The stored contents of a block (for checks; defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
         self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
     }
 
-    /// True when no writeback windows are open.
+    /// True when no writeback windows are open and no early writeback
+    /// data waits for its marker.
     pub fn is_quiescent(&self) -> bool {
-        self.blocks.values().all(|b| b.wb.is_none())
+        self.blocks
+            .values()
+            .all(|b| b.wb.is_none() && b.early_wb.is_empty())
     }
 
     /// Makes unexpected deliveries (duplicated or reordered network
@@ -185,20 +206,32 @@ impl SnoopingMemCtrl {
                 self.blocks.get_mut(&block).expect("present").owner = Owner::Node(req.requestor);
             }
             TxnKind::PutM => {
-                let st = self.blocks.get_mut(&block).expect("present");
-                if st.owner == Owner::Node(req.requestor) {
-                    // Valid writeback: open the window; data will follow on
-                    // the response network (the writer sends it at its own
-                    // PutM marker, which precedes this delivery... this
-                    // delivery *is* memory's copy of that marker).
-                    st.wb = Some(WbPending {
-                        from: req.requestor,
-                        queued: VecDeque::new(),
-                    });
-                } else {
-                    // Stale: the writer lost ownership to an earlier GetM
-                    // and sent no data.
-                    self.stats.writebacks_stale += 1;
+                let early = {
+                    let st = self.blocks.get_mut(&block).expect("present");
+                    if st.owner == Owner::Node(req.requestor) {
+                        // Valid writeback: open the window; data will
+                        // follow on the response network (the writer sends
+                        // it at its own PutM marker, which precedes this
+                        // delivery... this delivery *is* memory's copy of
+                        // that marker).
+                        st.wb = Some(WbPending {
+                            from: req.requestor,
+                            queued: VecDeque::new(),
+                        });
+                        // The data may already have outrun this marker.
+                        st.early_wb
+                            .iter()
+                            .position(|(f, _)| *f == req.requestor)
+                            .map(|i| st.early_wb.remove(i))
+                    } else {
+                        // Stale: the writer lost ownership to an earlier
+                        // GetM and sent no data.
+                        self.stats.writebacks_stale += 1;
+                        None
+                    }
+                };
+                if let Some((from, data)) = early {
+                    self.on_wb_data(now, block, from, data, sink);
                 }
             }
         }
@@ -213,25 +246,27 @@ impl SnoopingMemCtrl {
         sink: &mut ActionSink,
     ) {
         let before = self.state_label(block);
-        if self.tolerant {
-            // A corrupted owner record (duplicated/reordered request
-            // traffic) can leave writeback data arriving with no open
-            // window, or from a node the window no longer credits. Drop
-            // it — the dirty data is lost, which is exactly the
-            // corruption the oracle must then flag.
-            let window_matches = self
-                .blocks
-                .get(&block)
-                .and_then(|st| st.wb.as_ref())
-                .is_some_and(|wb| wb.from == from);
-            if !window_matches {
+        let st = self.blocks.entry(block).or_default();
+        if st.wb.as_ref().is_none_or(|wb| wb.from != from) {
+            if self.tolerant {
+                // A corrupted owner record (duplicated/reordered request
+                // traffic) can leave writeback data arriving with no open
+                // window, or from a node the window no longer credits.
+                // Drop it — the dirty data is lost, which is exactly the
+                // corruption the oracle must then flag.
                 self.stats.spurious_dropped += 1;
-                return;
+            } else {
+                // The unordered data network outran the ordered PutM
+                // marker (skewed per-destination chains, e.g. under a
+                // retransmitting fault plane). Hold the data; the marker
+                // is guaranteed to follow — the writer only sends data
+                // after observing its own marker in the total order, so
+                // this home will observe it too and open the window.
+                st.early_wb.push((from, data));
             }
+            return;
         }
-        let st = self.blocks.get_mut(&block).expect("wb data without state");
-        let wb = st.wb.take().expect("wb data without open window");
-        assert_eq!(wb.from, from, "writeback data from the wrong node");
+        let wb = st.wb.take().expect("window checked above");
         st.owner = Owner::Memory;
         self.store.insert(block, data);
         self.stats.writebacks_accepted += 1;

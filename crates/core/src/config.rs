@@ -4,7 +4,7 @@
 use bash_adaptive::AdaptorConfig;
 use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::Duration;
-use bash_net::{Jitter, TopologyKind};
+use bash_net::{FaultPlaneConfig, Jitter, TopologyKind};
 
 /// Deliberate fault injection — the verification harness's self-test
 /// hook. A protocol tester is only trustworthy if it demonstrably catches
@@ -59,6 +59,19 @@ pub enum FaultInjection {
         /// Reorder window in ordered deliveries per node (must be ≥ 2).
         window: u64,
     },
+    /// Silently lose a sharer from the home's bookkeeping: after every
+    /// `period`-th eligible request (a GetS/GetM reaching its home memory
+    /// controller), the home's record of the *requestor* is erased — it is
+    /// removed from the sharer bitmap, and if it was recorded as the
+    /// owner the record is reset to memory. The home subsequently skips
+    /// the forgotten node when invalidating (stale values survive in its
+    /// cache) or fetches stale data from memory while the forgotten owner
+    /// holds the only dirty copy. The oracle must flag either symptom;
+    /// the structural sweep also sees the record/reality mismatch.
+    StaleSharerMask {
+        /// Corruption period in eligible home-bound requests (must be ≥ 1).
+        period: u64,
+    },
 }
 
 impl FaultInjection {
@@ -70,7 +83,9 @@ impl FaultInjection {
     pub fn breaks_network(self) -> bool {
         matches!(
             self,
-            FaultInjection::DuplicateDeliveries { .. } | FaultInjection::ReorderOrdered { .. }
+            FaultInjection::DuplicateDeliveries { .. }
+                | FaultInjection::ReorderOrdered { .. }
+                | FaultInjection::StaleSharerMask { .. }
         )
     }
 }
@@ -127,8 +142,46 @@ pub struct SystemConfig {
     /// Deliberate fault injection (verification-harness self-tests only;
     /// `None` in every normal run).
     pub fault: Option<FaultInjection>,
+    /// Deterministic interconnect fault plane (loss, corruption, delay,
+    /// outages) plus the reliable-delivery transport. Requires a routed
+    /// fabric topology — the crossbar has no links to fault.
+    pub fault_plane: Option<FaultPlaneConfig>,
+    /// Quiescence watchdog: event / virtual-time budgets that convert a
+    /// wedged run into a structured diagnostic instead of an endless loop
+    /// (see [`System::try_run_to_idle`](crate::System::try_run_to_idle)).
+    pub watchdog: Option<WatchdogBudget>,
     /// Master RNG seed.
     pub seed: u64,
+}
+
+/// Budgets for the quiescence watchdog. A run exceeding either budget is
+/// declared wedged and reported with a structured diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogBudget {
+    /// Maximum events processed before the run is declared wedged
+    /// (`None` = unlimited).
+    pub max_events: Option<u64>,
+    /// Maximum virtual time before the run is declared wedged
+    /// (`None` = unlimited).
+    pub max_virtual_time: Option<Duration>,
+}
+
+impl WatchdogBudget {
+    /// A budget on processed events only.
+    pub fn events(max: u64) -> Self {
+        WatchdogBudget {
+            max_events: Some(max),
+            max_virtual_time: None,
+        }
+    }
+
+    /// A budget on virtual time only.
+    pub fn virtual_time(max: Duration) -> Self {
+        WatchdogBudget {
+            max_events: None,
+            max_virtual_time: Some(max),
+        }
+    }
 }
 
 impl SystemConfig {
@@ -155,6 +208,8 @@ impl SystemConfig {
             capture_completions: false,
             jitter: Jitter::None,
             fault: None,
+            fault_plane: None,
+            watchdog: None,
             seed: 0xBA5E,
         }
     }
@@ -223,6 +278,19 @@ impl SystemConfig {
         self
     }
 
+    /// Attaches a deterministic interconnect fault plane (requires a
+    /// fabric topology; see [`Self::with_topology`]).
+    pub fn with_fault_plane(mut self, plane: FaultPlaneConfig) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
+    /// Arms the quiescence watchdog.
+    pub fn with_watchdog(mut self, budget: WatchdogBudget) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -240,13 +308,21 @@ impl SystemConfig {
         if let Some(
             FaultInjection::CorruptLoads { period }
             | FaultInjection::DropInvalidations { period }
-            | FaultInjection::DuplicateDeliveries { period },
+            | FaultInjection::DuplicateDeliveries { period }
+            | FaultInjection::StaleSharerMask { period },
         ) = self.fault
         {
             assert!(period > 0, "fault period must be at least 1");
         }
         if let Some(FaultInjection::ReorderOrdered { window }) = self.fault {
             assert!(window >= 2, "reorder window must be at least 2");
+        }
+        if let Some(plane) = &self.fault_plane {
+            assert!(
+                self.topology != TopologyKind::Crossbar,
+                "the fault plane requires a fabric topology (the crossbar has no links)"
+            );
+            plane.validate();
         }
         assert!(
             self.capture_ops || !self.capture_completions,

@@ -36,6 +36,6 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
-pub use config::{FaultInjection, SystemConfig};
+pub use config::{FaultInjection, SystemConfig, WatchdogBudget};
 pub use stats::{LinkStat, RunStats};
-pub use system::System;
+pub use system::{RunError, System, WedgeCause, WedgeDiagnostic};

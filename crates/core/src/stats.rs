@@ -1,6 +1,7 @@
 //! Run statistics: everything the paper's figures report.
 
 use bash_kernel::Duration;
+use bash_net::FaultStats;
 
 /// Per-directed-link statistics of one measured window on a routed fabric
 /// topology. The crossbar models endpoint links only and reports none.
@@ -70,6 +71,9 @@ pub struct RunStats {
     /// Per-directed-link stats, in the topology's link order (empty on the
     /// crossbar, which has no routed links).
     pub links: Vec<LinkStat>,
+    /// Whole-run fault-plane counters (drops, retransmits, link deaths);
+    /// `None` unless a fault plane was configured.
+    pub fault: Option<FaultStats>,
 }
 
 impl RunStats {
@@ -152,6 +156,7 @@ mod tests {
             events_processed: 123_456,
             peak_queue_len: 97,
             links: Vec::new(),
+            fault: None,
         }
     }
 

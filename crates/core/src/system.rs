@@ -23,13 +23,123 @@ use bash_coherence::{
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
 use bash_net::{
-    Interconnect, Message, NetConfig, NetEvent, NetStep, NodeId, Ordered, OrderingMode,
+    FaultStats, Interconnect, Message, NetConfig, NetEvent, NetStep, NodeId, Ordered, OrderingMode,
 };
 use bash_trace::{Trace, TraceCapture, TraceRecord};
 use bash_workloads::{WorkItem, Workload};
 
-use crate::config::{FaultInjection, SystemConfig};
+use crate::config::{FaultInjection, SystemConfig, WatchdogBudget};
 use crate::stats::{LinkStat, RunStats};
+
+/// Why the quiescence watchdog declared a run wedged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WedgeCause {
+    /// The event queue drained but the system never reached quiescence —
+    /// some transaction is waiting on a message that will never arrive.
+    Stalled,
+    /// The run processed more events than [`WatchdogBudget::max_events`].
+    EventBudget {
+        /// The configured event budget.
+        limit: u64,
+    },
+    /// The run advanced past [`WatchdogBudget::max_virtual_time`].
+    TimeBudget {
+        /// The configured virtual-time budget.
+        limit: Duration,
+    },
+}
+
+impl std::fmt::Display for WedgeCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WedgeCause::Stalled => write!(f, "stalled (queue drained, not quiescent)"),
+            WedgeCause::EventBudget { limit } => write!(f, "event budget ({limit}) exceeded"),
+            WedgeCause::TimeBudget { limit } => write!(f, "virtual-time budget ({limit}) exceeded"),
+        }
+    }
+}
+
+/// Structured diagnostic of a wedged run: what stalled, where, and what
+/// the interconnect's fault plane was doing at the time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WedgeDiagnostic {
+    /// What tripped the watchdog.
+    pub cause: WedgeCause,
+    /// Virtual time at detection.
+    pub at: Time,
+    /// Total events processed when the watchdog fired.
+    pub events_processed: u64,
+    /// Events still queued (in-flight messages and timers).
+    pub queue_len: usize,
+    /// Nodes whose processor is stuck on an outstanding miss.
+    pub pending_nodes: Vec<u16>,
+    /// Nodes whose cache controller holds an unfinished transaction.
+    pub busy_caches: Vec<u16>,
+    /// Nodes whose memory controller holds an unfinished transaction.
+    pub busy_mems: Vec<u16>,
+    /// Fault-plane counters at detection (drops, retransmits, dead
+    /// links, undeliverable copies), when a fault plane is configured.
+    pub fault: Option<FaultStats>,
+}
+
+impl std::fmt::Display for WedgeDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Wedged: {} at {} after {} events; {} queued; \
+             pending procs {:?}, busy caches {:?}, busy mems {:?}",
+            self.cause,
+            self.at,
+            self.events_processed,
+            self.queue_len,
+            self.pending_nodes,
+            self.busy_caches,
+            self.busy_mems,
+        )?;
+        if let Some(fs) = &self.fault {
+            write!(
+                f,
+                "; fault plane: dropped={} corrupted={} down_drops={} retransmits={} \
+                 dead_links={} rerouted={} undeliverable={}",
+                fs.dropped,
+                fs.corrupted,
+                fs.down_drops,
+                fs.retransmits,
+                fs.dead_links,
+                fs.rerouted,
+                fs.undeliverable,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A structured run failure (see [`System::try_run_to_idle`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The run wedged: a watchdog budget expired, or the event queue
+    /// drained without the system reaching quiescence.
+    Wedged(Box<WedgeDiagnostic>),
+}
+
+impl RunError {
+    /// The wedge diagnostic carried by this error.
+    pub fn diagnostic(&self) -> &WedgeDiagnostic {
+        match self {
+            RunError::Wedged(d) => d,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Wedged(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Driver events.
 #[derive(Debug)]
@@ -146,6 +256,9 @@ pub struct System<W: Workload> {
     /// Eligible-delivery counter driving
     /// [`FaultInjection::DuplicateDeliveries`].
     duplicates_seen: u64,
+    /// Eligible-request counter driving
+    /// [`FaultInjection::StaleSharerMask`].
+    stale_masks_seen: u64,
     /// Per-destination hold-back buffers for
     /// [`FaultInjection::ReorderOrdered`] (empty unless that fault is on).
     reorder_buf: Vec<Vec<HeldDelivery>>,
@@ -167,6 +280,7 @@ impl<W: Workload> System<W> {
         net_cfg.broadcast_cost_multiplier = cfg.broadcast_cost_multiplier;
         net_cfg.jitter = cfg.jitter.clone();
         net_cfg.topology = cfg.topology;
+        net_cfg.fault = cfg.fault_plane.clone();
         let net = Interconnect::new(net_cfg);
 
         let mut caches: Vec<CacheCtrl> = (0..nodes)
@@ -198,11 +312,16 @@ impl<W: Workload> System<W> {
             })
             .collect();
 
-        // The broken-network faults deliberately violate the delivery
-        // contract the controllers' asserts encode; switch the controllers
-        // to tolerant (drop-and-count) mode so the breakage surfaces as an
-        // oracle violation instead of a panic.
-        if cfg.fault.is_some_and(FaultInjection::breaks_network) {
+        // The broken-network faults — and an unprotected lossy fault
+        // plane — deliberately violate the delivery contract the
+        // controllers' asserts encode; switch the controllers to tolerant
+        // (drop-and-count) mode so the breakage surfaces as an oracle
+        // violation or a watchdog wedge instead of a panic.
+        let unreliable = cfg
+            .fault_plane
+            .as_ref()
+            .is_some_and(bash_net::FaultPlaneConfig::breaks_delivery);
+        if cfg.fault.is_some_and(FaultInjection::breaks_network) || unreliable {
             for c in &mut caches {
                 c.set_tolerant(true);
             }
@@ -272,6 +391,7 @@ impl<W: Workload> System<W> {
             loads_completed: 0,
             invalidations_seen: 0,
             duplicates_seen: 0,
+            stale_masks_seen: 0,
             reorder_buf: (0..nodes).map(|_| Vec::new()).collect(),
             cfg,
         }
@@ -376,6 +496,111 @@ impl<W: Workload> System<W> {
         }
     }
 
+    /// Checks the configured watchdog budgets against the next event's
+    /// time; returns the tripped cause, if any.
+    fn watchdog_tripped(&self, next: Time) -> Option<WedgeCause> {
+        let WatchdogBudget {
+            max_events,
+            max_virtual_time,
+        } = self.cfg.watchdog?;
+        if let Some(limit) = max_events {
+            if self.events.events_processed() >= limit {
+                return Some(WedgeCause::EventBudget { limit });
+            }
+        }
+        if let Some(limit) = max_virtual_time {
+            if next > Time::ZERO + limit {
+                return Some(WedgeCause::TimeBudget { limit });
+            }
+        }
+        None
+    }
+
+    /// Builds the structured wedge diagnostic for the current state.
+    fn wedged(&self, cause: WedgeCause) -> RunError {
+        fn stuck(it: impl Iterator<Item = bool>) -> Vec<u16> {
+            it.enumerate()
+                .filter(|&(_, busy)| busy)
+                .map(|(i, _)| i as u16)
+                .collect()
+        }
+        RunError::Wedged(Box::new(WedgeDiagnostic {
+            cause,
+            at: self.now,
+            events_processed: self.events.events_processed(),
+            queue_len: self.events.len(),
+            pending_nodes: stuck(self.procs.iter().map(|p| p.pending.is_some())),
+            busy_caches: stuck(self.caches.iter().map(|c| !c.is_quiescent())),
+            busy_mems: stuck(self.mems.iter().map(|m| !m.is_quiescent())),
+            fault: self.net.fault_stats(),
+        }))
+    }
+
+    /// Watchdog-guarded [`Self::run_to_idle`]: drains every pending event,
+    /// converting any wedge — a budget overrun, or a drained queue that
+    /// never reached quiescence — into a structured [`RunError::Wedged`]
+    /// diagnostic instead of hanging or silently stopping short.
+    pub fn try_run_to_idle(&mut self) -> Result<(), RunError> {
+        loop {
+            while let Some(next) = self.events.peek_time() {
+                if let Some(cause) = self.watchdog_tripped(next) {
+                    return Err(self.wedged(cause));
+                }
+                let (now, ev) = self.events.pop().expect("peeked");
+                self.now = now;
+                self.dispatch(ev);
+            }
+            if !self.flush_reordered() {
+                break;
+            }
+        }
+        if self.is_quiescent() {
+            Ok(())
+        } else {
+            Err(self.wedged(WedgeCause::Stalled))
+        }
+    }
+
+    /// Watchdog-guarded [`Self::run_until`]: advances simulation to `t`
+    /// unless a watchdog budget trips first.
+    ///
+    /// Like [`Self::try_run_to_idle`], a drained event queue that left
+    /// the system non-quiescent is reported as a [`WedgeCause::Stalled`]
+    /// wedge (even with no watchdog armed): nothing can ever happen
+    /// again, so coasting to `t` would silently measure a dead system —
+    /// the failure mode of unprotected message loss, which produces
+    /// *fewer* events, not more, and so never trips an event budget.
+    pub fn try_run_until(&mut self, t: Time) -> Result<(), RunError> {
+        loop {
+            while let Some(pt) = self.events.peek_time() {
+                if pt > t {
+                    if t > self.now {
+                        self.now = t;
+                    }
+                    return Ok(());
+                }
+                if let Some(cause) = self.watchdog_tripped(pt) {
+                    return Err(self.wedged(cause));
+                }
+                let (now, ev) = self.events.pop().expect("peeked");
+                self.now = now;
+                self.dispatch(ev);
+            }
+            if !self.flush_reordered() {
+                break;
+            }
+        }
+        // The queue drained before `t`: a finite workload that completed
+        // is quiescent and just stops early; anything else is wedged.
+        if !self.is_quiescent() {
+            return Err(self.wedged(WedgeCause::Stalled));
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        Ok(())
+    }
+
     /// Releases every delivery still held in the reorder buffers, newest
     /// first (same release order as a full window). Returns true when
     /// anything was released.
@@ -414,8 +639,20 @@ impl<W: Workload> System<W> {
 
     /// Runs until `t_end` and returns the measured-window statistics.
     pub fn finish(&mut self, t_end: Time) -> RunStats {
-        assert!(self.measuring, "begin_measurement was not called");
         self.run_until(t_end);
+        self.collect_stats()
+    }
+
+    /// Watchdog-guarded [`Self::finish`]: runs until `t_end` and reports,
+    /// unless a watchdog budget trips first.
+    pub fn try_finish(&mut self, t_end: Time) -> Result<RunStats, RunError> {
+        self.try_run_until(t_end)?;
+        Ok(self.collect_stats())
+    }
+
+    /// Closes the measurement window and computes the window deltas.
+    fn collect_stats(&mut self) -> RunStats {
+        assert!(self.measuring, "begin_measurement was not called");
         let end = self.snapshot();
         let start = &self.measure_start;
         let window = end.at.since(start.at);
@@ -480,6 +717,7 @@ impl<W: Workload> System<W> {
             events_processed: end.events - start.events,
             peak_queue_len: self.events.peak_len() as u64,
             links,
+            fault: self.net.fault_stats(),
         }
     }
 
@@ -626,6 +864,25 @@ impl<W: Workload> System<W> {
         self.duplicates_seen.is_multiple_of(period)
     }
 
+    /// True when this memory-bound delivery is one the configured
+    /// [`FaultInjection::StaleSharerMask`] fault elects to corrupt: a
+    /// GetS/GetM reaching its home memory controller. After the home has
+    /// processed it (and recorded the requestor), its record of the
+    /// requestor is silently erased.
+    fn fault_forgets_sharer(&mut self, msg: &Message<ProtoMsg>) -> bool {
+        let Some(FaultInjection::StaleSharerMask { period }) = self.cfg.fault else {
+            return false;
+        };
+        let ProtoMsg::Request(req) = &msg.payload else {
+            return false;
+        };
+        if !matches!(req.kind, TxnKind::GetS | TxnKind::GetM) {
+            return false;
+        }
+        self.stale_masks_seen += 1;
+        self.stale_masks_seen.is_multiple_of(period)
+    }
+
     /// Delivers the fault-injected second copy of a duplicated message to
     /// `dst`'s memory controller. Gated on the home's ownership record:
     /// the duplicate fires only when *another* cache has become the owner
@@ -713,6 +970,13 @@ impl<W: Workload> System<W> {
             self.mems[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
             self.apply_actions(dst, &mut sink);
             self.sink = sink;
+            if self.fault_forgets_sharer(&msg) {
+                if let ProtoMsg::Request(req) = &msg.payload {
+                    // The home just recorded the requestor; silently lose
+                    // it again (sharer bit and, if recorded, ownership).
+                    self.mems[dst.index()].fault_forget_sharer(req.block, req.requestor);
+                }
+            }
         }
     }
 

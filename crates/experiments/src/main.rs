@@ -5,7 +5,7 @@
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
 //!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | topology |
-//!        verify
+//!        verify | chaos | wedge-selftest
 //! bash-experiments trace <info FILE | migrate IN OUT | replay FILE | diff FILE>
 //! ```
 //!
@@ -15,6 +15,14 @@
 //! on a clean matrix — emits the cross-protocol latency-distribution
 //! diff from a completion-bearing trace.
 //!
+//! `chaos` (also not part of `all`) sweeps link-loss rates × protocols ×
+//! fabric topologies under the fault plane with the reliable transport
+//! on, recording retransmission overhead and whether BASH's adaptation
+//! misreads retransmission traffic as utilization. `wedge-selftest`
+//! deliberately wedges an unprotected lossy run and **exits non-zero**
+//! with the watchdog's `Wedged` diagnostic — the CI probe that wedges
+//! become diagnostics, not hangs.
+//!
 //! `trace` is the streaming trace-file toolbox: inspect a header and
 //! chunk map, migrate a v1 file to v2, replay a file through all three
 //! protocols without loading it, or print its differential latency diff.
@@ -23,6 +31,7 @@
 //! a CSV under `--out` (default `results/`). See EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
+mod chaos;
 mod common;
 mod macrob;
 mod micro;
@@ -61,6 +70,7 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
                 println!("  ids: all fig1..fig12 table1 scenarios topology verify");
+                println!("       chaos wedge-selftest");
                 println!("       trace <info FILE | migrate IN OUT | replay FILE | diff FILE>");
                 return;
             }
@@ -141,6 +151,28 @@ fn main() {
     if want("topology") {
         eprintln!("running the protocol x topology sweep...");
         topology::topology(&opts);
+    }
+    // The chaos sweep is opt-in (not part of `all`): its fault plane
+    // deliberately perturbs the fabric, which figure regeneration should
+    // never do.
+    if ids.iter().any(|i| i == "chaos") {
+        eprintln!("running the chaos sweep (loss x protocol x topology)...");
+        if !chaos::chaos(&opts) {
+            eprintln!("chaos: grid points failed under the reliable transport");
+            std::process::exit(1);
+        }
+    }
+    // The wedge self-test *succeeds by exiting non-zero*: a deliberately
+    // wedged config must yield a structured diagnostic, not a hang.
+    if ids.iter().any(|i| i == "wedge-selftest") {
+        eprintln!("running the watchdog wedge self-test...");
+        match chaos::wedge_selftest() {
+            Some(diag) => {
+                println!("{diag}");
+                std::process::exit(1);
+            }
+            None => println!("wedge-selftest: run completed without wedging"),
+        }
     }
     // The invariant gate is opt-in (not part of `all`): it fails the
     // process on any violation, which figure regeneration should not.

@@ -26,9 +26,81 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+
+/// A task that panicked (every retry included) under
+/// [`run_indexed_isolated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The task index that panicked.
+    pub index: usize,
+    /// How many times the task was attempted (1 + retries).
+    pub attempts: u32,
+    /// The panic payload, when it was a string (the common case);
+    /// `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} panicked after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Panic-isolated [`run_indexed`]: runs `f(i)` for every `i in 0..tasks`
+/// across up to `threads` workers, catching panics per task instead of
+/// letting one poisoned grid point abort the whole sweep. A panicking
+/// task is retried up to `retries` more times (useful against
+/// environmental flakes; deterministic panics simply fail `1 + retries`
+/// times) before its slot is reported as [`TaskPanic`]. Results come
+/// back in index order either way.
+pub fn run_indexed_isolated<T, F>(
+    tasks: usize,
+    threads: usize,
+    retries: u32,
+    f: F,
+) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(tasks, threads, |i| {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => return Ok(v),
+                Err(payload) => {
+                    if attempts > retries {
+                        return Err(TaskPanic {
+                            index: i,
+                            attempts,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
+        }
+    })
+}
 
 /// The number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -126,5 +198,48 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_run_survives_panicking_tasks() {
+        // Panics don't abort the sweep and don't disturb neighbours, on
+        // both the inline (threads=1) and the threaded path.
+        for threads in [1, 4] {
+            let got = run_indexed_isolated(8, threads, 0, |i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            for (i, r) in got.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 3);
+                    assert_eq!(e.attempts, 1);
+                    assert!(e.message.contains("boom at 3"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_run_retries_with_a_budget() {
+        use std::sync::atomic::AtomicU32;
+        // A task that fails twice then succeeds is rescued by retries.
+        let calls = AtomicU32::new(0);
+        let got = run_indexed_isolated(1, 1, 2, |_| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("flaky");
+            }
+            42
+        });
+        assert_eq!(*got[0].as_ref().unwrap(), 42);
+        // A deterministic panic exhausts the budget: 1 + retries attempts.
+        let got = run_indexed_isolated(1, 1, 2, |_| -> u32 { panic!("always") });
+        let e = got[0].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.message, "always");
     }
 }

@@ -55,6 +55,11 @@ pub struct NetConfig {
     /// selects this crate's [`Crossbar`]; any other kind selects the
     /// routed [`crate::fabric::Fabric`].
     pub topology: TopologyKind,
+    /// Optional deterministic fault plane (loss, corruption, delay,
+    /// outages) plus the reliable-delivery transport layered on it.
+    /// Requires a routed fabric topology — the crossbar has no links to
+    /// fault ([`Fabric::new`](crate::Fabric::new) asserts this).
+    pub fault: Option<crate::fault::FaultPlaneConfig>,
 }
 
 impl NetConfig {
@@ -68,6 +73,7 @@ impl NetConfig {
             broadcast_cost_multiplier: 1,
             jitter: Jitter::None,
             topology: TopologyKind::Crossbar,
+            fault: None,
         }
     }
 }
@@ -127,6 +133,19 @@ pub enum NetEvent<P> {
         flight: Rc<crate::fabric::FabricFlight<P>>,
         /// Index of the tree node whose in-link completed.
         node: u32,
+        /// How many times this crossing already failed (reliable
+        /// transport retransmission count; 0 on a first attempt).
+        attempt: u32,
+    },
+    /// Fabric only: the reliable transport's retransmission timer fired
+    /// for a lost crossing — re-enqueue it on its link.
+    Resend {
+        /// The in-flight message and its forwarding tree.
+        flight: Rc<crate::fabric::FabricFlight<P>>,
+        /// Index of the tree node whose crossing is retried.
+        node: u32,
+        /// Failed attempts so far (the retry about to start is this one).
+        attempt: u32,
     },
 }
 
@@ -262,7 +281,9 @@ impl<P> Crossbar<P> {
             NetEvent::Deliver { dst, msg, order } => {
                 out.deliveries.push(Delivery { dst, msg, order });
             }
-            NetEvent::Hop { .. } => unreachable!("fabric-only event reached the crossbar"),
+            NetEvent::Hop { .. } | NetEvent::Resend { .. } => {
+                unreachable!("fabric-only event reached the crossbar")
+            }
         }
     }
 

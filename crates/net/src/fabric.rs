@@ -51,6 +51,7 @@ use bash_kernel::stats::BusyTracker;
 use bash_kernel::{DetRng, Duration, Time};
 
 use crate::crossbar::{Crossbar, Delivery, Jitter, NetConfig, NetEvent, NetStep};
+use crate::fault::{DropCause, Fate, FaultPlane, FaultStats};
 use crate::ids::{NodeId, NodeSet};
 use crate::message::{Message, Ordered};
 use crate::topology::{OrderingMode, Topology, TopologyKind};
@@ -141,6 +142,11 @@ pub struct Fabric<P> {
     entry_gen: Vec<u32>,
     gen: u32,
     rng: Option<DetRng>,
+    /// The deterministic fault plane, when `cfg.fault` configures one.
+    fault: Option<FaultPlane>,
+    /// Failover routing table, built after the first link death:
+    /// `vertex * nodes + dst → next hop` (`u16::MAX` = unreachable).
+    reroute: Option<Vec<u16>>,
 }
 
 impl<P> Fabric<P> {
@@ -178,6 +184,10 @@ impl<P> Fabric<P> {
             Jitter::None => None,
             Jitter::Uniform { seed, .. } => Some(DetRng::seed_from(*seed)),
         };
+        let fault = cfg
+            .fault
+            .as_ref()
+            .map(|fc| FaultPlane::new(fc, topo.links()));
         Fabric {
             full_mask: NodeSet::all(n),
             links,
@@ -191,6 +201,8 @@ impl<P> Fabric<P> {
             entry_gen: vec![0; v],
             gen: 0,
             rng,
+            fault,
+            reroute: None,
             topo,
             cfg,
         }
@@ -271,6 +283,16 @@ impl<P> Fabric<P> {
         &self.incident[node.index()]
     }
 
+    /// Cumulative fault-plane counters, when a fault plane is configured.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
+    /// The runtime fault plane, when one is configured.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault.as_ref()
+    }
+
     /// Injects a message at `now`; appends the first link-crossing
     /// completions (one per tree root) to `out`.
     ///
@@ -300,6 +322,12 @@ impl<P> Fabric<P> {
         let t0 = now + inject_delay;
 
         // Merge the per-destination routes into the forwarding tree.
+        // Under an active fault plane each destination instead gets an
+        // independent linear chain (no shared tree edges), so one copy's
+        // loss, retransmission, or failover never affects the fate of the
+        // other destinations; fault-free runs keep the tree path and its
+        // exact schedule.
+        let fault_active = self.fault.is_some();
         self.gen = self.gen.wrapping_add(1);
         let mut nodes: Vec<FlightNode> = Vec::new();
         let mut roots: Vec<u32> = Vec::new();
@@ -325,10 +353,15 @@ impl<P> Fabric<P> {
             }
             let mut at = src.0;
             let mut parent: Option<u32> = None;
+            let chain_start = nodes.len();
+            let mut reachable = true;
             while at != dst.0 {
-                let next = self.topo.next_hop(at, dst);
+                let Some(next) = self.route_next(at, dst) else {
+                    reachable = false;
+                    break;
+                };
                 let li = self.link_id(at, next);
-                let ni = if self.entry_gen[next as usize] == self.gen {
+                let ni = if !fault_active && self.entry_gen[next as usize] == self.gen {
                     self.entry_node[next as usize]
                 } else {
                     let ni = nodes.len() as u32;
@@ -337,8 +370,10 @@ impl<P> Fabric<P> {
                         children: Vec::new(),
                         deliver: None,
                     });
-                    self.entry_gen[next as usize] = self.gen;
-                    self.entry_node[next as usize] = ni;
+                    if !fault_active {
+                        self.entry_gen[next as usize] = self.gen;
+                        self.entry_node[next as usize] = ni;
+                    }
                     match parent {
                         Some(p) => nodes[p as usize].children.push(ni),
                         None => roots.push(ni),
@@ -347,6 +382,17 @@ impl<P> Fabric<P> {
                 };
                 parent = Some(ni);
                 at = next;
+            }
+            if !reachable {
+                // Link deaths left this destination unreachable: discard
+                // the partial chain (never shared — fault plane active).
+                nodes.truncate(chain_start);
+                roots.retain(|&r| (r as usize) < chain_start);
+                self.fault
+                    .as_mut()
+                    .expect("unreachable routes require a fault plane")
+                    .count_undeliverable();
+                continue;
             }
             let tail = parent.expect("non-loopback route has at least one hop");
             nodes[tail as usize].deliver = Some((dst, seq));
@@ -365,17 +411,38 @@ impl<P> Fabric<P> {
                 NetEvent::Hop {
                     flight: Rc::clone(&flight),
                     node: ni,
+                    attempt: 0,
                 },
             ));
         }
     }
 
     /// Advances an internal event (see [`Crossbar::handle`] for the
-    /// contract). The fabric only ever schedules [`NetEvent::Hop`] and
-    /// [`NetEvent::Deliver`].
+    /// contract). The fabric only ever schedules [`NetEvent::Hop`],
+    /// [`NetEvent::Resend`], and [`NetEvent::Deliver`].
     pub fn handle(&mut self, now: Time, event: NetEvent<P>, out: &mut NetStep<P>) {
         match event {
-            NetEvent::Hop { flight, node } => self.hop(now, flight, node, out),
+            NetEvent::Hop {
+                flight,
+                node,
+                attempt,
+            } => self.hop(now, flight, node, attempt, out),
+            NetEvent::Resend {
+                flight,
+                node,
+                attempt,
+            } => {
+                // Retransmission timer fired: re-enqueue the crossing.
+                let done = self.launch(now, &flight, node);
+                out.schedule.push((
+                    done,
+                    NetEvent::Hop {
+                        flight,
+                        node,
+                        attempt,
+                    },
+                ));
+            }
             NetEvent::Deliver { dst, msg, order } => {
                 out.deliveries.push(Delivery { dst, msg, order });
             }
@@ -385,8 +452,28 @@ impl<P> Fabric<P> {
         }
     }
 
-    /// A tree node's in-link finished crossing: deliver and/or forward.
-    fn hop(&mut self, now: Time, flight: Rc<FabricFlight<P>>, node: u32, out: &mut NetStep<P>) {
+    /// A tree node's in-link finished crossing: consult the fault plane
+    /// (if any), then deliver and/or forward.
+    fn hop(
+        &mut self,
+        now: Time,
+        flight: Rc<FabricFlight<P>>,
+        node: u32,
+        attempt: u32,
+        out: &mut NetStep<P>,
+    ) {
+        let li = flight.nodes[node as usize].link;
+        if li != SELF_LINK && self.fault.is_some() {
+            let fate = self
+                .fault
+                .as_mut()
+                .expect("checked above")
+                .crossing_fate(li as usize, now);
+            if let Fate::Drop(cause) = fate {
+                self.crossing_lost(now, flight, node, attempt, cause, out);
+                return;
+            }
+        }
         if let Some((dst, seq)) = flight.nodes[node as usize].deliver {
             self.endpoint_arrive(now, dst, Rc::clone(&flight.msg), flight.order, seq, out);
         }
@@ -398,13 +485,190 @@ impl<P> Fabric<P> {
                 NetEvent::Hop {
                     flight: Rc::clone(&flight),
                     node: child,
+                    attempt: 0,
                 },
             ));
         }
     }
 
+    /// A crossing was discarded by the fault plane: retransmit with
+    /// backoff, or — once the retransmit budget is exhausted (or the link
+    /// is already dead) — declare the link dead and fail the copy over to
+    /// a surviving route. Without a transport the copy is simply gone.
+    fn crossing_lost(
+        &mut self,
+        now: Time,
+        flight: Rc<FabricFlight<P>>,
+        node: u32,
+        attempt: u32,
+        cause: DropCause,
+        out: &mut NetStep<P>,
+    ) {
+        let fault = self.fault.as_mut().expect("fault plane");
+        fault.count_drop(cause);
+        let Some(transport) = fault.transport() else {
+            // Raw loss reaches the protocols: this copy (and everything
+            // downstream of it) is permanently gone.
+            fault.count_undeliverable();
+            return;
+        };
+        let budget = transport.retransmit_budget;
+        let li = flight.nodes[node as usize].link as usize;
+        if matches!(cause, DropCause::Dead) || attempt + 1 >= budget {
+            fault.mark_dead(li);
+            self.rebuild_routes();
+            self.reroute_copy(now, &flight, node, out);
+        } else {
+            fault.count_retransmit();
+            let delay = fault.rto_after(attempt);
+            out.schedule.push((
+                now + delay,
+                NetEvent::Resend {
+                    flight,
+                    node,
+                    attempt: attempt + 1,
+                },
+            ));
+        }
+    }
+
+    /// The next hop from `at` toward `dst`: the failover table when link
+    /// deaths forced one, the topology's route otherwise. `None` means
+    /// the destination is unreachable over the surviving links.
+    fn route_next(&self, at: u16, dst: NodeId) -> Option<u16> {
+        match &self.reroute {
+            Some(table) => {
+                let nh = table[at as usize * self.cfg.nodes as usize + dst.index()];
+                (nh != u16::MAX).then_some(nh)
+            }
+            None => Some(self.topo.next_hop(at, dst)),
+        }
+    }
+
+    /// Recomputes the failover routing table over the surviving links:
+    /// per-destination BFS on the reverse graph, next hop = the live
+    /// out-neighbor one step closer to the destination (smallest-vertex
+    /// tie-break, so failover routes are deterministic).
+    fn rebuild_routes(&mut self) {
+        let fault = self
+            .fault
+            .as_ref()
+            .expect("failover requires a fault plane");
+        let v = self.topo.vertices() as usize;
+        let n = self.cfg.nodes as usize;
+        let mut table = vec![u16::MAX; v * n];
+        let mut dist = vec![u32::MAX; v];
+        let mut queue = std::collections::VecDeque::new();
+        for dstv in 0..n {
+            dist.fill(u32::MAX);
+            dist[dstv] = 0;
+            queue.clear();
+            queue.push_back(dstv as u16);
+            while let Some(u) = queue.pop_front() {
+                for (li, l) in self.links.iter().enumerate() {
+                    if l.to == u && !fault.is_dead(li) && dist[l.from as usize] == u32::MAX {
+                        dist[l.from as usize] = dist[u as usize] + 1;
+                        queue.push_back(l.from);
+                    }
+                }
+            }
+            for at in 0..v {
+                if at == dstv || dist[at] == u32::MAX {
+                    continue;
+                }
+                let mut best: Option<u16> = None;
+                for (li, l) in self.links.iter().enumerate() {
+                    if l.from as usize == at
+                        && !fault.is_dead(li)
+                        && dist[l.to as usize] == dist[at] - 1
+                    {
+                        best = Some(match best {
+                            Some(b) => b.min(l.to),
+                            None => l.to,
+                        });
+                    }
+                }
+                if let Some(b) = best {
+                    table[at * n + dstv] = b;
+                }
+            }
+        }
+        self.reroute = Some(table);
+    }
+
+    /// Re-launches a copy stuck on a dead link along the surviving
+    /// routes, preserving its `(destination, sequence)` identity so the
+    /// endpoint re-sequencer is none the wiser. Chains are linear under
+    /// an active fault plane, so the copy carries exactly one delivery.
+    fn reroute_copy(
+        &mut self,
+        now: Time,
+        flight: &Rc<FabricFlight<P>>,
+        node: u32,
+        out: &mut NetStep<P>,
+    ) {
+        // Walk to the chain tail for the delivery this copy was carrying.
+        let mut at_node = node;
+        let (dst, seq) = loop {
+            let fnode = &flight.nodes[at_node as usize];
+            debug_assert!(
+                fnode.children.len() <= 1,
+                "fault-plane flights are linear chains"
+            );
+            if let Some(d) = fnode.deliver {
+                break d;
+            }
+            at_node = fnode.children[0];
+        };
+        let start = self.links[flight.nodes[node as usize].link as usize].from;
+        let mut nodes: Vec<FlightNode> = Vec::new();
+        let mut at = start;
+        let mut parent: Option<u32> = None;
+        while at != dst.0 {
+            let Some(next) = self.route_next(at, dst) else {
+                self.fault
+                    .as_mut()
+                    .expect("fault plane")
+                    .count_undeliverable();
+                return;
+            };
+            let li = self.link_id(at, next);
+            let ni = nodes.len() as u32;
+            nodes.push(FlightNode {
+                link: li,
+                children: Vec::new(),
+                deliver: None,
+            });
+            if let Some(p) = parent {
+                nodes[p as usize].children.push(ni);
+            }
+            parent = Some(ni);
+            at = next;
+        }
+        let tail = parent.expect("rerouted copy crosses at least one link");
+        nodes[tail as usize].deliver = Some((dst, seq));
+        let new_flight = Rc::new(FabricFlight {
+            msg: Rc::clone(&flight.msg),
+            order: flight.order,
+            eff: flight.eff,
+            nodes,
+        });
+        self.fault.as_mut().expect("fault plane").count_reroute();
+        let done = self.launch(now, &new_flight, 0);
+        out.schedule.push((
+            done,
+            NetEvent::Hop {
+                flight: new_flight,
+                node: 0,
+                attempt: 0,
+            },
+        ));
+    }
+
     /// Enqueues a tree node's in-link crossing at `t`; returns the
-    /// completion instant. Loopback nodes cross no link.
+    /// completion instant. Loopback nodes cross no link. Fault-plane
+    /// extra delay is propagation, not occupancy: it pushes the crossing's
+    /// completion out without extending the link's busy window.
     fn launch(&mut self, t: Time, flight: &Rc<FabricFlight<P>>, node: u32) -> Time {
         let li = flight.nodes[node as usize].link;
         if li == SELF_LINK {
@@ -424,7 +688,10 @@ impl<P> Fabric<P> {
         link.busy.mark_busy(start, end);
         link.bytes += flight.eff;
         link.messages += 1;
-        end
+        match self.fault.as_mut() {
+            Some(f) => end + f.extra_delay(li as usize),
+            None => end,
+        }
     }
 
     /// A copy reached its destination endpoint: release it, re-sequencing
@@ -475,6 +742,9 @@ impl<P> Fabric<P> {
                         });
                         self.expect_seq[i] += 1;
                     }
+                } else if self.fault.is_some() && seq < self.expect_seq[i] {
+                    // A rerouted copy raced a surviving original: the
+                    // endpoint already released this sequence — dedup.
                 } else {
                     debug_assert!(seq > self.expect_seq[i], "sequence delivered twice");
                     self.held[i].insert(seq, (msg, o));
@@ -534,6 +804,11 @@ impl<P> Fabric<P> {
 /// [`NetStep`]-driven event contract, so drivers can hold this enum and
 /// stay topology-agnostic on the hot path.
 #[derive(Debug)]
+// The fabric (link tables, resequencers, fault plane) dwarfs the
+// crossbar, but a driver holds exactly one interconnect — never arrays
+// of them — so the size skew costs nothing and boxing would only add a
+// pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Interconnect<P> {
     /// The paper's fixed-latency crossbar ([`TopologyKind::Crossbar`]).
     Crossbar(Crossbar<P>),
@@ -595,6 +870,14 @@ impl<P> Interconnect<P> {
         match self {
             Interconnect::Crossbar(_) => None,
             Interconnect::Fabric(f) => Some(f),
+        }
+    }
+
+    /// Cumulative fault-plane counters (fabric with a fault plane only).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match self {
+            Interconnect::Crossbar(_) => None,
+            Interconnect::Fabric(f) => f.fault_stats(),
         }
     }
 
@@ -817,6 +1100,170 @@ mod tests {
         };
         assert_eq!(jittered(9), jittered(9));
         assert_ne!(jittered(9), jittered(10));
+    }
+
+    #[test]
+    fn lost_crossing_retransmits_until_the_outage_ends() {
+        use crate::fault::{FaultPlaneConfig, LinkFaultProfile, TransportConfig};
+        // The 0→1 link is down for the first 100 ns; the transport
+        // retries with backoff until a crossing completes outside it.
+        let mut c = cfg(TopologyKind::Line, 2, 1600);
+        c.fault = Some(FaultPlaneConfig {
+            seed: 1,
+            default_profile: LinkFaultProfile::default(),
+            overrides: vec![(
+                (0, 1),
+                LinkFaultProfile {
+                    down: vec![(Time::ZERO, Time::from_ns(100))],
+                    ..LinkFaultProfile::default()
+                },
+            )],
+            transport: Some(TransportConfig {
+                rto: Duration::from_ns(200),
+                backoff_cap: 4,
+                retransmit_budget: 8,
+            }),
+        });
+        let mut net = Fabric::new(c);
+        let m = Message::unordered(NodeId(0), NodeId(1), VnetId::DATA, 8, "m");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 1, "delivered exactly once");
+        // First crossing completes at 5 ns (inside the outage → lost);
+        // the retry fires at 205 ns and completes clean at 210 ns.
+        assert_eq!(out[0].0, Time::from_ns(210));
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.down_drops, 1);
+        assert_eq!(stats.retransmits, 1);
+        assert_eq!(stats.dead_links, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_kills_the_link_and_fails_over() {
+        use crate::fault::{FaultPlaneConfig, LinkFaultProfile, TransportConfig};
+        // 0→1 on a 3-ring is permanently down; once the budget is spent
+        // the link is declared dead and the copy re-routes 0→2→1.
+        let mut c = cfg(TopologyKind::Ring, 3, 1600);
+        c.fault = Some(FaultPlaneConfig {
+            seed: 1,
+            default_profile: LinkFaultProfile::default(),
+            overrides: vec![(
+                (0, 1),
+                LinkFaultProfile {
+                    down: vec![(Time::ZERO, Time::MAX)],
+                    ..LinkFaultProfile::default()
+                },
+            )],
+            transport: Some(TransportConfig {
+                rto: Duration::from_ns(100),
+                backoff_cap: 2,
+                retransmit_budget: 2,
+            }),
+        });
+        let mut net = Fabric::new(c);
+        let m = Message::unordered(NodeId(0), NodeId(1), VnetId::DATA, 8, "m");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.dst, NodeId(1));
+        // Lost at 5, retried at 105..110 and lost again (budget spent);
+        // failover launches 0→2 at 110 (done 115), +50 turnaround,
+        // 2→1 crossing 165..170.
+        assert_eq!(out[0].0, Time::from_ns(170));
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.down_drops, 2);
+        assert_eq!(stats.retransmits, 1);
+        assert_eq!(stats.dead_links, 1);
+        assert_eq!(stats.rerouted, 1);
+        assert_eq!(stats.undeliverable, 0);
+    }
+
+    #[test]
+    fn unreachable_destination_is_counted_undeliverable() {
+        use crate::fault::{FaultPlaneConfig, LinkFaultProfile, TransportConfig};
+        // On a 2-ring the only route 0→1 is the one dead link: the stuck
+        // copy and any later send to 1 are permanently undeliverable.
+        let mut c = cfg(TopologyKind::Ring, 2, 1600);
+        c.fault = Some(FaultPlaneConfig {
+            seed: 1,
+            default_profile: LinkFaultProfile::default(),
+            overrides: vec![(
+                (0, 1),
+                LinkFaultProfile {
+                    down: vec![(Time::ZERO, Time::MAX)],
+                    ..LinkFaultProfile::default()
+                },
+            )],
+            transport: Some(TransportConfig {
+                rto: Duration::from_ns(100),
+                backoff_cap: 1,
+                retransmit_budget: 1,
+            }),
+        });
+        let mut net = Fabric::new(c);
+        let m1 = Message::unordered(NodeId(0), NodeId(1), VnetId::DATA, 8, "a");
+        let m2 = Message::unordered(NodeId(0), NodeId(1), VnetId::DATA, 8, "b");
+        let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::from_ns(1000), m2)]);
+        assert!(out.is_empty());
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.dead_links, 1);
+        assert_eq!(stats.rerouted, 0);
+        assert_eq!(
+            stats.undeliverable, 2,
+            "one stuck copy, one refused at injection"
+        );
+        // The reverse link still works.
+        let m3 = Message::unordered(NodeId(1), NodeId(0), VnetId::DATA, 8, "c");
+        let out = drive(&mut net, vec![(Time::from_ns(2000), m3)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn multicast_under_a_fault_plane_uses_independent_chains() {
+        use crate::fault::{FaultPlaneConfig, FaultStats};
+        // A benign-but-active plane disables tree sharing so per-copy
+        // fates stay independent: the ring-4 broadcast's 0→1 link now
+        // carries both the dst-1 and dst-2 copies (4 crossings, not 3).
+        let mut c = cfg(TopologyKind::Ring, 4, 1600);
+        c.fault = Some(FaultPlaneConfig::lossy(1, 0.0));
+        let mut net = Fabric::new(c);
+        let m = Message::ordered(NodeId(0), NodeSet::all(4), 8, "bcast");
+        let out = drive(&mut net, vec![(Time::ZERO, m)]);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(_, d)| d.order == Some(0)));
+        let total: u64 = (0..net.link_count()).map(|i| net.link_messages(i)).sum();
+        assert_eq!(total, 4, "independent chains: 1 + 2 + 1 crossings");
+        assert_eq!(net.fault_stats().unwrap(), FaultStats::default());
+    }
+
+    #[test]
+    fn lossy_schedules_are_deterministic_per_seed() {
+        use crate::fault::FaultPlaneConfig;
+        let run = |seed: u64| {
+            let mut c = cfg(TopologyKind::Mesh2D, 4, 1600);
+            c.fault = Some(FaultPlaneConfig::lossy(seed, 0.2));
+            let mut net = Fabric::new(c);
+            let sends: Vec<(Time, Message<&'static str>)> = (0..24u64)
+                .map(|i| {
+                    (
+                        Time::from_ns(i * 7),
+                        Message::unordered(
+                            NodeId((i % 4) as u16),
+                            NodeId(((i + 1) % 4) as u16),
+                            VnetId::DATA,
+                            8,
+                            "m",
+                        ),
+                    )
+                })
+                .collect();
+            let out = drive(&mut net, sends);
+            let times: Vec<(u64, u16)> = out.iter().map(|(t, d)| (t.as_ps(), d.dst.0)).collect();
+            (times, net.fault_stats().unwrap())
+        };
+        let (a, sa) = run(11);
+        assert_eq!(a.len(), 24, "reliable transport delivers everything");
+        assert!(sa.retransmits > 0, "a 20% loss rate must cost retries");
+        assert_eq!(run(11), (a.clone(), sa));
+        assert_ne!(run(12).0, a, "different seed, different schedule");
     }
 
     #[test]

@@ -25,17 +25,25 @@
 //! [`Interconnect`] dispatches between the two engines based on
 //! [`NetConfig::topology`] (the crossbar remains the default).
 //!
+//! The fabric additionally hosts a deterministic [`fault`] plane —
+//! per-directed-link loss / corruption / delay / outage profiles driven
+//! by seeded per-link RNG streams — and a reliable-delivery transport
+//! (timeout + exponential-backoff retransmission, link death after a
+//! retransmit budget, routing failover over the surviving links).
+//!
 //! The crate is payload-agnostic: protocol crates instantiate
 //! [`Crossbar`]`<P>` with their own message payloads.
 
 pub mod crossbar;
 pub mod fabric;
+pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod topology;
 
 pub use crossbar::{Crossbar, Delivery, Jitter, NetConfig, NetEvent, NetStep};
 pub use fabric::{Fabric, Interconnect};
+pub use fault::{FaultPlane, FaultPlaneConfig, FaultStats, LinkFaultProfile, TransportConfig};
 pub use ids::{NodeId, NodeSet};
 pub use message::{Message, Ordered, VnetId};
 pub use topology::{OrderingMode, Topology, TopologyKind};

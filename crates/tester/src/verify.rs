@@ -17,8 +17,8 @@ use std::rc::Rc;
 use bash_coherence::cache::CacheGeometry;
 use bash_coherence::{ProcOp, ProtocolKind};
 use bash_kernel::{pool, Duration, Time};
-use bash_net::{Jitter, NodeId, OrderingMode, TopologyKind};
-use bash_sim::{FaultInjection, System, SystemConfig};
+use bash_net::{FaultPlaneConfig, Jitter, NodeId, OrderingMode, TopologyKind};
+use bash_sim::{FaultInjection, RunError, System, SystemConfig, WatchdogBudget, WedgeDiagnostic};
 use bash_trace::Trace;
 use bash_workloads::{catalog, TraceWorkload, WorkItem, Workload};
 
@@ -52,6 +52,13 @@ pub struct VerifyConfig {
     pub cache: CacheGeometry,
     /// Deliberate fault injection (harness self-tests only).
     pub fault: Option<FaultInjection>,
+    /// Deterministic link-fault plane for the routed fabric (drops,
+    /// corruption, outages — with or without the reliable transport).
+    /// Requires a non-crossbar [`topology`](Self::topology).
+    pub fault_plane: Option<FaultPlaneConfig>,
+    /// Quiescence watchdog: converts a wedged run into a structured
+    /// [`WedgeDiagnostic`] on the report instead of spinning forever.
+    pub watchdog: Option<WatchdogBudget>,
     /// Relative spread of per-node mean latencies across protocols above
     /// which a differential run counts the location as a latency
     /// divergence (informational — latency differences are *expected*
@@ -78,6 +85,8 @@ impl VerifyConfig {
             }),
             cache: CacheGeometry { sets: 4, ways: 2 },
             fault: None,
+            fault_plane: None,
+            watchdog: None,
             latency_tolerance: 0.25,
         }
     }
@@ -94,6 +103,12 @@ impl VerifyConfig {
             .with_capture_completions();
         if let Some(jitter) = &self.jitter {
             cfg = cfg.with_jitter(jitter.clone());
+        }
+        if let Some(plane) = &self.fault_plane {
+            cfg = cfg.with_fault_plane(plane.clone());
+        }
+        if let Some(budget) = self.watchdog {
+            cfg = cfg.with_watchdog(budget);
         }
         cfg.fault = self.fault;
         cfg
@@ -128,6 +143,12 @@ pub struct VerifyReport {
     pub multi_writer_locations: usize,
     /// All violations (empty = pass).
     pub violations: Vec<CheckViolation>,
+    /// The structured diagnostic when the run wedged — a watchdog budget
+    /// trip, or a drained queue that never reached quiescence (reported
+    /// even with no watchdog armed). The matching violation text is also
+    /// in [`violations`](Self::violations), so `passed()` still tells the
+    /// whole truth. `None` on runs that reached quiescence.
+    pub wedge: Option<WedgeDiagnostic>,
     /// The instrumented op stream the run executed — replay it through
     /// [`run_verify_trace`] to reproduce this verdict, or feed it to
     /// [`minimize_trace`](crate::minimize::minimize_trace) on failure.
@@ -204,12 +225,18 @@ pub fn run_verify<W: Workload>(cfg: &VerifyConfig, workload: W) -> VerifyReport 
     let oracle = Rc::new(RefCell::new(Oracle::new()));
     let checked = CheckedWorkload::new(workload, cfg.nodes, cfg.ops_per_node, Rc::clone(&oracle));
     let mut system = System::new(cfg.system_config(), checked);
-    system.run_to_idle();
+    let wedge = match system.try_run_to_idle() {
+        Ok(()) => None,
+        Err(RunError::Wedged(diag)) => Some(*diag),
+    };
 
     {
         let mut o = oracle.borrow_mut();
         if !system.is_quiescent() {
             o.report("system failed to reach quiescence (possible deadlock)".into());
+        }
+        if let Some(diag) = &wedge {
+            o.report(diag.to_string());
         }
         sweep_structural(&system, &mut o);
     }
@@ -235,6 +262,7 @@ pub fn run_verify<W: Workload>(cfg: &VerifyConfig, workload: W) -> VerifyReport 
         blocks_touched: oracle.touched_blocks().len(),
         multi_writer_locations: oracle.multi_writer_locations(),
         violations: oracle.violations().to_vec(),
+        wedge,
         trace,
     }
 }

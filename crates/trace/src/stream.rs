@@ -460,6 +460,11 @@ pub struct TraceReader<R: Read> {
     index: Option<ChunkIndex>,
     done: bool,
     errored: bool,
+    /// Skip-and-resume on per-chunk corruption instead of erroring (see
+    /// [`recovering`](Self::recovering)).
+    recover: bool,
+    /// Chunks skipped by recovering mode.
+    skipped: u64,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -486,7 +491,31 @@ impl<R: Read> TraceReader<R> {
             index: None,
             done: false,
             errored: false,
+            recover: false,
+            skipped: 0,
         })
+    }
+
+    /// Switches this reader to **recovering** mode: a v2 chunk whose
+    /// payload checksum fails (or whose checksummed payload still refuses
+    /// to decode) is *skipped* — the reader resumes at the next chunk
+    /// boundary and counts the loss in [`skipped_chunks`](Self::skipped_chunks)
+    /// — instead of poisoning the whole stream. Chunk framing stays
+    /// load-bearing: a corrupt count or payload-length varint (the bytes
+    /// that say where the next boundary *is*) remains a hard error, as
+    /// does every v1 failure (v1 has no chunk boundaries to resume at).
+    /// The trailing-index cross-check still runs against the *declared*
+    /// chunk framing, so an index that disagrees with the file is still
+    /// rejected even when payloads were skipped.
+    pub fn recovering(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
+    /// Chunks recovering mode skipped over corruption (0 in strict mode
+    /// or on a healthy trace). Final only once the stream is exhausted.
+    pub fn skipped_chunks(&self) -> u64 {
+        self.skipped
     }
 
     /// The decoded header: version, node count, seed and workload name.
@@ -574,16 +603,33 @@ impl<R: Read> TraceReader<R> {
                         self.done = true;
                         return Ok(None);
                     }
-                    let decoded = decode_chunk_body(
-                        &mut self.src,
-                        *chunks_read as usize,
-                        count,
-                        self.record_idx as u64,
-                        self.header.nodes,
-                    )?;
+                    let decoded = if self.recover {
+                        decode_chunk_body_recovering(
+                            &mut self.src,
+                            *chunks_read as usize,
+                            count,
+                            self.record_idx as u64,
+                            self.header.nodes,
+                        )?
+                    } else {
+                        Some(decode_chunk_body(
+                            &mut self.src,
+                            *chunks_read as usize,
+                            count,
+                            self.record_idx as u64,
+                            self.header.nodes,
+                        )?)
+                    };
+                    // Skipped or not, the chunk's *declared* framing feeds
+                    // the fingerprint — the trailing index describes the
+                    // file's layout, which skipping does not change.
                     *chunks_read += 1;
                     chunks_fnv.update(&offset.to_le_bytes());
                     chunks_fnv.update(&count.to_le_bytes());
+                    let Some(decoded) = decoded else {
+                        self.skipped += 1;
+                        continue;
+                    };
                     pending.extend(decoded);
                     if let Some(r) = pending.pop_front() {
                         self.record_idx += 1;
@@ -699,6 +745,60 @@ fn decode_chunk_body<R: Read>(
         return Err(TraceError::ChunkChecksumMismatch { chunk });
     }
     Ok(records)
+}
+
+/// The recovering variant of [`decode_chunk_body`]: buffers the declared
+/// payload plus its checksum, verifies the checksum *first*, and only
+/// then decodes — so a rotted payload is skipped (`Ok(None)`) with the
+/// source already positioned at the next chunk boundary. Structural
+/// corruption stays a hard error: the payload-length plausibility bounds
+/// (which also cap the allocation) and a truncated source give the reader
+/// no boundary to resume at.
+fn decode_chunk_body_recovering<R: Read>(
+    src: &mut ByteReader<R>,
+    chunk: usize,
+    count: u64,
+    base_record: u64,
+    nodes: u16,
+) -> Result<Option<Vec<TraceRecord>>, TraceError> {
+    let payload_len = src.varint()?;
+    if payload_len < count.saturating_mul(MIN_RECORD_BYTES) {
+        return Err(TraceError::BadChunk {
+            chunk,
+            what: "payload too short for its record count",
+        });
+    }
+    if payload_len > count.saturating_mul(MAX_RECORD_BYTES) {
+        return Err(TraceError::BadChunk {
+            chunk,
+            what: "payload too long for its record count",
+        });
+    }
+    let payload_len = usize::try_from(payload_len).map_err(|_| TraceError::FieldOverflow)?;
+    let mut payload = vec![0u8; payload_len];
+    src.read_exact(&mut payload)?;
+    let stored = src.u64_le()?;
+    if fnv1a(&payload) != stored {
+        return Ok(None);
+    }
+    // The checksum vouches for the bytes; a decode failure past this
+    // point means the chunk was *written* corrupt. Skip it all the same —
+    // recovering mode promises forward progress over any one bad chunk.
+    let count = usize::try_from(count).map_err(|_| TraceError::FieldOverflow)?;
+    let mut br = ByteReader::new(&payload[..]);
+    let mut last_block: Vec<Option<u64>> = vec![None; nodes as usize];
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for i in 0..count {
+        match decode_v2_record(&mut br, &mut last_block, base_record as usize + i, nodes) {
+            Ok(r) => records.push(r),
+            Err(_) => return Ok(None),
+        }
+    }
+    match br.byte_or_eof() {
+        Ok(None) => Ok(Some(records)),
+        // Leftover payload bytes: the count and payload disagree.
+        Ok(Some(_)) | Err(_) => Ok(None),
+    }
 }
 
 /// Decodes one v2 record from a chunk payload, updating the per-node
@@ -1270,6 +1370,71 @@ mod tests {
             | TraceError::WordOutOfRange { .. } => {}
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    /// Writes `t` with 32-record chunks and returns the encoded bytes
+    /// plus the absolute file offset of chunk `i`.
+    fn chunked_bytes_with_offset(t: &Trace, i: usize) -> (Vec<u8>, usize) {
+        let mut w = TraceWriter::new(Vec::new(), t.nodes, t.seed, t.workload.clone())
+            .unwrap()
+            .chunk_records(32);
+        for r in &t.records {
+            w.write(*r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let offset = SeekableTrace::open(Cursor::new(&bytes))
+            .unwrap()
+            .index()
+            .entries[i]
+            .offset;
+        let data_start = TraceReader::new(&bytes[..])
+            .unwrap()
+            .data_start()
+            .expect("v2 trace") as usize;
+        (bytes, data_start + offset as usize)
+    }
+
+    #[test]
+    fn recovering_reader_skips_a_rotted_chunk_and_resumes() {
+        let t = strided_trace(100); // chunks of 32: 32+32+32+4
+        let (mut bytes, chunk2) = chunked_bytes_with_offset(&t, 2);
+        bytes[chunk2 + 6] ^= 0x01; // inside chunk 2's payload
+        let mut reader = TraceReader::new(&bytes[..]).unwrap().recovering();
+        let decoded: Vec<TraceRecord> = (&mut reader).collect::<Result<_, _>>().unwrap();
+        assert_eq!(reader.skipped_chunks(), 1);
+        assert_eq!(decoded.len(), 68, "100 records minus chunk 2's 32");
+        // Chunks 0, 1 and 3 came through byte-exact.
+        assert_eq!(&decoded[..64], &t.records[..64]);
+        assert_eq!(&decoded[64..], &t.records[96..]);
+        // The trailing index cross-check survives skipping: it describes
+        // the file's declared framing, which the flip did not change.
+        assert_eq!(reader.index().expect("index survives").entries.len(), 4);
+        // The same bytes poison a strict reader.
+        let strict: Result<Vec<_>, _> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(strict.is_err());
+    }
+
+    #[test]
+    fn recovering_reader_is_exact_on_healthy_traces() {
+        let t = strided_trace(100);
+        let bytes = t.to_bytes();
+        let mut reader = TraceReader::new(&bytes[..]).unwrap().recovering();
+        let decoded: Vec<TraceRecord> = (&mut reader).collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, t.records);
+        assert_eq!(reader.skipped_chunks(), 0);
+    }
+
+    #[test]
+    fn recovering_reader_still_hard_fails_on_broken_framing() {
+        // Zeroing a chunk's count varint turns it into a terminator: the
+        // framing itself is gone, and recovery has no boundary to resume
+        // at — the trailing index then disagrees with the chunks read.
+        let t = strided_trace(100);
+        let (mut bytes, chunk2) = chunked_bytes_with_offset(&t, 2);
+        bytes[chunk2] = 0x00;
+        let outcome: Result<Vec<_>, _> =
+            TraceReader::new(&bytes[..]).unwrap().recovering().collect();
+        assert!(outcome.is_err(), "framing corruption must stay loud");
     }
 
     #[test]

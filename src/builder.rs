@@ -18,8 +18,8 @@ use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::pool;
 use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, Time};
-use bash_net::{Jitter, TopologyKind};
-use bash_sim::{RunStats, System, SystemConfig};
+use bash_net::{FaultPlaneConfig, Jitter, TopologyKind};
+use bash_sim::{RunError, RunStats, System, SystemConfig, WatchdogBudget};
 use bash_trace::{Trace, TraceReader};
 use bash_workloads::{
     catalog, LockingMicrobench, ScriptWorkload, StreamingTraceWorkload, SyntheticWorkload,
@@ -35,6 +35,58 @@ struct PointResult {
     stats: RunStats,
     policy_trace: Option<Vec<(Time, f64)>>,
     captured: Option<Trace>,
+}
+
+/// How a grid point can fail without sinking the rest of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointErrorKind {
+    /// The watchdog tripped: the point exceeded its event or virtual-time
+    /// budget (or stalled with work outstanding) and was cut off with a
+    /// structured [`bash_sim::WedgeDiagnostic`].
+    Wedged,
+    /// The point's simulation panicked; the panic was caught at the grid
+    /// executor and, after the retry budget, recorded here instead of
+    /// aborting the sweep.
+    Panicked,
+}
+
+impl PointErrorKind {
+    /// Stable lower-case name (used in the canonical report text).
+    pub fn name(self) -> &'static str {
+        match self {
+            PointErrorKind::Wedged => "wedged",
+            PointErrorKind::Panicked => "panicked",
+        }
+    }
+}
+
+/// One failed grid point of a [`RunReport`]: the sweep executor isolates
+/// wedges and panics per (bandwidth × seed) point, so a single poisoned
+/// configuration degrades that point instead of aborting the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// Which seed-perturbed run of this bandwidth point failed.
+    pub seed_index: u32,
+    /// How many times the point was attempted (panics are retried once;
+    /// wedges are deterministic and never retried).
+    pub attempts: u32,
+    /// Wedged (watchdog) or panicked (caught unwind).
+    pub kind: PointErrorKind,
+    /// The wedge diagnostic or panic payload, rendered.
+    pub message: String,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} {} after {} attempt(s): {}",
+            self.seed_index,
+            self.kind.name(),
+            self.attempts,
+            self.message
+        )
+    }
 }
 
 /// Why a [`SimBuilder`] configuration was rejected.
@@ -79,6 +131,9 @@ pub enum BuildError {
         /// The decode error, rendered.
         error: String,
     },
+    /// [`SimBuilder::fault_plane`] was configured together with the
+    /// crossbar topology, which has no links to inject faults on.
+    FaultPlaneNeedsFabric,
 }
 
 impl fmt::Display for BuildError {
@@ -107,6 +162,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::TraceUnreadable { path, error } => {
                 write!(f, "trace file {}: {error}", path.display())
+            }
+            BuildError::FaultPlaneNeedsFabric => {
+                f.write_str("the fault plane needs a fabric topology (the crossbar has no links)")
             }
         }
     }
@@ -183,12 +241,23 @@ pub struct RunReport {
     /// Per-sampling-window mean policy-counter trace of the first seed,
     /// when enabled with [`SimBuilder::trace_policy`].
     pub policy_trace: Option<Vec<(Time, f64)>>,
-    /// The raw measured-window statistics of every seed, in seed order.
+    /// The raw measured-window statistics of every seed that completed,
+    /// in seed order. Failed seeds appear in [`errors`](Self::errors)
+    /// instead, so `runs.len() + errors.len() == seeds`.
     pub runs: Vec<RunStats>,
+    /// The seeds that wedged or panicked instead of completing (empty on
+    /// every healthy run — the normal case). The metrics above aggregate
+    /// only the completed seeds.
+    pub errors: Vec<PointError>,
 }
 
 impl RunReport {
-    /// The first (or only) seed's raw statistics.
+    /// The first (or only) completed seed's raw statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every seed of this point failed (see
+    /// [`errors`](Self::errors)).
     pub fn stats(&self) -> &RunStats {
         &self.runs[0]
     }
@@ -281,6 +350,8 @@ pub struct SimBuilder {
     trace_out_all: bool,
     capture_completions: bool,
     threads: Option<usize>,
+    fault_plane: Option<FaultPlaneConfig>,
+    watchdog: Option<WatchdogBudget>,
     workload: Option<WorkloadSpec>,
 }
 
@@ -310,6 +381,8 @@ impl SimBuilder {
             trace_out_all: false,
             capture_completions: false,
             threads: None,
+            fault_plane: None,
+            watchdog: None,
             workload: None,
         }
     }
@@ -572,6 +645,31 @@ impl SimBuilder {
         self
     }
 
+    /// Injects deterministic link faults (drops, corruption, delay,
+    /// outages) into the routed fabric, per the plane's per-directed-link
+    /// profiles. With [`FaultPlaneConfig::lossy`] (transport enabled) the
+    /// reliable-delivery layer retransmits until every message lands and
+    /// results stay byte-identical to the fault-free run; with
+    /// [`FaultPlaneConfig::unprotected`] messages are simply lost —
+    /// combine that with [`watchdog`](Self::watchdog) to turn the
+    /// resulting wedges into structured [`PointError`] rows. Requires a
+    /// fabric topology ([`validate`](Self::validate) rejects the
+    /// crossbar, which has no links).
+    pub fn fault_plane(mut self, plane: FaultPlaneConfig) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
+    /// Arms the quiescence watchdog: a run exceeding the budget (events
+    /// processed or virtual time) is cut off with a structured
+    /// [`bash_sim::WedgeDiagnostic`] instead of spinning forever. In a
+    /// sweep the wedge becomes a [`PointError`] row of the report; the
+    /// other grid points keep running.
+    pub fn watchdog(mut self, budget: WatchdogBudget) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
     /// Caps the number of worker threads used to execute the
     /// (bandwidth × seed) grid of [`run`](Self::run) /
     /// [`run_sweep`](Self::run_sweep).
@@ -621,6 +719,9 @@ impl SimBuilder {
         if self.trace_out_all && self.trace_out.is_none() {
             return Err(BuildError::AllPointsWithoutTraceOut);
         }
+        if self.fault_plane.is_some() && self.topology == TopologyKind::Crossbar {
+            return Err(BuildError::FaultPlaneNeedsFabric);
+        }
         if let Some(spec) = &self.workload {
             self.check_spec(spec)?;
         }
@@ -668,6 +769,12 @@ impl SimBuilder {
         }
         if let Some(serialize) = self.serialize_dram {
             cfg.serialize_dram = serialize;
+        }
+        if let Some(plane) = &self.fault_plane {
+            cfg = cfg.with_fault_plane(plane.clone());
+        }
+        if let Some(budget) = self.watchdog {
+            cfg = cfg.with_watchdog(budget);
         }
         if self.coverage {
             cfg = cfg.with_coverage();
@@ -721,6 +828,9 @@ impl SimBuilder {
                 return Err(BuildError::BadCacheGeometry);
             }
         }
+        if self.fault_plane.is_some() && self.topology == TopologyKind::Crossbar {
+            return Err(BuildError::FaultPlaneNeedsFabric);
+        }
         let spec = self.workload.as_ref().ok_or(BuildError::MissingWorkload)?;
         self.check_spec(spec)?;
         Ok(spec)
@@ -758,6 +868,8 @@ impl SimBuilder {
         if let Some(geometry) = self.cache {
             vcfg.cache = geometry;
         }
+        vcfg.fault_plane = self.fault_plane.clone();
+        vcfg.watchdog = self.watchdog;
         if let WorkloadSpec::Trace(trace) = spec {
             // A replay must reproduce the whole captured stream: the
             // trace's own length, not the op cap, bounds the run.
@@ -861,7 +973,7 @@ impl SimBuilder {
         let (mut reports, trace) = self.run_grid(&self.bandwidths[..1], true);
         Ok((
             reports.pop().expect("one bandwidth point"),
-            trace.expect("capture was enabled"),
+            trace.expect("capture ran (did the first grid point wedge or panic?)"),
         ))
     }
 
@@ -877,7 +989,13 @@ impl SimBuilder {
     }
 
     /// Executes one (bandwidth, seed) grid point: build, warm up, measure.
-    fn run_point(&self, mbps: u64, seed_index: u32, capture: bool) -> PointResult {
+    /// A watchdog trip surfaces as a [`PointError`] instead of spinning.
+    fn run_point(
+        &self,
+        mbps: u64,
+        seed_index: u32,
+        capture: bool,
+    ) -> Result<PointResult, PointError> {
         let spec = self.workload.as_ref().expect("validated");
         let mut cfg = self.config(mbps, seed_index);
         if capture {
@@ -893,19 +1011,33 @@ impl SimBuilder {
         if trace {
             sys.enable_policy_trace();
         }
-        sys.run_until(Time::ZERO + self.warmup);
-        sys.begin_measurement();
-        let stats = sys.finish(Time::ZERO + self.warmup + self.measure);
+        let measured = (|| -> Result<RunStats, RunError> {
+            sys.try_run_until(Time::ZERO + self.warmup)?;
+            sys.begin_measurement();
+            sys.try_finish(Time::ZERO + self.warmup + self.measure)
+        })();
+        let stats = match measured {
+            Ok(stats) => stats,
+            Err(err) => {
+                // A wedge is deterministic, so one attempt is definitive.
+                return Err(PointError {
+                    seed_index,
+                    attempts: 1,
+                    kind: PointErrorKind::Wedged,
+                    message: err.to_string(),
+                });
+            }
+        };
         let policy_trace = if trace {
             sys.policy_trace().map(|t| t.to_vec())
         } else {
             None
         };
-        PointResult {
+        Ok(PointResult {
             stats,
             policy_trace,
             captured: sys.take_captured_trace(),
-        }
+        })
     }
 
     /// Fans the full (bandwidth × seed) grid out across the thread pool
@@ -936,14 +1068,30 @@ impl SimBuilder {
             .unwrap_or_else(pool::available_threads)
             .min(tasks.max(1));
         let capture_all = capture && self.trace_out_all && self.trace_out.is_some();
-        let mut results = pool::run_indexed(tasks, threads, |i| {
-            self.run_point(
-                bandwidths[i / seeds],
-                (i % seeds) as u32,
-                capture && (i == 0 || capture_all),
-            )
-        });
-        let captured = results[0].captured.take();
+        // Panic isolation: a grid point that panics (after one retry, for
+        // environmental flakes) becomes an error row of its report instead
+        // of unwinding through the whole sweep. Wedges come back as
+        // `Err(PointError)` from `run_point` itself and are never retried.
+        let mut results: Vec<Result<PointResult, PointError>> =
+            pool::run_indexed_isolated(tasks, threads, 1, |i| {
+                self.run_point(
+                    bandwidths[i / seeds],
+                    (i % seeds) as u32,
+                    capture && (i == 0 || capture_all),
+                )
+            })
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(point) => point,
+                Err(panic) => Err(PointError {
+                    seed_index: (panic.index % seeds) as u32,
+                    attempts: panic.attempts,
+                    kind: PointErrorKind::Panicked,
+                    message: panic.message,
+                }),
+            })
+            .collect();
+        let captured = results[0].as_mut().ok().and_then(|p| p.captured.take());
         if let Some(trace) = &captured {
             // A capture that fails validation (e.g. the workload yielded
             // zero ops) would be unloadable by every decode path; fail at
@@ -963,7 +1111,9 @@ impl SimBuilder {
         if capture_all {
             let path = self.trace_out.as_ref().expect("checked above");
             for (i, result) in results.iter_mut().enumerate().skip(1) {
-                let trace = result.captured.take().expect("all points captured");
+                // A failed point captured nothing; its error row stands in.
+                let Ok(point) = result else { continue };
+                let trace = point.captured.take().expect("all points captured");
                 trace
                     .validate()
                     .unwrap_or_else(|e| panic!("captured trace is unusable: {e}"));
@@ -973,10 +1123,21 @@ impl SimBuilder {
         let reports = bandwidths
             .iter()
             .map(|&mbps| {
-                let mut point: Vec<PointResult> = results.drain(..seeds).collect();
-                let policy_trace = point[0].policy_trace.take();
-                let runs: Vec<RunStats> = point.into_iter().map(|p| p.stats).collect();
-                self.report_for(mbps, runs, policy_trace)
+                let mut policy_trace = None;
+                let mut runs = Vec::new();
+                let mut errors = Vec::new();
+                for slot in results.drain(..seeds) {
+                    match slot {
+                        Ok(mut p) => {
+                            if policy_trace.is_none() {
+                                policy_trace = p.policy_trace.take();
+                            }
+                            runs.push(p.stats);
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                }
+                self.report_for(mbps, runs, errors, policy_trace)
             })
             .collect();
         (reports, captured)
@@ -1001,14 +1162,29 @@ impl SimBuilder {
     }
 
     /// Aggregates one bandwidth point's per-seed runs into a report.
+    /// Failed seeds contribute error rows instead of samples; when every
+    /// seed failed, the metrics degrade to zeros rather than panicking, so
+    /// the rest of the sweep still reports.
     fn report_for(
         &self,
         mbps: u64,
         runs: Vec<RunStats>,
+        errors: Vec<PointError>,
         policy_trace: Option<Vec<(Time, f64)>>,
     ) -> RunReport {
-        let workload_name = runs.last().expect("at least one seed").workload.clone();
+        let workload_name = runs
+            .last()
+            .map(|r| r.workload.clone())
+            .unwrap_or_else(|| "<all seeds failed>".to_string());
         let metric = |f: &dyn Fn(&RunStats) -> f64| {
+            if runs.is_empty() {
+                return Metric {
+                    mean: 0.0,
+                    stddev: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                };
+            }
             Metric::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
         };
         let ops = metric(&|r| r.ops_per_sec());
@@ -1034,6 +1210,7 @@ impl SimBuilder {
             broadcast_fraction: metric(&|r| r.broadcast_fraction()),
             policy_trace,
             runs,
+            errors,
         }
     }
 }

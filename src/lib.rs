@@ -57,8 +57,14 @@ pub use bash_workloads as workloads;
 pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
 pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
 pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
-pub use bash_net::{Jitter, NodeId, NodeSet, OrderingMode, TopologyKind};
-pub use bash_sim::{FaultInjection, LinkStat, RunStats, System, SystemConfig};
+pub use bash_net::{
+    FaultPlaneConfig, FaultStats, Jitter, LinkFaultProfile, NodeId, NodeSet, OrderingMode,
+    TopologyKind, TransportConfig,
+};
+pub use bash_sim::{
+    FaultInjection, LinkStat, RunError, RunStats, System, SystemConfig, WatchdogBudget, WedgeCause,
+    WedgeDiagnostic,
+};
 pub use bash_tester::{
     differential_trace, minimize_trace, run_random_test, run_verify, run_verify_trace,
     verify_catalog, CheckViolation, DiffMismatch, DifferentialReport, LatencyDiff, LatencySummary,
@@ -77,7 +83,9 @@ pub use bash_workloads::{
 mod builder;
 mod report_text;
 
-pub use builder::{BoxedWorkload, BuildError, Metric, RunReport, SimBuilder};
+pub use builder::{
+    BoxedWorkload, BuildError, Metric, PointError, PointErrorKind, RunReport, SimBuilder,
+};
 pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};
 
 /// Verifies a named catalog scenario under one protocol with the

@@ -41,6 +41,21 @@ impl RunReport {
         push_metric(&mut out, "miss_latency_ns", &self.miss_latency_ns);
         push_metric(&mut out, "link_utilization", &self.link_utilization);
         push_metric(&mut out, "broadcast_fraction", &self.broadcast_fraction);
+        // Failed grid points only: healthy reports have no errors block,
+        // so pre-existing goldens stay byte-identical.
+        if !self.errors.is_empty() {
+            let _ = writeln!(out, "errors={}", self.errors.len());
+            for e in &self.errors {
+                let _ = writeln!(
+                    out,
+                    "  seed {} kind={} attempts={} message={}",
+                    e.seed_index,
+                    e.kind.name(),
+                    e.attempts,
+                    e.message.replace('\n', "; ")
+                );
+            }
+        }
         match &self.policy_trace {
             None => {
                 let _ = writeln!(out, "policy_trace none");
@@ -89,6 +104,22 @@ impl RunReport {
                         l.from, l.to, l.bytes, l.messages, l.peak_demand, l.busy_fraction
                     );
                 }
+            }
+            // Fault-plane runs only: fault-free runs carry no counters, so
+            // their canonical text (and the goldens) is unchanged.
+            if let Some(fs) = &r.fault {
+                let _ = writeln!(
+                    out,
+                    "  fault dropped={} corrupted={} down_drops={} retransmits={} \
+                     dead_links={} rerouted={} undeliverable={}",
+                    fs.dropped,
+                    fs.corrupted,
+                    fs.down_drops,
+                    fs.retransmits,
+                    fs.dead_links,
+                    fs.rerouted,
+                    fs.undeliverable
+                );
             }
         }
         out

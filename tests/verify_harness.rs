@@ -238,6 +238,37 @@ fn reordered_ordered_deliveries_are_caught_for_every_protocol() {
     }
 }
 
+/// A home that silently forgets sharers — every 2nd home-bound request
+/// erases the requestor from the sharer bitmap (and resets the owner
+/// record if the requestor owned the block) — must be caught for every
+/// protocol. The forgotten node keeps a live cached copy the home no
+/// longer invalidates, or holds the only dirty copy while the home
+/// serves stale memory: either way the value oracle flags it.
+#[test]
+fn stale_sharer_masks_are_caught_for_every_protocol() {
+    for proto in PROTOCOLS {
+        let mut cfg = VerifyConfig::new(proto, 0x5A1E);
+        cfg.ops_per_node = 200;
+        cfg.fault = Some(FaultInjection::StaleSharerMask { period: 2 });
+        // producer-consumer keeps every consumer registered at the home
+        // in S state, so a forgotten sharer reliably survives the
+        // producer's next invalidation round with a stale copy.
+        let report = run_verify_scenario(&cfg, "producer-consumer");
+        assert!(
+            !report.passed(),
+            "{proto:?}: a forgotten sharer must be caught"
+        );
+        // Control: the same stream is clean without the fault — the
+        // harness is detecting the fault, not the workload.
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.fault = None;
+        assert!(
+            run_verify_trace(&clean_cfg, &report.trace).passed(),
+            "{proto:?}: the captured stream must be clean without the fault"
+        );
+    }
+}
+
 /// Differential mode over a captured catalog trace: all three protocols
 /// replay the same stream, reach quiescence, and agree on every
 /// single-writer final value.
