@@ -9,7 +9,7 @@ use bash_coherence::cache::{CacheArray, CacheGeometry, Mosi};
 use bash_coherence::types::{BlockAddr, BlockData};
 use bash_coherence::ProtocolKind;
 use bash_kernel::{Duration, EventQueue, Time};
-use bash_net::{Crossbar, Message, NetConfig, NetStep, NodeId, NodeSet, VnetId};
+use bash_net::{Crossbar, Message, MsgArena, NetConfig, NetStep, NodeId, NodeSet, VnetId};
 use bash_sim::{System, SystemConfig};
 use bash_workloads::LockingMicrobench;
 
@@ -71,6 +71,7 @@ fn crossbar_broadcast(c: &mut Criterion) {
     g.bench_function("broadcast_64_nodes", |b| {
         let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(64, 1600));
         let mut q = EventQueue::new();
+        let mut arena = MsgArena::new();
         let mut step = NetStep::new();
         let mut now = Time::ZERO;
         b.iter(|| {
@@ -82,12 +83,14 @@ fn crossbar_broadcast(c: &mut Criterion) {
             }
             let mut delivered = 0;
             while let Some((t, e)) = q.pop() {
-                net.handle(t, e, &mut step);
+                net.handle(t, e, &mut arena, &mut step);
                 for (t2, e2) in step.schedule.drain(..) {
                     q.schedule(t2, e2);
                 }
                 delivered += step.deliveries.len();
-                step.deliveries.clear();
+                for d in step.deliveries.drain(..) {
+                    arena.release(d.msg);
+                }
             }
             delivered
         })
@@ -101,6 +104,7 @@ fn unicast_point_to_point(c: &mut Criterion) {
     g.bench_function("unicast", |b| {
         let mut net: Crossbar<u64> = Crossbar::new(NetConfig::new(4, 1600));
         let mut q = EventQueue::new();
+        let mut arena = MsgArena::new();
         let mut step = NetStep::new();
         let mut now = Time::ZERO;
         b.iter(|| {
@@ -111,11 +115,13 @@ fn unicast_point_to_point(c: &mut Criterion) {
                 q.schedule(t, e);
             }
             while let Some((t, e)) = q.pop() {
-                net.handle(t, e, &mut step);
+                net.handle(t, e, &mut arena, &mut step);
                 for (t2, e2) in step.schedule.drain(..) {
                     q.schedule(t2, e2);
                 }
-                step.deliveries.clear();
+                for d in step.deliveries.drain(..) {
+                    arena.release(d.msg);
+                }
             }
         })
     });

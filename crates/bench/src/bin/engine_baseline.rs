@@ -1,28 +1,34 @@
 //! Emits `BENCH_engine.json`: the repo's engine-performance baseline.
 //!
-//! Two numbers anchor the perf trajectory:
+//! Three numbers anchor the perf trajectory:
 //!
 //! * **events/sec** — single-threaded simulated-event throughput of a fixed
 //!   end-to-end run, one value per protocol (the zero-allocation hot path's
 //!   metric);
 //! * **sweep wall time** — the same (bandwidth × seed) grid executed with
 //!   `.threads(1)` and with the default thread pool (the parallel sweep
-//!   executor's metric), plus the resulting speedup.
+//!   executor's metric), plus the resulting speedup;
+//! * **calendar vs heap** — the calendar event queue against the binary
+//!   heap it replaced: a raw queue-churn point at 256-node load
+//!   (`calendar_vs_heap_256`, the tentpole's headline scaling win) plus
+//!   end-to-end ratios on the existing 16-node points (which must not
+//!   regress).
 //!
 //! Usage: `engine_baseline [OUTPUT.json]` (default `BENCH_engine.json`).
 //! Run it through `scripts/bench_baseline.sh` for a release build.
 
 use std::time::Instant;
 
-use bash::{Duration, ProtocolKind, SimBuilder, System, SystemConfig};
+use bash::{Duration, ProtocolKind, QueueKind, SimBuilder, System, SystemConfig, Time};
 use bash_coherence::CacheGeometry;
-use bash_kernel::pool;
+use bash_kernel::{pool, EventQueue};
 use bash_workloads::LockingMicrobench;
 
 /// One fixed end-to-end run; returns (events processed, wall seconds).
-fn timed_run(proto: ProtocolKind) -> (u64, f64) {
+fn timed_run(proto: ProtocolKind, queue: QueueKind) -> (u64, f64) {
     let cfg = SystemConfig::paper_default(proto, 16, 1600)
-        .with_cache(CacheGeometry { sets: 256, ways: 4 });
+        .with_cache(CacheGeometry { sets: 256, ways: 4 })
+        .with_queue(queue);
     let wl = LockingMicrobench::new(16, 256, Duration::ZERO, 1);
     let t0 = Instant::now();
     let stats = System::run(
@@ -35,13 +41,59 @@ fn timed_run(proto: ProtocolKind) -> (u64, f64) {
 }
 
 /// Best-of-`reps` events/sec for one protocol.
-fn events_per_sec(proto: ProtocolKind, reps: usize) -> f64 {
+fn events_per_sec(proto: ProtocolKind, queue: QueueKind, reps: usize) -> f64 {
     (0..reps)
         .map(|_| {
-            let (events, secs) = timed_run(proto);
+            let (events, secs) = timed_run(proto, queue);
             events as f64 / secs.max(1e-9)
         })
         .fold(0.0, f64::max)
+}
+
+/// Queue ops/sec under the hold-model churn a 256-node *snooping* system
+/// generates: every node has a broadcast in flight, so one delivery event
+/// per (source, destination) pair is pending — 256 × 256 live events,
+/// each pop rescheduling a successor a short transmission-time ahead,
+/// with same-instant bursts from the fan-outs. At this population the
+/// heap's sift path walks ~16 scattered cache lines per op while the
+/// calendar stays on its cursor bucket; this isolates the data structure
+/// — the 16-node end-to-end ratios below measure it diluted by protocol
+/// work.
+fn queue_churn_ops_per_sec(queue: QueueKind, reps: usize) -> f64 {
+    const NODES: u64 = 256;
+    const PER_NODE: u64 = 256;
+    const CHURN: u64 = 2_000_000;
+    let run = || {
+        let live = NODES * PER_NODE;
+        let mut q: EventQueue<u64> =
+            EventQueue::with_kind(queue, live as usize, Duration::from_ns(4096));
+        for i in 0..live {
+            // Fan-out bursts: broadcasts of 256 deliveries share one
+            // timestamp.
+            q.schedule(Time::from_ns((i / NODES) * 360 % 4096), i);
+        }
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        let mut popped = 0u64;
+        // The engine's batched inner loop: settle on a timestamp once,
+        // then drain every event that fires at that instant.
+        'churn: while let Some(ts) = q.peek_time() {
+            while let Some(e) = q.pop_at(ts) {
+                acc = acc.wrapping_add(e);
+                // One delta per burst: a broadcast's deliveries move to
+                // their next hop together, so fan-outs stay clustered.
+                q.schedule(ts + Duration::from_ns(45 + (e / NODES % 8) * 360), e);
+                popped += 1;
+                if popped >= CHURN {
+                    break 'churn;
+                }
+            }
+        }
+        std::hint::black_box(acc);
+        // One op = one pop + one schedule.
+        2.0 * CHURN as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    (0..reps).map(|_| run()).fold(0.0, f64::max)
 }
 
 const SWEEP_BANDWIDTHS: [u64; 7] = [200, 400, 800, 1600, 3200, 6400, 12800];
@@ -70,11 +122,24 @@ fn main() {
 
     eprintln!("measuring single-threaded events/sec (3 reps per protocol)...");
     let mut proto_lines = Vec::new();
+    let mut ratio_lines = Vec::new();
     for proto in ProtocolKind::ALL {
-        let eps = events_per_sec(proto, 3);
+        let eps = events_per_sec(proto, QueueKind::Calendar, 3);
         eprintln!("  {:9} {:>12.0} events/s", proto.name(), eps);
         proto_lines.push(format!("    \"{}\": {:.0}", proto.name(), eps));
+        // The same point on the heap it replaced: the end-to-end ratio CI
+        // gates at >= 0.95 (the calendar must not cost us the small runs).
+        let heap_eps = events_per_sec(proto, QueueKind::Heap, 3);
+        let ratio = eps / heap_eps.max(1e-9);
+        eprintln!("  {:9} calendar/heap {ratio:>6.3}x", proto.name());
+        ratio_lines.push(format!("    \"{}_16\": {:.3}", proto.name(), ratio));
     }
+
+    eprintln!("measuring 256-node queue churn, calendar vs heap (5 reps)...");
+    let cal_ops = queue_churn_ops_per_sec(QueueKind::Calendar, 5);
+    let heap_ops = queue_churn_ops_per_sec(QueueKind::Heap, 5);
+    let churn_ratio = cal_ops / heap_ops.max(1e-9);
+    eprintln!("  calendar {cal_ops:>12.0} ops/s, heap {heap_ops:>12.0} ops/s ({churn_ratio:.2}x)");
 
     let grid_points = SWEEP_BANDWIDTHS.len() as u32 * SWEEP_SEEDS;
     eprintln!(
@@ -91,8 +156,12 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"events_per_sec\": {{\n{}\n  }},\n  \"sweep\": {{\n    \"grid_points\": {},\n    \"available_threads\": {},\n    \"wall_s_threads1\": {:.4},\n    \"wall_s_parallel\": {:.4},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"engine\",\n  \"events_per_sec\": {{\n{}\n  }},\n  \"queue\": {{\n    \"calendar_vs_heap_256\": {:.3},\n    \"churn_ops_per_sec_calendar\": {:.0},\n    \"churn_ops_per_sec_heap\": {:.0},\n{}\n  }},\n  \"sweep\": {{\n    \"grid_points\": {},\n    \"available_threads\": {},\n    \"wall_s_threads1\": {:.4},\n    \"wall_s_parallel\": {:.4},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         proto_lines.join(",\n"),
+        churn_ratio,
+        cal_ops,
+        heap_ops,
+        ratio_lines.join(",\n"),
         grid_points,
         threads,
         serial_s,

@@ -13,8 +13,6 @@
 //! Warmup/measurement follows the paper: run to steady state, snapshot all
 //! counters, measure, report deltas.
 
-use std::rc::Rc;
-
 use bash_coherence::common::{CacheStats, MemStats};
 use bash_coherence::{
     route, AccessOutcome, Action, ActionSink, CacheCtrl, MemCtrl, Mosi, Owner, ProcOp, ProtoMsg,
@@ -23,7 +21,8 @@ use bash_coherence::{
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
 use bash_net::{
-    FaultStats, Interconnect, Message, NetConfig, NetEvent, NetStep, NodeId, Ordered, OrderingMode,
+    FaultStats, Interconnect, Message, MsgArena, MsgRef, NetConfig, NetEvent, NetStep, NodeId,
+    Ordered, OrderingMode,
 };
 use bash_trace::{Trace, TraceCapture, TraceRecord};
 use bash_workloads::{WorkItem, Workload};
@@ -153,10 +152,11 @@ enum Event {
     /// Adaptive-mechanism sampling tick (all nodes).
     Sample,
     /// Fault injection: a duplicated copy of `msg` arrives at `dst`'s
-    /// memory controller ([`FaultInjection::DuplicateDeliveries`]).
+    /// memory controller ([`FaultInjection::DuplicateDeliveries`]). The
+    /// handle carries a retained arena reference, released on delivery.
     Redeliver {
         dst: NodeId,
-        msg: Rc<Message<ProtoMsg>>,
+        msg: MsgRef,
         order: Option<u64>,
     },
 }
@@ -175,8 +175,9 @@ fn capture_item(capture: &mut Option<TraceCapture>, node: NodeId, item: &WorkIte
 }
 
 /// A delivery held back by [`FaultInjection::ReorderOrdered`]: the
-/// message plus the network order number it arrived with.
-type HeldDelivery = (Rc<Message<ProtoMsg>>, Option<u64>);
+/// message (whose arena reference stays parked with it) plus the network
+/// order number it arrived with.
+type HeldDelivery = (MsgRef, Option<u64>);
 
 /// An outstanding demand miss at a processor.
 #[derive(Debug)]
@@ -225,6 +226,9 @@ pub struct System<W: Workload> {
     procs: Vec<Processor>,
     workload: W,
     events: EventQueue<Event>,
+    /// The in-flight message slab shared with the interconnect: payloads
+    /// live here from switch entry until the last delivery consumes them.
+    arena: MsgArena<ProtoMsg>,
     now: Time,
     /// Reusable action buffer shared by every controller handler call —
     /// the zero-allocation half of the hot event loop.
@@ -330,11 +334,22 @@ impl<W: Workload> System<W> {
             }
         }
 
-        // Steady-state queue depth scales with the node count (every node
-        // keeps a handful of events in flight); size the heap up front so
-        // warmup never reallocates it. `RunStats::peak_queue_len` reports
-        // the observed high-water mark for re-tuning this factor.
-        let mut events = EventQueue::with_capacity((nodes as usize * 16).max(64));
+        // Steady-state queue depth scales with the node count: every node
+        // keeps a handful of protocol events in flight, and an armed fault
+        // plane adds per-node timer load (retransmission RTOs under a
+        // reliable transport; delayed redeliveries under plain loss).
+        // Size the queue up front so warmup never reallocates it, and give
+        // the calendar the event horizon — the span a message stays in
+        // flight — so its wheel covers the common case with the overflow
+        // level reserved for far-future timers. `RunStats::peak_queue_len`
+        // reports the observed high-water mark for re-tuning this factor.
+        let fault_timer_load: usize =
+            cfg.fault_plane
+                .as_ref()
+                .map_or(0, |fp| if fp.transport.is_some() { 8 } else { 2 });
+        let queue_cap = (nodes as usize * (16 + fault_timer_load)).max(64);
+        let horizon = cfg.traversal + Duration::transmission(72, cfg.link_mbps);
+        let mut events = EventQueue::with_kind(cfg.queue, queue_cap, horizon);
         let mut procs: Vec<Processor> = (0..nodes).map(|_| Processor::default()).collect();
         // Capture must start before priming: the first item per node is
         // pulled here, not in `fetch_next`.
@@ -378,6 +393,7 @@ impl<W: Workload> System<W> {
             procs,
             workload,
             events,
+            arena: MsgArena::with_capacity((nodes as usize * 4).max(16)),
             now: Time::ZERO,
             sink: ActionSink::with_capacity(16),
             net_step: NetStep::new(),
@@ -464,14 +480,20 @@ impl<W: Workload> System<W> {
     }
 
     /// Advances simulation until `t` (events at exactly `t` included).
+    ///
+    /// The loop is batched by timestamp: the outer iteration advances the
+    /// clock once, the inner one drains every event at that instant
+    /// (including any it schedules for the same instant) — one clock
+    /// update and one queue probe per batch instead of per event.
     pub fn run_until(&mut self, t: Time) {
-        while let Some(pt) = self.events.peek_time() {
-            if pt > t {
+        while let Some(ts) = self.events.peek_time() {
+            if ts > t {
                 break;
             }
-            let (now, ev) = self.events.pop().expect("peeked");
-            self.now = now;
-            self.dispatch(ev);
+            self.now = ts;
+            while let Some(ev) = self.events.pop_at(ts) {
+                self.dispatch(ev);
+            }
         }
         if t > self.now {
             self.now = t;
@@ -483,9 +505,11 @@ impl<W: Workload> System<W> {
     /// global quiescence.
     pub fn run_to_idle(&mut self) {
         loop {
-            while let Some((now, ev)) = self.events.pop() {
-                self.now = now;
-                self.dispatch(ev);
+            while let Some(ts) = self.events.peek_time() {
+                self.now = ts;
+                while let Some(ev) = self.events.pop_at(ts) {
+                    self.dispatch(ev);
+                }
             }
             // Under ReorderOrdered a partial window can be parked in the
             // per-node hold-back buffers with no event left to release it;
@@ -542,6 +566,10 @@ impl<W: Workload> System<W> {
     /// diagnostic instead of hanging or silently stopping short.
     pub fn try_run_to_idle(&mut self) -> Result<(), RunError> {
         loop {
+            // Unlike the unguarded run loops, this path stays per-event:
+            // the watchdog must be consulted against every next pending
+            // event, or a same-instant event storm could spin inside a
+            // timestamp batch with no budget check ever firing.
             while let Some(next) = self.events.peek_time() {
                 if let Some(cause) = self.watchdog_tripped(next) {
                     return Err(self.wedged(cause));
@@ -572,6 +600,7 @@ impl<W: Workload> System<W> {
     /// *fewer* events, not more, and so never trips an event budget.
     pub fn try_run_until(&mut self, t: Time) -> Result<(), RunError> {
         loop {
+            // Per-event like `try_run_to_idle`, and for the same reason.
             while let Some(pt) = self.events.peek_time() {
                 if pt > t {
                     if t > self.now {
@@ -799,13 +828,13 @@ impl<W: Workload> System<W> {
                 // the call (borrow discipline) and put back afterwards, so
                 // its capacity is reused by every event.
                 let mut step = std::mem::take(&mut self.net_step);
-                self.net.send(self.now, msg, &mut step);
+                self.net.send(self.now, msg, &mut self.arena, &mut step);
                 self.absorb_net(&mut step);
                 self.net_step = step;
             }
             Event::Net(ne) => {
                 let mut step = std::mem::take(&mut self.net_step);
-                self.net.handle(self.now, ne, &mut step);
+                self.net.handle(self.now, ne, &mut self.arena, &mut step);
                 self.absorb_net(&mut step);
                 self.net_step = step;
             }
@@ -889,7 +918,17 @@ impl<W: Workload> System<W> {
     /// since the original, so the home re-runs an ownership transfer that
     /// corrupts the record out from under the real owner. (A duplicate the
     /// home would treat as idempotent proves nothing about the oracle.)
-    fn redeliver(&mut self, dst: NodeId, msg: Rc<Message<ProtoMsg>>, order: Option<u64>) {
+    fn redeliver(&mut self, dst: NodeId, msg: MsgRef, order: Option<u64>) {
+        // The message is moved out of the arena for the duration of the
+        // call (the controllers need `&mut self` alongside `&Message`),
+        // put back, and the reference retained at schedule time released.
+        let m = self.arena.take(msg);
+        self.redeliver_msg(dst, &m, order);
+        self.arena.put_back(msg, m);
+        self.arena.release(msg);
+    }
+
+    fn redeliver_msg(&mut self, dst: NodeId, msg: &Message<ProtoMsg>, order: Option<u64>) {
         let ProtoMsg::Request(req) = &msg.payload else {
             return;
         };
@@ -903,18 +942,19 @@ impl<W: Workload> System<W> {
         // the caches too, but the home's directory state is where the
         // duplicate provably corrupts the protocol.
         let mut sink = std::mem::take(&mut self.sink);
-        self.mems[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
+        self.mems[dst.index()].on_delivery(self.now, msg, order, &mut sink);
         self.apply_actions(dst, &mut sink);
         self.sink = sink;
     }
 
-    fn deliver(&mut self, dst: NodeId, msg: Rc<Message<ProtoMsg>>, order: Option<u64>) {
+    fn deliver(&mut self, dst: NodeId, msg: MsgRef, order: Option<u64>) {
         // ReorderOrdered: hold totally ordered deliveries back per node and
         // release each full window in reverse — every node still sees every
         // ordered message exactly once, but no longer in the global order
         // its peers observe. Unordered traffic (data, nacks) is untouched.
+        // A held-back delivery parks its arena reference with the handle.
         if let Some(FaultInjection::ReorderOrdered { window }) = self.cfg.fault {
-            if msg.ordered != Ordered::None {
+            if self.arena.get(msg).ordered != Ordered::None {
                 self.reorder_buf[dst.index()].push((msg, order));
                 if self.reorder_buf[dst.index()].len() as u64 >= window {
                     while let Some((m, o)) = self.reorder_buf[dst.index()].pop() {
@@ -927,7 +967,22 @@ impl<W: Workload> System<W> {
         self.deliver_now(dst, msg, order);
     }
 
-    fn deliver_now(&mut self, dst: NodeId, msg: Rc<Message<ProtoMsg>>, order: Option<u64>) {
+    /// Consumes one delivery: runs the controllers against the message and
+    /// releases the arena reference the delivery transferred to the driver.
+    fn deliver_now(&mut self, dst: NodeId, msg: MsgRef, order: Option<u64>) {
+        let m = self.arena.take(msg);
+        self.deliver_msg(dst, msg, &m, order);
+        self.arena.put_back(msg, m);
+        self.arena.release(msg);
+    }
+
+    fn deliver_msg(
+        &mut self,
+        dst: NodeId,
+        mref: MsgRef,
+        msg: &Message<ProtoMsg>,
+        order: Option<u64>,
+    ) {
         if let Some(trace) = self.delivery_trace.as_mut() {
             let ord = order.map(|o| format!(" ord={o}")).unwrap_or_default();
             trace.push(format!(
@@ -940,37 +995,39 @@ impl<W: Workload> System<W> {
                 ord
             ));
         }
-        let routing = route(self.cfg.protocol, dst, self.cfg.nodes, &msg);
-        if routing.to_mem && self.fault_duplicates_delivery(&msg) {
+        let routing = route(self.cfg.protocol, dst, self.cfg.nodes, msg);
+        if routing.to_mem && self.fault_duplicates_delivery(msg) {
             // Schedule the duplicate well after the original transaction
             // settles — far enough out that ownership of the block has had
             // time to migrate to another cache (`redeliver` re-checks the
             // ownership record then; a same-owner duplicate is idempotent
-            // and proves nothing).
+            // and proves nothing). The duplicate keeps the message alive
+            // past this delivery, so it retains a reference.
+            self.arena.retain(mref);
             self.events.schedule(
                 self.now + Duration::from_ns(20_000),
                 Event::Redeliver {
                     dst,
-                    msg: Rc::clone(&msg),
+                    msg: mref,
                     order,
                 },
             );
         }
-        if routing.to_cache && self.fault_drops_invalidation(dst, &msg) {
+        if routing.to_cache && self.fault_drops_invalidation(dst, msg) {
             // The cache never sees the invalidation; its stale copy keeps
             // serving loads. Memory-side routing proceeds untouched.
         } else if routing.to_cache {
             let mut sink = std::mem::take(&mut self.sink);
-            self.caches[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
+            self.caches[dst.index()].on_delivery(self.now, msg, order, &mut sink);
             self.apply_actions(dst, &mut sink);
             self.sink = sink;
         }
         if routing.to_mem {
             let mut sink = std::mem::take(&mut self.sink);
-            self.mems[dst.index()].on_delivery(self.now, &msg, order, &mut sink);
+            self.mems[dst.index()].on_delivery(self.now, msg, order, &mut sink);
             self.apply_actions(dst, &mut sink);
             self.sink = sink;
-            if self.fault_forgets_sharer(&msg) {
+            if self.fault_forgets_sharer(msg) {
                 if let ProtoMsg::Request(req) = &msg.payload {
                     // The home just recorded the requestor; silently lose
                     // it again (sharer bit and, if recorded, ownership).

@@ -22,12 +22,14 @@
 //! assert_eq!((t, e), (Time::ZERO, "first"));
 //! ```
 
+pub mod calendar;
 pub mod event_queue;
 pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event_queue::EventQueue;
+pub use calendar::CalendarConfig;
+pub use event_queue::{EventQueue, QueueKind};
 pub use rng::DetRng;
 pub use time::{Duration, Time};

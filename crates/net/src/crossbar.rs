@@ -23,14 +23,14 @@
 //! events to schedule and the finished deliveries to hand to node
 //! controllers. The driver reuses one `NetStep` buffer across every call,
 //! so the steady-state event loop allocates nothing; fan-out past the
-//! crossbar core shares one [`Rc`]'d message per transmission instead of
-//! deep-cloning the payload once per destination.
-
-use std::rc::Rc;
+//! crossbar core stores the message once in the driver-owned
+//! [`MsgArena`] and hands every destination a [`MsgRef`] handle instead
+//! of deep-cloning the payload once per destination.
 
 use bash_kernel::stats::BusyTracker;
 use bash_kernel::{DetRng, Duration, Time};
 
+use crate::arena::{MsgArena, MsgRef};
 use crate::ids::{NodeId, NodeSet};
 use crate::message::{Message, Ordered};
 use crate::topology::TopologyKind;
@@ -101,9 +101,9 @@ pub enum Jitter {
 
 /// Internal crossbar events, scheduled on the driver's event queue.
 ///
-/// Past the core the message is reference-counted: a broadcast fans out as
-/// `dests.len()` pointers to one shared message, not `dests.len()` deep
-/// clones of the payload.
+/// Past the core the message lives in the driver's [`MsgArena`]: a
+/// broadcast fans out as `dests.len()` copies of one 8-byte [`MsgRef`],
+/// not `dests.len()` deep clones of the payload.
 #[derive(Debug, Clone)]
 pub enum NetEvent<P> {
     /// The sender link finished transmitting: the message enters the core.
@@ -112,8 +112,8 @@ pub enum NetEvent<P> {
     RxArrive {
         /// Receiving node.
         dst: NodeId,
-        /// The message (shared across all destinations of the fan-out).
-        msg: Rc<Message<P>>,
+        /// Arena handle to the message (shared across the fan-out).
+        msg: MsgRef,
         /// Global sequence for totally ordered messages.
         order: Option<u64>,
     },
@@ -121,8 +121,8 @@ pub enum NetEvent<P> {
     Deliver {
         /// Receiving node.
         dst: NodeId,
-        /// The message (shared across all destinations of the fan-out).
-        msg: Rc<Message<P>>,
+        /// Arena handle to the message (shared across the fan-out).
+        msg: MsgRef,
         /// Global sequence for totally ordered messages.
         order: Option<u64>,
     },
@@ -130,7 +130,7 @@ pub enum NetEvent<P> {
     /// (see [`crate::fabric`]; never scheduled by the crossbar).
     Hop {
         /// The in-flight message and its multicast forwarding tree.
-        flight: Rc<crate::fabric::FabricFlight<P>>,
+        flight: std::rc::Rc<crate::fabric::FabricFlight>,
         /// Index of the tree node whose in-link completed.
         node: u32,
         /// How many times this crossing already failed (reliable
@@ -141,7 +141,7 @@ pub enum NetEvent<P> {
     /// for a lost crossing — re-enqueue it on its link.
     Resend {
         /// The in-flight message and its forwarding tree.
-        flight: Rc<crate::fabric::FabricFlight<P>>,
+        flight: std::rc::Rc<crate::fabric::FabricFlight>,
         /// Index of the tree node whose crossing is retried.
         node: u32,
         /// Failed attempts so far (the retry about to start is this one).
@@ -150,12 +150,17 @@ pub enum NetEvent<P> {
 }
 
 /// A completed delivery handed to a node's controller.
+///
+/// The delivery *transfers* one arena reference to the driver: after the
+/// controllers have consumed the message, the driver must
+/// [`MsgArena::release`] the handle.
 #[derive(Debug, Clone)]
-pub struct Delivery<P> {
+pub struct Delivery {
     /// Receiving node.
     pub dst: NodeId,
-    /// The delivered message (shared across the fan-out's destinations).
-    pub msg: Rc<Message<P>>,
+    /// Arena handle to the delivered message (shared across the fan-out's
+    /// destinations).
+    pub msg: MsgRef,
     /// Global total-order sequence (for [`Ordered::Total`] messages).
     pub order: Option<u64>,
 }
@@ -170,7 +175,7 @@ pub struct NetStep<P> {
     /// Future events the driver must schedule.
     pub schedule: Vec<(Time, NetEvent<P>)>,
     /// Messages that completed delivery at the current instant.
-    pub deliveries: Vec<Delivery<P>>,
+    pub deliveries: Vec<Delivery>,
 }
 
 // Manual impl: the derived one would demand `P: Default` for no reason.
@@ -273,11 +278,18 @@ impl<P> Crossbar<P> {
 
     /// Advances an internal event, appending follow-up events and finished
     /// deliveries to `out`. `now` must equal the time the event was
-    /// scheduled for.
-    pub fn handle(&mut self, now: Time, event: NetEvent<P>, out: &mut NetStep<P>) {
+    /// scheduled for. `arena` is the driver-owned message arena; fan-out
+    /// payloads are stored there when a transmission enters the core.
+    pub fn handle(
+        &mut self,
+        now: Time,
+        event: NetEvent<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         match event {
-            NetEvent::TxDone(msg) => self.enter_core(now, msg, out),
-            NetEvent::RxArrive { dst, msg, order } => self.arrive(now, dst, msg, order, out),
+            NetEvent::TxDone(msg) => self.enter_core(now, msg, arena, out),
+            NetEvent::RxArrive { dst, msg, order } => self.arrive(now, dst, msg, order, arena, out),
             NetEvent::Deliver { dst, msg, order } => {
                 out.deliveries.push(Delivery { dst, msg, order });
             }
@@ -322,7 +334,13 @@ impl<P> Crossbar<P> {
         self.next_order
     }
 
-    fn enter_core(&mut self, now: Time, msg: Message<P>, out: &mut NetStep<P>) {
+    fn enter_core(
+        &mut self,
+        now: Time,
+        msg: Message<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         let order = match msg.ordered {
             Ordered::Total => {
                 let o = self.next_order;
@@ -331,11 +349,11 @@ impl<P> Crossbar<P> {
             }
             Ordered::None => None,
         };
-        // One shared allocation per transmission: every destination's
-        // RxArrive points at the same message.
+        // One arena slot per transmission: every destination's RxArrive
+        // carries the same handle, with one reference per delivery.
         let ordered = msg.ordered;
         let dests = msg.dests;
-        let shared = Rc::new(msg);
+        let msg = arena.alloc(msg, dests.len() as u32);
         for dst in dests.iter() {
             let extra = match ordered {
                 // Per-destination jitter would break the total order.
@@ -343,14 +361,8 @@ impl<P> Crossbar<P> {
                 Ordered::None => self.traversal_jitter(),
             };
             let at = now + self.cfg.traversal + extra;
-            out.schedule.push((
-                at,
-                NetEvent::RxArrive {
-                    dst,
-                    msg: Rc::clone(&shared),
-                    order,
-                },
-            ));
+            out.schedule
+                .push((at, NetEvent::RxArrive { dst, msg, order }));
         }
     }
 
@@ -358,11 +370,12 @@ impl<P> Crossbar<P> {
         &mut self,
         now: Time,
         dst: NodeId,
-        msg: Rc<Message<P>>,
+        msg: MsgRef,
         order: Option<u64>,
+        arena: &MsgArena<P>,
         out: &mut NetStep<P>,
     ) {
-        let eff = self.effective_size(&msg);
+        let eff = self.effective_size(arena.get(msg));
         let rx_time = Duration::transmission(eff, self.cfg.link_mbps);
         let link = &mut self.links[dst.index()];
         let start = now.max(link.busy.busy_until());
@@ -418,11 +431,14 @@ mod tests {
     use super::*;
     use bash_kernel::EventQueue;
 
-    /// Drives sends + network to completion; returns deliveries with times.
+    /// Drives sends + network to completion; returns deliveries with times
+    /// and the payload resolved through the arena. Delivery references are
+    /// deliberately *not* released, so [`MsgRef`] identity comparisons stay
+    /// meaningful after the drive.
     fn drive(
         net: &mut Crossbar<&'static str>,
         sends: Vec<(Time, Message<&'static str>)>,
-    ) -> Vec<(Time, Delivery<&'static str>)> {
+    ) -> Vec<(Time, Delivery, &'static str)> {
         enum Ev {
             Send(Message<&'static str>),
             Net(NetEvent<&'static str>),
@@ -431,18 +447,20 @@ mod tests {
         for (t, m) in sends {
             q.schedule(t, Ev::Send(m));
         }
+        let mut arena = MsgArena::new();
         let mut out = Vec::new();
         let mut step = NetStep::new();
         while let Some((now, ev)) = q.pop() {
             match ev {
                 Ev::Send(m) => net.send(now, m, &mut step),
-                Ev::Net(ne) => net.handle(now, ne, &mut step),
+                Ev::Net(ne) => net.handle(now, ne, &mut arena, &mut step),
             }
             for (t, e) in step.schedule.drain(..) {
                 q.schedule(t, Ev::Net(e));
             }
             for d in step.deliveries.drain(..) {
-                out.push((now, d));
+                let payload = arena.get(d.msg).payload;
+                out.push((now, d, payload));
             }
         }
         out
@@ -473,7 +491,7 @@ mod tests {
         let m1 = Message::unordered(NodeId(0), NodeId(1), crate::VnetId::DATA, 72, "a");
         let m2 = Message::unordered(NodeId(0), NodeId(2), crate::VnetId::DATA, 72, "b");
         let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
-        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        let times: Vec<u64> = out.iter().map(|(t, _, _)| t.as_ns()).collect();
         assert_eq!(times, vec![140, 185]);
     }
 
@@ -485,7 +503,7 @@ mod tests {
         let m1 = Message::unordered(NodeId(0), NodeId(2), crate::VnetId::DATA, 72, "a");
         let m2 = Message::unordered(NodeId(1), NodeId(2), crate::VnetId::DATA, 72, "b");
         let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
-        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        let times: Vec<u64> = out.iter().map(|(t, _, _)| t.as_ns()).collect();
         assert_eq!(times, vec![140, 185]);
     }
 
@@ -495,9 +513,9 @@ mod tests {
         let m = Message::ordered(NodeId(1), NodeSet::all(4), 8, "req");
         let out = drive(&mut net, vec![(Time::ZERO, m)]);
         assert_eq!(out.len(), 4);
-        let dsts: Vec<u16> = out.iter().map(|(_, d)| d.dst.0).collect();
+        let dsts: Vec<u16> = out.iter().map(|(_, d, _)| d.dst.0).collect();
         assert_eq!(dsts, vec![0, 1, 2, 3]);
-        assert!(out.iter().all(|(_, d)| d.order == Some(0)));
+        assert!(out.iter().all(|(_, d, _)| d.order == Some(0)));
     }
 
     #[test]
@@ -519,9 +537,9 @@ mod tests {
         );
         // Collect per-receiver observation order of the two broadcasts.
         let mut per_node: std::collections::HashMap<u16, Vec<&str>> = Default::default();
-        for (_, d) in &out {
+        for (_, d, payload) in &out {
             if d.order.is_some() {
-                per_node.entry(d.dst.0).or_default().push(d.msg.payload);
+                per_node.entry(d.dst.0).or_default().push(*payload);
             }
         }
         assert_eq!(per_node.len(), 3);
@@ -540,7 +558,7 @@ mod tests {
         // Full broadcast: 8B * 4 = 32B → 20 ns per link; 20+50+20 = 90 ns.
         let b = Message::ordered(NodeId(0), NodeSet::all(4), 8, "bcast");
         let out = drive(&mut net, vec![(Time::ZERO, b)]);
-        assert!(out.iter().all(|(t, _)| t.as_ns() == 90));
+        assert!(out.iter().all(|(t, _, _)| t.as_ns() == 90));
         // A 3-of-4 multicast is not inflated: 5+50+5 = 60 ns after the
         // link frees at t=20.
         let mut net2 = Crossbar::new({
@@ -555,7 +573,7 @@ mod tests {
             "multi",
         );
         let out2 = drive(&mut net2, vec![(Time::ZERO, m)]);
-        assert!(out2.iter().all(|(t, _)| t.as_ns() == 60));
+        assert!(out2.iter().all(|(t, _, _)| t.as_ns() == 60));
     }
 
     #[test]
@@ -599,7 +617,7 @@ mod tests {
             let m2 = Message::unordered(NodeId(2), NodeId(3), crate::VnetId::DATA, 8, "b");
             drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)])
                 .iter()
-                .map(|(t, _)| t.as_ps())
+                .map(|(t, _, _)| t.as_ps())
                 .collect::<Vec<_>>()
         };
         assert_eq!(jittered(9), jittered(9));
@@ -623,13 +641,13 @@ mod tests {
 
     #[test]
     fn broadcast_shares_one_payload_allocation() {
-        // All four deliveries of a broadcast must point at the same shared
-        // message (Rc fan-out, not per-destination deep clones).
+        // All four deliveries of a broadcast must carry the same arena
+        // handle (one slot per transmission, not per-destination clones).
         let mut net = Crossbar::new(cfg(4, 1600));
         let m = Message::ordered(NodeId(0), NodeSet::all(4), 8, "shared");
         let out = drive(&mut net, vec![(Time::ZERO, m)]);
         assert_eq!(out.len(), 4);
-        let first = &out[0].1.msg;
-        assert!(out.iter().all(|(_, d)| std::rc::Rc::ptr_eq(&d.msg, first)));
+        let first = out[0].1.msg;
+        assert!(out.iter().all(|(_, d, _)| d.msg == first));
     }
 }

@@ -23,9 +23,9 @@
 //!
 //! A multicast is forwarded as a **tree**: the deterministic routes from
 //! one source to all destinations are merged (each vertex has a unique
-//! in-link per source — see [`crate::topology`]), and one shared
-//! [`Rc`]'d message travels each tree edge exactly once, branching at the
-//! fork vertices. A destination whose tree node completes its last link
+//! in-link per source — see [`crate::topology`]), and one arena-resident
+//! message ([`MsgRef`]) travels each tree edge exactly once, branching at
+//! the fork vertices. A destination whose tree node completes its last link
 //! crossing receives the delivery; loopback copies (source in the
 //! destination set) cross no link and arrive after one traversal.
 //!
@@ -50,6 +50,7 @@ use std::rc::Rc;
 use bash_kernel::stats::BusyTracker;
 use bash_kernel::{DetRng, Duration, Time};
 
+use crate::arena::{MsgArena, MsgRef};
 use crate::crossbar::{Crossbar, Delivery, Jitter, NetConfig, NetEvent, NetStep};
 use crate::fault::{DropCause, Fate, FaultPlane, FaultStats};
 use crate::ids::{NodeId, NodeSet};
@@ -59,10 +60,11 @@ use crate::topology::{OrderingMode, Topology, TopologyKind};
 /// Sentinel link id for loopback tree nodes (no physical link crossed).
 const SELF_LINK: u32 = u32::MAX;
 
-/// An ordered copy held back at an endpoint: the message plus its
-/// global order number, keyed (in [`Fabric::held`]) by the
-/// per-destination sequence it must wait its turn for.
-type HeldCopy<P> = (Rc<Message<P>>, u64);
+/// An ordered copy held back at an endpoint: the message's arena handle
+/// plus its global order number, keyed (in [`Fabric::held`]) by the
+/// per-destination sequence it must wait its turn for. The handle keeps
+/// the arena reference the eventual delivery will transfer.
+type HeldCopy = (MsgRef, u64);
 
 /// One node of an in-flight multicast forwarding tree.
 #[derive(Debug)]
@@ -76,11 +78,12 @@ struct FlightNode {
     deliver: Option<(NodeId, u64)>,
 }
 
-/// An in-flight message plus its multicast forwarding tree. Shared
-/// ([`Rc`]) across all [`NetEvent::Hop`] events of one transmission.
+/// An in-flight message plus its multicast forwarding tree. The tree is
+/// shared ([`Rc`]) across all [`NetEvent::Hop`] events of one
+/// transmission; the payload itself lives in the driver's [`MsgArena`].
 #[derive(Debug)]
-pub struct FabricFlight<P> {
-    msg: Rc<Message<P>>,
+pub struct FabricFlight {
+    msg: MsgRef,
     order: Option<u64>,
     eff: u64,
     nodes: Vec<FlightNode>,
@@ -136,7 +139,7 @@ pub struct Fabric<P> {
     /// Next per-destination sequence the endpoint will release.
     expect_seq: Vec<u64>,
     /// Ordered copies that overtook their turn, keyed by sequence.
-    held: Vec<BTreeMap<u64, HeldCopy<P>>>,
+    held: Vec<BTreeMap<u64, HeldCopy>>,
     /// Generation-stamped per-vertex scratch for tree construction.
     entry_node: Vec<u32>,
     entry_gen: Vec<u32>,
@@ -147,6 +150,7 @@ pub struct Fabric<P> {
     /// Failover routing table, built after the first link death:
     /// `vertex * nodes + dst → next hop` (`u16::MAX` = unreachable).
     reroute: Option<Vec<u16>>,
+    _marker: std::marker::PhantomData<P>,
 }
 
 impl<P> Fabric<P> {
@@ -205,6 +209,7 @@ impl<P> Fabric<P> {
             reroute: None,
             topo,
             cfg,
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -300,7 +305,13 @@ impl<P> Fabric<P> {
     ///
     /// Panics if the destination set is empty or the source is out of
     /// range.
-    pub fn send(&mut self, now: Time, msg: Message<P>, out: &mut NetStep<P>) {
+    pub fn send(
+        &mut self,
+        now: Time,
+        msg: Message<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         assert!(!msg.dests.is_empty(), "message with no destinations");
         assert!(
             msg.src.index() < self.topo.nodes() as usize,
@@ -318,7 +329,6 @@ impl<P> Fabric<P> {
         };
         let src = msg.src;
         let dests = msg.dests;
-        let shared = Rc::new(msg);
         let t0 = now + inject_delay;
 
         // Merge the per-destination routes into the forwarding tree.
@@ -331,6 +341,7 @@ impl<P> Fabric<P> {
         self.gen = self.gen.wrapping_add(1);
         let mut nodes: Vec<FlightNode> = Vec::new();
         let mut roots: Vec<u32> = Vec::new();
+        let mut planned: u32 = 0;
         for dst in dests.iter() {
             let seq = match order {
                 Some(_) => {
@@ -349,6 +360,7 @@ impl<P> Fabric<P> {
                     deliver: Some((dst, seq)),
                 });
                 roots.push(ni);
+                planned += 1;
                 continue;
             }
             let mut at = src.0;
@@ -396,10 +408,18 @@ impl<P> Fabric<P> {
             }
             let tail = parent.expect("non-loopback route has at least one hop");
             nodes[tail as usize].deliver = Some((dst, seq));
+            planned += 1;
         }
 
+        if planned == 0 {
+            // Every destination was unreachable; nothing references the
+            // message, so it never enters the arena.
+            return;
+        }
+        // One arena reference per delivery this transmission will produce.
+        let msg = arena.alloc(msg, planned);
         let flight = Rc::new(FabricFlight {
-            msg: shared,
+            msg,
             order,
             eff,
             nodes,
@@ -420,13 +440,19 @@ impl<P> Fabric<P> {
     /// Advances an internal event (see [`Crossbar::handle`] for the
     /// contract). The fabric only ever schedules [`NetEvent::Hop`],
     /// [`NetEvent::Resend`], and [`NetEvent::Deliver`].
-    pub fn handle(&mut self, now: Time, event: NetEvent<P>, out: &mut NetStep<P>) {
+    pub fn handle(
+        &mut self,
+        now: Time,
+        event: NetEvent<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         match event {
             NetEvent::Hop {
                 flight,
                 node,
                 attempt,
-            } => self.hop(now, flight, node, attempt, out),
+            } => self.hop(now, flight, node, attempt, arena, out),
             NetEvent::Resend {
                 flight,
                 node,
@@ -457,9 +483,10 @@ impl<P> Fabric<P> {
     fn hop(
         &mut self,
         now: Time,
-        flight: Rc<FabricFlight<P>>,
+        flight: Rc<FabricFlight>,
         node: u32,
         attempt: u32,
+        arena: &mut MsgArena<P>,
         out: &mut NetStep<P>,
     ) {
         let li = flight.nodes[node as usize].link;
@@ -470,12 +497,12 @@ impl<P> Fabric<P> {
                 .expect("checked above")
                 .crossing_fate(li as usize, now);
             if let Fate::Drop(cause) = fate {
-                self.crossing_lost(now, flight, node, attempt, cause, out);
+                self.crossing_lost(now, flight, node, attempt, cause, arena, out);
                 return;
             }
         }
         if let Some((dst, seq)) = flight.nodes[node as usize].deliver {
-            self.endpoint_arrive(now, dst, Rc::clone(&flight.msg), flight.order, seq, out);
+            self.endpoint_arrive(now, dst, flight.msg, flight.order, seq, out);
         }
         for i in 0..flight.nodes[node as usize].children.len() {
             let child = flight.nodes[node as usize].children[i];
@@ -495,21 +522,26 @@ impl<P> Fabric<P> {
     /// backoff, or — once the retransmit budget is exhausted (or the link
     /// is already dead) — declare the link dead and fail the copy over to
     /// a surviving route. Without a transport the copy is simply gone.
+    #[allow(clippy::too_many_arguments)]
     fn crossing_lost(
         &mut self,
         now: Time,
-        flight: Rc<FabricFlight<P>>,
+        flight: Rc<FabricFlight>,
         node: u32,
         attempt: u32,
         cause: DropCause,
+        arena: &mut MsgArena<P>,
         out: &mut NetStep<P>,
     ) {
         let fault = self.fault.as_mut().expect("fault plane");
         fault.count_drop(cause);
         let Some(transport) = fault.transport() else {
             // Raw loss reaches the protocols: this copy (and everything
-            // downstream of it) is permanently gone.
+            // downstream of it) is permanently gone — drop the delivery
+            // reference it was carrying (fault-plane flights are linear
+            // chains, so a lost copy is exactly one delivery).
             fault.count_undeliverable();
+            arena.release(flight.msg);
             return;
         };
         let budget = transport.retransmit_budget;
@@ -517,7 +549,7 @@ impl<P> Fabric<P> {
         if matches!(cause, DropCause::Dead) || attempt + 1 >= budget {
             fault.mark_dead(li);
             self.rebuild_routes();
-            self.reroute_copy(now, &flight, node, out);
+            self.reroute_copy(now, &flight, node, arena, out);
         } else {
             fault.count_retransmit();
             let delay = fault.rto_after(attempt);
@@ -603,8 +635,9 @@ impl<P> Fabric<P> {
     fn reroute_copy(
         &mut self,
         now: Time,
-        flight: &Rc<FabricFlight<P>>,
+        flight: &Rc<FabricFlight>,
         node: u32,
+        arena: &mut MsgArena<P>,
         out: &mut NetStep<P>,
     ) {
         // Walk to the chain tail for the delivery this copy was carrying.
@@ -626,10 +659,13 @@ impl<P> Fabric<P> {
         let mut parent: Option<u32> = None;
         while at != dst.0 {
             let Some(next) = self.route_next(at, dst) else {
+                // No surviving route: the copy's delivery will never
+                // happen — give its arena reference back.
                 self.fault
                     .as_mut()
                     .expect("fault plane")
                     .count_undeliverable();
+                arena.release(flight.msg);
                 return;
             };
             let li = self.link_id(at, next);
@@ -647,8 +683,10 @@ impl<P> Fabric<P> {
         }
         let tail = parent.expect("rerouted copy crosses at least one link");
         nodes[tail as usize].deliver = Some((dst, seq));
+        // The rerouted copy inherits the original's delivery reference:
+        // one delivery was owed before, one is owed after — no retain.
         let new_flight = Rc::new(FabricFlight {
-            msg: Rc::clone(&flight.msg),
+            msg: flight.msg,
             order: flight.order,
             eff: flight.eff,
             nodes,
@@ -669,7 +707,7 @@ impl<P> Fabric<P> {
     /// completion instant. Loopback nodes cross no link. Fault-plane
     /// extra delay is propagation, not occupancy: it pushes the crossing's
     /// completion out without extending the link's busy window.
-    fn launch(&mut self, t: Time, flight: &Rc<FabricFlight<P>>, node: u32) -> Time {
+    fn launch(&mut self, t: Time, flight: &Rc<FabricFlight>, node: u32) -> Time {
         let li = flight.nodes[node as usize].link;
         if li == SELF_LINK {
             return t + self.cfg.traversal;
@@ -700,7 +738,7 @@ impl<P> Fabric<P> {
         &mut self,
         now: Time,
         dst: NodeId,
-        msg: Rc<Message<P>>,
+        msg: MsgRef,
         order: Option<u64>,
         seq: u64,
         out: &mut NetStep<P>,
@@ -745,6 +783,10 @@ impl<P> Fabric<P> {
                 } else if self.fault.is_some() && seq < self.expect_seq[i] {
                     // A rerouted copy raced a surviving original: the
                     // endpoint already released this sequence — dedup.
+                    // No arena release: the `(dst, seq)` pair owns one
+                    // delivery reference system-wide and the copy that
+                    // delivered first already transferred it (this slot
+                    // may even be recycled by now).
                 } else {
                     debug_assert!(seq > self.expect_seq[i], "sequence delivered twice");
                     self.held[i].insert(seq, (msg, o));
@@ -826,18 +868,33 @@ impl<P> Interconnect<P> {
     }
 
     /// Injects a message (see [`Crossbar::send`] / [`Fabric::send`]).
-    pub fn send(&mut self, now: Time, msg: Message<P>, out: &mut NetStep<P>) {
+    /// `arena` is the driver-owned message arena shared by both engines
+    /// (the crossbar stores fan-out payloads only when they enter the
+    /// core, so its `send` does not touch it).
+    pub fn send(
+        &mut self,
+        now: Time,
+        msg: Message<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         match self {
             Interconnect::Crossbar(c) => c.send(now, msg, out),
-            Interconnect::Fabric(f) => f.send(now, msg, out),
+            Interconnect::Fabric(f) => f.send(now, msg, arena, out),
         }
     }
 
     /// Advances an internal event (see [`Crossbar::handle`]).
-    pub fn handle(&mut self, now: Time, event: NetEvent<P>, out: &mut NetStep<P>) {
+    pub fn handle(
+        &mut self,
+        now: Time,
+        event: NetEvent<P>,
+        arena: &mut MsgArena<P>,
+        out: &mut NetStep<P>,
+    ) {
         match self {
-            Interconnect::Crossbar(c) => c.handle(now, event, out),
-            Interconnect::Fabric(f) => f.handle(now, event, out),
+            Interconnect::Crossbar(c) => c.handle(now, event, arena, out),
+            Interconnect::Fabric(f) => f.handle(now, event, arena, out),
         }
     }
 
@@ -897,11 +954,13 @@ mod tests {
     use bash_kernel::EventQueue;
 
     /// Drives sends + network to completion; returns deliveries with
-    /// times (fabric twin of the crossbar test driver).
+    /// times and the arena-resolved payload (fabric twin of the crossbar
+    /// test driver). Delivery references are deliberately not released so
+    /// [`MsgRef`] identity comparisons stay meaningful after the drive.
     fn drive(
         net: &mut Fabric<&'static str>,
         sends: Vec<(Time, Message<&'static str>)>,
-    ) -> Vec<(Time, Delivery<&'static str>)> {
+    ) -> Vec<(Time, Delivery, &'static str)> {
         enum Ev {
             Send(Message<&'static str>),
             Net(NetEvent<&'static str>),
@@ -910,18 +969,20 @@ mod tests {
         for (t, m) in sends {
             q.schedule(t, Ev::Send(m));
         }
+        let mut arena = MsgArena::new();
         let mut out = Vec::new();
         let mut step = NetStep::new();
         while let Some((now, ev)) = q.pop() {
             match ev {
-                Ev::Send(m) => net.send(now, m, &mut step),
-                Ev::Net(ne) => net.handle(now, ne, &mut step),
+                Ev::Send(m) => net.send(now, m, &mut arena, &mut step),
+                Ev::Net(ne) => net.handle(now, ne, &mut arena, &mut step),
             }
             for (t, e) in step.schedule.drain(..) {
                 q.schedule(t, Ev::Net(e));
             }
             for d in step.deliveries.drain(..) {
-                out.push((now, d));
+                let payload = arena.get(d.msg).payload;
+                out.push((now, d, payload));
             }
         }
         out
@@ -967,14 +1028,14 @@ mod tests {
         let m1 = Message::unordered(NodeId(1), NodeId(2), VnetId::DATA, 72, "a");
         let m2 = Message::unordered(NodeId(0), NodeId(2), VnetId::DATA, 72, "b");
         let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
-        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        let times: Vec<u64> = out.iter().map(|(t, _, _)| t.as_ns()).collect();
         assert_eq!(times, vec![45, 140]);
         // Now force genuine contention: both messages need 1→2 at once.
         let mut net = Fabric::new(cfg(TopologyKind::Line, 3, 1600));
         let m1 = Message::unordered(NodeId(0), NodeId(2), VnetId::DATA, 72, "a");
         let m2 = Message::unordered(NodeId(0), NodeId(2), VnetId::DATA, 72, "b");
         let out = drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)]);
-        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_ns()).collect();
+        let times: Vec<u64> = out.iter().map(|(t, _, _)| t.as_ns()).collect();
         // 0→1 serializes (45, 90); 1→2 crossings run 95..140, 140..185.
         assert_eq!(times, vec![140, 185]);
     }
@@ -989,9 +1050,9 @@ mod tests {
         assert_eq!(out.len(), 4);
         let total_msgs: u64 = (0..net.link_count()).map(|i| net.link_messages(i)).sum();
         assert_eq!(total_msgs, 3, "three tree edges, one crossing each");
-        let first = &out[0].1.msg;
-        assert!(out.iter().all(|(_, d)| Rc::ptr_eq(&d.msg, first)));
-        assert!(out.iter().all(|(_, d)| d.order == Some(0)));
+        let first = out[0].1.msg;
+        assert!(out.iter().all(|(_, d, _)| d.msg == first));
+        assert!(out.iter().all(|(_, d, _)| d.order == Some(0)));
     }
 
     #[test]
@@ -1014,9 +1075,9 @@ mod tests {
                 ],
             );
             let mut per_node: std::collections::HashMap<u16, Vec<&str>> = Default::default();
-            for (_, d) in &out {
+            for (_, d, payload) in &out {
                 if d.order.is_some() {
-                    per_node.entry(d.dst.0).or_default().push(d.msg.payload);
+                    per_node.entry(d.dst.0).or_default().push(*payload);
                 }
             }
             assert_eq!(per_node.len(), 4, "{kind:?}");
@@ -1056,7 +1117,7 @@ mod tests {
         let m = Message::ordered(NodeId(0), NodeSet::all(2), 8, "dual");
         let out = drive(&mut net, vec![(Time::ZERO, m)]);
         assert_eq!(out.len(), 2);
-        let self_copy = out.iter().find(|(_, d)| d.dst == NodeId(0)).unwrap();
+        let self_copy = out.iter().find(|(_, d, _)| d.dst == NodeId(0)).unwrap();
         // One switch turnaround, no link time.
         assert_eq!(self_copy.0, Time::from_ns(50));
         let total_msgs: u64 = (0..net.link_count()).map(|i| net.link_messages(i)).sum();
@@ -1075,8 +1136,8 @@ mod tests {
         // link, arrives at 0→? loopback = one traversal = 50 ns).
         let remote_times: Vec<u64> = out
             .iter()
-            .filter(|(_, d)| d.dst != NodeId(0))
-            .map(|(t, _)| t.as_ns())
+            .filter(|(_, d, _)| d.dst != NodeId(0))
+            .map(|(t, _, _)| t.as_ns())
             .collect();
         assert!(remote_times.iter().all(|&t| t == 90), "{remote_times:?}");
     }
@@ -1095,7 +1156,7 @@ mod tests {
             let m2 = Message::unordered(NodeId(2), NodeId(1), VnetId::DATA, 8, "b");
             drive(&mut net, vec![(Time::ZERO, m1), (Time::ZERO, m2)])
                 .iter()
-                .map(|(t, _)| t.as_ps())
+                .map(|(t, _, _)| t.as_ps())
                 .collect::<Vec<_>>()
         };
         assert_eq!(jittered(9), jittered(9));
@@ -1228,7 +1289,7 @@ mod tests {
         let m = Message::ordered(NodeId(0), NodeSet::all(4), 8, "bcast");
         let out = drive(&mut net, vec![(Time::ZERO, m)]);
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|(_, d)| d.order == Some(0)));
+        assert!(out.iter().all(|(_, d, _)| d.order == Some(0)));
         let total: u64 = (0..net.link_count()).map(|i| net.link_messages(i)).sum();
         assert_eq!(total, 4, "independent chains: 1 + 2 + 1 crossings");
         assert_eq!(net.fault_stats().unwrap(), FaultStats::default());
@@ -1256,7 +1317,7 @@ mod tests {
                 })
                 .collect();
             let out = drive(&mut net, sends);
-            let times: Vec<(u64, u16)> = out.iter().map(|(t, d)| (t.as_ps(), d.dst.0)).collect();
+            let times: Vec<(u64, u16)> = out.iter().map(|(t, d, _)| (t.as_ps(), d.dst.0)).collect();
             (times, net.fault_stats().unwrap())
         };
         let (a, sa) = run(11);
@@ -1319,7 +1380,7 @@ mod tests {
                 let expected = msgs.len();
                 let out = drive(&mut net, msgs);
                 let mut per_node: std::collections::HashMap<u16, Vec<u64>> = Default::default();
-                for (_, d) in &out {
+                for (_, d, _) in &out {
                     per_node
                         .entry(d.dst.0)
                         .or_default()

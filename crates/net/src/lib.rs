@@ -34,6 +34,7 @@
 //! The crate is payload-agnostic: protocol crates instantiate
 //! [`Crossbar`]`<P>` with their own message payloads.
 
+pub mod arena;
 pub mod crossbar;
 pub mod fabric;
 pub mod fault;
@@ -41,6 +42,7 @@ pub mod ids;
 pub mod message;
 pub mod topology;
 
+pub use arena::{MsgArena, MsgRef};
 pub use crossbar::{Crossbar, Delivery, Jitter, NetConfig, NetEvent, NetStep};
 pub use fabric::{Fabric, Interconnect};
 pub use fault::{FaultPlane, FaultPlaneConfig, FaultStats, LinkFaultProfile, TransportConfig};

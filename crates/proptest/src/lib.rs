@@ -141,6 +141,18 @@ impl_tuple_strategy!(A => a, B => b);
 impl_tuple_strategy!(A => a, B => b, C => c);
 impl_tuple_strategy!(A => a, B => b, C => c, D => d);
 
+/// A strategy that always produces a clone of one fixed value (the real
+/// proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// Produces any value of `T` — see [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -172,24 +184,44 @@ impl Strategy for Any<bool> {
     }
 }
 
-/// Uniform choice among boxed alternatives — see [`prop_oneof!`].
+/// Choice among boxed alternatives, uniform or weighted — see
+/// [`prop_oneof!`].
 pub struct OneOf<T> {
-    options: Vec<BoxedStrategy<T>>,
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
 }
 
 impl<T> OneOf<T> {
-    /// Builds the union of the given alternatives.
+    /// Builds the uniform union of the given alternatives.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Builds a union where each alternative is drawn proportionally to
+    /// its weight (the real proptest's `weight => strategy` arms).
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
-        OneOf { options }
+        let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        OneOf {
+            options,
+            total_weight,
+        }
     }
 }
 
 impl<T> Strategy for OneOf<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        let idx = rng.below(self.options.len() as u64) as usize;
-        self.options[idx].generate(rng)
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.options {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick < total_weight, the sum of all arm weights")
     }
 }
 
@@ -249,7 +281,7 @@ pub mod sample {
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        BoxedStrategy, Strategy,
+        BoxedStrategy, Just, Strategy,
     };
 
     /// The `prop` module alias the real prelude exposes.
@@ -277,9 +309,13 @@ macro_rules! proptest {
     };
 }
 
-/// Uniform choice among alternative strategies of one value type.
+/// Choice among alternative strategies of one value type: uniform
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`).
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::OneOf::weighted(vec![$(($w, Box::new($s) as $crate::BoxedStrategy<_>)),+])
+    };
     ($($s:expr),+ $(,)?) => {
         $crate::OneOf::new(vec![$(Box::new($s) as $crate::BoxedStrategy<_>),+])
     };

@@ -12,9 +12,10 @@
 //! cargo run --release --example adaptive_phases
 //! ```
 
+use bash::kernel::DetRng;
 use bash::{
-    BlockAddr, CacheGeometry, DetRng, Duration, NodeId, ProcOp, ProtocolKind, SimBuilder, Time,
-    WorkItem, Workload,
+    BlockAddr, CacheGeometry, Duration, NodeId, ProcOp, ProtocolKind, SimBuilder, Time, WorkItem,
+    Workload,
 };
 
 /// A microbenchmark whose think time alternates between phases: full

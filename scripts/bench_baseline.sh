@@ -22,3 +22,32 @@ if ! grep -q '"events_per_sec"' "$OUT"; then
   echo "bench_baseline: $OUT has no events_per_sec section — bench output is malformed" >&2
   exit 1
 fi
+
+# Calendar-queue gates. Ratios (not absolute timings) so shared-runner
+# noise mostly cancels:
+#   * calendar_vs_heap_256 — queue churn at 256-node load must hold the
+#     tentpole's scaling win (>= 3.0x over the heap it replaced);
+#   * each 16-node end-to-end point must not regress (>= 0.95x heap).
+ratio() { # ratio <key>  -> prints the numeric value of "key": N.NNN
+  sed -n 's/^[[:space:]]*"'"$1"'":[[:space:]]*\([0-9.]*\).*/\1/p' "$OUT" | head -n1
+}
+fail=0
+r256="$(ratio calendar_vs_heap_256)"
+if [[ -z "$r256" ]]; then
+  echo "bench_baseline: $OUT has no calendar_vs_heap_256 — bench output is malformed" >&2
+  fail=1
+elif awk -v r="$r256" 'BEGIN { exit !(r < 3.0) }'; then
+  echo "bench_baseline: calendar_vs_heap_256 = $r256 < 3.0 — calendar queue lost its scaling win" >&2
+  fail=1
+fi
+for key in Snooping_16 BASH_16 Directory_16; do
+  r="$(ratio "$key")"
+  if [[ -z "$r" ]]; then
+    echo "bench_baseline: $OUT has no $key ratio — bench output is malformed" >&2
+    fail=1
+  elif awk -v r="$r" 'BEGIN { exit !(r < 0.95) }'; then
+    echo "bench_baseline: $key = $r < 0.95 — calendar queue regressed a 16-node point" >&2
+    fail=1
+  fi
+done
+exit "$fail"

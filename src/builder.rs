@@ -17,7 +17,7 @@ use bash_adaptive::AdaptorConfig;
 use bash_coherence::{CacheGeometry, ProtocolKind};
 use bash_kernel::pool;
 use bash_kernel::stats::RunningStat;
-use bash_kernel::{Duration, Time};
+use bash_kernel::{Duration, QueueKind, Time};
 use bash_net::{FaultPlaneConfig, Jitter, TopologyKind};
 use bash_sim::{RunError, RunStats, System, SystemConfig, WatchdogBudget};
 use bash_trace::{Trace, TraceReader};
@@ -131,9 +131,17 @@ pub enum BuildError {
         /// The decode error, rendered.
         error: String,
     },
-    /// [`SimBuilder::fault_plane`] was configured together with the
-    /// crossbar topology, which has no links to inject faults on.
+    /// A fault plane was configured together with the crossbar topology,
+    /// which has no links to inject faults on.
     FaultPlaneNeedsFabric,
+    /// An *unprotected* lossy fault plane was configured without a
+    /// watchdog budget: messages are silently lost, so wedges are the
+    /// expected outcome, and an unbudgeted run can only be cut off by the
+    /// drained-queue stall check — which never fires while retransmission
+    /// timers or samplers keep the queue alive. Either arm a
+    /// [`RobustnessSpec::watchdog`], or opt in to unguarded wedges with
+    /// [`RobustnessSpec::allow_unprotected_wedges`].
+    UnprotectedLossyNeedsWatchdog,
 }
 
 impl fmt::Display for BuildError {
@@ -166,6 +174,10 @@ impl fmt::Display for BuildError {
             BuildError::FaultPlaneNeedsFabric => {
                 f.write_str("the fault plane needs a fabric topology (the crossbar has no links)")
             }
+            BuildError::UnprotectedLossyNeedsWatchdog => f.write_str(
+                "an unprotected lossy fault plane needs a watchdog budget \
+                 (or RobustnessSpec::allow_unprotected_wedges to opt in to unguarded wedges)",
+            ),
         }
     }
 }
@@ -323,35 +335,240 @@ impl WorkloadSpec {
     }
 }
 
+/// The interconnect half of a [`SimBuilder`] configuration: topology,
+/// endpoint bandwidth sweep, broadcast cost and latency jitter — the
+/// knobs that describe the *network*, grouped so a campaign can carry
+/// them around as one value and hand them to [`SimBuilder::fabric`].
+///
+/// ```
+/// use bash::{FabricSpec, TopologyKind};
+///
+/// let spec = FabricSpec::new(TopologyKind::Mesh2D).bandwidth_mbps(800);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Interconnect topology. The default, [`TopologyKind::Crossbar`], is
+    /// the paper's contended-endpoint crossbar; every other kind routes
+    /// messages hop-by-hop through the fabric engine with
+    /// per-directed-link contention and per-link stats in
+    /// [`RunStats::links`](bash_sim::RunStats).
+    pub topology: TopologyKind,
+    /// Endpoint link bandwidths in MB/s: the sweep axis of
+    /// [`SimBuilder::run_sweep`] (the paper's x-axis);
+    /// [`SimBuilder::run`] uses the first point.
+    pub bandwidths: Vec<u64>,
+    /// Bandwidth multiplier for full broadcasts (4 in Figure 11).
+    pub broadcast_cost: u32,
+    /// Explicit message-latency jitter forced on *every* run, overriding
+    /// the multi-seed perturbation default.
+    pub jitter: Option<Jitter>,
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec {
+            topology: TopologyKind::Crossbar,
+            bandwidths: vec![1600],
+            broadcast_cost: 1,
+            jitter: None,
+        }
+    }
+}
+
+impl FabricSpec {
+    /// A spec for `topology` with the paper-default 1600 MB/s links.
+    pub fn new(topology: TopologyKind) -> Self {
+        FabricSpec {
+            topology,
+            ..FabricSpec::default()
+        }
+    }
+
+    /// Sets a single endpoint link bandwidth in MB/s.
+    pub fn bandwidth_mbps(mut self, mbps: u64) -> Self {
+        self.bandwidths = vec![mbps];
+        self
+    }
+
+    /// Sets the bandwidth sweep.
+    pub fn bandwidths(mut self, mbps: impl IntoIterator<Item = u64>) -> Self {
+        self.bandwidths = mbps.into_iter().collect();
+        self
+    }
+
+    /// Sets the broadcast bandwidth multiplier.
+    pub fn broadcast_cost(mut self, multiplier: u32) -> Self {
+        self.broadcast_cost = multiplier;
+        self
+    }
+
+    /// Forces an explicit latency jitter on every run.
+    pub fn jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+}
+
+/// The robustness half of a [`SimBuilder`] configuration: deterministic
+/// link faults, the quiescence watchdog, and the sweep executor's panic
+/// isolation. Handed to [`SimBuilder::robustness`] as one value, with the
+/// cross-field rules checked together at
+/// [`validate`](SimBuilder::validate) time (an unprotected lossy plane
+/// without a watchdog is rejected unless explicitly allowed).
+#[derive(Debug, Clone)]
+pub struct RobustnessSpec {
+    /// Deterministic link faults (drops, corruption, delay, outages)
+    /// injected into the routed fabric. With [`FaultPlaneConfig::lossy`]
+    /// (transport enabled) the reliable-delivery layer retransmits until
+    /// every message lands; with [`FaultPlaneConfig::unprotected`]
+    /// messages are simply lost. Requires a fabric topology.
+    pub fault_plane: Option<FaultPlaneConfig>,
+    /// Quiescence watchdog: a run exceeding the budget is cut off with a
+    /// structured [`bash_sim::WedgeDiagnostic`] instead of spinning
+    /// forever; in a sweep the wedge becomes a [`PointError`] row.
+    pub watchdog: Option<WatchdogBudget>,
+    /// How many times the sweep executor re-attempts a grid point whose
+    /// simulation panicked (for environmental flakes) before recording a
+    /// `kind=panicked` [`PointError`] row. Default 1.
+    pub panic_retries: u32,
+    /// Opts out of [`BuildError::UnprotectedLossyNeedsWatchdog`]: run an
+    /// unprotected lossy plane with no watchdog budget, relying on the
+    /// drained-queue stall check alone to diagnose the expected wedges.
+    pub allow_unprotected_wedges: bool,
+}
+
+impl Default for RobustnessSpec {
+    fn default() -> Self {
+        RobustnessSpec {
+            fault_plane: None,
+            watchdog: None,
+            panic_retries: 1,
+            allow_unprotected_wedges: false,
+        }
+    }
+}
+
+impl RobustnessSpec {
+    /// The default spec: no faults, no watchdog, one panic retry.
+    pub fn new() -> Self {
+        RobustnessSpec::default()
+    }
+
+    /// Injects deterministic link faults.
+    pub fn fault_plane(mut self, plane: FaultPlaneConfig) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
+    /// Arms the quiescence watchdog.
+    pub fn watchdog(mut self, budget: WatchdogBudget) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// Sets the panic retry budget of the sweep executor.
+    pub fn panic_retries(mut self, retries: u32) -> Self {
+        self.panic_retries = retries;
+        self
+    }
+
+    /// Allows an unprotected lossy plane to run without a watchdog.
+    pub fn allow_unprotected_wedges(mut self, on: bool) -> Self {
+        self.allow_unprotected_wedges = on;
+        self
+    }
+}
+
+/// The observability half of a [`SimBuilder`] configuration: what a run
+/// records beyond its [`RunReport`]. Handed to [`SimBuilder::capture`]
+/// as one value.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSpec {
+    /// Captures the op stream of the first grid point (first bandwidth,
+    /// seed 0) and writes it here in the compact binary form when the run
+    /// finishes; feed the file back through [`SimBuilder::trace_in_path`]
+    /// to replay it under any protocol, bandwidth, or thread count. The
+    /// run **panics** if the path cannot be opened for writing (probed up
+    /// front) or the capture turns out unusable — capture failures are
+    /// programmer errors, not configuration errors.
+    pub ops_out: Option<PathBuf>,
+    /// Captures **every** (bandwidth × seed) grid point into a trace
+    /// bundle next to [`ops_out`](Self::ops_out) (with a `.b<mbps>.s<seed>`
+    /// infix), not just the first. Requires `ops_out`;
+    /// [`SimBuilder::validate`] rejects the combination otherwise.
+    pub all_points: bool,
+    /// Stamps every captured op with its issue→complete latency, so the
+    /// captures are **completion-bearing** traces — the input the
+    /// differential latency pass ([`bash_tester::differential_trace`])
+    /// summarizes per protocol. Off by default: reference-stream goldens
+    /// stay lean and timing-free.
+    pub completions: bool,
+    /// Records the mean policy-counter trace (one point per adaptive
+    /// sampling window) of the first seed into
+    /// [`RunReport::policy_trace`].
+    pub policy: bool,
+}
+
+impl CaptureSpec {
+    /// The default spec: capture nothing.
+    pub fn new() -> Self {
+        CaptureSpec::default()
+    }
+
+    /// Captures the first grid point's op stream to `path`.
+    pub fn ops_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ops_out = Some(path.into());
+        self
+    }
+
+    /// Captures every grid point, not just the first.
+    pub fn all_points(mut self, on: bool) -> Self {
+        self.all_points = on;
+        self
+    }
+
+    /// Stamps captured ops with completion latencies.
+    pub fn completions(mut self, on: bool) -> Self {
+        self.completions = on;
+        self
+    }
+
+    /// Records the adaptive policy trace into the report.
+    pub fn policy(mut self, on: bool) -> Self {
+        self.policy = on;
+        self
+    }
+}
+
 /// Fluent configuration of one simulation campaign.
 ///
 /// Defaults mirror [`SystemConfig::paper_default`]: the paper's latencies,
 /// cache geometry, adaptive mechanism, retry capacity and seed, with 16
 /// nodes at 1600 MB/s. See the crate-level docs for a quickstart.
+///
+/// Cross-cutting concerns are grouped into typed sub-configs —
+/// [`FabricSpec`] ([`fabric`](Self::fabric)), [`RobustnessSpec`]
+/// ([`robustness`](Self::robustness)) and [`CaptureSpec`]
+/// ([`capture`](Self::capture)) — whose interactions are validated
+/// together. The historical per-field setters remain as deprecated shims.
 pub struct SimBuilder {
     protocol: ProtocolKind,
     nodes: u16,
-    topology: TopologyKind,
-    bandwidths: Vec<u64>,
+    fabric: FabricSpec,
+    robustness: RobustnessSpec,
+    capture: CaptureSpec,
     warmup: Duration,
     measure: Duration,
     seeds: u32,
     base_seed: u64,
     perturbation: Duration,
-    jitter: Option<Jitter>,
-    broadcast_cost: u32,
     adaptor: Option<AdaptorConfig>,
     cache: Option<CacheGeometry>,
     retry_capacity: Option<usize>,
     serialize_dram: Option<bool>,
     coverage: bool,
-    trace_policy: bool,
-    trace_out: Option<PathBuf>,
-    trace_out_all: bool,
-    capture_completions: bool,
     threads: Option<usize>,
-    fault_plane: Option<FaultPlaneConfig>,
-    watchdog: Option<WatchdogBudget>,
+    queue: QueueKind,
     workload: Option<WorkloadSpec>,
 }
 
@@ -362,29 +579,47 @@ impl SimBuilder {
         SimBuilder {
             protocol,
             nodes: 16,
-            topology: TopologyKind::Crossbar,
-            bandwidths: vec![1600],
+            fabric: FabricSpec::default(),
+            robustness: RobustnessSpec::default(),
+            capture: CaptureSpec::default(),
             warmup: Duration::from_ns(100_000),
             measure: Duration::from_ns(400_000),
             seeds: 1,
             base_seed: SystemConfig::paper_default(protocol, 16, 1600).seed,
             perturbation: Duration::from_ns(3),
-            jitter: None,
-            broadcast_cost: 1,
             adaptor: None,
             cache: None,
             retry_capacity: None,
             serialize_dram: None,
             coverage: false,
-            trace_policy: false,
-            trace_out: None,
-            trace_out_all: false,
-            capture_completions: false,
             threads: None,
-            fault_plane: None,
-            watchdog: None,
+            queue: QueueKind::default(),
             workload: None,
         }
+    }
+
+    /// Replaces the whole interconnect configuration (topology, bandwidth
+    /// sweep, broadcast cost, jitter) with `spec`.
+    pub fn fabric(mut self, spec: FabricSpec) -> Self {
+        self.fabric = spec;
+        self
+    }
+
+    /// Replaces the whole robustness configuration (fault plane, watchdog,
+    /// panic retries) with `spec`. The cross-field rules — a fault plane
+    /// needs a fabric topology; an unprotected lossy plane needs a
+    /// watchdog or an explicit opt-out — are checked at
+    /// [`validate`](Self::validate) / run time.
+    pub fn robustness(mut self, spec: RobustnessSpec) -> Self {
+        self.robustness = spec;
+        self
+    }
+
+    /// Replaces the whole capture configuration (op-trace output,
+    /// completion stamps, policy trace) with `spec`.
+    pub fn capture(mut self, spec: CaptureSpec) -> Self {
+        self.capture = spec;
+        self
     }
 
     /// Switches the protocol.
@@ -399,26 +634,24 @@ impl SimBuilder {
         self
     }
 
-    /// Sets the interconnect topology. The default,
-    /// [`TopologyKind::Crossbar`], is the paper's contended-endpoint
-    /// crossbar; every other kind routes messages hop-by-hop through the
-    /// fabric engine with per-directed-link contention and per-link stats
-    /// in [`RunStats::links`](bash_sim::RunStats).
+    /// Sets the interconnect topology.
+    #[deprecated(note = "use `.fabric(FabricSpec::new(topology))` (or set it on a FabricSpec)")]
     pub fn topology(mut self, topology: TopologyKind) -> Self {
-        self.topology = topology;
+        self.fabric.topology = topology;
         self
     }
 
-    /// Sets a single endpoint link bandwidth in MB/s.
+    /// Sets a single endpoint link bandwidth in MB/s (shorthand for the
+    /// [`FabricSpec::bandwidth_mbps`] field of [`fabric`](Self::fabric)).
     pub fn bandwidth_mbps(mut self, mbps: u64) -> Self {
-        self.bandwidths = vec![mbps];
+        self.fabric.bandwidths = vec![mbps];
         self
     }
 
     /// Sets the bandwidth sweep for [`run_sweep`](Self::run_sweep) (the
     /// paper's x-axis). [`run`](Self::run) uses the first point.
     pub fn bandwidths(mut self, mbps: impl IntoIterator<Item = u64>) -> Self {
-        self.bandwidths = mbps.into_iter().collect();
+        self.fabric.bandwidths = mbps.into_iter().collect();
         self
     }
 
@@ -476,14 +709,16 @@ impl SimBuilder {
 
     /// Forces an explicit message-latency jitter on *every* run,
     /// overriding the multi-seed perturbation default.
+    #[deprecated(note = "use `.fabric(...)` with `FabricSpec::jitter`")]
     pub fn jitter(mut self, jitter: Jitter) -> Self {
-        self.jitter = Some(jitter);
+        self.fabric.jitter = Some(jitter);
         self
     }
 
     /// Sets the bandwidth multiplier for full broadcasts (4 in Figure 11).
+    #[deprecated(note = "use `.fabric(...)` with `FabricSpec::broadcast_cost`")]
     pub fn broadcast_cost(mut self, multiplier: u32) -> Self {
-        self.broadcast_cost = multiplier;
+        self.fabric.broadcast_cost = multiplier;
         self
     }
 
@@ -520,8 +755,9 @@ impl SimBuilder {
     /// Records the mean policy-counter trace (one point per adaptive
     /// sampling window) of the first seed into
     /// [`RunReport::policy_trace`].
+    #[deprecated(note = "use `.capture(...)` with `CaptureSpec::policy`")]
     pub fn trace_policy(mut self, on: bool) -> Self {
-        self.trace_policy = on;
+        self.capture.policy = on;
         self
     }
 
@@ -605,8 +841,9 @@ impl SimBuilder {
     /// simulation runs) or the capture turns out unusable (the workload
     /// yielded no ops) — capture failures are programmer errors, not
     /// configuration errors, so they are not `BuildError`s.
+    #[deprecated(note = "use `.capture(...)` with `CaptureSpec::ops_to`")]
     pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
-        self.trace_out = Some(path.into());
+        self.capture.ops_out = Some(path.into());
         self
     }
 
@@ -617,8 +854,9 @@ impl SimBuilder {
     /// ([`bash_tester::differential_trace`]) summarizes per protocol.
     /// Off by default: reference-stream goldens stay lean and
     /// timing-free.
+    #[deprecated(note = "use `.capture(...)` with `CaptureSpec::completions`")]
     pub fn capture_completions(mut self, on: bool) -> Self {
-        self.capture_completions = on;
+        self.capture.completions = on;
         self
     }
 
@@ -629,8 +867,9 @@ impl SimBuilder {
     /// `traces/run.b400.s1.trace`, … — and the first grid point is still
     /// written to the plain path itself. Requires `trace_out`;
     /// [`validate`](Self::validate) rejects the combination otherwise.
+    #[deprecated(note = "use `.capture(...)` with `CaptureSpec::all_points`")]
     pub fn trace_out_all_points(mut self, on: bool) -> Self {
-        self.trace_out_all = on;
+        self.capture.all_points = on;
         self
     }
 
@@ -655,8 +894,9 @@ impl SimBuilder {
     /// resulting wedges into structured [`PointError`] rows. Requires a
     /// fabric topology ([`validate`](Self::validate) rejects the
     /// crossbar, which has no links).
+    #[deprecated(note = "use `.robustness(...)` with `RobustnessSpec::fault_plane`")]
     pub fn fault_plane(mut self, plane: FaultPlaneConfig) -> Self {
-        self.fault_plane = Some(plane);
+        self.robustness.fault_plane = Some(plane);
         self
     }
 
@@ -665,8 +905,9 @@ impl SimBuilder {
     /// [`bash_sim::WedgeDiagnostic`] instead of spinning forever. In a
     /// sweep the wedge becomes a [`PointError`] row of the report; the
     /// other grid points keep running.
+    #[deprecated(note = "use `.robustness(...)` with `RobustnessSpec::watchdog`")]
     pub fn watchdog(mut self, budget: WatchdogBudget) -> Self {
-        self.watchdog = Some(budget);
+        self.robustness.watchdog = Some(budget);
         self
     }
 
@@ -685,27 +926,47 @@ impl SimBuilder {
         self
     }
 
+    /// Selects the kernel's event-queue implementation — an engine A/B
+    /// knob, not a modeling one. The default calendar queue pops in
+    /// exactly the binary heap's order, so reports are byte-identical
+    /// either way; switch to [`QueueKind::Heap`] to measure the
+    /// difference.
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Checks the configuration without running anything.
     pub fn validate(&self) -> Result<(), BuildError> {
-        if self.nodes == 0 {
-            return Err(BuildError::ZeroNodes);
-        }
-        if self.bandwidths.is_empty() {
-            return Err(BuildError::EmptySweep);
-        }
-        if self.bandwidths.contains(&0) {
-            return Err(BuildError::ZeroBandwidth);
-        }
         if self.seeds == 0 {
             return Err(BuildError::ZeroSeeds);
         }
         if self.measure.is_zero() {
             return Err(BuildError::EmptyMeasurement);
         }
+        self.check_config()?;
         if self.workload.is_none() {
             return Err(BuildError::MissingWorkload);
         }
-        if self.broadcast_cost < 1 {
+        Ok(())
+    }
+
+    /// Every plan-independent configuration check — system shape, the
+    /// grouped specs, and their cross-field interactions — consolidated
+    /// in one place and shared by [`validate`](Self::validate) (full
+    /// campaigns) and [`check_runnable`](Self::check_runnable) (plan-less
+    /// entry points like [`build_system`](Self::build_system)).
+    fn check_config(&self) -> Result<(), BuildError> {
+        if self.nodes == 0 {
+            return Err(BuildError::ZeroNodes);
+        }
+        if self.fabric.bandwidths.is_empty() {
+            return Err(BuildError::EmptySweep);
+        }
+        if self.fabric.bandwidths.contains(&0) {
+            return Err(BuildError::ZeroBandwidth);
+        }
+        if self.fabric.broadcast_cost < 1 {
             return Err(BuildError::BadBroadcastCost);
         }
         if self.retry_capacity == Some(0) {
@@ -716,11 +977,19 @@ impl SimBuilder {
                 return Err(BuildError::BadCacheGeometry);
             }
         }
-        if self.trace_out_all && self.trace_out.is_none() {
+        if self.capture.all_points && self.capture.ops_out.is_none() {
             return Err(BuildError::AllPointsWithoutTraceOut);
         }
-        if self.fault_plane.is_some() && self.topology == TopologyKind::Crossbar {
-            return Err(BuildError::FaultPlaneNeedsFabric);
+        if let Some(plane) = &self.robustness.fault_plane {
+            if self.fabric.topology == TopologyKind::Crossbar {
+                return Err(BuildError::FaultPlaneNeedsFabric);
+            }
+            if plane.breaks_delivery()
+                && self.robustness.watchdog.is_none()
+                && !self.robustness.allow_unprotected_wedges
+            {
+                return Err(BuildError::UnprotectedLossyNeedsWatchdog);
+            }
         }
         if let Some(spec) = &self.workload {
             self.check_spec(spec)?;
@@ -755,8 +1024,9 @@ impl SimBuilder {
     /// paper defaults plus every builder override.
     pub fn config(&self, mbps: u64, seed_index: u32) -> SystemConfig {
         let mut cfg = SystemConfig::paper_default(self.protocol, self.nodes, mbps)
-            .with_topology(self.topology)
-            .with_broadcast_cost(self.broadcast_cost)
+            .with_topology(self.fabric.topology)
+            .with_broadcast_cost(self.fabric.broadcast_cost)
+            .with_queue(self.queue)
             .with_seed(self.base_seed.wrapping_add(seed_index as u64 * 7919));
         if let Some(adaptor) = &self.adaptor {
             cfg = cfg.with_adaptor(adaptor.clone());
@@ -770,16 +1040,16 @@ impl SimBuilder {
         if let Some(serialize) = self.serialize_dram {
             cfg.serialize_dram = serialize;
         }
-        if let Some(plane) = &self.fault_plane {
+        if let Some(plane) = &self.robustness.fault_plane {
             cfg = cfg.with_fault_plane(plane.clone());
         }
-        if let Some(budget) = self.watchdog {
+        if let Some(budget) = self.robustness.watchdog {
             cfg = cfg.with_watchdog(budget);
         }
         if self.coverage {
             cfg = cfg.with_coverage();
         }
-        if let Some(jitter) = &self.jitter {
+        if let Some(jitter) = &self.fabric.jitter {
             cfg = cfg.with_jitter(jitter.clone());
         } else if self.seeds > 1 {
             // Perturbation methodology: a small random injection delay per
@@ -798,7 +1068,7 @@ impl SimBuilder {
     /// time themselves (`run_until`, `run_to_idle`, traces).
     pub fn build_system(&self) -> Result<System<BoxedWorkload>, BuildError> {
         let spec = self.check_runnable()?;
-        let cfg = self.config(self.bandwidths[0], 0);
+        let cfg = self.config(self.fabric.bandwidths[0], 0);
         let workload = spec.build(self.nodes, cfg.seed);
         Ok(System::new(cfg, workload))
     }
@@ -808,32 +1078,8 @@ impl SimBuilder {
     /// a system can be built without a measurement plan; reject everything
     /// `System::new` itself would panic on, plus a missing workload.
     fn check_runnable(&self) -> Result<&WorkloadSpec, BuildError> {
-        if self.nodes == 0 {
-            return Err(BuildError::ZeroNodes);
-        }
-        if self.bandwidths.is_empty() {
-            return Err(BuildError::EmptySweep);
-        }
-        if self.bandwidths[0] == 0 {
-            return Err(BuildError::ZeroBandwidth);
-        }
-        if self.broadcast_cost < 1 {
-            return Err(BuildError::BadBroadcastCost);
-        }
-        if self.retry_capacity == Some(0) {
-            return Err(BuildError::ZeroRetryCapacity);
-        }
-        if let Some(g) = self.cache {
-            if g.sets == 0 || g.ways == 0 {
-                return Err(BuildError::BadCacheGeometry);
-            }
-        }
-        if self.fault_plane.is_some() && self.topology == TopologyKind::Crossbar {
-            return Err(BuildError::FaultPlaneNeedsFabric);
-        }
-        let spec = self.workload.as_ref().ok_or(BuildError::MissingWorkload)?;
-        self.check_spec(spec)?;
-        Ok(spec)
+        self.check_config()?;
+        self.workload.as_ref().ok_or(BuildError::MissingWorkload)
     }
 
     /// Runs the configured workload through the verification harness:
@@ -856,20 +1102,20 @@ impl SimBuilder {
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_verify(&self, ops_per_node: u64) -> Result<bash_tester::VerifyReport, BuildError> {
         let spec = self.check_runnable()?;
-        let cfg = self.config(self.bandwidths[0], 0);
+        let cfg = self.config(self.fabric.bandwidths[0], 0);
         let mut vcfg = bash_tester::VerifyConfig::new(self.protocol, cfg.seed);
         vcfg.nodes = self.nodes;
-        vcfg.link_mbps = self.bandwidths[0];
-        vcfg.topology = self.topology;
+        vcfg.link_mbps = self.fabric.bandwidths[0];
+        vcfg.topology = self.fabric.topology;
         vcfg.ops_per_node = ops_per_node;
-        if self.jitter.is_some() {
-            vcfg.jitter = self.jitter.clone();
+        if self.fabric.jitter.is_some() {
+            vcfg.jitter = self.fabric.jitter.clone();
         }
         if let Some(geometry) = self.cache {
             vcfg.cache = geometry;
         }
-        vcfg.fault_plane = self.fault_plane.clone();
-        vcfg.watchdog = self.watchdog;
+        vcfg.fault_plane = self.robustness.fault_plane.clone();
+        vcfg.watchdog = self.robustness.watchdog;
         if let WorkloadSpec::Trace(trace) = spec {
             // A replay must reproduce the whole captured stream: the
             // trace's own length, not the op cap, bounds the run.
@@ -907,8 +1153,9 @@ impl SimBuilder {
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run(&self) -> Result<RunReport, BuildError> {
         self.validate()?;
+        let bandwidths = &self.fabric.bandwidths[..1];
         Ok(self
-            .run_grid(&self.bandwidths[..1], self.trace_out.is_some())
+            .run_grid(bandwidths, self.capture.ops_out.is_some())
             .0
             .pop()
             .expect("one bandwidth point"))
@@ -937,7 +1184,9 @@ impl SimBuilder {
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run_sweep(&self) -> Result<Vec<RunReport>, BuildError> {
         self.validate()?;
-        Ok(self.run_grid(&self.bandwidths, self.trace_out.is_some()).0)
+        Ok(self
+            .run_grid(&self.fabric.bandwidths, self.capture.ops_out.is_some())
+            .0)
     }
 
     /// Runs every configured bandwidth point in order, one report each
@@ -970,7 +1219,7 @@ impl SimBuilder {
     /// Returns a [`BuildError`] when the configuration is invalid.
     pub fn try_run_captured(&self) -> Result<(RunReport, Trace), BuildError> {
         self.validate()?;
-        let (mut reports, trace) = self.run_grid(&self.bandwidths[..1], true);
+        let (mut reports, trace) = self.run_grid(&self.fabric.bandwidths[..1], true);
         Ok((
             reports.pop().expect("one bandwidth point"),
             trace.expect("capture ran (did the first grid point wedge or panic?)"),
@@ -999,7 +1248,7 @@ impl SimBuilder {
         let spec = self.workload.as_ref().expect("validated");
         let mut cfg = self.config(mbps, seed_index);
         if capture {
-            cfg = if self.capture_completions {
+            cfg = if self.capture.completions {
                 cfg.with_capture_completions()
             } else {
                 cfg.with_capture()
@@ -1007,7 +1256,7 @@ impl SimBuilder {
         }
         let workload = spec.build(self.nodes, cfg.seed);
         let mut sys = System::new(cfg, workload);
-        let trace = self.trace_policy && seed_index == 0;
+        let trace = self.capture.policy && seed_index == 0;
         if trace {
             sys.enable_policy_trace();
         }
@@ -1050,7 +1299,7 @@ impl SimBuilder {
     /// records its op stream; the trace is returned and, when
     /// [`trace_out`](Self::trace_out) is set, written to disk.
     fn run_grid(&self, bandwidths: &[u64], capture: bool) -> (Vec<RunReport>, Option<Trace>) {
-        if let (true, Some(path)) = (capture, &self.trace_out) {
+        if let (true, Some(path)) = (capture, &self.capture.ops_out) {
             // Probe the output path before burning the whole grid's
             // compute on it: open-for-append creates a missing file and
             // surfaces an unwritable one, without clobbering any existing
@@ -1067,13 +1316,15 @@ impl SimBuilder {
             .threads
             .unwrap_or_else(pool::available_threads)
             .min(tasks.max(1));
-        let capture_all = capture && self.trace_out_all && self.trace_out.is_some();
-        // Panic isolation: a grid point that panics (after one retry, for
-        // environmental flakes) becomes an error row of its report instead
-        // of unwinding through the whole sweep. Wedges come back as
-        // `Err(PointError)` from `run_point` itself and are never retried.
+        let capture_all = capture && self.capture.all_points && self.capture.ops_out.is_some();
+        // Panic isolation: a grid point that panics (after the configured
+        // retry budget, for environmental flakes) becomes an error row of
+        // its report instead of unwinding through the whole sweep. Wedges
+        // come back as `Err(PointError)` from `run_point` itself and are
+        // never retried.
+        let retries = self.robustness.panic_retries;
         let mut results: Vec<Result<PointResult, PointError>> =
-            pool::run_indexed_isolated(tasks, threads, 1, |i| {
+            pool::run_indexed_isolated(tasks, threads, retries, |i| {
                 self.run_point(
                     bandwidths[i / seeds],
                     (i % seeds) as u32,
@@ -1100,7 +1351,7 @@ impl SimBuilder {
                 .validate()
                 .unwrap_or_else(|e| panic!("captured trace is unusable: {e}"));
         }
-        if let (Some(path), Some(trace)) = (&self.trace_out, &captured) {
+        if let (Some(path), Some(trace)) = (&self.capture.ops_out, &captured) {
             trace
                 .write_to(path)
                 .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
@@ -1109,7 +1360,7 @@ impl SimBuilder {
             }
         }
         if capture_all {
-            let path = self.trace_out.as_ref().expect("checked above");
+            let path = self.capture.ops_out.as_ref().expect("checked above");
             for (i, result) in results.iter_mut().enumerate().skip(1) {
                 // A failed point captured nothing; its error row stands in.
                 let Ok(point) = result else { continue };

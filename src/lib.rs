@@ -56,7 +56,11 @@ pub use bash_workloads as workloads;
 
 pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
 pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
-pub use bash_kernel::{DetRng, Duration, EventQueue, Time};
+// Kernel internals (the event queue, the deterministic RNG, busy-time
+// trackers) stay behind [`kernel`]: the facade's flat namespace carries
+// only the vocabulary a simulation user configures or reads back
+// (`QueueKind` qualifies — it is a `SystemConfig`/builder knob).
+pub use bash_kernel::{Duration, QueueKind, Time};
 pub use bash_net::{
     FaultPlaneConfig, FaultStats, Jitter, LinkFaultProfile, NodeId, NodeSet, OrderingMode,
     TopologyKind, TransportConfig,
@@ -84,9 +88,43 @@ mod builder;
 mod report_text;
 
 pub use builder::{
-    BoxedWorkload, BuildError, Metric, PointError, PointErrorKind, RunReport, SimBuilder,
+    BoxedWorkload, BuildError, CaptureSpec, FabricSpec, Metric, PointError, PointErrorKind,
+    RobustnessSpec, RunReport, SimBuilder,
 };
 pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};
+
+/// The one-line import for the common workflow: configure a
+/// [`SimBuilder`], run it, read the [`RunReport`].
+///
+/// Pulls in the builder with its three spec groups ([`FabricSpec`],
+/// [`RobustnessSpec`], [`CaptureSpec`]), the enums they are configured
+/// with, the time vocabulary, and the report types — and nothing else.
+/// Anything deeper (the event queue, protocol engines, trace codecs)
+/// stays behind the re-exported workspace crates ([`kernel`], [`net`],
+/// [`coherence`], ...).
+///
+/// ```
+/// use bash::prelude::*;
+///
+/// let report = SimBuilder::new(ProtocolKind::Bash)
+///     .nodes(8)
+///     .locking_microbench(256, Duration::ZERO)
+///     .warmup_ns(50_000)
+///     .measure_ns(100_000)
+///     .run();
+/// assert!(report.perf.mean > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::builder::{
+        BuildError, CaptureSpec, FabricSpec, Metric, PointError, PointErrorKind, RobustnessSpec,
+        RunReport, SimBuilder,
+    };
+    pub use bash_coherence::{CacheGeometry, ProtocolKind};
+    pub use bash_kernel::{Duration, Time};
+    pub use bash_net::{FaultPlaneConfig, Jitter, TopologyKind};
+    pub use bash_sim::WatchdogBudget;
+    pub use bash_workloads::WorkloadParams;
+}
 
 /// Verifies a named catalog scenario under one protocol with the
 /// harness's hostile defaults (4 nodes, tiny thrashing cache, jittered

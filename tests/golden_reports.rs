@@ -27,7 +27,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bash::{sweep_canonical_text, ProtocolKind, SimBuilder, TopologyKind, Trace};
+use bash::{
+    sweep_canonical_text, FabricSpec, ProtocolKind, QueueKind, SimBuilder, TopologyKind, Trace,
+};
 
 /// The scenarios with committed mini-traces. `phase-shift` is the
 /// adaptive-switching regression: its calm/burst regime flips drive the
@@ -188,8 +190,7 @@ fn mesh_golden_reports_match_and_are_thread_invariant() {
             sweep_canonical_text(
                 &SimBuilder::new(proto)
                     .trace_in(trace.clone())
-                    .topology(TopologyKind::Mesh2D)
-                    .bandwidths(BANDWIDTHS)
+                    .fabric(FabricSpec::new(TopologyKind::Mesh2D).bandwidths(BANDWIDTHS))
                     .seed(SEED)
                     .warmup_ns(WARMUP_NS)
                     .measure_ns(MEASURE_NS)
@@ -233,6 +234,41 @@ fn mesh_golden_reports_match_and_are_thread_invariant() {
          and commit the diff:\n{}",
         failures.join("\n")
     );
+}
+
+/// The calendar queue is a drop-in replacement for the binary heap: on
+/// the committed mini-traces, through every protocol, at `threads(1)`
+/// and `threads(4)`, `QueueKind::Heap` and the default calendar produce
+/// byte-identical canonical reports. Paired with the kernel's
+/// heap-vs-calendar pop-order proptest, this pins the whole engine — not
+/// just the queue — to exact FIFO-stable equivalence.
+#[test]
+fn heap_and_calendar_queues_produce_identical_reports() {
+    for scenario in SCENARIOS {
+        let trace = mini_trace(scenario);
+        for proto in PROTOCOLS {
+            for threads in [1usize, 4] {
+                let render = |queue: QueueKind| {
+                    sweep_canonical_text(
+                        &SimBuilder::new(proto)
+                            .trace_in(trace.clone())
+                            .bandwidths(BANDWIDTHS)
+                            .seed(SEED)
+                            .warmup_ns(WARMUP_NS)
+                            .measure_ns(MEASURE_NS)
+                            .threads(threads)
+                            .queue(queue)
+                            .run_sweep(),
+                    )
+                };
+                assert_eq!(
+                    render(QueueKind::Heap),
+                    render(QueueKind::Calendar),
+                    "{scenario}/{proto:?}: heap and calendar reports diverged at threads={threads}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! Contract tests for the `SimBuilder` facade: validation, paper-default
 //! parity with `SystemConfig`, and seed-aggregation determinism.
 
-use bash::{BuildError, Duration, Jitter, ProtocolKind, RunReport, SimBuilder, SystemConfig};
+use bash::{
+    BuildError, CaptureSpec, Duration, FabricSpec, FaultPlaneConfig, Jitter, ProtocolKind,
+    RobustnessSpec, RunReport, SimBuilder, SystemConfig, TopologyKind, WatchdogBudget,
+};
 
 fn valid() -> SimBuilder {
     SimBuilder::new(ProtocolKind::Bash)
@@ -197,9 +200,74 @@ fn perf_picks_the_paper_metric_per_workload_kind() {
 }
 
 #[test]
+fn unprotected_lossy_without_watchdog_rejected() {
+    // The cross-field rule: an unprotected lossy plane silently loses
+    // messages, so the builder demands a watchdog budget (or an explicit
+    // opt-in) before it will run one.
+    let lossy = || {
+        valid()
+            .fabric(FabricSpec::new(TopologyKind::Ring))
+            .robustness(
+                RobustnessSpec::new()
+                    .fault_plane(FaultPlaneConfig::lossy(0xBAD, 0.2).unprotected()),
+            )
+    };
+    assert_eq!(
+        lossy().try_run().unwrap_err(),
+        BuildError::UnprotectedLossyNeedsWatchdog
+    );
+    // Either arming a watchdog or opting into unguarded wedges clears it.
+    let armed = lossy().robustness(
+        RobustnessSpec::new()
+            .fault_plane(FaultPlaneConfig::lossy(0xBAD, 0.2).unprotected())
+            .watchdog(WatchdogBudget::events(1_000_000)),
+    );
+    assert!(armed.validate().is_ok());
+    let opted = lossy().robustness(
+        RobustnessSpec::new()
+            .fault_plane(FaultPlaneConfig::lossy(0xBAD, 0.2).unprotected())
+            .allow_unprotected_wedges(true),
+    );
+    assert!(opted.validate().is_ok());
+    // A *protected* lossy plane retransmits, so it never needs one.
+    let protected = valid()
+        .fabric(FabricSpec::new(TopologyKind::Ring))
+        .robustness(RobustnessSpec::new().fault_plane(FaultPlaneConfig::lossy(0xBAD, 0.2)));
+    assert!(protected.validate().is_ok());
+}
+
+#[test]
+fn fault_plane_still_needs_a_routed_fabric() {
+    let err = valid()
+        .robustness(RobustnessSpec::new().fault_plane(FaultPlaneConfig::lossy(0xBAD, 0.2)))
+        .try_run()
+        .unwrap_err();
+    assert_eq!(err, BuildError::FaultPlaneNeedsFabric);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_flat_setters_still_land_in_the_specs() {
+    // The pre-spec flat setters survive one deprecation cycle as shims;
+    // they must write through to the grouped specs.
+    let b = valid()
+        .topology(TopologyKind::Mesh2D)
+        .broadcast_cost(4)
+        .fault_plane(FaultPlaneConfig::lossy(0xFA57, 0.01))
+        .watchdog(WatchdogBudget::events(1_000_000))
+        .trace_policy(true)
+        .capture_completions(true);
+    let cfg = b.config(800, 0);
+    assert_eq!(cfg.broadcast_cost_multiplier, 4);
+    assert!(cfg.fault_plane.is_some());
+    assert!(cfg.watchdog.is_some());
+    assert!(b.validate().is_ok());
+}
+
+#[test]
 fn trace_policy_lands_in_the_report() {
     let report = valid()
-        .trace_policy(true)
+        .capture(CaptureSpec::new().policy(true))
         .warmup(Duration::ZERO)
         .measure_ns(100_000)
         .run();
