@@ -30,6 +30,7 @@ use bash_net::{Message, NodeId, NodeSet, VnetId};
 
 use crate::actions::ActionSink;
 use crate::common::MemStats;
+use crate::hierarchy::{home_of, HierarchyConfig};
 use crate::registry::TransitionLog;
 use crate::types::{
     is_sufficient, BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnId, TxnKind,
@@ -64,6 +65,13 @@ struct BlockState {
 pub struct BashMemCtrl {
     node: NodeId,
     nodes: u16,
+    /// Two-level hierarchy, when configured: this controller is then a
+    /// directory-spine **bank** — homes map through the bank interleave,
+    /// sharers are recorded at cluster granularity (owner stays an exact
+    /// node: stale-PutM detection and owner-coverage checks need the
+    /// precise identity), and retry masks are cluster-expanded so
+    /// cross-cluster forwarding reaches whole sharing clusters.
+    hier: Option<HierarchyConfig>,
     blocks: HashMap<BlockAddr, BlockState>,
     store: HashMap<BlockAddr, BlockData>,
     /// Outstanding retry buffers, keyed by transaction (count = retries
@@ -93,9 +101,54 @@ impl BashMemCtrl {
         retry_capacity: usize,
         coverage: bool,
     ) -> Self {
+        Self::build(
+            node,
+            nodes,
+            None,
+            dram_latency,
+            serialize_dram,
+            retry_capacity,
+            coverage,
+        )
+    }
+
+    /// Builds a hierarchical spine **bank**: the BASH home controller
+    /// with bank-mapped homes and cluster-granularity sharer records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_hierarchical(
+        node: NodeId,
+        nodes: u16,
+        hier: HierarchyConfig,
+        dram_latency: Duration,
+        serialize_dram: bool,
+        retry_capacity: usize,
+        coverage: bool,
+    ) -> Self {
+        Self::build(
+            node,
+            nodes,
+            Some(hier),
+            dram_latency,
+            serialize_dram,
+            retry_capacity,
+            coverage,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        node: NodeId,
+        nodes: u16,
+        hier: Option<HierarchyConfig>,
+        dram_latency: Duration,
+        serialize_dram: bool,
+        retry_capacity: usize,
+        coverage: bool,
+    ) -> Self {
         BashMemCtrl {
             node,
             nodes,
+            hier,
             blocks: HashMap::new(),
             store: HashMap::new(),
             retry_slots: HashMap::new(),
@@ -183,7 +236,10 @@ impl BashMemCtrl {
     ) {
         match &msg.payload {
             ProtoMsg::Request(req) => {
-                debug_assert_eq!(req.block.home(self.nodes), self.node);
+                debug_assert_eq!(
+                    home_of(req.block, self.nodes, self.hier.as_ref()),
+                    self.node
+                );
                 let order = order.expect("ordered request network");
                 self.on_request(now, req, &msg.dests, order, sink)
             }
@@ -283,7 +339,16 @@ impl BashMemCtrl {
             let st = self.blocks.get_mut(&block).expect("present");
             match req.kind {
                 TxnKind::GetS => {
-                    st.sharers.insert(req.requestor);
+                    // Under a hierarchy the spine tracks sharers at cluster
+                    // granularity; the owning cache expands identically
+                    // (snoopcache `tracked`), so both sufficiency verdicts
+                    // agree.
+                    match &self.hier {
+                        None => {
+                            st.sharers.insert(req.requestor);
+                        }
+                        Some(h) => st.sharers = st.sharers.union(&h.cluster_set(req.requestor)),
+                    }
                 }
                 TxnKind::GetM => {
                     st.owner = Owner::Node(req.requestor);

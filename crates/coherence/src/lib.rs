@@ -23,6 +23,8 @@
 //! * [`directory`] — the directory cache + home controllers;
 //! * [`bash`] — the BASH home controller (sufficiency check, retries,
 //!   broadcast escalation, nacks);
+//! * [`hierarchy`] — cluster/bank geometry for two-level coherence
+//!   (snooping clusters under a sharded directory spine);
 //! * [`protocol`] — protocol selection, dispatch, and message routing;
 //! * [`registry`] — transition coverage (Table 1).
 
@@ -33,6 +35,7 @@ pub mod common;
 #[cfg(test)]
 mod dircache_tests;
 pub mod directory;
+pub mod hierarchy;
 #[cfg(test)]
 mod memctrl_tests;
 pub mod protocol;
@@ -47,6 +50,7 @@ pub mod types;
 
 pub use actions::{AccessOutcome, Action, ActionSink};
 pub use cache::{CacheArray, CacheGeometry, Mosi};
+pub use hierarchy::{home_of, HierarchyConfig};
 pub use protocol::{route, CacheCtrl, MemCtrl, ProtocolKind, Routing};
 pub use registry::TransitionLog;
 pub use types::{

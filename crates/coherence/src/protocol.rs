@@ -1,6 +1,6 @@
 //! Protocol selection and controller dispatch.
 
-use bash_adaptive::{AdaptorConfig, BandwidthAdaptor};
+use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId};
 
@@ -9,6 +9,7 @@ use crate::bash::BashMemCtrl;
 use crate::cache::CacheGeometry;
 use crate::common::{CacheStats, MemStats};
 use crate::directory::{DirectoryCacheCtrl, DirectoryCtrl};
+use crate::hierarchy::{home_of, HierarchyConfig};
 use crate::registry::TransitionLog;
 use crate::snoopcache::SnoopCacheCtrl;
 use crate::snooping::SnoopingMemCtrl;
@@ -53,14 +54,25 @@ pub struct Routing {
 }
 
 /// Computes message routing for a delivery at `node`.
-pub fn route(kind: ProtocolKind, node: NodeId, nodes: u16, msg: &Message<ProtoMsg>) -> Routing {
+///
+/// Under a two-level hierarchy (`hier` set) every protocol personality
+/// rides the BASH engine, so requests route snooping-style — to the cache
+/// always, and additionally to the memory side on the node hosting the
+/// block's directory-spine bank.
+pub fn route(
+    kind: ProtocolKind,
+    node: NodeId,
+    nodes: u16,
+    hier: Option<&HierarchyConfig>,
+    msg: &Message<ProtoMsg>,
+) -> Routing {
     match &msg.payload {
-        ProtoMsg::Request(req) => match kind {
-            ProtocolKind::Snooping | ProtocolKind::Bash => Routing {
+        ProtoMsg::Request(req) => match (hier, kind) {
+            (Some(_), _) | (None, ProtocolKind::Snooping | ProtocolKind::Bash) => Routing {
                 to_cache: true,
-                to_mem: req.block.home(nodes) == node,
+                to_mem: home_of(req.block, nodes, hier) == node,
             },
-            ProtocolKind::Directory => {
+            (None, ProtocolKind::Directory) => {
                 if req.from_dir {
                     Routing {
                         to_cache: true,
@@ -96,6 +108,11 @@ pub enum CacheCtrl {
 
 impl CacheCtrl {
     /// Builds the cache controller for `kind`.
+    ///
+    /// With a hierarchy every personality uses the hierarchical BASH
+    /// engine; the protocol only pins the cast decision — Snooping always
+    /// cluster-casts, Directory always dualcasts to the spine bank, and
+    /// BASH adapts per cluster.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kind: ProtocolKind,
@@ -104,8 +121,26 @@ impl CacheCtrl {
         geometry: CacheGeometry,
         provide_latency: Duration,
         adaptor: &AdaptorConfig,
+        hier: Option<HierarchyConfig>,
         coverage: bool,
     ) -> Self {
+        if let Some(h) = hier {
+            let mut cfg = adaptor.clone();
+            cfg.mode = match kind {
+                ProtocolKind::Snooping => DecisionMode::AlwaysBroadcast,
+                ProtocolKind::Directory => DecisionMode::AlwaysUnicast,
+                ProtocolKind::Bash => cfg.mode,
+            };
+            return CacheCtrl::Snoop(SnoopCacheCtrl::new_hierarchical(
+                node,
+                nodes,
+                geometry,
+                provide_latency,
+                &cfg,
+                h,
+                coverage,
+            ));
+        }
         match kind {
             ProtocolKind::Snooping => CacheCtrl::Snoop(SnoopCacheCtrl::new_snooping(
                 node,
@@ -218,7 +253,10 @@ pub enum MemCtrl {
 }
 
 impl MemCtrl {
-    /// Builds the memory-side controller for `kind`.
+    /// Builds the memory-side controller for `kind`. With a hierarchy the
+    /// node hosts a directory-spine bank, which is always the BASH home
+    /// controller regardless of personality.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         kind: ProtocolKind,
         node: NodeId,
@@ -226,8 +264,20 @@ impl MemCtrl {
         dram_latency: Duration,
         serialize_dram: bool,
         retry_capacity: usize,
+        hier: Option<HierarchyConfig>,
         coverage: bool,
     ) -> Self {
+        if let Some(h) = hier {
+            return MemCtrl::Bash(BashMemCtrl::new_hierarchical(
+                node,
+                nodes,
+                h,
+                dram_latency,
+                serialize_dram,
+                retry_capacity,
+                coverage,
+            ));
+        }
         match kind {
             ProtocolKind::Snooping => MemCtrl::Snooping(SnoopingMemCtrl::new(
                 node,
@@ -382,7 +432,13 @@ mod tests {
     #[test]
     fn snooping_requests_go_to_cache_and_home_memory() {
         // Block 2 is homed at node 2 of 4.
-        let at_home = route(ProtocolKind::Snooping, NodeId(2), 4, &req_msg(false, 2));
+        let at_home = route(
+            ProtocolKind::Snooping,
+            NodeId(2),
+            4,
+            None,
+            &req_msg(false, 2),
+        );
         assert_eq!(
             at_home,
             Routing {
@@ -390,7 +446,13 @@ mod tests {
                 to_mem: true
             }
         );
-        let elsewhere = route(ProtocolKind::Snooping, NodeId(3), 4, &req_msg(false, 2));
+        let elsewhere = route(
+            ProtocolKind::Snooping,
+            NodeId(3),
+            4,
+            None,
+            &req_msg(false, 2),
+        );
         assert_eq!(
             elsewhere,
             Routing {
@@ -402,7 +464,13 @@ mod tests {
 
     #[test]
     fn directory_splits_by_from_dir() {
-        let vn0 = route(ProtocolKind::Directory, NodeId(2), 4, &req_msg(false, 2));
+        let vn0 = route(
+            ProtocolKind::Directory,
+            NodeId(2),
+            4,
+            None,
+            &req_msg(false, 2),
+        );
         assert_eq!(
             vn0,
             Routing {
@@ -410,7 +478,13 @@ mod tests {
                 to_mem: true
             }
         );
-        let vn1 = route(ProtocolKind::Directory, NodeId(3), 4, &req_msg(true, 2));
+        let vn1 = route(
+            ProtocolKind::Directory,
+            NodeId(3),
+            4,
+            None,
+            &req_msg(true, 2),
+        );
         assert_eq!(
             vn1,
             Routing {
@@ -418,6 +492,33 @@ mod tests {
                 to_mem: false
             }
         );
+    }
+
+    #[test]
+    fn hierarchical_requests_route_to_the_spine_bank_for_every_protocol() {
+        // 8 nodes, 2 banks: bank 0 at node 0, bank 1 at node 4.
+        // Block 3 → bank 1 → home node 4.
+        let h = HierarchyConfig::new(4, 2);
+        for kind in ProtocolKind::ALL {
+            let at_bank = route(kind, NodeId(4), 8, Some(&h), &req_msg(false, 3));
+            assert_eq!(
+                at_bank,
+                Routing {
+                    to_cache: true,
+                    to_mem: true
+                },
+                "{kind:?}"
+            );
+            let elsewhere = route(kind, NodeId(3), 8, Some(&h), &req_msg(false, 3));
+            assert_eq!(
+                elsewhere,
+                Routing {
+                    to_cache: true,
+                    to_mem: false
+                },
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]

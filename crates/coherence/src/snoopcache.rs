@@ -58,6 +58,7 @@ use bash_net::{Message, NodeId, NodeSet, VnetId};
 use crate::actions::{AccessOutcome, Action, ActionSink};
 use crate::cache::{CacheArray, CacheGeometry, Mosi};
 use crate::common::{CacheStats, DeferredReq, Mshr, WbEntry};
+use crate::hierarchy::{home_of, HierarchyConfig};
 use crate::registry::TransitionLog;
 use crate::types::{
     BlockAddr, BlockData, ProcOp, ProtoMsg, Request, TxnId, TxnKind, CONTROL_MSG_BYTES,
@@ -87,6 +88,11 @@ pub struct SnoopCacheCtrl {
     node: NodeId,
     nodes: u16,
     mode: SnoopMode,
+    /// Two-level hierarchy, when configured: "broadcast" requests become
+    /// cluster-casts (own cluster ∪ home bank), home lookups go through
+    /// the bank map, and tracked sharer sets are kept cluster-expanded in
+    /// lockstep with the spine bank's records.
+    hier: Option<HierarchyConfig>,
     adaptor: Option<BandwidthAdaptor>,
     cache: CacheArray,
     mshr: Option<Mshr>,
@@ -125,6 +131,7 @@ impl SnoopCacheCtrl {
             provide_latency,
             SnoopMode::Snooping,
             None,
+            None,
             coverage,
         )
     }
@@ -146,17 +153,47 @@ impl SnoopCacheCtrl {
             geometry,
             provide_latency,
             SnoopMode::Bash,
+            None,
             Some(a),
             coverage,
         )
     }
 
+    /// Builds a hierarchical cache controller: the BASH engine with
+    /// cluster-cast "broadcasts" and bank-mapped homes. The protocol
+    /// personality is carried entirely by `adaptor.mode` (pinned
+    /// AlwaysBroadcast for Snooping, AlwaysUnicast for Directory,
+    /// Adaptive for BASH).
+    pub fn new_hierarchical(
+        node: NodeId,
+        nodes: u16,
+        geometry: CacheGeometry,
+        provide_latency: Duration,
+        adaptor: &AdaptorConfig,
+        hier: HierarchyConfig,
+        coverage: bool,
+    ) -> Self {
+        let a = BandwidthAdaptor::new(adaptor, node.0 as u64 + 1);
+        Self::build(
+            node,
+            nodes,
+            geometry,
+            provide_latency,
+            SnoopMode::Bash,
+            Some(hier),
+            Some(a),
+            coverage,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn build(
         node: NodeId,
         nodes: u16,
         geometry: CacheGeometry,
         provide_latency: Duration,
         mode: SnoopMode,
+        hier: Option<HierarchyConfig>,
         adaptor: Option<BandwidthAdaptor>,
         coverage: bool,
     ) -> Self {
@@ -164,6 +201,7 @@ impl SnoopCacheCtrl {
             node,
             nodes,
             mode,
+            hier,
             adaptor,
             cache: CacheArray::new(geometry),
             mshr: None,
@@ -300,25 +338,46 @@ impl SnoopCacheCtrl {
         sink.send(self.request_msg(kind, block, txn, mask));
     }
 
+    /// The home node of `block`: the spine bank under a hierarchy, the
+    /// flat per-node interleaving otherwise.
+    fn home(&self, block: BlockAddr) -> NodeId {
+        home_of(block, self.nodes, self.hier.as_ref())
+    }
+
+    /// The "broadcast" destination set: every node in the flat protocols,
+    /// the requestor's cluster plus the block's home bank under a
+    /// hierarchy (the spine must see every request, like the home in flat
+    /// BASH; cross-cluster reach comes from the bank's retries).
+    fn broadcast_mask(&self, block: BlockAddr) -> NodeSet {
+        match &self.hier {
+            None => NodeSet::all(self.nodes as usize),
+            Some(h) => {
+                let mut m = h.cluster_set(self.node);
+                m.insert(self.home(block));
+                m
+            }
+        }
+    }
+
     /// Chooses the destination mask for a demand request.
     fn request_mask(&mut self, block: BlockAddr) -> NodeSet {
         match self.mode {
             SnoopMode::Snooping => {
                 self.stats.broadcasts_sent += 1;
-                NodeSet::all(self.nodes as usize)
+                self.broadcast_mask(block)
             }
             SnoopMode::Bash => {
                 let cast = self.adaptor.as_mut().expect("bash adaptor").decide();
                 match cast {
                     Cast::Broadcast => {
                         self.stats.broadcasts_sent += 1;
-                        NodeSet::all(self.nodes as usize)
+                        self.broadcast_mask(block)
                     }
                     Cast::Unicast => {
                         self.stats.unicasts_sent += 1;
                         // The paper's "unicast" is a dualcast: home for the
                         // data, self for the order marker.
-                        NodeSet::from_nodes([block.home(self.nodes), self.node])
+                        NodeSet::from_nodes([self.home(block), self.node])
                     }
                 }
             }
@@ -507,7 +566,7 @@ impl SnoopCacheCtrl {
                 self.provide_latency,
                 Message::unordered(
                     self.node,
-                    block.home(self.nodes),
+                    self.home(block),
                     VnetId::DATA,
                     DATA_MSG_BYTES,
                     ProtoMsg::WbData {
@@ -602,7 +661,17 @@ impl SnoopCacheCtrl {
                         if self.cache.state(block) == Some(Mosi::M) {
                             self.cache.set_state(block, Mosi::O);
                         }
-                        self.tracked.entry(block).or_default().insert(req.requestor);
+                        // Under a hierarchy the spine records sharers at
+                        // cluster granularity; track the requestor's whole
+                        // cluster so our sufficiency verdicts stay in
+                        // lockstep with the bank's.
+                        let tracked = self.tracked.entry(block).or_default();
+                        match &self.hier {
+                            None => {
+                                tracked.insert(req.requestor);
+                            }
+                            Some(h) => *tracked = tracked.union(&h.cluster_set(req.requestor)),
+                        }
                     }
                     TxnKind::GetM => {
                         // Ownership moves to the requestor.
@@ -717,7 +786,9 @@ impl SnoopCacheCtrl {
         self.stats.nacks_received += 1;
         // The failed attempt changed no global state: replay anything we
         // deferred as a bystander, then reissue as a broadcast (guaranteed
-        // sufficient, resolving the potential deadlock).
+        // sufficient, resolving the potential deadlock). Even under a
+        // hierarchy this stays a *full* broadcast — a cluster-cast could
+        // miss a foreign-cluster owner and nack again forever.
         let mut replays = std::mem::take(&mut self.replay_scratch);
         std::mem::swap(&mut self.deferred, &mut replays);
         for d in replays.drain(..) {
@@ -835,7 +906,7 @@ impl SnoopCacheCtrl {
                     // only the home must observe it — other caches ignore
                     // foreign PutMs. Real snooping systems likewise send
                     // writebacks point-to-point to the memory bank.
-                    let mask = NodeSet::from_nodes([victim.block.home(self.nodes), self.node]);
+                    let mask = NodeSet::from_nodes([self.home(victim.block), self.node]);
                     let txn = self.next_txn();
                     sink.send(self.request_msg(TxnKind::PutM, victim.block, txn, mask));
                     self.log.record(before, "Replace", self.label(victim.block));

@@ -2,7 +2,7 @@
 //! modeling knob exposed.
 
 use bash_adaptive::AdaptorConfig;
-use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_coherence::{CacheGeometry, HierarchyConfig, ProtocolKind};
 use bash_kernel::{Duration, QueueKind};
 use bash_net::{FaultPlaneConfig, Jitter, TopologyKind};
 
@@ -121,6 +121,12 @@ pub struct SystemConfig {
     pub broadcast_cost_multiplier: u32,
     /// The adaptive mechanism's parameters (BASH only).
     pub adaptor: AdaptorConfig,
+    /// Two-level hierarchical coherence: snooping clusters under a
+    /// sharded directory spine. `None` (the default) runs the flat
+    /// paper system. With a hierarchy every protocol personality rides
+    /// the hierarchical BASH engine — Snooping pins cluster-casts,
+    /// Directory pins spine dualcasts, BASH adapts per cluster.
+    pub hierarchy: Option<HierarchyConfig>,
     /// Serialize DRAM accesses (off per the paper's endpoint-contention-only
     /// model; on for the memory-occupancy ablation).
     pub serialize_dram: bool,
@@ -206,6 +212,7 @@ impl SystemConfig {
             },
             broadcast_cost_multiplier: 1,
             adaptor: AdaptorConfig::paper_default(),
+            hierarchy: None,
             serialize_dram: false,
             retry_capacity: 64,
             coverage: false,
@@ -235,6 +242,13 @@ impl SystemConfig {
     /// Overrides the adaptive mechanism configuration.
     pub fn with_adaptor(mut self, adaptor: AdaptorConfig) -> Self {
         self.adaptor = adaptor;
+        self
+    }
+
+    /// Enables two-level hierarchical coherence (snooping clusters under
+    /// a sharded directory spine).
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = Some(hierarchy);
         self
     }
 
@@ -318,6 +332,11 @@ impl SystemConfig {
             "BASH needs at least one retry buffer"
         );
         assert!(self.cache_geometry.sets > 0 && self.cache_geometry.ways > 0);
+        if let Some(h) = &self.hierarchy {
+            if let Err(reason) = h.check(self.nodes) {
+                panic!("invalid hierarchy: {reason}");
+            }
+        }
         if let Some(
             FaultInjection::CorruptLoads { period }
             | FaultInjection::DropInvalidations { period }
@@ -376,6 +395,14 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert!(c.coverage);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hierarchy")]
+    fn misfit_hierarchy_rejected() {
+        SystemConfig::paper_default(ProtocolKind::Bash, 8, 800)
+            .with_hierarchy(HierarchyConfig::new(3, 2))
+            .validate();
     }
 
     #[test]

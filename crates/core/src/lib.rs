@@ -36,6 +36,7 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
+pub use bash_coherence::HierarchyConfig;
 pub use config::{FaultInjection, SystemConfig, WatchdogBudget};
-pub use stats::{LinkStat, RunStats};
+pub use stats::{HierarchyStats, LinkStat, RunStats};
 pub use system::{RunError, System, WedgeCause, WedgeDiagnostic};

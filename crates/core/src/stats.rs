@@ -22,6 +22,47 @@ pub struct LinkStat {
     pub busy_fraction: f64,
 }
 
+/// Two-level-hierarchy statistics of one measured window: how traffic
+/// split across cluster boundaries and how requests spread over the
+/// directory-spine banks. Only present when the run was configured with
+/// a [`HierarchyConfig`](bash_coherence::HierarchyConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Number of snooping clusters.
+    pub clusters: u16,
+    /// Number of directory-spine banks.
+    pub banks: u16,
+    /// Bytes delivered to destinations in the sender's own cluster.
+    pub intra_cluster_bytes: u64,
+    /// Bytes delivered across a cluster boundary (spine traffic).
+    pub inter_cluster_bytes: u64,
+    /// Coherence requests handled per spine bank, indexed by bank.
+    pub bank_requests: Vec<u64>,
+}
+
+impl HierarchyStats {
+    /// Fraction of delivered bytes that crossed a cluster boundary.
+    pub fn inter_cluster_fraction(&self) -> f64 {
+        let total = self.intra_cluster_bytes + self.inter_cluster_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.inter_cluster_bytes as f64 / total as f64
+        }
+    }
+
+    /// Peak-to-mean imbalance across the spine banks (1.0 = perfectly
+    /// balanced; 0.0 when no bank handled a request).
+    pub fn bank_balance(&self) -> f64 {
+        let peak = self.bank_requests.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            return 0.0;
+        }
+        let mean = self.bank_requests.iter().sum::<u64>() as f64 / self.bank_requests.len() as f64;
+        mean / peak as f64
+    }
+}
+
 /// Aggregate results of one measured simulation window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
@@ -74,6 +115,9 @@ pub struct RunStats {
     /// Whole-run fault-plane counters (drops, retransmits, link deaths);
     /// `None` unless a fault plane was configured.
     pub fault: Option<FaultStats>,
+    /// Cluster/bank traffic split; `None` unless the run used a two-level
+    /// hierarchy.
+    pub hierarchy: Option<HierarchyStats>,
 }
 
 impl RunStats {
@@ -157,6 +201,7 @@ mod tests {
             peak_queue_len: 97,
             links: Vec::new(),
             fault: None,
+            hierarchy: None,
         }
     }
 
@@ -168,6 +213,28 @@ mod tests {
         assert!((s.broadcast_fraction() - 0.75).abs() < 1e-12);
         assert!((s.sharing_fraction() - 0.75).abs() < 1e-12);
         assert!((s.bytes_per_miss() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_derived_metrics() {
+        let h = HierarchyStats {
+            clusters: 4,
+            banks: 4,
+            intra_cluster_bytes: 3000,
+            inter_cluster_bytes: 1000,
+            bank_requests: vec![10, 20, 30, 40],
+        };
+        assert!((h.inter_cluster_fraction() - 0.25).abs() < 1e-12);
+        assert!((h.bank_balance() - 25.0 / 40.0).abs() < 1e-12);
+        let empty = HierarchyStats {
+            clusters: 2,
+            banks: 2,
+            intra_cluster_bytes: 0,
+            inter_cluster_bytes: 0,
+            bank_requests: vec![0, 0],
+        };
+        assert_eq!(empty.inter_cluster_fraction(), 0.0);
+        assert_eq!(empty.bank_balance(), 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use bash_trace::{Trace, TraceCapture, TraceRecord};
 use bash_workloads::{WorkItem, Workload};
 
 use crate::config::{FaultInjection, SystemConfig, WatchdogBudget};
-use crate::stats::{LinkStat, RunStats};
+use crate::stats::{HierarchyStats, LinkStat, RunStats};
 
 /// Why the quiescence watchdog declared a run wedged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +215,11 @@ struct Snapshot {
     /// (empty on the crossbar).
     per_link: Vec<(u64, u64, u64)>,
     events: u64,
+    /// Hierarchy traffic counters `(intra_bytes, inter_bytes)` (zero
+    /// without a hierarchy).
+    hier_bytes: (u64, u64),
+    /// Per-spine-bank request counts (empty without a hierarchy).
+    hier_banks: Vec<u64>,
 }
 
 /// A running simulated system.
@@ -266,6 +271,13 @@ pub struct System<W: Workload> {
     /// Per-destination hold-back buffers for
     /// [`FaultInjection::ReorderOrdered`] (empty unless that fault is on).
     reorder_buf: Vec<Vec<HeldDelivery>>,
+    /// Bytes delivered inside the sender's cluster (hierarchy runs only).
+    hier_intra_bytes: u64,
+    /// Bytes delivered across a cluster boundary (hierarchy runs only).
+    hier_inter_bytes: u64,
+    /// Coherence requests handled per directory-spine bank (empty unless
+    /// a hierarchy is configured).
+    hier_bank_requests: Vec<u64>,
 }
 
 impl<W: Workload> System<W> {
@@ -298,6 +310,7 @@ impl<W: Workload> System<W> {
                     // One shared config for the whole system; only BASH
                     // controllers read it, none of them clone it.
                     &cfg.adaptor,
+                    cfg.hierarchy,
                     cfg.coverage,
                 )
             })
@@ -311,6 +324,7 @@ impl<W: Workload> System<W> {
                     cfg.dram_latency,
                     cfg.serialize_dram,
                     cfg.retry_capacity,
+                    cfg.hierarchy,
                     cfg.coverage,
                 )
             })
@@ -409,6 +423,12 @@ impl<W: Workload> System<W> {
             duplicates_seen: 0,
             stale_masks_seen: 0,
             reorder_buf: (0..nodes).map(|_| Vec::new()).collect(),
+            hier_intra_bytes: 0,
+            hier_inter_bytes: 0,
+            hier_bank_requests: cfg
+                .hierarchy
+                .map(|h| vec![0; h.banks as usize])
+                .unwrap_or_default(),
             cfg,
         }
     }
@@ -747,6 +767,18 @@ impl<W: Workload> System<W> {
             peak_queue_len: self.events.peak_len() as u64,
             links,
             fault: self.net.fault_stats(),
+            hierarchy: self.cfg.hierarchy.map(|h| HierarchyStats {
+                clusters: h.clusters(self.cfg.nodes),
+                banks: h.banks,
+                intra_cluster_bytes: end.hier_bytes.0 - start.hier_bytes.0,
+                inter_cluster_bytes: end.hier_bytes.1 - start.hier_bytes.1,
+                bank_requests: end
+                    .hier_banks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b - start.hier_banks.get(i).copied().unwrap_or(0))
+                    .collect(),
+            }),
         }
     }
 
@@ -814,6 +846,8 @@ impl<W: Workload> System<W> {
             link_bytes: bytes,
             per_link,
             events: self.events.events_processed(),
+            hier_bytes: (self.hier_intra_bytes, self.hier_inter_bytes),
+            hier_banks: self.hier_bank_requests.clone(),
         }
     }
 
@@ -995,7 +1029,25 @@ impl<W: Workload> System<W> {
                 ord
             ));
         }
-        let routing = route(self.cfg.protocol, dst, self.cfg.nodes, msg);
+        let routing = route(
+            self.cfg.protocol,
+            dst,
+            self.cfg.nodes,
+            self.cfg.hierarchy.as_ref(),
+            msg,
+        );
+        if let Some(h) = &self.cfg.hierarchy {
+            if h.same_cluster(msg.src, dst) {
+                self.hier_intra_bytes += u64::from(msg.size);
+            } else {
+                self.hier_inter_bytes += u64::from(msg.size);
+            }
+            if routing.to_mem {
+                if let ProtoMsg::Request(req) = &msg.payload {
+                    self.hier_bank_requests[h.bank_of(req.block) as usize] += 1;
+                }
+            }
+        }
         if routing.to_mem && self.fault_duplicates_delivery(msg) {
             // Schedule the duplicate well after the original transaction
             // settles — far enough out that ownership of the block has had
@@ -1137,8 +1189,11 @@ impl<W: Workload> System<W> {
 
     fn sample(&mut self) {
         let interval = Duration::from_cycles(self.cfg.adaptor.sampling_interval_cycles);
-        let mut policy_sum = 0.0;
-        let mut policy_n = 0u32;
+        // First pass: one `(endpoint busy estimate, local peak)` input per
+        // node. The window trackers must advance for every node each tick
+        // regardless of how the inputs are consumed below.
+        let n = self.cfg.nodes as usize;
+        let mut inputs: Vec<(u64, u64)> = Vec::with_capacity(n);
         for i in 0..self.cfg.nodes {
             let node = NodeId(i);
             match &self.net {
@@ -1150,11 +1205,7 @@ impl<W: Workload> System<W> {
                     // clamp — boundary slop is measurement noise, exactly
                     // as in real sampling hardware.
                     let busy_ps = busy.as_ps().min(interval.as_ps());
-                    if let Some(adaptor) = self.caches[node.index()].adaptor_mut() {
-                        adaptor.sample_window(busy_ps, interval.as_ps());
-                        policy_sum += adaptor.policy_value() as f64;
-                        policy_n += 1;
-                    }
+                    inputs.push((busy_ps, busy_ps));
                 }
                 Interconnect::Fabric(f) => {
                     // Endpoint estimate: mean busy time over the node's
@@ -1175,12 +1226,39 @@ impl<W: Workload> System<W> {
                     } else {
                         sum / links.len() as u64
                     };
-                    if let Some(adaptor) = self.caches[node.index()].adaptor_mut() {
-                        adaptor.sample_window_local(mean, peak, interval.as_ps());
-                        policy_sum += adaptor.policy_value() as f64;
-                        policy_n += 1;
-                    }
+                    inputs.push((mean, peak));
                 }
+            }
+        }
+        // Under a hierarchy the adaptive mechanism runs per *cluster*:
+        // every member samples the cluster-mean utilization (and
+        // cluster-peak local input), so a whole cluster flips its cast
+        // policy together — the cluster is the broadcast domain, so the
+        // bandwidth being protected is the cluster's, not one node's.
+        if let Some(h) = &self.cfg.hierarchy {
+            let cs = h.cluster_size as usize;
+            for first in (0..n).step_by(cs) {
+                let members = &inputs[first..first + cs];
+                let mean = members.iter().map(|&(b, _)| b).sum::<u64>() / cs as u64;
+                let peak = members.iter().map(|&(_, p)| p).max().unwrap_or(0);
+                for input in &mut inputs[first..first + cs] {
+                    *input = (mean, peak);
+                }
+            }
+        }
+        // Second pass: feed every adaptor its input.
+        let fabric = matches!(&self.net, Interconnect::Fabric(_));
+        let mut policy_sum = 0.0;
+        let mut policy_n = 0u32;
+        for (i, &(busy, peak)) in inputs.iter().enumerate() {
+            if let Some(adaptor) = self.caches[i].adaptor_mut() {
+                if fabric {
+                    adaptor.sample_window_local(busy, peak, interval.as_ps());
+                } else {
+                    adaptor.sample_window(busy, interval.as_ps());
+                }
+                policy_sum += adaptor.policy_value() as f64;
+                policy_n += 1;
             }
         }
         if let Some(trace) = self.policy_trace.as_mut() {

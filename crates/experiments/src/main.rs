@@ -5,7 +5,7 @@
 //! bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>
 //!   ids: all | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 |
 //!        fig9 | fig10 | fig11 | fig12 | table1 | scenarios | topology |
-//!        verify | chaos | wedge-selftest
+//!        hierarchy | verify | chaos | wedge-selftest
 //! bash-experiments trace <info FILE | migrate IN OUT | replay FILE | diff FILE>
 //! ```
 //!
@@ -33,6 +33,7 @@
 
 mod chaos;
 mod common;
+mod hierarchy;
 mod macrob;
 mod micro;
 mod scenarios;
@@ -69,7 +70,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: bash-experiments [--out DIR] [--scale F] [--seeds N] <ids...>");
-                println!("  ids: all fig1..fig12 table1 scenarios topology verify");
+                println!("  ids: all fig1..fig12 table1 scenarios topology hierarchy verify");
                 println!("       chaos wedge-selftest");
                 println!("       trace <info FILE | migrate IN OUT | replay FILE | diff FILE>");
                 return;
@@ -151,6 +152,10 @@ fn main() {
     if want("topology") {
         eprintln!("running the protocol x topology sweep...");
         topology::topology(&opts);
+    }
+    if want("hierarchy") {
+        eprintln!("running the protocol x nodes x cluster-size hierarchy sweep...");
+        hierarchy::hierarchy(&opts);
     }
     // The chaos sweep is opt-in (not part of `all`): its fault plane
     // deliberately perturbs the fabric, which figure regeneration should

@@ -14,12 +14,84 @@
 //! hand).
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufReader, BufWriter, Read, Write as _};
 
 use bash::tester::VerifyConfig;
-use bash::{differential_trace, ProtocolKind, SimBuilder, Trace, TraceReader, TraceWriter};
+use bash::{
+    differential_trace, ProtocolKind, SimBuilder, Trace, TraceError, TraceReader, TraceRecord,
+    TraceWriter,
+};
 
 use crate::common::Options;
+
+/// Counters a recovering scan of a trace file accumulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScanStats {
+    /// Records decoded (corruption-skipped chunks excluded).
+    records: u64,
+    /// Records carrying a completion latency.
+    completions: u64,
+    /// Records per issuing node.
+    per_node: Vec<u64>,
+    /// Chunks recovering mode skipped over corruption.
+    skipped_chunks: u64,
+}
+
+/// Outcome of [`scan_recovering`]: the counters, the drained reader
+/// (for its trailing chunk index), and the hard decode error when the
+/// file's framing itself was broken (recovery only covers payload rot).
+struct Scan<R: Read> {
+    stats: ScanStats,
+    reader: TraceReader<R>,
+    error: Option<TraceError>,
+}
+
+/// Streams the whole file through a **recovering** reader: a chunk whose
+/// payload fails to decode is skipped (and counted) instead of poisoning
+/// the scan, so a damaged file still yields its surviving records.
+/// `on_record` sees every surviving record in order.
+fn scan_recovering<R: Read>(
+    reader: TraceReader<R>,
+    mut on_record: impl FnMut(TraceRecord),
+) -> Scan<R> {
+    let mut reader = reader.recovering();
+    let mut stats = ScanStats {
+        records: 0,
+        completions: 0,
+        per_node: vec![0; reader.header().nodes as usize],
+        skipped_chunks: 0,
+    };
+    let mut error = None;
+    for r in &mut reader {
+        match r {
+            Ok(r) => {
+                stats.records += 1;
+                stats.completions += r.completion.is_some() as u64;
+                stats.per_node[r.node.index()] += 1;
+                on_record(r);
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    stats.skipped_chunks = reader.skipped_chunks();
+    Scan {
+        stats,
+        reader,
+        error,
+    }
+}
+
+/// The corruption warning line `info` and `replay` print when a
+/// recovering scan had to skip chunks.
+fn skipped_warning(skipped: u64, records: u64) -> String {
+    format!(
+        "WARNING: skipped {skipped} corrupted chunk{} ({records} records survive)",
+        if skipped == 1 { "" } else { "s" }
+    )
+}
 
 /// Entry point: dispatches the `trace` subcommand. Returns `false` on a
 /// usage or I/O error (the caller exits non-zero).
@@ -53,10 +125,12 @@ fn open_reader(path: &str) -> Option<TraceReader<BufReader<File>>> {
     }
 }
 
-/// Streams the whole file once: header, record/completion counts, and the
+/// Streams the whole file once (in recovering mode, so a damaged file
+/// still describes its surviving records): header, record/completion
+/// counts, a corruption warning when chunks had to be skipped, and the
 /// chunk map when the trace carries an index.
 fn info(path: &str) -> bool {
-    let Some(mut reader) = open_reader(path) else {
+    let Some(reader) = open_reader(path) else {
         return false;
     };
     let header = reader.header().clone();
@@ -64,36 +138,35 @@ fn info(path: &str) -> bool {
         "{path}: bash-trace v{} nodes={} seed={:#x} workload={:?}",
         header.version, header.nodes, header.seed, header.workload
     );
-    let mut records = 0usize;
-    let mut completions = 0usize;
-    let mut per_node = vec![0u64; header.nodes as usize];
-    for r in &mut reader {
-        let r = match r {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("trace: decode failed after {records} records: {e}");
-                return false;
-            }
-        };
-        records += 1;
-        completions += r.completion.is_some() as usize;
-        per_node[r.node.index()] += 1;
+    let scan = scan_recovering(reader, |_| {});
+    if let Some(e) = scan.error {
+        eprintln!(
+            "trace: decode failed after {} records: {e}",
+            scan.stats.records
+        );
+        return false;
     }
+    let records = scan.stats.records;
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!(
-        "  {records} records ({completions} with completion latency), {bytes} bytes \
+        "  {records} records ({} with completion latency), {bytes} bytes \
          ({:.2} B/record)",
+        scan.stats.completions,
         bytes as f64 / records.max(1) as f64
     );
     println!(
         "  per-node ops: [{}]",
-        per_node
+        scan.stats
+            .per_node
             .iter()
             .map(u64::to_string)
             .collect::<Vec<_>>()
             .join(", ")
     );
-    match reader.index() {
+    if scan.stats.skipped_chunks > 0 {
+        println!("  {}", skipped_warning(scan.stats.skipped_chunks, records));
+    }
+    match scan.reader.index() {
         Some(index) => println!(
             "  chunk index: {} chunks, largest {} records",
             index.entries.len(),
@@ -165,19 +238,54 @@ fn migrate(input: &str, output: &str) -> bool {
 }
 
 /// Replays the file through all three protocols at the paper-default
-/// system, decoding the trace streaming per run (`trace_in_path`).
+/// system. A healthy file streams per run (`trace_in_path`, never
+/// buffered); a file whose recovering pre-scan had to skip corrupted
+/// chunks prints a warning row and replays the surviving records from
+/// memory instead of dying mid-run.
 fn replay(opts: &Options, path: &str) -> bool {
+    let Some(reader) = open_reader(path) else {
+        return false;
+    };
+    let header = reader.header().clone();
+    let scan = scan_recovering(reader, |_| {});
+    if let Some(e) = scan.error {
+        eprintln!(
+            "trace: decode failed after {} records: {e}",
+            scan.stats.records
+        );
+        return false;
+    }
+    let skipped = scan.stats.skipped_chunks;
+    let survivors = if skipped > 0 {
+        println!("{}", skipped_warning(skipped, scan.stats.records));
+        let Some(reader) = open_reader(path) else {
+            return false;
+        };
+        let mut records = Vec::with_capacity(scan.stats.records as usize);
+        scan_recovering(reader, |r| records.push(r));
+        Some(Trace {
+            nodes: header.nodes,
+            seed: header.seed,
+            workload: header.workload,
+            records,
+        })
+    } else {
+        None
+    };
     println!(
         "{:<10} {:>12} {:>12} {:>8} {:>10}",
         "protocol", "ops/ms", "latency", "util", "broadcast"
     );
     for proto in ProtocolKind::ALL {
-        let builder = match SimBuilder::new(proto).trace_in_path(path) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("trace: {e}");
-                return false;
-            }
+        let builder = match &survivors {
+            Some(trace) => SimBuilder::new(proto).trace_in(trace.clone()),
+            None => match SimBuilder::new(proto).trace_in_path(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("trace: {e}");
+                    return false;
+                }
+            },
         };
         let report = builder
             .warmup(opts.window(bash::Duration::from_ns(5_000)))
@@ -217,4 +325,97 @@ fn diff(path: &str) -> bool {
         return false;
     }
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bash::net::NodeId;
+    use bash::{BlockAddr, Duration, ProcOp, SeekableTrace};
+    use std::io::Cursor;
+
+    /// A v2 fixture with 32-record chunks: 100 records = 32+32+32+4.
+    fn fixture_bytes() -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), 4, 0xBEEF, "fixture")
+            .unwrap()
+            .chunk_records(32);
+        for i in 0u64..100 {
+            let node = (i % 4) as u16;
+            w.write(TraceRecord {
+                node: NodeId(node),
+                think: Duration::from_ns(5),
+                instructions: 7,
+                op: ProcOp::Store {
+                    block: BlockAddr(0x4000_0000 + node as u64 * 0x1000 + i / 4),
+                    word: (i % 8) as usize,
+                    value: i,
+                },
+                completion: None,
+            })
+            .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    /// The fixture with one payload byte of chunk `i` flipped — decodable
+    /// only by a recovering reader, which skips that chunk.
+    fn corrupted_bytes(chunk: usize) -> Vec<u8> {
+        let mut bytes = fixture_bytes();
+        let offset = SeekableTrace::open(Cursor::new(&bytes))
+            .unwrap()
+            .index()
+            .entries[chunk]
+            .offset;
+        let data_start = TraceReader::new(&bytes[..]).unwrap().data_start().unwrap();
+        bytes[data_start as usize + offset as usize + 6] ^= 0x01;
+        bytes
+    }
+
+    #[test]
+    fn recovering_scan_is_exact_on_healthy_files() {
+        let bytes = fixture_bytes();
+        let mut seen = 0u64;
+        let scan = scan_recovering(TraceReader::new(&bytes[..]).unwrap(), |_| seen += 1);
+        assert!(scan.error.is_none());
+        assert_eq!(scan.stats.records, 100);
+        assert_eq!(seen, 100);
+        assert_eq!(scan.stats.skipped_chunks, 0);
+        assert_eq!(scan.stats.per_node, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn recovering_scan_surfaces_skipped_chunks() {
+        let bytes = corrupted_bytes(2);
+        let mut survivors = Vec::new();
+        let scan = scan_recovering(TraceReader::new(&bytes[..]).unwrap(), |r| survivors.push(r));
+        assert!(scan.error.is_none(), "payload rot must not poison the scan");
+        assert_eq!(scan.stats.skipped_chunks, 1);
+        assert_eq!(scan.stats.records, 68, "100 records minus chunk 2's 32");
+        assert_eq!(survivors.len(), 68);
+        // The trailing index still describes the declared framing.
+        assert_eq!(scan.reader.index().unwrap().entries.len(), 4);
+        assert_eq!(
+            skipped_warning(1, 68),
+            "WARNING: skipped 1 corrupted chunk (68 records survive)"
+        );
+        assert_eq!(
+            skipped_warning(2, 36),
+            "WARNING: skipped 2 corrupted chunks (36 records survive)"
+        );
+    }
+
+    #[test]
+    fn info_describes_a_corrupted_fixture_instead_of_dying() {
+        let dir = std::env::temp_dir().join("bash-trace-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupted.trace");
+        std::fs::write(&path, corrupted_bytes(1)).unwrap();
+        assert!(
+            info(path.to_str().unwrap()),
+            "info must survive payload rot"
+        );
+        let healthy = dir.join("healthy.trace");
+        std::fs::write(&healthy, fixture_bytes()).unwrap();
+        assert!(info(healthy.to_str().unwrap()));
+    }
 }

@@ -52,6 +52,13 @@ impl CalendarConfig {
         width_ps: 64,
     };
 
+    /// Smallest legal bucket width. Every derivation and normalization
+    /// clamps to this, so a zero-latency / zero-horizon configuration
+    /// (zero traversal, instantaneous links) can never produce a
+    /// zero-width wheel — `width_ps` is a divisor in the bucket-count
+    /// derivation and in virtual-bucket hashing.
+    pub const MIN_WIDTH_PS: u64 = 1;
+
     /// Sizes a wheel for an expected steady-state population of
     /// `expected_live` events spread over a `mean_horizon` scheduling
     /// distance (how far ahead of *now* a typical event lands).
@@ -64,8 +71,13 @@ impl CalendarConfig {
     /// designed-for slow path, not a failure mode.
     pub fn sized_for(expected_live: usize, mean_horizon: Duration) -> CalendarConfig {
         let live = expected_live.max(1) as u64;
-        let horizon = mean_horizon.as_ps().max(1);
-        let width_ps = (horizon / live).max(1);
+        // A degenerate config (zero traversal latency, effectively
+        // infinite bandwidth, or an empty system) legally yields a zero
+        // horizon or zero live estimate; clamp the horizon and the
+        // derived width to MIN_WIDTH_PS so the bucket-count division
+        // below cannot divide by zero.
+        let horizon = mean_horizon.as_ps().max(Self::MIN_WIDTH_PS);
+        let width_ps = (horizon / live).max(Self::MIN_WIDTH_PS);
         // Span ~4 horizons, bounded so a mis-estimate cannot allocate an
         // absurd wheel: 64..=65536 buckets.
         let wanted = (horizon.saturating_mul(4) / width_ps).max(1);
@@ -79,7 +91,7 @@ impl CalendarConfig {
     fn normalized(self) -> (usize, u64) {
         (
             self.buckets.next_power_of_two().max(2),
-            self.width_ps.max(1),
+            self.width_ps.max(Self::MIN_WIDTH_PS),
         )
     }
 }
@@ -336,5 +348,50 @@ impl<E> CalendarQueue<E> {
             self.cur_sorted = false;
         }
         Some((slot.time, slot.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a zero-latency / zero-horizon config must
+    /// derive a minimum bucket width, not divide by zero in
+    /// `horizon * 4 / width_ps`.
+    #[test]
+    fn sized_for_survives_zero_horizon_and_zero_population() {
+        for (live, horizon) in [
+            (0usize, Duration::ZERO),
+            (0, Duration::from_ps(1)),
+            (1, Duration::ZERO),
+            (10_000, Duration::ZERO),
+            (0, Duration::from_ns(1_000)),
+        ] {
+            let cfg = CalendarConfig::sized_for(live, horizon);
+            assert!(
+                cfg.width_ps >= CalendarConfig::MIN_WIDTH_PS,
+                "{live}/{horizon:?}"
+            );
+            assert!((64..=1 << 16).contains(&cfg.buckets), "{live}/{horizon:?}");
+        }
+    }
+
+    /// A hand-built zero-width (and zero-bucket) config normalizes to a
+    /// working wheel instead of panicking on modulo/divide-by-zero.
+    #[test]
+    fn zero_width_config_normalizes_and_pops_in_order() {
+        let mut q = CalendarQueue::new(CalendarConfig {
+            buckets: 0,
+            width_ps: 0,
+        });
+        q.schedule(Time::from_ps(30), 1, "b");
+        q.schedule(Time::from_ps(10), 0, "a");
+        q.schedule(Time::from_ps(30), 2, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek(), Some((Time::from_ps(10), 0)));
+        assert_eq!(q.pop(), Some((Time::from_ps(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), "c")));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -24,9 +24,13 @@
 //! branching route instead of sending per-destination clones.
 //!
 //! Grid shapes are chosen as `cols = ` smallest divisor of `n` that is
-//! `≥ ⌈√n⌉`, `rows = n / cols` — always an exact grid with no holes
-//! (n=16 → 4×4, n=8 → 2×4, a prime n degenerates to 1×n, i.e. a line or
-//! ring).
+//! `≥ ⌈√n⌉`, `rows = n / cols`, whenever that yields a genuine 2D grid
+//! (n=16 → 4×4, n=8 → 2×4). Sizes whose only such divisor is `n` itself
+//! (primes, and 1/2) would degenerate into a 1×n line, so they get a
+//! **holed near-square** instead: `cols = ⌈√n⌉`, `rows = ⌈n/cols⌉`, with
+//! the `rows·cols − n` trailing cells of the last row kept as
+//! routing-only switch vertices (ids `n..rows·cols`) rather than
+//! endpoints — n=7 → 3×3 with two holes, n=17 → 4×5 with three.
 
 use crate::ids::NodeId;
 
@@ -287,8 +291,12 @@ impl Topology for Path {
     }
 }
 
-/// 2D grid (`wrap = false`: mesh, `true`: torus) of endpoints, vertex
-/// `r * cols + c`, dimension-order (X then Y) routing.
+/// 2D grid (`wrap = false`: mesh, `true`: torus), vertex `r * cols + c`,
+/// dimension-order (X then Y) routing. Cells `0..nodes` are endpoints;
+/// when [`grid_dims`] picked a holed near-square (prime `nodes`), cells
+/// `nodes..rows*cols` — the tail of the last row — exist as routing-only
+/// switch vertices: links and next-hop decisions treat them like any
+/// other cell, but no message originates or terminates there.
 #[derive(Debug)]
 struct Grid {
     nodes: u16,
@@ -298,17 +306,28 @@ struct Grid {
     links: Vec<(u16, u16)>,
 }
 
-/// `cols` = smallest divisor of `n` that is `≥ ⌈√n⌉` (so the grid is
-/// always exact, with `rows = n / cols ≤ cols`).
+/// `cols` = smallest divisor of `n` that is `≥ ⌈√n⌉`, `rows = n / cols`,
+/// when that keeps `rows ≥ 2` (a genuine 2D grid, exact, no holes). When
+/// the only such divisor is `n` itself — primes, and the trivial sizes 1
+/// and 2 — the exact factorization would collapse the grid into a 1×n
+/// line, so fall back to a **holed near-square**: `cols = ⌈√n⌉`,
+/// `rows = ⌈n / cols⌉`, with `rows · cols ≥ n` and the excess cells
+/// becoming switch-only vertices (never endpoints; see [`Grid`]).
 fn grid_dims(n: u16) -> (u16, u16) {
     let mut cols = 1u16;
     while cols * cols < n {
         cols += 1;
     }
-    while !n.is_multiple_of(cols) {
-        cols += 1;
+    // cols is now ⌈√n⌉; look for the smallest divisor at or above it.
+    let mut exact = cols;
+    while !n.is_multiple_of(exact) {
+        exact += 1;
     }
-    (n / cols, cols)
+    if n / exact >= 2 || n <= 2 {
+        (n / exact, exact)
+    } else {
+        (n.div_ceil(cols), cols)
+    }
 }
 
 impl Grid {
@@ -366,7 +385,7 @@ impl Topology for Grid {
         self.nodes
     }
     fn vertices(&self) -> u16 {
-        self.nodes
+        self.rows * self.cols
     }
     fn links(&self) -> &[(u16, u16)] {
         &self.links
@@ -413,17 +432,56 @@ mod tests {
     }
 
     #[test]
-    fn grid_dims_are_exact_factorizations() {
+    fn grid_dims_are_near_square() {
         assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(2), (1, 2));
         assert_eq!(grid_dims(4), (2, 2));
         assert_eq!(grid_dims(8), (2, 4));
         assert_eq!(grid_dims(16), (4, 4));
         assert_eq!(grid_dims(12), (3, 4));
-        assert_eq!(grid_dims(7), (1, 7)); // prime: degenerates to a line
         for n in 1..=64u16 {
             let (r, c) = grid_dims(n);
-            assert_eq!(r * c, n);
+            // Never degenerate: at least two rows from n = 3 up, and the
+            // grid covers every endpoint (exactly for composites, with
+            // bounded holes otherwise).
+            assert!(r * c >= n, "grid_dims({n}) = ({r}, {c}) too small");
+            assert!(r * c - n < c, "grid_dims({n}) = ({r}, {c}) wastes a row");
             assert!(r <= c);
+            assert!(n <= 2 || r >= 2, "grid_dims({n}) degenerated to a line");
+        }
+    }
+
+    /// Satellite regression: prime node counts must build a holed
+    /// near-square — not silently degenerate Mesh2D/Torus into a 1×n
+    /// line — and the holes must be switch vertices, never endpoints.
+    #[test]
+    fn prime_grids_are_near_square_with_switch_holes() {
+        assert_eq!(grid_dims(7), (3, 3)); // 2 holes
+        assert_eq!(grid_dims(13), (4, 4)); // 3 holes
+        assert_eq!(grid_dims(17), (4, 5)); // 3 holes
+        for n in [7u16, 13, 17] {
+            for kind in [TopologyKind::Mesh2D, TopologyKind::Torus] {
+                let t = all_pairs(kind, n);
+                let (rows, cols) = grid_dims(n);
+                assert_eq!(t.nodes(), n);
+                assert_eq!(t.vertices(), rows * cols, "{kind:?}/{n}");
+                // Every endpoint pair routes over declared links, possibly
+                // through hole vertices — which must stay interior.
+                let valid: std::collections::BTreeSet<(u16, u16)> =
+                    t.links().iter().copied().collect();
+                for s in 0..n {
+                    for d in 0..n {
+                        let route = t.route(NodeId(s), NodeId(d));
+                        for &hop in &route {
+                            assert!(valid.contains(&hop), "{kind:?}/{n}: {hop:?}");
+                        }
+                        if s != d {
+                            assert_eq!(route.first().unwrap().0, s);
+                            assert_eq!(route.last().unwrap().1, d);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -555,7 +613,7 @@ mod tests {
         // the property the fabric's shared-copy multicast forwarding
         // relies on.
         for kind in TopologyKind::ALL_FABRIC {
-            for n in [2u16, 4, 5, 6, 8, 9, 12, 16] {
+            for n in [2u16, 4, 5, 6, 7, 8, 9, 12, 13, 16, 17] {
                 let t = all_pairs(kind, n);
                 for s in 0..n {
                     let mut in_link: std::collections::BTreeMap<u16, (u16, u16)> =

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use bash_adaptive::{AdaptorConfig, DecisionMode};
 use bash_coherence::cache::CacheGeometry;
 use bash_coherence::types::WORDS_PER_BLOCK;
-use bash_coherence::{BlockAddr, BlockData, Mosi, Owner, ProtocolKind, TransitionLog};
+use bash_coherence::{home_of, BlockAddr, BlockData, Mosi, Owner, ProtocolKind, TransitionLog};
 use bash_kernel::Duration;
 use bash_net::{Jitter, NodeId, NodeSet};
 use bash_sim::{System, SystemConfig};
@@ -197,19 +197,20 @@ pub fn run_random_test(cfg: TesterConfig) -> TesterReport {
 /// This is *the* definition of "truth" the invariant sweep and the
 /// differential diff both check against.
 pub fn authoritative_data<W: Workload>(system: &System<W>, block: BlockAddr) -> BlockData {
-    let nodes = system.config().nodes;
-    let owner = (0..nodes).map(NodeId).find(|n| {
+    let cfg = system.config();
+    let owner = (0..cfg.nodes).map(NodeId).find(|n| {
         matches!(
             system.caches()[n.index()].cache().state(block),
             Some(Mosi::M) | Some(Mosi::O)
         )
     });
+    let home = home_of(block, cfg.nodes, cfg.hierarchy.as_ref());
     match owner {
         Some(p) => system.caches()[p.index()]
             .cache()
             .data(block)
             .expect("owner has data"),
-        None => system.mems()[block.home(nodes).index()].stored_data(block),
+        None => system.mems()[home.index()].stored_data(block),
     }
 }
 
@@ -219,8 +220,11 @@ pub fn authoritative_data<W: Workload>(system: &System<W>, block: BlockAddr) -> 
 pub fn sweep_structural<W: Workload>(system: &System<W>, oracle: &mut Oracle) {
     let nodes = system.config().nodes;
     let protocol = system.config().protocol;
+    let hier = system.config().hierarchy;
     for block in oracle.touched_blocks() {
-        let home = block.home(nodes);
+        // Under a hierarchy the authoritative home is the block's spine
+        // bank, not the flat `block % nodes` node.
+        let home = home_of(block, nodes, hier.as_ref());
 
         // At most one cache owner.
         let owners: Vec<NodeId> = (0..nodes)

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bash_coherence::cache::CacheGeometry;
-use bash_coherence::{ProcOp, ProtocolKind};
+use bash_coherence::{HierarchyConfig, ProcOp, ProtocolKind};
 use bash_kernel::{pool, Duration, Time};
 use bash_net::{FaultPlaneConfig, Jitter, NodeId, OrderingMode, TopologyKind};
 use bash_sim::{FaultInjection, RunError, System, SystemConfig, WatchdogBudget, WedgeDiagnostic};
@@ -59,6 +59,10 @@ pub struct VerifyConfig {
     /// Quiescence watchdog: converts a wedged run into a structured
     /// [`WedgeDiagnostic`] on the report instead of spinning forever.
     pub watchdog: Option<WatchdogBudget>,
+    /// Two-level hierarchy shape (snooping clusters under a sharded
+    /// directory spine); `None` verifies the flat organization. Both
+    /// counts must divide [`nodes`](Self::nodes).
+    pub hierarchy: Option<HierarchyConfig>,
     /// Relative spread of per-node mean latencies across protocols above
     /// which a differential run counts the location as a latency
     /// divergence (informational — latency differences are *expected*
@@ -87,6 +91,7 @@ impl VerifyConfig {
             fault: None,
             fault_plane: None,
             watchdog: None,
+            hierarchy: None,
             latency_tolerance: 0.25,
         }
     }
@@ -109,6 +114,9 @@ impl VerifyConfig {
         }
         if let Some(budget) = self.watchdog {
             cfg = cfg.with_watchdog(budget);
+        }
+        if let Some(h) = self.hierarchy {
+            cfg = cfg.with_hierarchy(h);
         }
         cfg.fault = self.fault;
         cfg

@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bash_adaptive::AdaptorConfig;
-use bash_coherence::{CacheGeometry, ProtocolKind};
+use bash_coherence::{CacheGeometry, HierarchyConfig, ProtocolKind};
 use bash_kernel::pool;
 use bash_kernel::stats::RunningStat;
 use bash_kernel::{Duration, QueueKind, Time};
@@ -142,6 +142,24 @@ pub enum BuildError {
     /// [`RobustnessSpec::watchdog`], or opt in to unguarded wedges with
     /// [`RobustnessSpec::allow_unprotected_wedges`].
     UnprotectedLossyNeedsWatchdog,
+    /// A [`HierarchySpec`] was configured with a zero cluster size.
+    ZeroClusterSize,
+    /// A [`HierarchySpec`] was configured with zero directory-spine banks.
+    ZeroHierarchyBanks,
+    /// The hierarchy's cluster size does not divide the node count.
+    ClusterSizeMismatch {
+        /// Configured nodes per cluster.
+        cluster_size: u16,
+        /// Configured node count.
+        nodes: u16,
+    },
+    /// The hierarchy's bank count does not divide the node count.
+    BankCountMismatch {
+        /// Configured directory-spine banks.
+        banks: u16,
+        /// Configured node count.
+        nodes: u16,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -177,6 +195,21 @@ impl fmt::Display for BuildError {
             BuildError::UnprotectedLossyNeedsWatchdog => f.write_str(
                 "an unprotected lossy fault plane needs a watchdog budget \
                  (or RobustnessSpec::allow_unprotected_wedges to opt in to unguarded wedges)",
+            ),
+            BuildError::ZeroClusterSize => f.write_str("hierarchy cluster size must be at least 1"),
+            BuildError::ZeroHierarchyBanks => {
+                f.write_str("hierarchy bank count must be at least 1")
+            }
+            BuildError::ClusterSizeMismatch {
+                cluster_size,
+                nodes,
+            } => write!(
+                f,
+                "hierarchy cluster size {cluster_size} does not divide the node count {nodes}"
+            ),
+            BuildError::BankCountMismatch { banks, nodes } => write!(
+                f,
+                "hierarchy bank count {banks} does not divide the node count {nodes}"
             ),
         }
     }
@@ -540,6 +573,134 @@ impl CaptureSpec {
     }
 }
 
+/// The two-level-hierarchy half of a [`SimBuilder`] configuration:
+/// nodes grouped into snooping clusters under a directory spine sharded
+/// across address-interleaved banks. Handed to
+/// [`SimBuilder::hierarchy`] as one value; both knobs must divide the
+/// node count ([`SimBuilder::validate`] rejects misfits).
+///
+/// Under a hierarchy every protocol personality rides the hierarchical
+/// BASH engine: Snooping cluster-casts every request, Directory
+/// dualcasts to the spine bank, and BASH chooses per cluster via the
+/// paper's adaptive mechanism fed with cluster-mean utilization. See
+/// `docs/HIERARCHY.md`.
+///
+/// ```
+/// use bash::{HierarchySpec, ProtocolKind, SimBuilder};
+///
+/// let b = SimBuilder::new(ProtocolKind::Bash)
+///     .nodes(64)
+///     .hierarchy(HierarchySpec::new(8, 4));
+/// assert!(b.validate().is_err()); // no workload yet — but the shape fits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchySpec {
+    /// Nodes per snooping cluster (≥ 1, must divide the node count).
+    pub cluster_size: u16,
+    /// Address-interleaved directory-spine banks (≥ 1, must divide the
+    /// node count).
+    pub banks: u16,
+}
+
+impl HierarchySpec {
+    /// A hierarchy of `cluster_size`-node clusters under `banks` spine
+    /// banks.
+    pub fn new(cluster_size: u16, banks: u16) -> Self {
+        HierarchySpec {
+            cluster_size,
+            banks,
+        }
+    }
+
+    /// Sets the nodes per cluster.
+    pub fn cluster_size(mut self, cluster_size: u16) -> Self {
+        self.cluster_size = cluster_size;
+        self
+    }
+
+    /// Sets the directory-spine bank count.
+    pub fn banks(mut self, banks: u16) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// The coherence-layer shape this spec configures.
+    pub fn config(&self) -> HierarchyConfig {
+        HierarchyConfig::new(self.cluster_size, self.banks)
+    }
+}
+
+/// Values set through the deprecated per-field [`SimBuilder`] shims that
+/// must survive a later [`SimBuilder::fabric`] replacing the whole spec —
+/// without this, `.topology(Mesh2D).fabric(spec)` and
+/// `.fabric(spec).topology(Mesh2D)` would disagree.
+#[derive(Debug, Clone, Default)]
+struct FabricOverrides {
+    topology: Option<TopologyKind>,
+    broadcast_cost: Option<u32>,
+    jitter: Option<Jitter>,
+}
+
+impl FabricOverrides {
+    fn apply(&self, spec: &mut FabricSpec) {
+        if let Some(topology) = self.topology {
+            spec.topology = topology;
+        }
+        if let Some(cost) = self.broadcast_cost {
+            spec.broadcast_cost = cost;
+        }
+        if let Some(jitter) = &self.jitter {
+            spec.jitter = Some(jitter.clone());
+        }
+    }
+}
+
+/// Shim values that must survive [`SimBuilder::robustness`] (see
+/// [`FabricOverrides`]).
+#[derive(Debug, Clone, Default)]
+struct RobustnessOverrides {
+    fault_plane: Option<FaultPlaneConfig>,
+    watchdog: Option<WatchdogBudget>,
+}
+
+impl RobustnessOverrides {
+    fn apply(&self, spec: &mut RobustnessSpec) {
+        if let Some(plane) = &self.fault_plane {
+            spec.fault_plane = Some(plane.clone());
+        }
+        if let Some(budget) = self.watchdog {
+            spec.watchdog = Some(budget);
+        }
+    }
+}
+
+/// Shim values that must survive [`SimBuilder::capture`] (see
+/// [`FabricOverrides`]).
+#[derive(Debug, Clone, Default)]
+struct CaptureOverrides {
+    ops_out: Option<PathBuf>,
+    all_points: Option<bool>,
+    completions: Option<bool>,
+    policy: Option<bool>,
+}
+
+impl CaptureOverrides {
+    fn apply(&self, spec: &mut CaptureSpec) {
+        if let Some(path) = &self.ops_out {
+            spec.ops_out = Some(path.clone());
+        }
+        if let Some(all) = self.all_points {
+            spec.all_points = all;
+        }
+        if let Some(completions) = self.completions {
+            spec.completions = completions;
+        }
+        if let Some(policy) = self.policy {
+            spec.policy = policy;
+        }
+    }
+}
+
 /// Fluent configuration of one simulation campaign.
 ///
 /// Defaults mirror [`SystemConfig::paper_default`]: the paper's latencies,
@@ -557,6 +718,10 @@ pub struct SimBuilder {
     fabric: FabricSpec,
     robustness: RobustnessSpec,
     capture: CaptureSpec,
+    hierarchy: Option<HierarchySpec>,
+    fabric_overrides: FabricOverrides,
+    robustness_overrides: RobustnessOverrides,
+    capture_overrides: CaptureOverrides,
     warmup: Duration,
     measure: Duration,
     seeds: u32,
@@ -582,6 +747,10 @@ impl SimBuilder {
             fabric: FabricSpec::default(),
             robustness: RobustnessSpec::default(),
             capture: CaptureSpec::default(),
+            hierarchy: None,
+            fabric_overrides: FabricOverrides::default(),
+            robustness_overrides: RobustnessOverrides::default(),
+            capture_overrides: CaptureOverrides::default(),
             warmup: Duration::from_ns(100_000),
             measure: Duration::from_ns(400_000),
             seeds: 1,
@@ -599,9 +768,14 @@ impl SimBuilder {
     }
 
     /// Replaces the whole interconnect configuration (topology, bandwidth
-    /// sweep, broadcast cost, jitter) with `spec`.
+    /// sweep, broadcast cost, jitter) with `spec`. Fields previously set
+    /// through the deprecated per-field shims
+    /// ([`topology`](Self::topology), [`broadcast_cost`](Self::broadcast_cost),
+    /// [`jitter`](Self::jitter)) survive the replacement — setter order
+    /// never changes the configuration.
     pub fn fabric(mut self, spec: FabricSpec) -> Self {
         self.fabric = spec;
+        self.fabric_overrides.apply(&mut self.fabric);
         self
     }
 
@@ -609,16 +783,42 @@ impl SimBuilder {
     /// panic retries) with `spec`. The cross-field rules — a fault plane
     /// needs a fabric topology; an unprotected lossy plane needs a
     /// watchdog or an explicit opt-out — are checked at
-    /// [`validate`](Self::validate) / run time.
+    /// [`validate`](Self::validate) / run time. Fields previously set
+    /// through the deprecated [`fault_plane`](Self::fault_plane) /
+    /// [`watchdog`](Self::watchdog) shims survive the replacement.
     pub fn robustness(mut self, spec: RobustnessSpec) -> Self {
         self.robustness = spec;
+        self.robustness_overrides.apply(&mut self.robustness);
         self
     }
 
     /// Replaces the whole capture configuration (op-trace output,
-    /// completion stamps, policy trace) with `spec`.
+    /// completion stamps, policy trace) with `spec`. Fields previously
+    /// set through the deprecated [`trace_out`](Self::trace_out) /
+    /// [`trace_out_all_points`](Self::trace_out_all_points) /
+    /// [`capture_completions`](Self::capture_completions) /
+    /// [`trace_policy`](Self::trace_policy) shims survive the
+    /// replacement.
     pub fn capture(mut self, spec: CaptureSpec) -> Self {
         self.capture = spec;
+        self.capture_overrides.apply(&mut self.capture);
+        self
+    }
+
+    /// Groups the nodes into a two-level hierarchy: snooping clusters of
+    /// [`HierarchySpec::cluster_size`] nodes under a directory spine
+    /// sharded across [`HierarchySpec::banks`] address-interleaved
+    /// banks. Both counts must divide the node count;
+    /// [`validate`](Self::validate) rejects misfits. See
+    /// `docs/HIERARCHY.md`.
+    pub fn hierarchy(mut self, spec: HierarchySpec) -> Self {
+        self.hierarchy = Some(spec);
+        self
+    }
+
+    /// Returns the system to a flat (single-level) organization.
+    pub fn flat(mut self) -> Self {
+        self.hierarchy = None;
         self
     }
 
@@ -638,6 +838,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.fabric(FabricSpec::new(topology))` (or set it on a FabricSpec)")]
     pub fn topology(mut self, topology: TopologyKind) -> Self {
         self.fabric.topology = topology;
+        self.fabric_overrides.topology = Some(topology);
         self
     }
 
@@ -711,7 +912,8 @@ impl SimBuilder {
     /// overriding the multi-seed perturbation default.
     #[deprecated(note = "use `.fabric(...)` with `FabricSpec::jitter`")]
     pub fn jitter(mut self, jitter: Jitter) -> Self {
-        self.fabric.jitter = Some(jitter);
+        self.fabric.jitter = Some(jitter.clone());
+        self.fabric_overrides.jitter = Some(jitter);
         self
     }
 
@@ -719,6 +921,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.fabric(...)` with `FabricSpec::broadcast_cost`")]
     pub fn broadcast_cost(mut self, multiplier: u32) -> Self {
         self.fabric.broadcast_cost = multiplier;
+        self.fabric_overrides.broadcast_cost = Some(multiplier);
         self
     }
 
@@ -758,6 +961,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.capture(...)` with `CaptureSpec::policy`")]
     pub fn trace_policy(mut self, on: bool) -> Self {
         self.capture.policy = on;
+        self.capture_overrides.policy = Some(on);
         self
     }
 
@@ -843,7 +1047,9 @@ impl SimBuilder {
     /// configuration errors, so they are not `BuildError`s.
     #[deprecated(note = "use `.capture(...)` with `CaptureSpec::ops_to`")]
     pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
-        self.capture.ops_out = Some(path.into());
+        let path = path.into();
+        self.capture.ops_out = Some(path.clone());
+        self.capture_overrides.ops_out = Some(path);
         self
     }
 
@@ -857,6 +1063,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.capture(...)` with `CaptureSpec::completions`")]
     pub fn capture_completions(mut self, on: bool) -> Self {
         self.capture.completions = on;
+        self.capture_overrides.completions = Some(on);
         self
     }
 
@@ -870,6 +1077,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.capture(...)` with `CaptureSpec::all_points`")]
     pub fn trace_out_all_points(mut self, on: bool) -> Self {
         self.capture.all_points = on;
+        self.capture_overrides.all_points = Some(on);
         self
     }
 
@@ -896,7 +1104,8 @@ impl SimBuilder {
     /// crossbar, which has no links).
     #[deprecated(note = "use `.robustness(...)` with `RobustnessSpec::fault_plane`")]
     pub fn fault_plane(mut self, plane: FaultPlaneConfig) -> Self {
-        self.robustness.fault_plane = Some(plane);
+        self.robustness.fault_plane = Some(plane.clone());
+        self.robustness_overrides.fault_plane = Some(plane);
         self
     }
 
@@ -908,6 +1117,7 @@ impl SimBuilder {
     #[deprecated(note = "use `.robustness(...)` with `RobustnessSpec::watchdog`")]
     pub fn watchdog(mut self, budget: WatchdogBudget) -> Self {
         self.robustness.watchdog = Some(budget);
+        self.robustness_overrides.watchdog = Some(budget);
         self
     }
 
@@ -977,6 +1187,26 @@ impl SimBuilder {
                 return Err(BuildError::BadCacheGeometry);
             }
         }
+        if let Some(h) = &self.hierarchy {
+            if h.cluster_size == 0 {
+                return Err(BuildError::ZeroClusterSize);
+            }
+            if h.banks == 0 {
+                return Err(BuildError::ZeroHierarchyBanks);
+            }
+            if !self.nodes.is_multiple_of(h.cluster_size) {
+                return Err(BuildError::ClusterSizeMismatch {
+                    cluster_size: h.cluster_size,
+                    nodes: self.nodes,
+                });
+            }
+            if !self.nodes.is_multiple_of(h.banks) {
+                return Err(BuildError::BankCountMismatch {
+                    banks: h.banks,
+                    nodes: self.nodes,
+                });
+            }
+        }
         if self.capture.all_points && self.capture.ops_out.is_none() {
             return Err(BuildError::AllPointsWithoutTraceOut);
         }
@@ -1028,6 +1258,9 @@ impl SimBuilder {
             .with_broadcast_cost(self.fabric.broadcast_cost)
             .with_queue(self.queue)
             .with_seed(self.base_seed.wrapping_add(seed_index as u64 * 7919));
+        if let Some(h) = &self.hierarchy {
+            cfg = cfg.with_hierarchy(h.config());
+        }
         if let Some(adaptor) = &self.adaptor {
             cfg = cfg.with_adaptor(adaptor.clone());
         }
@@ -1116,6 +1349,7 @@ impl SimBuilder {
         }
         vcfg.fault_plane = self.robustness.fault_plane.clone();
         vcfg.watchdog = self.robustness.watchdog;
+        vcfg.hierarchy = self.hierarchy.map(|h| h.config());
         if let WorkloadSpec::Trace(trace) = spec {
             // A replay must reproduce the whole captured stream: the
             // trace's own length, not the op cap, bounds the run.
@@ -1492,5 +1726,84 @@ mod tests {
         let b = b.locking_microbench(64, Duration::ZERO);
         assert_eq!(b.validate(), Ok(()));
         assert_eq!(b.nodes(0).validate(), Err(BuildError::ZeroNodes));
+    }
+
+    #[test]
+    fn validation_catches_misfit_hierarchies() {
+        let with = |spec| {
+            SimBuilder::new(ProtocolKind::Bash)
+                .nodes(16)
+                .hierarchy(spec)
+                .check_config()
+        };
+        assert_eq!(
+            with(HierarchySpec::new(0, 4)),
+            Err(BuildError::ZeroClusterSize)
+        );
+        assert_eq!(
+            with(HierarchySpec::new(4, 0)),
+            Err(BuildError::ZeroHierarchyBanks)
+        );
+        assert_eq!(
+            with(HierarchySpec::new(3, 4)),
+            Err(BuildError::ClusterSizeMismatch {
+                cluster_size: 3,
+                nodes: 16,
+            })
+        );
+        assert_eq!(
+            with(HierarchySpec::new(4, 3)),
+            Err(BuildError::BankCountMismatch {
+                banks: 3,
+                nodes: 16
+            })
+        );
+        assert_eq!(with(HierarchySpec::new(4, 4)), Ok(()));
+    }
+
+    #[test]
+    fn hierarchy_reaches_the_system_config() {
+        let b = SimBuilder::new(ProtocolKind::Snooping)
+            .nodes(16)
+            .hierarchy(HierarchySpec::new(4, 2));
+        let cfg = b.config(1600, 0);
+        let h = cfg.hierarchy.expect("hierarchy configured");
+        assert_eq!((h.cluster_size, h.banks), (4, 2));
+        assert!(b.flat().config(1600, 0).hierarchy.is_none());
+    }
+
+    /// The order-dependence regression: a deprecated per-field shim
+    /// followed by a grouped-spec setter used to lose the shim's value
+    /// (the spec replacement overwrote it), so `.topology(..).fabric(..)`
+    /// and `.fabric(..).topology(..)` built different systems.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_then_spec_equals_spec_then_shim() {
+        let spec = FabricSpec::new(TopologyKind::Mesh2D).bandwidths([400, 800]);
+        let shim_first = SimBuilder::new(ProtocolKind::Bash)
+            .broadcast_cost(4)
+            .fabric(spec.clone());
+        let spec_first = SimBuilder::new(ProtocolKind::Bash)
+            .fabric(spec)
+            .broadcast_cost(4);
+        assert_eq!(shim_first.fabric.broadcast_cost, 4);
+        assert_eq!(shim_first.fabric.topology, TopologyKind::Mesh2D);
+        assert_eq!(
+            shim_first.fabric.broadcast_cost,
+            spec_first.fabric.broadcast_cost
+        );
+        assert_eq!(shim_first.fabric.topology, spec_first.fabric.topology);
+        assert_eq!(shim_first.fabric.bandwidths, spec_first.fabric.bandwidths);
+
+        let budget = WatchdogBudget::events(1_000_000);
+        let shim_first = SimBuilder::new(ProtocolKind::Bash)
+            .watchdog(budget)
+            .robustness(RobustnessSpec::new());
+        assert_eq!(shim_first.robustness.watchdog, Some(budget));
+
+        let shim_first = SimBuilder::new(ProtocolKind::Bash)
+            .trace_policy(true)
+            .capture(CaptureSpec::new());
+        assert!(shim_first.capture.policy);
     }
 }

@@ -55,7 +55,9 @@ pub use bash_trace as trace;
 pub use bash_workloads as workloads;
 
 pub use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, DecisionMode, UtilizationCounter};
-pub use bash_coherence::{BlockAddr, CacheGeometry, ProcOp, ProtocolKind, TransitionLog};
+pub use bash_coherence::{
+    BlockAddr, CacheGeometry, HierarchyConfig, ProcOp, ProtocolKind, TransitionLog,
+};
 // Kernel internals (the event queue, the deterministic RNG, busy-time
 // trackers) stay behind [`kernel`]: the facade's flat namespace carries
 // only the vocabulary a simulation user configures or reads back
@@ -66,8 +68,8 @@ pub use bash_net::{
     TopologyKind, TransportConfig,
 };
 pub use bash_sim::{
-    FaultInjection, LinkStat, RunError, RunStats, System, SystemConfig, WatchdogBudget, WedgeCause,
-    WedgeDiagnostic,
+    FaultInjection, HierarchyStats, LinkStat, RunError, RunStats, System, SystemConfig,
+    WatchdogBudget, WedgeCause, WedgeDiagnostic,
 };
 pub use bash_tester::{
     differential_trace, minimize_trace, run_random_test, run_verify, run_verify_trace,
@@ -88,8 +90,8 @@ mod builder;
 mod report_text;
 
 pub use builder::{
-    BoxedWorkload, BuildError, CaptureSpec, FabricSpec, Metric, PointError, PointErrorKind,
-    RobustnessSpec, RunReport, SimBuilder,
+    BoxedWorkload, BuildError, CaptureSpec, FabricSpec, HierarchySpec, Metric, PointError,
+    PointErrorKind, RobustnessSpec, RunReport, SimBuilder,
 };
 pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};
 
@@ -116,8 +118,8 @@ pub use report_text::{sweep_canonical_text, REPORT_TEXT_VERSION};
 /// ```
 pub mod prelude {
     pub use crate::builder::{
-        BuildError, CaptureSpec, FabricSpec, Metric, PointError, PointErrorKind, RobustnessSpec,
-        RunReport, SimBuilder,
+        BuildError, CaptureSpec, FabricSpec, HierarchySpec, Metric, PointError, PointErrorKind,
+        RobustnessSpec, RunReport, SimBuilder,
     };
     pub use bash_coherence::{CacheGeometry, ProtocolKind};
     pub use bash_kernel::{Duration, Time};

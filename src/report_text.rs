@@ -105,6 +105,30 @@ impl RunReport {
                     );
                 }
             }
+            // Hierarchical runs only: flat runs carry no cluster/bank
+            // split, so their canonical text (and the goldens) is
+            // unchanged.
+            if let Some(h) = &r.hierarchy {
+                let _ = writeln!(
+                    out,
+                    "  hierarchy clusters={} banks={} intra_bytes={} inter_bytes={} \
+                     inter_fraction={:?} bank_balance={:?}",
+                    h.clusters,
+                    h.banks,
+                    h.intra_cluster_bytes,
+                    h.inter_cluster_bytes,
+                    h.inter_cluster_fraction(),
+                    h.bank_balance()
+                );
+                let _ = write!(out, "  bank_requests=");
+                for (i, b) in h.bank_requests.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push('\n');
+            }
             // Fault-plane runs only: fault-free runs carry no counters, so
             // their canonical text (and the goldens) is unchanged.
             if let Some(fs) = &r.fault {
@@ -169,5 +193,20 @@ mod tests {
         let reports = vec![tiny_report(), tiny_report()];
         let text = sweep_canonical_text(&reports);
         assert_eq!(text.matches("run-report v1").count(), 2);
+    }
+
+    #[test]
+    fn hierarchy_block_only_on_hierarchical_runs() {
+        assert!(!tiny_report().canonical_text().contains("hierarchy "));
+        let report = SimBuilder::new(ProtocolKind::Bash)
+            .nodes(8)
+            .hierarchy(crate::HierarchySpec::new(4, 2))
+            .locking_microbench(32, Duration::ZERO)
+            .warmup_ns(2_000)
+            .measure_ns(5_000)
+            .run();
+        let text = report.canonical_text();
+        assert!(text.contains("hierarchy clusters=2 banks=2"));
+        assert!(text.contains("bank_requests="));
     }
 }

@@ -28,7 +28,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use bash::{
-    sweep_canonical_text, FabricSpec, ProtocolKind, QueueKind, SimBuilder, TopologyKind, Trace,
+    sweep_canonical_text, FabricSpec, HierarchySpec, ProtocolKind, QueueKind, SimBuilder,
+    TopologyKind, Trace,
 };
 
 /// The scenarios with committed mini-traces. `phase-shift` is the
@@ -231,6 +232,114 @@ fn mesh_golden_reports_match_and_are_thread_invariant() {
     assert!(
         failures.is_empty(),
         "mesh golden reports diverged; if intentional, run scripts/update_goldens.sh \
+         and commit the diff:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// System size of the hierarchical golden (64 nodes in 4 clusters of 16
+/// under a 4-bank directory spine).
+const HIER_NODES: u16 = 64;
+
+/// Bandwidths the hierarchical golden sweeps (two points keep the
+/// 64-node replay fast while still exercising grid parallelism).
+const HIER_BANDWIDTHS: [u64; 2] = [400, 1600];
+
+/// Loads the committed 64-node mini-trace; in bless mode, captures a
+/// missing one (same contract as [`mini_trace`]).
+fn hier_mini_trace() -> Trace {
+    let path = golden_dir().join("migratory64.trace");
+    if path.exists() {
+        return Trace::read_from(&path)
+            .unwrap_or_else(|e| panic!("committed trace {} is invalid: {e}", path.display()));
+    }
+    assert!(
+        blessing(),
+        "missing committed trace {} — run scripts/update_goldens.sh",
+        path.display()
+    );
+    let (_, trace) = SimBuilder::new(ProtocolKind::Snooping)
+        .nodes(HIER_NODES)
+        .bandwidth_mbps(1600)
+        .scenario("migratory")
+        .seed(SEED)
+        .warmup_ns(WARMUP_NS)
+        .measure_ns(MEASURE_NS)
+        .run_captured();
+    fs::create_dir_all(golden_dir()).unwrap();
+    trace.write_to(&path).unwrap();
+    eprintln!(
+        "blessed {} ({} records)",
+        path.display(),
+        trace.records.len()
+    );
+    trace
+}
+
+/// Golden pin for the two-level hierarchy: the 64-node migratory
+/// mini-trace replayed as 4 snooping clusters of 16 under a 4-bank
+/// directory spine, through all three protocol personalities, byte for
+/// byte against its own blessed golden (which carries the hierarchy
+/// stats block). Thread counts and the queue implementation must not
+/// change a byte. Any drift in cluster-cast delivery, spine routing,
+/// per-cluster adaptation, or the cluster/bank statistics shows up here.
+#[test]
+fn hierarchy_golden_reports_match_and_are_thread_invariant() {
+    let trace = hier_mini_trace();
+    let mut failures = Vec::new();
+    for proto in PROTOCOLS {
+        let render = |threads: usize, queue: QueueKind| {
+            sweep_canonical_text(
+                &SimBuilder::new(proto)
+                    .trace_in(trace.clone())
+                    .hierarchy(HierarchySpec::new(16, 4))
+                    .bandwidths(HIER_BANDWIDTHS)
+                    .seed(SEED)
+                    .warmup_ns(WARMUP_NS)
+                    .measure_ns(MEASURE_NS)
+                    .threads(threads)
+                    .queue(queue)
+                    .run_sweep(),
+            )
+        };
+        let serial = render(1, QueueKind::Calendar);
+        assert_eq!(
+            serial,
+            render(4, QueueKind::Calendar),
+            "migratory64-hier/{proto:?}: threads=4 replay diverged from threads=1"
+        );
+        assert_eq!(
+            serial,
+            render(4, QueueKind::Heap),
+            "migratory64-hier/{proto:?}: heap-queue replay diverged from calendar"
+        );
+        assert!(
+            serial.contains("hierarchy clusters=4 banks=4"),
+            "hierarchical replay must report the cluster/bank stats block"
+        );
+        let golden_path = golden_dir().join(format!(
+            "migratory64-hier.{}.golden.txt",
+            proto.name().to_ascii_lowercase()
+        ));
+        if blessing() {
+            fs::create_dir_all(golden_dir()).unwrap();
+            fs::write(&golden_path, &serial).unwrap();
+            eprintln!("blessed {}", golden_path.display());
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {} — run scripts/update_goldens.sh",
+                golden_path.display()
+            )
+        });
+        if golden != serial {
+            failures.push(diff_summary(&golden_path, &golden, &serial));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "hierarchy golden reports diverged; if intentional, run scripts/update_goldens.sh \
          and commit the diff:\n{}",
         failures.join("\n")
     );
