@@ -1,27 +1,39 @@
 //! Emits `BENCH_engine.json`: the repo's engine-performance baseline.
 //!
-//! Three numbers anchor the perf trajectory:
+//! Four numbers anchor the perf trajectory:
 //!
 //! * **events/sec** — single-threaded simulated-event throughput of a fixed
 //!   end-to-end run, one value per protocol (the zero-allocation hot path's
 //!   metric);
 //! * **sweep wall time** — the same (bandwidth × seed) grid executed with
 //!   `.threads(1)` and with the default thread pool (the parallel sweep
-//!   executor's metric), plus the resulting speedup;
+//!   executor's metric), plus the resulting speedup. On a single-core host
+//!   the parallel point is skipped and annotated instead of being reported
+//!   as a meaningless ~1.0x "speedup";
 //! * **calendar vs heap** — the calendar event queue against the binary
 //!   heap it replaced: a raw queue-churn point at 256-node load
-//!   (`calendar_vs_heap_256`, the tentpole's headline scaling win) plus
+//!   (`calendar_vs_heap_256`, PR 8's headline scaling win) plus
 //!   end-to-end ratios on the existing 16-node points (which must not
-//!   regress).
+//!   regress);
+//! * **scale** — the adaptive-sharer-set / open-addressed-block-table
+//!   gate: end-to-end hierarchical events/sec at 256, 1024, and 4096
+//!   nodes (sizes the old fixed 256-node bitset could not even build
+//!   past), plus `smallset_vs_bitset_16` — the new `NodeSet` against the
+//!   retired fixed-width bitset on a 16-node working pattern, which must
+//!   hold >= 0.95x so scaling up never taxes the paper-sized runs.
 //!
 //! Usage: `engine_baseline [OUTPUT.json]` (default `BENCH_engine.json`).
 //! Run it through `scripts/bench_baseline.sh` for a release build.
 
 use std::time::Instant;
 
-use bash::{Duration, ProtocolKind, QueueKind, SimBuilder, System, SystemConfig, Time};
+use bash::{
+    Duration, HierarchyConfig, ProtocolKind, QueueKind, SimBuilder, System, SystemConfig, Time,
+};
 use bash_coherence::CacheGeometry;
 use bash_kernel::{pool, EventQueue};
+use bash_net::ids::ReferenceBitSet;
+use bash_net::{NodeId, NodeSet};
 use bash_workloads::LockingMicrobench;
 
 /// One fixed end-to-end run; returns (events processed, wall seconds).
@@ -96,6 +108,92 @@ fn queue_churn_ops_per_sec(queue: QueueKind, reps: usize) -> f64 {
     (0..reps).map(|_| run()).fold(0.0, f64::max)
 }
 
+/// End-to-end events/sec of a hierarchical BASH run at `nodes` nodes
+/// (`cluster`-node snooping clusters under a `banks`-bank spine) — the
+/// scale trajectory the adaptive sharer sets and open-addressed block
+/// tables exist for. Short measure window: the point is the per-event
+/// cost at population, not a long steady state.
+fn scale_events_per_sec(nodes: u16, cluster: u16, banks: u16, reps: usize) -> f64 {
+    let run = || {
+        let cfg = SystemConfig::paper_default(ProtocolKind::Bash, nodes, 1600)
+            .with_cache(CacheGeometry { sets: 64, ways: 4 })
+            .with_hierarchy(HierarchyConfig::new(cluster, banks));
+        let wl = LockingMicrobench::new(nodes, nodes as u64 * 4, Duration::ZERO, 1);
+        let t0 = Instant::now();
+        let stats = System::run(cfg, wl, Duration::from_ns(5_000), Duration::from_ns(50_000));
+        stats.events_processed as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    (0..reps).map(|_| run()).fold(0.0, f64::max)
+}
+
+/// The protocol-controller set workload at 16 nodes: track sharers one
+/// by one, build request masks, check sufficiency (superset), union a
+/// cluster-cast, walk the members, and periodically invalidate. The two
+/// implementations below run it identically; their ops/sec ratio is the
+/// `smallset_vs_bitset_16` no-regression gate.
+macro_rules! set_kernel {
+    ($iters:expr, $empty:expr, $full:expr, $from2:expr) => {{
+        let full = $full;
+        let mut sharers = $empty;
+        let mut acc = 0u64;
+        let t0 = Instant::now();
+        for i in 0..$iters {
+            let a = NodeId((i % 16) as u16);
+            let b = NodeId(((i.wrapping_mul(7) + 3) % 16) as u16);
+            sharers.insert(a);
+            let mask = $from2(a, b);
+            if full.is_superset(&sharers) {
+                acc += 1;
+            }
+            let u = mask.union(&sharers);
+            acc += u.len() as u64;
+            for n in u.iter() {
+                acc = acc.wrapping_add(n.0 as u64);
+            }
+            if i % 5 == 0 {
+                sharers.remove(b);
+            }
+            if i % 29 == 0 {
+                sharers = $empty;
+            }
+        }
+        std::hint::black_box(acc);
+        $iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    }};
+}
+
+/// Ops/sec ratio of the adaptive [`NodeSet`] over the retired fixed
+/// `[u64; 64]` bitset ([`ReferenceBitSet`]) on the 16-node kernel.
+fn smallset_vs_bitset_16(reps: usize) -> f64 {
+    const ITERS: u64 = 1_000_000;
+    let small = (0..reps)
+        .map(|_| {
+            set_kernel!(ITERS, NodeSet::EMPTY, NodeSet::all(16), |a, b| {
+                NodeSet::from_nodes([a, b])
+            })
+        })
+        .fold(0.0, f64::max);
+    let bitset = (0..reps)
+        .map(|_| {
+            set_kernel!(ITERS, ReferenceBitSet::EMPTY, full_reference(16), |a, b| {
+                let mut m = ReferenceBitSet::EMPTY;
+                m.insert(a);
+                m.insert(b);
+                m
+            })
+        })
+        .fold(0.0, f64::max);
+    small / bitset.max(1e-9)
+}
+
+fn full_reference(n: u16) -> ReferenceBitSet {
+    let mut s = ReferenceBitSet::EMPTY;
+    for i in 0..n {
+        s.insert(NodeId(i));
+    }
+    s
+}
+
 const SWEEP_BANDWIDTHS: [u64; 7] = [200, 400, 800, 1600, 3200, 6400, 12800];
 const SWEEP_SEEDS: u32 = 4;
 
@@ -141,6 +239,17 @@ fn main() {
     let churn_ratio = cal_ops / heap_ops.max(1e-9);
     eprintln!("  calendar {cal_ops:>12.0} ops/s, heap {heap_ops:>12.0} ops/s ({churn_ratio:.2}x)");
 
+    eprintln!("measuring hierarchical scale points (256/1024/4096 nodes)...");
+    let mut scale_lines = Vec::new();
+    for (nodes, cluster, banks, reps) in [(256, 16, 8, 3), (1024, 32, 16, 2), (4096, 64, 32, 1)] {
+        let eps = scale_events_per_sec(nodes, cluster, banks, reps);
+        eprintln!("  {nodes:>5} nodes {eps:>12.0} events/s");
+        scale_lines.push(format!("    \"events_per_sec_{nodes}\": {eps:.0}"));
+    }
+    let set_ratio = smallset_vs_bitset_16(3);
+    eprintln!("  smallset_vs_bitset_16 {set_ratio:.3}x");
+    scale_lines.push(format!("    \"smallset_vs_bitset_16\": {set_ratio:.3}"));
+
     let grid_points = SWEEP_BANDWIDTHS.len() as u32 * SWEEP_SEEDS;
     eprintln!(
         "measuring sweep wall time ({} bandwidths x {} seeds)...",
@@ -148,25 +257,35 @@ fn main() {
         SWEEP_SEEDS
     );
     let serial_s = sweep(1);
-    let parallel_s = sweep(0);
     let threads = pool::available_threads();
-    eprintln!(
-        "  serial {serial_s:.3}s, parallel {parallel_s:.3}s on {threads} threads ({:.2}x)",
-        serial_s / parallel_s.max(1e-9)
-    );
+    // On a single-core host the pool degenerates to serial execution, so
+    // a "parallel" point would only publish run-to-run noise as a bogus
+    // ~1.0x speedup. Skip it and say so in the artifact.
+    let sweep_section = if threads <= 1 {
+        eprintln!("  serial {serial_s:.3}s; 1 thread available — parallel point skipped");
+        format!(
+            "    \"grid_points\": {grid_points},\n    \"available_threads\": {threads},\n    \"wall_s_threads1\": {serial_s:.4},\n    \"parallel\": \"skipped: single-core host, speedup would be noise\""
+        )
+    } else {
+        let parallel_s = sweep(0);
+        let speedup = serial_s / parallel_s.max(1e-9);
+        eprintln!(
+            "  serial {serial_s:.3}s, parallel {parallel_s:.3}s on {threads} threads ({speedup:.2}x)"
+        );
+        format!(
+            "    \"grid_points\": {grid_points},\n    \"available_threads\": {threads},\n    \"wall_s_threads1\": {serial_s:.4},\n    \"wall_s_parallel\": {parallel_s:.4},\n    \"speedup\": {speedup:.3},\n    \"speedup_threads\": {threads}"
+        )
+    };
 
     let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"events_per_sec\": {{\n{}\n  }},\n  \"queue\": {{\n    \"calendar_vs_heap_256\": {:.3},\n    \"churn_ops_per_sec_calendar\": {:.0},\n    \"churn_ops_per_sec_heap\": {:.0},\n{}\n  }},\n  \"sweep\": {{\n    \"grid_points\": {},\n    \"available_threads\": {},\n    \"wall_s_threads1\": {:.4},\n    \"wall_s_parallel\": {:.4},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"engine\",\n  \"events_per_sec\": {{\n{}\n  }},\n  \"queue\": {{\n    \"calendar_vs_heap_256\": {:.3},\n    \"churn_ops_per_sec_calendar\": {:.0},\n    \"churn_ops_per_sec_heap\": {:.0},\n{}\n  }},\n  \"scale\": {{\n{}\n  }},\n  \"sweep\": {{\n{}\n  }}\n}}\n",
         proto_lines.join(",\n"),
         churn_ratio,
         cal_ops,
         heap_ops,
         ratio_lines.join(",\n"),
-        grid_points,
-        threads,
-        serial_s,
-        parallel_s,
-        serial_s / parallel_s.max(1e-9),
+        scale_lines.join(",\n"),
+        sweep_section,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");

@@ -25,6 +25,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::blocktable::BlockTable;
+
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, VnetId};
 
@@ -47,8 +49,10 @@ struct WbPending {
     queued: VecDeque<(Request, NodeSet, u64)>,
 }
 
-/// Per-block home state.
-#[derive(Debug, Clone, Default)]
+/// Per-block home state *and* stored contents, combined so the
+/// per-event hot path resolves a block with one table probe instead of
+/// separate state/store map lookups.
+#[derive(Debug, Clone)]
 struct BlockState {
     owner: Owner,
     sharers: NodeSet,
@@ -58,6 +62,20 @@ struct BlockState {
     /// the fault plane's retransmission delays). It waits here and
     /// completes the writeback the instant the window opens.
     early_wb: Vec<(NodeId, BlockData)>,
+    /// The DRAM contents (zeros until a writeback lands).
+    data: BlockData,
+}
+
+impl Default for BlockState {
+    fn default() -> Self {
+        BlockState {
+            owner: Owner::default(),
+            sharers: NodeSet::EMPTY,
+            wb: None,
+            early_wb: Vec::new(),
+            data: BlockData::ZERO,
+        }
+    }
 }
 
 /// The BASH home memory controller for one node's slice of memory.
@@ -72,8 +90,7 @@ pub struct BashMemCtrl {
     /// precise identity), and retry masks are cluster-expanded so
     /// cross-cluster forwarding reaches whole sharing clusters.
     hier: Option<HierarchyConfig>,
-    blocks: HashMap<BlockAddr, BlockState>,
-    store: HashMap<BlockAddr, BlockData>,
+    blocks: BlockTable<BlockState>,
     /// Outstanding retry buffers, keyed by transaction (count = retries
     /// injected so far).
     retry_slots: HashMap<TxnId, u8>,
@@ -149,8 +166,7 @@ impl BashMemCtrl {
             node,
             nodes,
             hier,
-            blocks: HashMap::new(),
-            store: HashMap::new(),
+            blocks: BlockTable::new(),
             retry_slots: HashMap::new(),
             retry_capacity,
             dram_latency,
@@ -178,14 +194,14 @@ impl BashMemCtrl {
 
     /// Current owner of a block (invariant checks).
     pub fn owner_of(&self, block: BlockAddr) -> Owner {
-        self.blocks.get(&block).map(|b| b.owner).unwrap_or_default()
+        self.blocks.get(block).map(|b| b.owner).unwrap_or_default()
     }
 
     /// Current sharer superset of a block (invariant checks).
     pub fn sharers_of(&self, block: BlockAddr) -> NodeSet {
         self.blocks
-            .get(&block)
-            .map(|b| b.sharers)
+            .get(block)
+            .map(|b| b.sharers.clone())
             .unwrap_or(NodeSet::EMPTY)
     }
 
@@ -193,7 +209,7 @@ impl BashMemCtrl {
     /// record of `node` — drop its sharer bit and, if it is the recorded
     /// owner, reset ownership to memory. Harness self-tests only.
     pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
-        if let Some(b) = self.blocks.get_mut(&block) {
+        if let Some(b) = self.blocks.get_mut(block) {
             b.sharers.remove(node);
             if b.owner == Owner::Node(node) {
                 b.owner = Owner::Memory;
@@ -203,7 +219,10 @@ impl BashMemCtrl {
 
     /// The stored contents of a block (defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
-        self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
+        self.blocks
+            .get(block)
+            .map(|b| b.data)
+            .unwrap_or(BlockData::ZERO)
     }
 
     /// True when no writeback windows, early writeback data, or retry
@@ -270,10 +289,10 @@ impl BashMemCtrl {
 
         // Writeback window: stall everything but PutMs.
         let stalled = {
-            let st = self.blocks.entry(block).or_default();
+            let st = self.blocks.or_default(block);
             if let Some(wb) = st.wb.as_mut() {
                 if req.kind != TxnKind::PutM {
-                    wb.queued.push_back((*req, *mask, order));
+                    wb.queued.push_back((*req, mask.clone(), order));
                     true
                 } else {
                     false
@@ -302,7 +321,7 @@ impl BashMemCtrl {
         let block = req.block;
         if req.kind == TxnKind::PutM {
             let early = {
-                let st = self.blocks.entry(block).or_default();
+                let st = self.blocks.or_default(block);
                 if st.owner == Owner::Node(req.requestor) {
                     st.wb = Some(WbPending {
                         from: req.requestor,
@@ -325,8 +344,8 @@ impl BashMemCtrl {
         }
 
         let (owner, sharers) = {
-            let st = self.blocks.entry(block).or_default();
-            (st.owner, st.sharers)
+            let st = self.blocks.or_default(block);
+            (st.owner, st.sharers.clone())
         };
 
         if is_sufficient(req.kind, mask, owner, &sharers, self.node) {
@@ -336,7 +355,7 @@ impl BashMemCtrl {
             if owner == Owner::Memory {
                 self.respond_with_data(now, req, order, sink);
             }
-            let st = self.blocks.get_mut(&block).expect("present");
+            let st = self.blocks.get_mut(block).expect("present");
             match req.kind {
                 TxnKind::GetS => {
                     // Under a hierarchy the spine tracks sharers at cluster
@@ -403,7 +422,7 @@ impl BashMemCtrl {
             NodeSet::all(self.nodes as usize)
         } else {
             // {owner ∪ sharers ∪ requestor ∪ home} (§3.3).
-            let mut m = *sharers;
+            let mut m = sharers.clone();
             if let Owner::Node(p) = owner {
                 m.insert(p);
             }
@@ -435,7 +454,7 @@ impl BashMemCtrl {
         sink: &mut ActionSink,
     ) {
         let before = self.state_label(block);
-        let st = self.blocks.entry(block).or_default();
+        let st = self.blocks.or_default(block);
         if st.wb.as_ref().is_none_or(|wb| wb.from != from) {
             if self.tolerant {
                 // A corrupted owner record (duplicated/reordered request
@@ -456,7 +475,7 @@ impl BashMemCtrl {
         }
         let wb = st.wb.take().expect("window checked above");
         st.owner = Owner::Memory;
-        self.store.insert(block, data);
+        st.data = data;
         self.stats.writebacks_accepted += 1;
         for (req, mask, order) in wb.queued {
             let mid = self.state_label(block);
@@ -504,7 +523,7 @@ impl BashMemCtrl {
     }
 
     fn state_label(&self, block: BlockAddr) -> &'static str {
-        match self.blocks.get(&block) {
+        match self.blocks.get(block) {
             None => "Mem",
             Some(b) if b.wb.is_some() => "WbPending",
             Some(b) => match (b.owner, b.sharers.is_empty()) {

@@ -22,6 +22,7 @@ use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, Ordered, VnetId};
 
 use crate::actions::{AccessOutcome, Action, ActionSink};
+use crate::blocktable::BlockTable;
 use crate::cache::{CacheArray, CacheGeometry, Mosi};
 use crate::common::{CacheStats, MemStats, Mshr, WbEntry};
 use crate::registry::TransitionLog;
@@ -287,7 +288,7 @@ impl DirectoryCacheCtrl {
                 .map(|m| m.block == block && m.have_marker && !self.is_local_owner(block))
                 .unwrap_or(false);
             if must_defer {
-                self.deferred.push((*req, *mask));
+                self.deferred.push((*req, mask.clone()));
                 return;
             }
         }
@@ -570,13 +571,31 @@ pub struct DirEntry {
     pub sharers: NodeSet,
 }
 
+/// Per-block home state *and* stored contents, combined so one table
+/// probe resolves both on the hot path.
+#[derive(Debug, Clone)]
+struct DirBlock {
+    owner: Owner,
+    sharers: NodeSet,
+    data: BlockData,
+}
+
+impl Default for DirBlock {
+    fn default() -> Self {
+        DirBlock {
+            owner: Owner::default(),
+            sharers: NodeSet::EMPTY,
+            data: BlockData::ZERO,
+        }
+    }
+}
+
 /// The Directory protocol's home/memory controller.
 #[derive(Debug)]
 pub struct DirectoryCtrl {
     node: NodeId,
     nodes: u16,
-    dir: HashMap<BlockAddr, DirEntry>,
-    store: HashMap<BlockAddr, BlockData>,
+    dir: BlockTable<DirBlock>,
     dram_latency: Duration,
     serialize_dram: bool,
     dram_free: Time,
@@ -596,8 +615,7 @@ impl DirectoryCtrl {
         DirectoryCtrl {
             node,
             nodes,
-            dir: HashMap::new(),
-            store: HashMap::new(),
+            dir: BlockTable::new(),
             dram_latency,
             serialize_dram,
             dram_free: Time::ZERO,
@@ -622,7 +640,13 @@ impl DirectoryCtrl {
 
     /// The directory entry for a block (for invariant checks).
     pub fn entry(&self, block: BlockAddr) -> DirEntry {
-        self.dir.get(&block).cloned().unwrap_or_default()
+        self.dir
+            .get(block)
+            .map(|b| DirEntry {
+                owner: b.owner,
+                sharers: b.sharers.clone(),
+            })
+            .unwrap_or_default()
     }
 
     /// Fault injection (`StaleSharerMask`): silently erase the
@@ -632,7 +656,7 @@ impl DirectoryCtrl {
     /// data while `node` owns the only dirty copy. Harness self-tests
     /// only.
     pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
-        if let Some(e) = self.dir.get_mut(&block) {
+        if let Some(e) = self.dir.get_mut(block) {
             e.sharers.remove(node);
             if e.owner == Owner::Node(node) {
                 e.owner = Owner::Memory;
@@ -642,7 +666,10 @@ impl DirectoryCtrl {
 
     /// The stored contents of a block (defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
-        self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
+        self.dir
+            .get(block)
+            .map(|b| b.data)
+            .unwrap_or(BlockData::ZERO)
     }
 
     /// Handles a VN0 delivery (requests and data-carrying writebacks),
@@ -669,15 +696,18 @@ impl DirectoryCtrl {
         let block = req.block;
         let before = self.label(block);
         let delay = self.dram_delay(now);
-        let entry = self.dir.entry(block).or_default().clone();
-        match (req.kind, entry.owner) {
+        let (owner, sharers) = {
+            let e = self.dir.or_default(block);
+            (e.owner, e.sharers.clone())
+        };
+        match (req.kind, owner) {
             (TxnKind::GetS, Owner::Memory) => {
                 // Respond directly: data on VN2 plus a marker on VN1.
                 sink.push(self.data_response(delay, req));
                 sink.push(self.forward(delay, req, NodeSet::singleton(req.requestor)));
                 self.stats.data_responses += 1;
                 self.dir
-                    .get_mut(&block)
+                    .get_mut(block)
                     .expect("present")
                     .sharers
                     .insert(req.requestor);
@@ -687,28 +717,28 @@ impl DirectoryCtrl {
                 sink.push(self.forward(delay, req, mask));
                 self.stats.forwards += 1;
                 self.dir
-                    .get_mut(&block)
+                    .get_mut(block)
                     .expect("present")
                     .sharers
                     .insert(req.requestor);
             }
             (TxnKind::GetM, Owner::Memory) => {
                 sink.push(self.data_response(delay, req));
-                let mut mask = entry.sharers;
+                let mut mask = sharers;
                 mask.insert(req.requestor);
                 sink.push(self.forward(delay, req, mask));
                 self.stats.data_responses += 1;
-                let e = self.dir.get_mut(&block).expect("present");
+                let e = self.dir.get_mut(block).expect("present");
                 e.owner = Owner::Node(req.requestor);
                 e.sharers = NodeSet::EMPTY;
             }
             (TxnKind::GetM, Owner::Node(p)) => {
-                let mut mask = entry.sharers;
+                let mut mask = sharers;
                 mask.insert(p);
                 mask.insert(req.requestor);
                 sink.push(self.forward(delay, req, mask));
                 self.stats.forwards += 1;
-                let e = self.dir.get_mut(&block).expect("present");
+                let e = self.dir.get_mut(block).expect("present");
                 e.owner = Owner::Node(req.requestor);
                 e.sharers = NodeSet::EMPTY;
             }
@@ -727,13 +757,18 @@ impl DirectoryCtrl {
     ) {
         let before = self.label(block);
         let delay = self.dram_delay(now);
-        let entry = self.dir.entry(block).or_default();
-        let stale = entry.owner != Owner::Node(from);
+        let stale = {
+            let e = self.dir.or_default(block);
+            let stale = e.owner != Owner::Node(from);
+            if !stale {
+                e.owner = Owner::Memory;
+                e.data = data;
+            }
+            stale
+        };
         if stale {
             self.stats.writebacks_stale += 1;
         } else {
-            entry.owner = Owner::Memory;
-            self.store.insert(block, data);
             self.stats.writebacks_accepted += 1;
         }
         self.log.record(before, "PutM", self.label(block));
@@ -799,7 +834,7 @@ impl DirectoryCtrl {
     }
 
     fn label(&self, block: BlockAddr) -> &'static str {
-        match self.dir.get(&block) {
+        match self.dir.get(block) {
             None => "Mem",
             Some(e) => match (e.owner, e.sharers.is_empty()) {
                 (Owner::Memory, true) => "Mem",

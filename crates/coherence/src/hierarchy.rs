@@ -95,9 +95,14 @@ impl HierarchyConfig {
     }
 
     /// All members of `node`'s cluster (including `node` itself).
+    ///
+    /// Built as one lazy contiguous span: at 4096 nodes a cluster mask
+    /// (and the cluster-casts unioned from it) never materializes
+    /// per-node bits — the fabric expands it member-by-member only at
+    /// delivery fan-out.
     pub fn cluster_set(&self, node: NodeId) -> NodeSet {
         let first = self.cluster_of(node) * self.cluster_size;
-        NodeSet::from_nodes((first..first + self.cluster_size).map(NodeId))
+        NodeSet::range(first, first + self.cluster_size)
     }
 
     /// The spine bank homing `block` (blocks interleave across banks).

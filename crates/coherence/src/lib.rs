@@ -23,6 +23,8 @@
 //! * [`directory`] — the directory cache + home controllers;
 //! * [`bash`] — the BASH home controller (sufficiency check, retries,
 //!   broadcast escalation, nacks);
+//! * [`blocktable`] — the open-addressed combined per-block state table
+//!   all controllers resolve block state through (one probe per event);
 //! * [`hierarchy`] — cluster/bank geometry for two-level coherence
 //!   (snooping clusters under a sharded directory spine);
 //! * [`protocol`] — protocol selection, dispatch, and message routing;
@@ -30,6 +32,7 @@
 
 pub mod actions;
 pub mod bash;
+pub mod blocktable;
 pub mod cache;
 pub mod common;
 #[cfg(test)]
@@ -49,6 +52,7 @@ mod test_support;
 pub mod types;
 
 pub use actions::{AccessOutcome, Action, ActionSink};
+pub use blocktable::BlockTable;
 pub use cache::{CacheArray, CacheGeometry, Mosi};
 pub use hierarchy::{home_of, HierarchyConfig};
 pub use protocol::{route, CacheCtrl, MemCtrl, ProtocolKind, Routing};

@@ -313,7 +313,7 @@ fn bash_home_retries_insufficient_unicast_with_the_right_mask() {
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(1)));
     assert!(!m.is_quiescent(), "a retry buffer is held");
     // The retry returns sufficient: bookkeeping commits, the slot frees.
-    let retry_mask = sends[0].dests;
+    let retry_mask = sends[0].dests.clone();
     m.deliver(t(20), &req(TxnKind::GetM, 0, 2, 2, retry_mask, 1), Some(3));
     assert_eq!(m.owner_of(BlockAddr(0)), Owner::Node(NodeId(2)));
     assert!(m.is_quiescent());
@@ -336,7 +336,7 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
         Some(order),
     );
     let mut retry_mask = match acts.first() {
-        Some(Action::SendAfter { msg, .. }) => msg.dests,
+        Some(Action::SendAfter { msg, .. }) => msg.dests.clone(),
         _ => panic!("retry expected"),
     };
     for n in 1..3u8 {
@@ -362,7 +362,7 @@ fn bash_home_escalates_to_broadcast_on_the_third_retry() {
             ProtoMsg::Request(r) => assert_eq!(r.retry, n + 1),
             other => panic!("expected retry, got {other:?}"),
         }
-        retry_mask = msg.dests;
+        retry_mask = msg.dests.clone();
     }
     // The third retry is a full broadcast (livelock freedom).
     assert_eq!(retry_mask, NodeSet::all(4));

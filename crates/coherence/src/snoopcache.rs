@@ -49,13 +49,12 @@
 //! stale PutM). On an unsquashed marker the cache sends the data to the
 //! home, which stalls the block until the data arrives.
 
-use std::collections::HashMap;
-
 use bash_adaptive::{AdaptorConfig, BandwidthAdaptor, Cast};
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, NodeSet, VnetId};
 
 use crate::actions::{AccessOutcome, Action, ActionSink};
+use crate::blocktable::BlockTable;
 use crate::cache::{CacheArray, CacheGeometry, Mosi};
 use crate::common::{CacheStats, DeferredReq, Mshr, WbEntry};
 use crate::hierarchy::{home_of, HierarchyConfig};
@@ -73,6 +72,15 @@ pub enum SnoopMode {
     /// BASH: adaptive broadcast/dualcast, sufficiency checks, retries,
     /// nack-triggered broadcast reissue.
     Bash,
+}
+
+/// Per-block side state combined into one open-addressed table entry:
+/// the writeback buffer slot and (BASH footnote 2) the sharer set
+/// tracked while this cache owns the block. One probe resolves both.
+#[derive(Debug, Clone, Default)]
+struct SideBlock {
+    wb: Option<WbEntry>,
+    tracked: NodeSet,
 }
 
 /// A deferred request together with its network order number.
@@ -101,9 +109,11 @@ pub struct SnoopCacheCtrl {
     /// so replays reuse one allocation instead of `drain(..).collect()`ing
     /// a fresh `Vec` every time.
     replay_scratch: Vec<OrderedDeferred>,
-    wb: HashMap<BlockAddr, WbEntry>,
-    /// BASH footnote 2: sharer sets tracked for blocks this cache owns.
-    tracked: HashMap<BlockAddr, NodeSet>,
+    /// Combined per-block side state (writeback slot + tracked sharers).
+    side: BlockTable<SideBlock>,
+    /// Number of writeback entries currently open in `side` (quiescence
+    /// checks without a table scan).
+    wb_in_flight: usize,
     stalled_op: Option<(ProcOp, TxnId, Time)>,
     txn_seq: u64,
     provide_latency: Duration,
@@ -207,8 +217,8 @@ impl SnoopCacheCtrl {
             mshr: None,
             deferred: Vec::new(),
             replay_scratch: Vec::new(),
-            wb: HashMap::new(),
-            tracked: HashMap::new(),
+            side: BlockTable::new(),
+            wb_in_flight: 0,
             stalled_op: None,
             txn_seq: 0,
             provide_latency,
@@ -259,7 +269,7 @@ impl SnoopCacheCtrl {
 
     /// True when no transaction or writeback is in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.mshr.is_none() && self.wb.is_empty() && self.stalled_op.is_none()
+        self.mshr.is_none() && self.wb_in_flight == 0 && self.stalled_op.is_none()
     }
 
     // ------------------------------------------------------------------
@@ -286,7 +296,7 @@ impl SnoopCacheCtrl {
 
         // A miss to a block whose writeback is still in flight waits for the
         // writeback to resolve, then issues.
-        if self.wb.contains_key(&block) {
+        if self.wb_entry(block).is_some() {
             let before = self.label(block);
             let txn = self.next_txn();
             self.stalled_op = Some((op, txn, now));
@@ -506,7 +516,7 @@ impl SnoopCacheCtrl {
             let sufficient = match self.mode {
                 SnoopMode::Snooping => true,
                 SnoopMode::Bash => {
-                    let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+                    let sharers = self.tracked_sharers(block);
                     mask.is_superset(&sharers)
                 }
             };
@@ -544,7 +554,7 @@ impl SnoopCacheCtrl {
         let block = req.block;
         let m = self.mshr.as_ref().expect("checked");
         if m.awaiting_sufficient_upgrade {
-            let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+            let sharers = self.tracked_sharers(block);
             if mask.is_superset(&sharers) {
                 let before = self.label(block);
                 self.complete_upgrade(now, sink);
@@ -559,8 +569,15 @@ impl SnoopCacheCtrl {
     fn on_own_putm_marker(&mut self, now: Time, req: &Request, sink: &mut ActionSink) {
         let block = req.block;
         let before = self.label(block);
-        let entry = self.wb.remove(&block).expect("own PutM without wb entry");
-        self.tracked.remove(&block);
+        let entry = self
+            .side
+            .get_mut(block)
+            .and_then(|b| {
+                b.tracked = NodeSet::EMPTY;
+                b.wb.take()
+            })
+            .expect("own PutM without wb entry");
+        self.wb_in_flight -= 1;
         if entry.valid {
             sink.send_after(
                 self.provide_latency,
@@ -620,7 +637,7 @@ impl SnoopCacheCtrl {
                 self.deferred.push(OrderedDeferred {
                     inner: DeferredReq {
                         req: *req,
-                        mask: *mask,
+                        mask: mask.clone(),
                     },
                     order,
                 });
@@ -648,7 +665,7 @@ impl SnoopCacheCtrl {
                 (SnoopMode::Snooping, _) => true,
                 (SnoopMode::Bash, TxnKind::GetS) => true,
                 (SnoopMode::Bash, TxnKind::GetM) => {
-                    let sharers = self.tracked.get(&block).copied().unwrap_or(NodeSet::EMPTY);
+                    let sharers = self.tracked_sharers(block);
                     mask.is_superset(&sharers)
                 }
                 (SnoopMode::Bash, TxnKind::PutM) => unreachable!(),
@@ -665,8 +682,9 @@ impl SnoopCacheCtrl {
                         // cluster granularity; track the requestor's whole
                         // cluster so our sufficiency verdicts stay in
                         // lockstep with the bank's.
-                        let tracked = self.tracked.entry(block).or_default();
-                        match &self.hier {
+                        let hier = self.hier;
+                        let tracked = &mut self.side.or_default(block).tracked;
+                        match &hier {
                             None => {
                                 tracked.insert(req.requestor);
                             }
@@ -677,11 +695,15 @@ impl SnoopCacheCtrl {
                         // Ownership moves to the requestor.
                         if self.cache.state(block).is_some() {
                             self.cache.invalidate(block);
-                        } else if let Some(entry) = self.wb.get_mut(&block) {
+                        } else if let Some(entry) =
+                            self.side.get_mut(block).and_then(|b| b.wb.as_mut())
+                        {
                             entry.valid = false;
                             self.stats.writebacks_squashed += 1;
                         }
-                        self.tracked.remove(&block);
+                        if let Some(b) = self.side.get_mut(block) {
+                            b.tracked = NodeSet::EMPTY;
+                        }
                         // A pending O→M upgrade just lost its data: fall
                         // back to waiting for the new owner's response.
                         if let Some(m) = self.mshr.as_mut() {
@@ -707,7 +729,20 @@ impl SnoopCacheCtrl {
     /// still-valid writeback buffer entry).
     fn is_local_owner(&self, block: BlockAddr) -> bool {
         matches!(self.cache.state(block), Some(Mosi::M) | Some(Mosi::O))
-            || self.wb.get(&block).map(|e| e.valid).unwrap_or(false)
+            || self.wb_entry(block).map(|e| e.valid).unwrap_or(false)
+    }
+
+    /// The open writeback entry for `block`, if any.
+    fn wb_entry(&self, block: BlockAddr) -> Option<&WbEntry> {
+        self.side.get(block).and_then(|b| b.wb.as_ref())
+    }
+
+    /// The sharer set tracked for `block` (footnote 2), empty when none.
+    fn tracked_sharers(&self, block: BlockAddr) -> NodeSet {
+        self.side
+            .get(block)
+            .map(|b| b.tracked.clone())
+            .unwrap_or(NodeSet::EMPTY)
     }
 
     fn respond_with_data(&mut self, req: &Request, order: u64, sink: &mut ActionSink) {
@@ -715,7 +750,7 @@ impl SnoopCacheCtrl {
         let data = self
             .cache
             .data(block)
-            .or_else(|| self.wb.get(&block).map(|e| e.data))
+            .or_else(|| self.wb_entry(block).map(|e| e.data))
             .expect("owner has data");
         self.stats.snoop_responses += 1;
         sink.send_after(
@@ -823,7 +858,7 @@ impl SnoopCacheCtrl {
             ProcOp::Load { .. } => unreachable!("upgrades are stores"),
         };
         // Our sufficient GetM invalidated every tracked sharer.
-        self.tracked.insert(block, NodeSet::EMPTY);
+        self.side.or_default(block).tracked = NodeSet::EMPTY;
         sink.push(Action::MissDone {
             txn: m.txn,
             kind: m.kind,
@@ -866,7 +901,7 @@ impl SnoopCacheCtrl {
             }
         };
         if m.kind == TxnKind::GetM {
-            self.tracked.insert(block, NodeSet::EMPTY);
+            self.side.or_default(block).tracked = NodeSet::EMPTY;
         }
         sink.push(Action::MissDone {
             txn: m.txn,
@@ -892,14 +927,14 @@ impl SnoopCacheCtrl {
                 Mosi::M | Mosi::O => {
                     let before = self.label(victim.block);
                     self.stats.writebacks += 1;
-                    self.wb.insert(
-                        victim.block,
-                        WbEntry {
-                            data: victim.data,
-                            state_was: victim.state,
-                            valid: true,
-                        },
-                    );
+                    let slot = &mut self.side.or_default(victim.block).wb;
+                    debug_assert!(slot.is_none(), "victim already has a writeback in flight");
+                    *slot = Some(WbEntry {
+                        data: victim.data,
+                        state_was: victim.state,
+                        valid: true,
+                    });
+                    self.wb_in_flight += 1;
                     // Writebacks are dualcast {home, self} in both modes:
                     // the PutM still takes a slot in the request total order
                     // (the self-copy is the squash-detection marker), but
@@ -963,7 +998,7 @@ impl SnoopCacheCtrl {
                 return "WB_STALL";
             }
         }
-        if let Some(e) = self.wb.get(&block) {
+        if let Some(e) = self.wb_entry(block) {
             return match (e.valid, e.state_was) {
                 (true, Mosi::M) => "MI_A",
                 (true, Mosi::O) => "OI_A",

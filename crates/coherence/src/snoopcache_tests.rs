@@ -106,7 +106,7 @@ fn issued_request(actions: &[Action]) -> (Request, NodeSet) {
         .collect();
     assert_eq!(sends.len(), 1);
     match &sends[0].payload {
-        ProtoMsg::Request(r) => (*r, sends[0].dests),
+        ProtoMsg::Request(r) => (*r, sends[0].dests.clone()),
         other => panic!("expected a request, got {other:?}"),
     }
 }
@@ -373,7 +373,7 @@ fn writeback_squashed_by_earlier_getm_sends_no_data() {
         .iter()
         .find_map(|a| match a {
             Action::SendAfter { msg, .. } => match &msg.payload {
-                ProtoMsg::Request(r) if r.kind == TxnKind::PutM => Some((*r, msg.dests)),
+                ProtoMsg::Request(r) if r.kind == TxnKind::PutM => Some((*r, msg.dests.clone())),
                 _ => None,
             },
             _ => None,
@@ -455,7 +455,7 @@ fn unsquashed_writeback_sends_data_at_marker() {
         .iter()
         .find_map(|a| match a {
             Action::SendAfter { msg, .. } => match &msg.payload {
-                ProtoMsg::Request(r) if r.kind == TxnKind::PutM => Some((*r, msg.dests)),
+                ProtoMsg::Request(r) if r.kind == TxnKind::PutM => Some((*r, msg.dests.clone())),
                 _ => None,
             },
             _ => None,

@@ -11,12 +11,13 @@
 //! memory until the writeback data arrives on the response network, then
 //! drain in order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bash_kernel::{Duration, Time};
 use bash_net::{Message, NodeId, VnetId};
 
 use crate::actions::ActionSink;
+use crate::blocktable::BlockTable;
 use crate::common::MemStats;
 use crate::registry::TransitionLog;
 use crate::types::{BlockAddr, BlockData, Owner, ProtoMsg, Request, TxnKind, DATA_MSG_BYTES};
@@ -30,8 +31,10 @@ struct WbPending {
     queued: VecDeque<(Request, u64)>,
 }
 
-/// Per-block memory-side state.
-#[derive(Debug, Clone, Default)]
+/// Per-block memory-side state *and* stored contents, combined so the
+/// per-event hot path resolves a block with one table probe instead of
+/// separate state/store map lookups.
+#[derive(Debug, Clone)]
 struct BlockState {
     owner: Owner,
     wb: Option<WbPending>,
@@ -41,6 +44,19 @@ struct BlockState {
     /// arrives before the marker that opens the window; it waits here
     /// and completes the writeback the instant the window opens.
     early_wb: Vec<(NodeId, BlockData)>,
+    /// The DRAM contents (zeros until a writeback lands).
+    data: BlockData,
+}
+
+impl Default for BlockState {
+    fn default() -> Self {
+        BlockState {
+            owner: Owner::default(),
+            wb: None,
+            early_wb: Vec::new(),
+            data: BlockData::ZERO,
+        }
+    }
 }
 
 /// The Snooping memory controller for one node's slice of memory.
@@ -48,8 +64,7 @@ struct BlockState {
 pub struct SnoopingMemCtrl {
     node: NodeId,
     nodes: u16,
-    blocks: HashMap<BlockAddr, BlockState>,
-    store: HashMap<BlockAddr, BlockData>,
+    blocks: BlockTable<BlockState>,
     dram_latency: Duration,
     /// When true, DRAM accesses serialize (one at a time); the paper's model
     /// has contention only at the network endpoints, so this defaults off.
@@ -75,8 +90,7 @@ impl SnoopingMemCtrl {
         SnoopingMemCtrl {
             node,
             nodes,
-            blocks: HashMap::new(),
-            store: HashMap::new(),
+            blocks: BlockTable::new(),
             dram_latency,
             serialize_dram,
             dram_free: Time::ZERO,
@@ -102,7 +116,7 @@ impl SnoopingMemCtrl {
 
     /// Current owner of a block (for invariant checks).
     pub fn owner_of(&self, block: BlockAddr) -> Owner {
-        self.blocks.get(&block).map(|b| b.owner).unwrap_or_default()
+        self.blocks.get(block).map(|b| b.owner).unwrap_or_default()
     }
 
     /// Fault injection (`StaleSharerMask`): if `node` is the recorded
@@ -110,7 +124,7 @@ impl SnoopingMemCtrl {
     /// serve stale DRAM data while `node` still holds the dirty copy.
     /// (Snooping tracks no sharer bitmap.) Harness self-tests only.
     pub fn fault_forget_sharer(&mut self, block: BlockAddr, node: NodeId) {
-        if let Some(b) = self.blocks.get_mut(&block) {
+        if let Some(b) = self.blocks.get_mut(block) {
             if b.owner == Owner::Node(node) {
                 b.owner = Owner::Memory;
             }
@@ -119,7 +133,10 @@ impl SnoopingMemCtrl {
 
     /// The stored contents of a block (for checks; defaults to zeros).
     pub fn stored_data(&self, block: BlockAddr) -> BlockData {
-        self.store.get(&block).copied().unwrap_or(BlockData::ZERO)
+        self.blocks
+            .get(block)
+            .map(|b| b.data)
+            .unwrap_or(BlockData::ZERO)
     }
 
     /// True when no writeback windows are open and no early writeback
@@ -168,7 +185,7 @@ impl SnoopingMemCtrl {
 
         // Requests inside a writeback window stall until the data arrives.
         let stalled = {
-            let st = self.blocks.entry(block).or_default();
+            let st = self.blocks.or_default(block);
             if let Some(wb) = st.wb.as_mut() {
                 if req.kind != TxnKind::PutM {
                     wb.queued.push_back((*req, order));
@@ -193,7 +210,7 @@ impl SnoopingMemCtrl {
 
     fn process_request(&mut self, now: Time, req: &Request, order: u64, sink: &mut ActionSink) {
         let block = req.block;
-        let owner = self.blocks.entry(block).or_default().owner;
+        let owner = self.blocks.or_default(block).owner;
         match req.kind {
             TxnKind::GetS => match owner {
                 Owner::Memory => self.respond_with_data(now, req, order, sink),
@@ -203,11 +220,11 @@ impl SnoopingMemCtrl {
                 if owner == Owner::Memory {
                     self.respond_with_data(now, req, order, sink);
                 }
-                self.blocks.get_mut(&block).expect("present").owner = Owner::Node(req.requestor);
+                self.blocks.get_mut(block).expect("present").owner = Owner::Node(req.requestor);
             }
             TxnKind::PutM => {
                 let early = {
-                    let st = self.blocks.get_mut(&block).expect("present");
+                    let st = self.blocks.get_mut(block).expect("present");
                     if st.owner == Owner::Node(req.requestor) {
                         // Valid writeback: open the window; data will
                         // follow on the response network (the writer sends
@@ -246,7 +263,7 @@ impl SnoopingMemCtrl {
         sink: &mut ActionSink,
     ) {
         let before = self.state_label(block);
-        let st = self.blocks.entry(block).or_default();
+        let st = self.blocks.or_default(block);
         if st.wb.as_ref().is_none_or(|wb| wb.from != from) {
             if self.tolerant {
                 // A corrupted owner record (duplicated/reordered request
@@ -268,7 +285,7 @@ impl SnoopingMemCtrl {
         }
         let wb = st.wb.take().expect("window checked above");
         st.owner = Owner::Memory;
-        self.store.insert(block, data);
+        st.data = data;
         self.stats.writebacks_accepted += 1;
         // Drain the stalled requests in their network order.
         for (req, order) in wb.queued {
@@ -313,7 +330,7 @@ impl SnoopingMemCtrl {
     }
 
     fn state_label(&self, block: BlockAddr) -> &'static str {
-        match self.blocks.get(&block) {
+        match self.blocks.get(block) {
             None => "Mem",
             Some(b) if b.wb.is_some() => "WbPending",
             Some(b) => match b.owner {

@@ -21,8 +21,8 @@ use bash_coherence::{
 use bash_kernel::stats::{RunningStat, WindowDelta};
 use bash_kernel::{Duration, EventQueue, Time};
 use bash_net::{
-    FaultStats, Interconnect, Message, MsgArena, MsgRef, NetConfig, NetEvent, NetStep, NodeId,
-    Ordered, OrderingMode,
+    FaultStats, Interconnect, Jitter, Message, MsgArena, MsgRef, NetConfig, NetEvent, NetStep,
+    NodeId, Ordered, OrderingMode,
 };
 use bash_trace::{Trace, TraceCapture, TraceRecord};
 use bash_workloads::{WorkItem, Workload};
@@ -288,15 +288,29 @@ impl<W: Workload> System<W> {
     ///
     /// Panics if the configuration is invalid (see
     /// [`SystemConfig::validate`]).
-    pub fn new(cfg: SystemConfig, mut workload: W) -> Self {
+    pub fn new(mut cfg: SystemConfig, mut workload: W) -> Self {
         cfg.validate();
         let nodes = cfg.nodes;
+        // Everything derived from the fault plane is computed here, before
+        // the configuration moves into the interconnect below.
+        let unreliable = cfg
+            .fault_plane
+            .as_ref()
+            .is_some_and(bash_net::FaultPlaneConfig::breaks_delivery);
+        let fault_timer_load: usize =
+            cfg.fault_plane
+                .as_ref()
+                .map_or(0, |fp| if fp.transport.is_some() { 8 } else { 2 });
         let mut net_cfg = NetConfig::new(nodes, cfg.link_mbps);
         net_cfg.traversal = cfg.traversal;
         net_cfg.broadcast_cost_multiplier = cfg.broadcast_cost_multiplier;
-        net_cfg.jitter = cfg.jitter.clone();
+        // The interconnect is the sole consumer of the jitter and fault
+        // plane, so it takes ownership instead of a per-run clone (the
+        // same single-owner discipline `AdaptorConfig` gets by reference);
+        // both stay reachable through `net.config()`.
+        net_cfg.jitter = std::mem::replace(&mut cfg.jitter, Jitter::None);
         net_cfg.topology = cfg.topology;
-        net_cfg.fault = cfg.fault_plane.clone();
+        net_cfg.fault = cfg.fault_plane.take();
         let net = Interconnect::new(net_cfg);
 
         let mut caches: Vec<CacheCtrl> = (0..nodes)
@@ -335,10 +349,6 @@ impl<W: Workload> System<W> {
         // controllers' asserts encode; switch the controllers to tolerant
         // (drop-and-count) mode so the breakage surfaces as an oracle
         // violation or a watchdog wedge instead of a panic.
-        let unreliable = cfg
-            .fault_plane
-            .as_ref()
-            .is_some_and(bash_net::FaultPlaneConfig::breaks_delivery);
         if cfg.fault.is_some_and(FaultInjection::breaks_network) || unreliable {
             for c in &mut caches {
                 c.set_tolerant(true);
@@ -357,10 +367,6 @@ impl<W: Workload> System<W> {
         // flight — so its wheel covers the common case with the overflow
         // level reserved for far-future timers. `RunStats::peak_queue_len`
         // reports the observed high-water mark for re-tuning this factor.
-        let fault_timer_load: usize =
-            cfg.fault_plane
-                .as_ref()
-                .map_or(0, |fp| if fp.transport.is_some() { 8 } else { 2 });
         let queue_cap = (nodes as usize * (16 + fault_timer_load)).max(64);
         let horizon = cfg.traversal + Duration::transmission(72, cfg.link_mbps);
         let mut events = EventQueue::with_kind(cfg.queue, queue_cap, horizon);

@@ -352,7 +352,7 @@ impl<P> Crossbar<P> {
         // One arena slot per transmission: every destination's RxArrive
         // carries the same handle, with one reference per delivery.
         let ordered = msg.ordered;
-        let dests = msg.dests;
+        let dests = msg.dests.clone();
         let msg = arena.alloc(msg, dests.len() as u32);
         for dst in dests.iter() {
             let extra = match ordered {

@@ -328,7 +328,7 @@ impl<P> Fabric<P> {
             Ordered::None => None,
         };
         let src = msg.src;
-        let dests = msg.dests;
+        let dests = msg.dests.clone();
         let t0 = now + inject_delay;
 
         // Merge the per-destination routes into the forwarding tree.

@@ -50,4 +50,23 @@ for key in Snooping_16 BASH_16 Directory_16; do
     fail=1
   fi
 done
+
+# Scale gates (adaptive sharer sets + open-addressed block tables):
+#   * the 1024-node hierarchical point must exist — its absence means the
+#     scale sweep silently stopped running past the old 256-node cap;
+#   * smallset_vs_bitset_16 — the adaptive NodeSet against the retired
+#     fixed bitset on a 16-node working pattern must hold >= 0.95x, so
+#     scaling to 4096 nodes never taxes the paper-sized runs.
+if [[ -z "$(ratio events_per_sec_1024)" ]]; then
+  echo "bench_baseline: $OUT has no events_per_sec_1024 — scale section missing" >&2
+  fail=1
+fi
+rset="$(ratio smallset_vs_bitset_16)"
+if [[ -z "$rset" ]]; then
+  echo "bench_baseline: $OUT has no smallset_vs_bitset_16 ratio — scale section malformed" >&2
+  fail=1
+elif awk -v r="$rset" 'BEGIN { exit !(r < 0.95) }'; then
+  echo "bench_baseline: smallset_vs_bitset_16 = $rset < 0.95 — adaptive NodeSet regressed the 16-node pattern" >&2
+  fail=1
+fi
 exit "$fail"
